@@ -1,0 +1,30 @@
+//! **F11 (extension) — amplifier performance over ambient temperature.**
+//!
+//! Worst-case in-band NF and minimum gain of the reference design from
+//! −40 °C to +85 °C. Expected shape: NF grows roughly linearly with
+//! physical temperature (thermal noise ∝ T, plus gm derating), gain falls
+//! ~1 dB cold-to-hot, and the design stays unconditionally stable at the
+//! corners.
+
+use lna::{band_sweep_over_temperature, metrics_at_temperature, BandSpec, ThermalCondition};
+use lna_bench::{header, print_series, reference_design};
+use rfkit_device::Phemt;
+
+fn main() {
+    header("Figure 11 (extension)", "worst-case band performance vs ambient temperature");
+    let device = Phemt::atf54143_like();
+    let design = reference_design(&device);
+    let temps: Vec<f64> = vec![-40.0, -20.0, 0.0, 25.0, 45.0, 65.0, 85.0];
+    let sweep = band_sweep_over_temperature(&device, design.snapped, &BandSpec::gnss(), &temps);
+    let nf: Vec<f64> = sweep.iter().map(|(_, nf, _)| *nf).collect();
+    let gain: Vec<f64> = sweep.iter().map(|(_, _, g)| *g).collect();
+    println!();
+    print_series("T (degC)", &["worst NF (dB)", "min gain (dB)"], &temps, &[nf, gain]);
+
+    println!("\nstability at the corners (1.4 GHz):");
+    for t in [-40.0, 85.0] {
+        let m = metrics_at_temperature(&device, design.snapped, 1.4e9, &ThermalCondition::at(t))
+            .expect("feasible");
+        println!("  {t:>6.1} degC: K = {:.2}, mu = {:.3}", m.k, m.mu);
+    }
+}

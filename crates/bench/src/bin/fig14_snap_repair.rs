@@ -1,0 +1,94 @@
+//! **F14 (extension) — ablation of the post-snap repair step.**
+//!
+//! The design flow snaps the optimizer's continuous component values to
+//! E24 catalog values and then *repairs* the still-continuous variables
+//! (bias, degeneration, feed resistor) against the same attainment
+//! function. Snap robustness is shared between two safeguards — the
+//! stability *margin* designed into the goals and the *repair* pass — so
+//! the ablation runs at two margins: at the default 0.005 margin the
+//! naive snap survives (the margin absorbs the component jump); with the
+//! margin ablated to 0.0005 the optimizer rides μ ≈ 1.0005 and the naive
+//! snap breaks unconditional stability on most seeds, while the repaired
+//! snap recovers it.
+
+use lna::{
+    band_objectives, design_lna, snap_to_catalog, Amplifier, BandMetrics, BandSpec,
+    DesignConfig, DesignGoals, DesignVariables,
+};
+use lna_bench::header;
+use rfkit_device::Phemt;
+
+fn main() {
+    header("Figure 14 (extension)", "post-snap repair ablation over 10 design runs");
+    let device = Phemt::atf54143_like();
+    for (label, margin) in [
+        ("default stability margin (0.005)", 0.005),
+        ("ablated margin (0.0005)", 0.0005),
+    ] {
+        println!("\n--- {label} ---");
+        run_panel(&device, margin);
+    }
+    println!("\n(margin and repair are complementary: the margin shields the spec");
+    println!(" from catalog quantization; when it is removed, only the repair");
+    println!(" pass keeps the built design unconditionally stable)");
+}
+
+fn run_panel(device: &Phemt, stability_margin: f64) {
+    let band = BandSpec::gnss();
+    let goals = DesignGoals {
+        stability_margin,
+        ..Default::default()
+    };
+    let objectives = band_objectives(device, &band);
+
+    let feasible = |vars: DesignVariables| -> (bool, Option<BandMetrics>) {
+        let amp = Amplifier::new(device, vars);
+        match BandMetrics::evaluate(&amp, &band) {
+            Some(m) => (
+                m.min_mu > 1.0 && m.worst_s11_db <= -10.0 && m.worst_s22_db <= -10.0,
+                Some(m),
+            ),
+            None => (false, None),
+        }
+    };
+
+    let mut naive_ok = 0;
+    let mut repaired_ok = 0;
+    let mut continuous_ok = 0;
+    println!(
+        "\n{:>6} {:>14} {:>12} {:>12} {:>12}",
+        "seed", "continuous ok", "naive snap", "repaired", "ΔNF (mdB)"
+    );
+    for seed in 0..10u64 {
+        let design = design_lna(
+            device,
+            &goals,
+            &DesignConfig {
+                max_evals: 8_000,
+                seed,
+                band: band.clone(),
+                improved: true,
+            },
+        );
+        let (c_ok, _) = feasible(design.continuous);
+        let naive = snap_to_catalog(design.continuous);
+        let (n_ok, _) = feasible(naive);
+        let (r_ok, r_m) = feasible(design.snapped);
+        continuous_ok += c_ok as u32;
+        naive_ok += n_ok as u32;
+        repaired_ok += r_ok as u32;
+        let dnf = r_m
+            .map(|m| 1000.0 * (m.worst_nf_db - design.continuous_metrics.worst_nf_db))
+            .unwrap_or(f64::NAN);
+        println!(
+            "{seed:>6} {:>14} {:>12} {:>12} {dnf:>12.1}",
+            if c_ok { "yes" } else { "NO" },
+            if n_ok { "yes" } else { "NO" },
+            if r_ok { "yes" } else { "NO" },
+        );
+        let _ = objectives(&design.snapped.to_vec());
+    }
+    println!(
+        "feasible designs: continuous {continuous_ok}/10, naive snap {naive_ok}/10, repaired snap {repaired_ok}/10"
+    );
+}

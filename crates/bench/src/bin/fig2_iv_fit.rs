@@ -1,0 +1,53 @@
+//! **F2 — DC I-V fit overlay.**
+//!
+//! Prints measured vs extracted-model drain current along three gate-bias
+//! curves. Expected shape: the Angelov fit overlays the noisy measurement
+//! within the noise; the Curtice-quadratic fit visibly misses the knee and
+//! the gm compression.
+
+use lna_bench::{golden_dataset, header, print_series};
+use rfkit_device::dc::{Angelov, CurticeQuadratic, DcModel as _};
+use rfkit_device::MeasurementNoise;
+use rfkit_extract::{three_step, ThreeStepConfig};
+use rfkit_num::linspace;
+
+fn main() {
+    header("Figure 2", "DC I-V curves: measured vs extracted models");
+    let data = golden_dataset(MeasurementNoise::default());
+    let cfg = ThreeStepConfig {
+        step1_evals: 20_000,
+        step2_evals: 8_000,
+        step3_evals: 1_000,
+        seed: 2,
+    };
+    let angelov = three_step(&Angelov, &data, &cfg);
+    let curtice = three_step(&CurticeQuadratic, &data, &cfg);
+    let golden = rfkit_device::GoldenDevice::default();
+
+    for vgs in [-0.5, -0.3, 0.0] {
+        println!("\nVgs = {vgs} V  (Ids in mA)");
+        let vds_grid = linspace(0.0, 4.0, 9);
+        let measured: Vec<f64> = vds_grid
+            .iter()
+            .map(|&v| 1e3 * golden.device.dc_model.ids(&golden.device.dc_params, vgs, v))
+            .collect();
+        let fit_a: Vec<f64> = vds_grid
+            .iter()
+            .map(|&v| 1e3 * Angelov.ids(&angelov.dc_params, vgs, v))
+            .collect();
+        let fit_c: Vec<f64> = vds_grid
+            .iter()
+            .map(|&v| 1e3 * CurticeQuadratic.ids(&curtice.dc_params, vgs, v))
+            .collect();
+        print_series(
+            "Vds (V)",
+            &["golden", "Angelov fit", "CurticeQ fit"],
+            &vds_grid,
+            &[measured, fit_a, fit_c],
+        );
+    }
+    println!(
+        "\nfit quality: Angelov DC RMSE = {:.4}, Curtice quadratic DC RMSE = {:.4}",
+        angelov.dc_rmse, curtice.dc_rmse
+    );
+}

@@ -1,0 +1,66 @@
+//! **F5 — s-parameters of the proposed preamplifier** (paper claim 5:
+//! "the s-parameters … of the proposed preamplifier were measured").
+//!
+//! |S11|, |S21|, |S22| in dB over 0.8–2.2 GHz: nominal design vs the
+//! simulated measurement of one as-built unit (±5 % parts, launch lines,
+//! VNA noise). Expected shape: the measurement tracks the design within
+//! ~1 dB of gain and a few dB of return loss, like the paper's prototype.
+
+use lna::{measure, Amplifier, BuildConfig, BuiltAmplifier};
+use lna_bench::{header, print_series, reference_design};
+use rfkit_device::Phemt;
+use rfkit_num::linspace;
+use rfkit_num::units::db_from_amplitude_ratio;
+
+fn main() {
+    header("Figure 5", "amplifier S-parameters: design vs simulated measurement");
+    let device = Phemt::atf54143_like();
+    let design = reference_design(&device);
+    let vars = design.snapped;
+    println!("\ndesign under test: {vars:?}");
+
+    let freqs = linspace(0.8e9, 2.2e9, 15);
+    let cfg = BuildConfig::default();
+    let built = BuiltAmplifier::build(&vars, &cfg);
+    let session = measure(&device, &built, &freqs, &cfg).expect("board alive");
+
+    let amp = Amplifier::new(&device, vars);
+    let freqs_ghz: Vec<f64> = freqs.iter().map(|f| f / 1e9).collect();
+    for (name, pick) in [
+        ("S11", 0usize),
+        ("S21", 1),
+        ("S22", 2),
+    ] {
+        let design_db: Vec<f64> = freqs
+            .iter()
+            .map(|&f| {
+                let s = amp.s_params(f).expect("design feasible");
+                let v = match pick {
+                    0 => s.s11(),
+                    1 => s.s21(),
+                    _ => s.s22(),
+                };
+                db_from_amplitude_ratio(v.abs())
+            })
+            .collect();
+        let meas_db: Vec<f64> = session
+            .response
+            .iter()
+            .map(|p| {
+                let v = match pick {
+                    0 => p.s.s11(),
+                    1 => p.s.s21(),
+                    _ => p.s.s22(),
+                };
+                db_from_amplitude_ratio(v.abs())
+            })
+            .collect();
+        println!("\n|{name}| (dB):");
+        print_series(
+            "f (GHz)",
+            &["design", "measured"],
+            &freqs_ghz,
+            &[design_db, meas_db],
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! **F6 — noise figure over the GNSS band** (paper claim 5: "… and noise
+//! figure of the proposed preamplifier were measured").
+//!
+//! 50 Ω noise figure, 1.0–1.8 GHz: nominal design vs the simulated
+//! NF-meter measurement of the as-built unit. Expected shape: 0.5–1 dB in
+//! band, the measurement a few hundredths to ~0.15 dB above the design
+//! (tolerances + launch-line loss), as prototype papers report.
+
+use lna::{measure, Amplifier, BuildConfig, BuiltAmplifier};
+use lna_bench::{header, print_series, reference_design};
+use rfkit_device::Phemt;
+use rfkit_num::linspace;
+use rfkit_num::stats;
+
+fn main() {
+    header("Figure 6", "amplifier noise figure: design vs simulated measurement");
+    let device = Phemt::atf54143_like();
+    let design = reference_design(&device);
+    let vars = design.snapped;
+
+    let freqs = linspace(1.0e9, 1.8e9, 9);
+    let cfg = BuildConfig::default();
+    let built = BuiltAmplifier::build(&vars, &cfg);
+    let session = measure(&device, &built, &freqs, &cfg).expect("board alive");
+
+    let amp = Amplifier::new(&device, vars);
+    let design_nf: Vec<f64> = freqs
+        .iter()
+        .map(|&f| amp.metrics(f).expect("design feasible").nf_db)
+        .collect();
+    let freqs_ghz: Vec<f64> = freqs.iter().map(|f| f / 1e9).collect();
+    println!("\nNF at 50 ohm source (dB):");
+    print_series(
+        "f (GHz)",
+        &["design", "measured"],
+        &freqs_ghz,
+        &[design_nf.clone(), session.nf_db.clone()],
+    );
+    let gaps: Vec<f64> = design_nf
+        .iter()
+        .zip(&session.nf_db)
+        .map(|(d, m)| m - d)
+        .collect();
+    println!(
+        "\nmeasurement-minus-design gap: mean {:+.3} dB, max {:+.3} dB",
+        stats::mean(&gaps),
+        stats::max(&gaps)
+    );
+}

@@ -1,0 +1,55 @@
+//! **F9 — frequency dispersion of the passive models** (paper claim 3:
+//! passive elements defined "using frequency dispersion of their
+//! parameters as Q, ESR, etc.").
+//!
+//! Sweeps 0.1–6 GHz and prints capacitor/inductor Q and ESR plus the
+//! microstrip εeff(f) and Z0(f). Expected shape: capacitor ESR rising as
+//! √f, inductor Q peaking then collapsing at self-resonance, microstrip
+//! εeff climbing toward εr per Kirschning–Jansen.
+
+use lna_bench::{header, print_series};
+use rfkit_num::linspace;
+use rfkit_passive::{Capacitor, Component, Inductor, Microstrip, Substrate};
+
+fn main() {
+    header("Figure 9", "frequency dispersion of passive-element parameters");
+    let freqs = linspace(0.1e9, 6.0e9, 13);
+    let freqs_ghz: Vec<f64> = freqs.iter().map(|f| f / 1e9).collect();
+
+    let cap = Capacitor::chip_0402(8.2e-12);
+    let ind = Inductor::chip_0402(6.8e-9);
+    println!(
+        "\n8.2 pF 0402 capacitor (SRF = {:.2} GHz) and 6.8 nH 0402 inductor (SRF = {:.2} GHz):",
+        cap.self_resonance_hz() / 1e9,
+        ind.self_resonance_hz() / 1e9
+    );
+    let cap_q: Vec<f64> = freqs.iter().map(|&f| cap.q_factor(f)).collect();
+    let cap_esr: Vec<f64> = freqs.iter().map(|&f| cap.esr(f)).collect();
+    let ind_q: Vec<f64> = freqs.iter().map(|&f| ind.q_factor(f)).collect();
+    let ind_esr: Vec<f64> = freqs.iter().map(|&f| ind.esr(f)).collect();
+    print_series(
+        "f (GHz)",
+        &["C: Q", "C: ESR (ohm)", "L: Q", "L: ESR (ohm)"],
+        &freqs_ghz,
+        &[cap_q, cap_esr, ind_q, ind_esr],
+    );
+
+    let line = Microstrip::for_impedance(Substrate::ro4350b(), 50.0, 10e-3);
+    println!(
+        "\n50 ohm microstrip on RO4350B (w = {:.3} mm, eps_eff(0) = {:.3}):",
+        line.width * 1e3,
+        line.eps_eff_static()
+    );
+    let eps: Vec<f64> = freqs.iter().map(|&f| line.eps_eff(f)).collect();
+    let z0: Vec<f64> = freqs.iter().map(|&f| line.z0(f)).collect();
+    let loss: Vec<f64> = freqs
+        .iter()
+        .map(|&f| (line.alpha_conductor(f) + line.alpha_dielectric(f)) * 8.686)
+        .collect();
+    print_series(
+        "f (GHz)",
+        &["eps_eff(f)", "Z0(f) (ohm)", "loss (dB/m)"],
+        &freqs_ghz,
+        &[eps, z0, loss],
+    );
+}

@@ -1,0 +1,39 @@
+//! **T3 — final design: operating point and E24-snapped element values**
+//! (paper claim 4: optimal selection of the operating point and essential
+//! passive elements).
+
+use lna::report::{design_summary, format_table, metrics_summary};
+use lna_bench::{header, reference_design};
+use rfkit_device::Phemt;
+
+fn main() {
+    header("Table 3", "final GNSS LNA design (improved goal attainment + E24 snap)");
+    let device = Phemt::atf54143_like();
+    let design = reference_design(&device);
+
+    println!("\ncontinuous optimum:");
+    let rows: Vec<Vec<String>> = design_summary(&design.continuous)
+        .into_iter()
+        .zip(design_summary(&design.snapped))
+        .map(|((name, cont), (_, snap))| vec![name, cont, snap])
+        .collect();
+    println!(
+        "{}",
+        format_table(&["quantity", "continuous", "snapped (E24)"], &rows)
+    );
+
+    println!("band metrics (1.1-1.7 GHz):");
+    let rows: Vec<Vec<String>> = metrics_summary(&design.continuous_metrics)
+        .into_iter()
+        .zip(metrics_summary(&design.snapped_metrics))
+        .map(|((name, cont), (_, snap))| vec![name, cont, snap])
+        .collect();
+    println!(
+        "{}",
+        format_table(&["metric", "continuous", "snapped"], &rows)
+    );
+    println!(
+        "attainment factor γ = {:.3}  ({} objective evaluations)",
+        design.attainment, design.evaluations
+    );
+}

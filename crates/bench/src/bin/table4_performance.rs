@@ -1,0 +1,51 @@
+//! **T4 — performance summary of the final design** at the band edges and
+//! center (1.1 / 1.4 / 1.7 GHz): gain, NF, reflections and stability.
+
+use lna::report::format_table;
+use lna::Amplifier;
+use lna_bench::{header, reference_design};
+use rfkit_device::Phemt;
+
+fn main() {
+    header("Table 4", "final design performance at 1.1 / 1.4 / 1.7 GHz");
+    let device = Phemt::atf54143_like();
+    let design = reference_design(&device);
+    let amp = Amplifier::new(&device, design.snapped);
+
+    let rows: Vec<Vec<String>> = [1.1e9, 1.4e9, 1.7e9]
+        .iter()
+        .map(|&f| {
+            let m = amp.metrics(f).expect("design feasible");
+            vec![
+                format!("{:.2}", f / 1e9),
+                format!("{:.2}", m.gain_db),
+                format!("{:.3}", m.nf_db),
+                format!("{:.1}", m.s11_db),
+                format!("{:.1}", m.s22_db),
+                format!("{:.2}", m.k),
+                format!("{:.3}", m.mu),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "f (GHz)",
+                "GT (dB)",
+                "NF (dB)",
+                "|S11| (dB)",
+                "|S22| (dB)",
+                "K",
+                "mu",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "worst-case over full band: NF {:.3} dB, gain {:.2} dB, min mu {:.3}",
+        design.snapped_metrics.worst_nf_db,
+        design.snapped_metrics.min_gain_db,
+        design.snapped_metrics.min_mu,
+    );
+}

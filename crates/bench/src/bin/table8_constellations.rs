@@ -1,0 +1,74 @@
+//! **T8 (extension) — per-constellation verification.**
+//!
+//! The paper's premise is one preamplifier for *all* GNSS constellations.
+//! This table verifies the final design at every constellation's actual
+//! carrier: GPS L1/L2/L5, GLONASS G1/G2, Galileo E1/E5a/E5b/E6 and
+//! BeiDou B1I/B2a/B3I. Expected shape: every row meets the gain/NF/match
+//! spec — the whole point of optimizing the worst case over 1.1–1.7 GHz
+//! instead of a single carrier.
+
+use lna::report::format_table;
+use lna::Amplifier;
+use lna_bench::{header, reference_design};
+use rfkit_device::Phemt;
+
+const CARRIERS: [(&str, f64); 11] = [
+    ("GPS L1", 1.57542e9),
+    ("GPS L2", 1.2276e9),
+    ("GPS L5", 1.17645e9),
+    ("GLONASS G1", 1.602e9),
+    ("GLONASS G2", 1.246e9),
+    ("Galileo E1", 1.57542e9),
+    ("Galileo E5a", 1.17645e9),
+    ("Galileo E5b", 1.20714e9),
+    ("Galileo E6", 1.27875e9),
+    ("BeiDou B1I", 1.561098e9),
+    ("BeiDou B2a", 1.17645e9),
+];
+
+fn main() {
+    header("Table 8 (extension)", "the one amplifier at every constellation carrier");
+    let device = Phemt::atf54143_like();
+    let design = reference_design(&device);
+    let amp = Amplifier::new(&device, design.snapped);
+
+    let mut rows = Vec::new();
+    let mut all_pass = true;
+    for (name, f) in CARRIERS {
+        let m = amp.metrics(f).expect("design feasible");
+        let pass = m.gain_db >= 10.0 && m.nf_db <= 0.8 && m.s11_db <= -9.5 && m.k > 1.0;
+        all_pass &= pass;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.4}", f / 1e9),
+            format!("{:.2}", m.gain_db),
+            format!("{:.3}", m.nf_db),
+            format!("{:.1}", m.s11_db),
+            format!("{:.2}", m.k),
+            if pass { "pass" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "carrier",
+                "f (GHz)",
+                "GT (dB)",
+                "NF (dB)",
+                "|S11| (dB)",
+                "K",
+                "spec",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "verdict: {}",
+        if all_pass {
+            "one amplifier serves every constellation (gain >= 10 dB, NF <= 0.8 dB, matched, stable)"
+        } else {
+            "SPEC VIOLATION — see rows marked FAIL"
+        }
+    );
+}

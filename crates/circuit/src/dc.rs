@@ -1,0 +1,371 @@
+//! DC operating-point analysis by Newton–Raphson on the MNA equations.
+//!
+//! Unknowns are the node voltages plus one branch current per voltage
+//! source and per inductor (inductors are DC shorts). The nonlinear FET is
+//! handled with the usual companion model: at each iteration it is replaced
+//! by `gm`, `gds` conductances plus an equivalent current source, which is
+//! exactly a Newton step on the nodal equations.
+
+use crate::netlist::{Circuit, Element};
+use rfkit_device::dc::{gds as fet_gds, gm as fet_gm};
+use rfkit_num::RMatrix;
+use std::collections::HashMap;
+
+/// Result of a DC solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    /// Node voltages indexed by [`crate::netlist::NodeId`].
+    pub voltages: Vec<f64>,
+    /// Drain current of each FET, in element order.
+    pub fet_currents: Vec<f64>,
+    /// Newton iterations used.
+    pub iterations: usize,
+}
+
+impl DcSolution {
+    /// Voltage of a node id (0 V for ground/`None`).
+    pub fn voltage(&self, node: Option<usize>) -> f64 {
+        node.map_or(0.0, |n| self.voltages[n])
+    }
+}
+
+/// Error from the DC solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DcError {
+    /// Newton iteration failed to converge.
+    NoConvergence {
+        /// Residual norm at the last iterate.
+        residual: f64,
+    },
+    /// The MNA matrix is singular (floating node or short loop).
+    Singular,
+}
+
+impl std::fmt::Display for DcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DcError::NoConvergence { residual } => {
+                write!(f, "newton iteration did not converge (residual {residual:.3e})")
+            }
+            DcError::Singular => write!(f, "singular MNA matrix (floating node or source loop)"),
+        }
+    }
+}
+
+impl std::error::Error for DcError {}
+
+/// Solves the DC operating point of `circuit`.
+///
+/// # Errors
+///
+/// Returns [`DcError::Singular`] for ill-formed topologies and
+/// [`DcError::NoConvergence`] when Newton fails within 200 iterations.
+pub fn solve_dc(circuit: &Circuit) -> Result<DcSolution, DcError> {
+    let n = circuit.n_nodes();
+    // Assign extra unknowns (branch currents) to V sources and inductors.
+    let mut branch_of: HashMap<usize, usize> = HashMap::new();
+    let mut n_branches = 0;
+    for (k, e) in circuit.elements.iter().enumerate() {
+        if matches!(e, Element::VSource { .. } | Element::Inductor { .. }) {
+            branch_of.insert(k, n + n_branches);
+            n_branches += 1;
+        }
+    }
+    let dim = n + n_branches;
+    if dim == 0 {
+        return Ok(DcSolution {
+            voltages: Vec::new(),
+            fet_currents: Vec::new(),
+            iterations: 0,
+        });
+    }
+
+    let mut x = vec![0.0; dim];
+    // Damped Newton iteration.
+    for iteration in 1..=200 {
+        let (jac, residual) = assemble(circuit, &x, n, &branch_of, dim);
+        let norm: f64 = residual.iter().map(|r| r * r).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            return Ok(finish(circuit, x, iteration));
+        }
+        let rhs: Vec<f64> = residual.iter().map(|r| -r).collect();
+        let delta = jac.solve(&rhs).map_err(|_| DcError::Singular)?;
+        let max_step = delta.iter().fold(0.0f64, |m, d| m.max(d.abs()));
+        if max_step < 1e-14 {
+            return Ok(finish(circuit, x, iteration));
+        }
+        // Backtracking line search: take the full Newton step when it
+        // reduces the residual (always, for linear circuits); halve it
+        // otherwise so the FET equations cannot overshoot.
+        let mut damp = 1.0;
+        for _ in 0..30 {
+            let trial: Vec<f64> = x
+                .iter()
+                .zip(&delta)
+                .map(|(xi, di)| xi + damp * di)
+                .collect();
+            let (_, r_trial) = assemble(circuit, &trial, n, &branch_of, dim);
+            let norm_trial: f64 = r_trial.iter().map(|r| r * r).sum::<f64>().sqrt();
+            if norm_trial < norm || damp < 1e-6 {
+                x = trial;
+                break;
+            }
+            damp *= 0.5;
+        }
+    }
+    let (_, residual) = assemble(circuit, &x, n, &branch_of, dim);
+    let norm: f64 = residual.iter().map(|r| r * r).sum::<f64>().sqrt();
+    if norm < 1e-6 {
+        return Ok(finish(circuit, x, 200));
+    }
+    Err(DcError::NoConvergence { residual: norm })
+}
+
+/// Builds the Jacobian and residual of the MNA system at iterate `x`.
+fn assemble(
+    circuit: &Circuit,
+    x: &[f64],
+    n: usize,
+    branch_of: &HashMap<usize, usize>,
+    dim: usize,
+) -> (RMatrix, Vec<f64>) {
+    let v = |node: Option<usize>| -> f64 { node.map_or(0.0, |k| x[k]) };
+    let mut jac = RMatrix::zeros(dim, dim);
+    let mut res = vec![0.0; dim];
+    let stamp_j = |row: Option<usize>, col: Option<usize>, val: f64, jac: &mut RMatrix| {
+        if let (Some(r), Some(c)) = (row, col) {
+            jac[(r, c)] += val;
+        }
+    };
+    let add_res = |row: Option<usize>, val: f64, res: &mut Vec<f64>| {
+        if let Some(r) = row {
+            res[r] += val;
+        }
+    };
+
+    for (k, e) in circuit.elements.iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, ohms } => {
+                let g = 1.0 / ohms;
+                let i = g * (v(*a) - v(*b));
+                add_res(*a, i, &mut res);
+                add_res(*b, -i, &mut res);
+                stamp_j(*a, *a, g, &mut jac);
+                stamp_j(*b, *b, g, &mut jac);
+                stamp_j(*a, *b, -g, &mut jac);
+                stamp_j(*b, *a, -g, &mut jac);
+            }
+            Element::Capacitor { .. } => {
+                // Open at DC.
+            }
+            Element::Inductor { a, b, .. } => {
+                // DC short: v(a) − v(b) = 0, current is an unknown.
+                let br = branch_of[&k];
+                let i_l = x[br];
+                add_res(*a, i_l, &mut res);
+                add_res(*b, -i_l, &mut res);
+                stamp_j(*a, Some(br), 1.0, &mut jac);
+                stamp_j(*b, Some(br), -1.0, &mut jac);
+                res[br] += v(*a) - v(*b);
+                stamp_j(Some(br), *a, 1.0, &mut jac);
+                stamp_j(Some(br), *b, -1.0, &mut jac);
+            }
+            Element::VSource { plus, minus, volts } => {
+                let br = branch_of[&k];
+                let i_v = x[br];
+                add_res(*plus, i_v, &mut res);
+                add_res(*minus, -i_v, &mut res);
+                stamp_j(*plus, Some(br), 1.0, &mut jac);
+                stamp_j(*minus, Some(br), -1.0, &mut jac);
+                res[br] += v(*plus) - v(*minus) - volts;
+                stamp_j(Some(br), *plus, 1.0, &mut jac);
+                stamp_j(Some(br), *minus, -1.0, &mut jac);
+            }
+            Element::ISource { from, to, amps } => {
+                add_res(*from, *amps, &mut res);
+                add_res(*to, -*amps, &mut res);
+            }
+            Element::Fet {
+                gate,
+                drain,
+                source,
+                model,
+                params,
+            } => {
+                let vgs = v(*gate) - v(*source);
+                let vds = v(*drain) - v(*source);
+                let ids = model.ids(params, vgs, vds.max(0.0));
+                let g_m = fet_gm(model.as_ref(), params, vgs, vds.max(0.0));
+                let g_ds = fet_gds(model.as_ref(), params, vgs, vds.max(0.0));
+                // Drain current flows drain → source.
+                add_res(*drain, ids, &mut res);
+                add_res(*source, -ids, &mut res);
+                // ∂Ids/∂Vg = gm, ∂Ids/∂Vd = gds, ∂Ids/∂Vs = −(gm + gds).
+                stamp_j(*drain, *gate, g_m, &mut jac);
+                stamp_j(*drain, *drain, g_ds, &mut jac);
+                stamp_j(*drain, *source, -(g_m + g_ds), &mut jac);
+                stamp_j(*source, *gate, -g_m, &mut jac);
+                stamp_j(*source, *drain, -g_ds, &mut jac);
+                stamp_j(*source, *source, g_m + g_ds, &mut jac);
+            }
+        }
+    }
+    // A tiny conductance from every node to ground keeps purely capacitive
+    // nodes from floating at DC (small enough not to disturb mA-level
+    // solutions beyond double precision).
+    for k in 0..n {
+        jac[(k, k)] += 1e-15;
+        res[k] += 1e-15 * x[k];
+    }
+    (jac, res)
+}
+
+fn finish(circuit: &Circuit, x: Vec<f64>, iterations: usize) -> DcSolution {
+    let v = |node: Option<usize>| -> f64 { node.map_or(0.0, |k| x[k]) };
+    let fet_currents = circuit
+        .elements
+        .iter()
+        .filter_map(|e| match e {
+            Element::Fet {
+                gate,
+                drain,
+                source,
+                model,
+                params,
+            } => Some(model.ids(params, v(*gate) - v(*source), (v(*drain) - v(*source)).max(0.0))),
+            _ => None,
+        })
+        .collect();
+    DcSolution {
+        voltages: x[..circuit.n_nodes()].to_vec(),
+        fet_currents,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfkit_device::dc::{Angelov, DcModel};
+    use rfkit_device::Phemt;
+
+    #[test]
+    fn voltage_divider() {
+        let mut c = Circuit::new();
+        c.vsource("vin", "gnd", 10.0)
+            .resistor("vin", "mid", 1000.0)
+            .resistor("mid", "gnd", 1000.0);
+        let mid = c.node("mid").unwrap();
+        let sol = solve_dc(&c).unwrap();
+        assert!((sol.voltages[mid] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        c.isource("gnd", "out", 2e-3).resistor("out", "gnd", 1000.0);
+        let out = c.node("out").unwrap();
+        let sol = solve_dc(&c).unwrap();
+        assert!((sol.voltages[out] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inductor_is_dc_short() {
+        let mut c = Circuit::new();
+        c.vsource("vin", "gnd", 5.0)
+            .inductor("vin", "out", 10e-9)
+            .resistor("out", "gnd", 100.0);
+        let out = c.node("out").unwrap();
+        let sol = solve_dc(&c).unwrap();
+        assert!((sol.voltages[out] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitor_is_dc_open() {
+        let mut c = Circuit::new();
+        c.vsource("vin", "gnd", 5.0)
+            .resistor("vin", "out", 1000.0)
+            .capacitor("out", "gnd", 1e-9);
+        let out = c.node("out").unwrap();
+        let sol = solve_dc(&c).unwrap();
+        // No DC path: the node floats to the source voltage through R.
+        assert!((sol.voltages[out] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fet_with_drain_resistor_biases_correctly() {
+        // Vdd = 5 V through 33 Ω into the drain; gate driven at a fixed Vgs.
+        let model = Angelov;
+        let params = model.default_params();
+        let vgs_set = -0.3;
+        let mut c = Circuit::new();
+        c.vsource("vdd", "gnd", 5.0)
+            .vsource("vg", "gnd", vgs_set)
+            .resistor("vdd", "drain", 33.0)
+            .fet("vg", "drain", "gnd", Box::new(Angelov), params.clone());
+        let drain = c.node("drain").unwrap();
+        let sol = solve_dc(&c).unwrap();
+        let vds = sol.voltages[drain];
+        let ids = sol.fet_currents[0];
+        // KVL: Vdd − Ids·RD = Vds, and Ids = model(vgs, vds).
+        assert!((5.0 - ids * 33.0 - vds).abs() < 1e-6, "KVL violated");
+        let expect = model.ids(&params, vgs_set, vds);
+        assert!((ids - expect).abs() < 1e-9, "device equation violated");
+        assert!(ids > 0.01 && ids < 0.2, "Ids = {ids}");
+    }
+
+    #[test]
+    fn self_biased_fet_with_source_resistor() {
+        // Classic self-bias: gate grounded through a resistor (no current →
+        // Vg = 0), source resistor raises Vs, so Vgs = −Ids·Rs < 0.
+        let mut c = Circuit::new();
+        c.vsource("vdd", "gnd", 5.0)
+            .resistor("vdd", "drain", 50.0)
+            .resistor("g", "gnd", 10000.0)
+            .resistor("s", "gnd", 10.0)
+            .fet("g", "drain", "s", Box::new(Angelov), Angelov.default_params());
+        let g_id = c.node("g").unwrap();
+        let s_id = c.node("s").unwrap();
+        let sol = solve_dc(&c).unwrap();
+        let ids = sol.fet_currents[0];
+        assert!(sol.voltages[g_id].abs() < 1e-6, "no gate current");
+        assert!((sol.voltages[s_id] - ids * 10.0).abs() < 1e-8);
+        assert!(ids > 1e-3, "device conducts: Ids = {ids}");
+    }
+
+    #[test]
+    fn matches_phemt_bias_helper() {
+        // The netlist solve and the analytic bias helper must agree on Vgs
+        // for a given drain current.
+        let d = Phemt::atf54143_like();
+        let target = 0.040;
+        let vgs = d.bias_for_current(3.0, target).unwrap();
+        let mut c = Circuit::new();
+        c.vsource("vd", "gnd", 3.0)
+            .vsource("vg", "gnd", vgs)
+            .fet(
+                "vg",
+                "vd",
+                "gnd",
+                Box::new(Angelov),
+                d.dc_params.clone(),
+            );
+        let sol = solve_dc(&c).unwrap();
+        assert!((sol.fet_currents[0] - target).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_circuit_solves_trivially() {
+        let c = Circuit::new();
+        let sol = solve_dc(&c).unwrap();
+        assert!(sol.voltages.is_empty());
+    }
+
+    #[test]
+    fn source_loop_is_singular() {
+        // Two parallel voltage sources with different EMFs: no solution.
+        let mut c = Circuit::new();
+        c.vsource("a", "gnd", 1.0).vsource("a", "gnd", 2.0);
+        assert!(matches!(solve_dc(&c), Err(DcError::Singular)));
+    }
+}

@@ -1,0 +1,285 @@
+//! Netlist representation: named nodes, lumped elements, sources, a
+//! nonlinear FET and external ports.
+//!
+//! The paper's authors analysed their amplifier in their own circuit
+//! simulator; this crate is that substrate. A [`Circuit`] is built
+//! element-by-element against named nodes (`"ground"`/`"gnd"`/`"0"` are the
+//! reference), then handed to the DC Newton solver ([`crate::dc`]) or the
+//! AC analyzer ([`crate::ac`]).
+
+use rfkit_device::DcModel;
+use std::collections::HashMap;
+
+/// Index of a circuit node; ground is `None` throughout the stamps.
+pub type NodeId = usize;
+
+/// A two-terminal or multi-terminal circuit element.
+pub enum Element {
+    /// Linear resistor (Ω).
+    Resistor {
+        /// First terminal.
+        a: Option<NodeId>,
+        /// Second terminal.
+        b: Option<NodeId>,
+        /// Resistance in ohms (> 0).
+        ohms: f64,
+    },
+    /// Linear capacitor (F): open at DC, admittance `jωC` at AC.
+    Capacitor {
+        /// First terminal.
+        a: Option<NodeId>,
+        /// Second terminal.
+        b: Option<NodeId>,
+        /// Capacitance in farads (> 0).
+        farads: f64,
+    },
+    /// Linear inductor (H): short at DC, impedance `jωL` at AC.
+    Inductor {
+        /// First terminal.
+        a: Option<NodeId>,
+        /// Second terminal.
+        b: Option<NodeId>,
+        /// Inductance in henries (> 0).
+        henries: f64,
+    },
+    /// Ideal DC voltage source.
+    VSource {
+        /// Positive terminal.
+        plus: Option<NodeId>,
+        /// Negative terminal.
+        minus: Option<NodeId>,
+        /// EMF in volts.
+        volts: f64,
+    },
+    /// Ideal DC current source (current flows from `from` to `to` through
+    /// the source, i.e. it is injected into `to`).
+    ISource {
+        /// Current leaves this node.
+        from: Option<NodeId>,
+        /// Current enters this node.
+        to: Option<NodeId>,
+        /// Current in amperes.
+        amps: f64,
+    },
+    /// A nonlinear FET described by a [`DcModel`] (DC analysis only; for
+    /// AC the caller linearizes at the solved operating point).
+    Fet {
+        /// Gate node.
+        gate: Option<NodeId>,
+        /// Drain node.
+        drain: Option<NodeId>,
+        /// Source node.
+        source: Option<NodeId>,
+        /// The drain-current equation.
+        model: Box<dyn DcModel>,
+        /// Its parameter vector.
+        params: Vec<f64>,
+    },
+}
+
+/// An external RF port for AC analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Port {
+    /// The port node (referenced to ground).
+    pub node: NodeId,
+    /// Reference impedance (Ω).
+    pub z0: f64,
+}
+
+/// A circuit under construction / analysis.
+#[derive(Default)]
+pub struct Circuit {
+    node_names: HashMap<String, NodeId>,
+    n_nodes: usize,
+    /// Elements in insertion order.
+    pub(crate) elements: Vec<Element>,
+    /// External ports in declaration order.
+    pub(crate) ports: Vec<Port>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Self {
+        Circuit::default()
+    }
+
+    /// Resolves a node name to an id, creating it on first use.
+    /// The names `"0"`, `"gnd"` and `"ground"` resolve to the reference
+    /// (returned as `None`).
+    pub fn node(&mut self, name: &str) -> Option<NodeId> {
+        match name {
+            "0" | "gnd" | "ground" => None,
+            _ => Some(*self.node_names.entry(name.to_string()).or_insert_with(|| {
+                let id = self.n_nodes;
+                self.n_nodes += 1;
+                id
+            })),
+        }
+    }
+
+    /// Number of non-ground nodes created so far.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of elements.
+    pub fn n_elements(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Adds a resistor between nodes `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive resistance.
+    pub fn resistor(&mut self, a: &str, b: &str, ohms: f64) -> &mut Self {
+        assert!(ohms > 0.0, "resistance must be positive, got {ohms}");
+        let (a, b) = (self.node(a), self.node(b));
+        self.elements.push(Element::Resistor { a, b, ohms });
+        self
+    }
+
+    /// Adds a capacitor between nodes `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive capacitance.
+    pub fn capacitor(&mut self, a: &str, b: &str, farads: f64) -> &mut Self {
+        assert!(farads > 0.0, "capacitance must be positive, got {farads}");
+        let (a, b) = (self.node(a), self.node(b));
+        self.elements.push(Element::Capacitor { a, b, farads });
+        self
+    }
+
+    /// Adds an inductor between nodes `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive inductance.
+    pub fn inductor(&mut self, a: &str, b: &str, henries: f64) -> &mut Self {
+        assert!(henries > 0.0, "inductance must be positive, got {henries}");
+        let (a, b) = (self.node(a), self.node(b));
+        self.elements.push(Element::Inductor { a, b, henries });
+        self
+    }
+
+    /// Adds an ideal DC voltage source (`plus` − `minus` = `volts`).
+    pub fn vsource(&mut self, plus: &str, minus: &str, volts: f64) -> &mut Self {
+        let (plus, minus) = (self.node(plus), self.node(minus));
+        self.elements.push(Element::VSource { plus, minus, volts });
+        self
+    }
+
+    /// Adds an ideal DC current source injecting `amps` into node `to`.
+    pub fn isource(&mut self, from: &str, to: &str, amps: f64) -> &mut Self {
+        let (from, to) = (self.node(from), self.node(to));
+        self.elements.push(Element::ISource { from, to, amps });
+        self
+    }
+
+    /// Adds a nonlinear FET.
+    pub fn fet(
+        &mut self,
+        gate: &str,
+        drain: &str,
+        source: &str,
+        model: Box<dyn DcModel>,
+        params: Vec<f64>,
+    ) -> &mut Self {
+        assert_eq!(
+            params.len(),
+            model.param_names().len(),
+            "FET parameter count mismatch"
+        );
+        let (gate, drain, source) = (self.node(gate), self.node(drain), self.node(source));
+        self.elements.push(Element::Fet {
+            gate,
+            drain,
+            source,
+            model,
+            params,
+        });
+        self
+    }
+
+    /// Declares an external RF port at a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is ground or `z0 <= 0`.
+    pub fn port(&mut self, node: &str, z0: f64) -> &mut Self {
+        assert!(z0 > 0.0, "port impedance must be positive");
+        let node = self.node(node).expect("port cannot be at ground");
+        self.ports.push(Port { node, z0 });
+        self
+    }
+
+    /// The declared ports.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+}
+
+impl std::fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Circuit")
+            .field("nodes", &self.n_nodes)
+            .field("elements", &self.elements.len())
+            .field("ports", &self.ports.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfkit_device::dc::Angelov;
+
+    #[test]
+    fn node_interning_and_ground_aliases() {
+        let mut c = Circuit::new();
+        let a = c.node("in");
+        let b = c.node("in");
+        assert_eq!(a, b);
+        assert_eq!(c.node("gnd"), None);
+        assert_eq!(c.node("0"), None);
+        assert_eq!(c.node("ground"), None);
+        assert_eq!(c.n_nodes(), 1);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new();
+        c.resistor("in", "out", 50.0)
+            .capacitor("out", "gnd", 1e-12)
+            .inductor("in", "gnd", 1e-9)
+            .vsource("vdd", "gnd", 3.0)
+            .isource("gnd", "out", 1e-3)
+            .port("in", 50.0);
+        assert_eq!(c.n_elements(), 5);
+        assert_eq!(c.ports().len(), 1);
+        assert_eq!(c.n_nodes(), 3);
+    }
+
+    #[test]
+    fn fet_addition() {
+        let mut c = Circuit::new();
+        let model = Angelov;
+        use rfkit_device::DcModel as _;
+        c.fet("g", "d", "s", Box::new(Angelov), model.default_params());
+        assert_eq!(c.n_elements(), 1);
+        assert_eq!(c.n_nodes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_resistance() {
+        Circuit::new().resistor("a", "b", 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground")]
+    fn rejects_grounded_port() {
+        Circuit::new().port("gnd", 50.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! The GNSS antenna preamplifier circuit and its evaluation.
+//!
+//! Topology (single ATF-54143-class pHEMT stage, the arrangement of the
+//! vendor application notes and of the paper's prototype):
+//!
+//! ```text
+//! in ──┤C_blk├──(L1 series)──┤gate  drain├──(C2 series)── out
+//!                                  │             │
+//!                              Ls_deg         R_bias + L2 shunt
+//!                              (source        (bias feed, output match,
+//!                               degeneration)  low-frequency damping)
+//! ```
+//!
+//! The series resistor in the bias feed is the classic low-frequency
+//! stabilization: below the band the choke impedance collapses and the
+//! resistor loads the drain, killing the out-of-band gain that would
+//! otherwise make the stage conditionally stable; in band the choke hides
+//! it.
+//!
+//! All passives are the *dispersive* catalog models from `rfkit-passive`
+//! (finite Q, ESR(f), self-resonance), so matching-network loss correctly
+//! degrades the noise figure, and the whole chain is evaluated with
+//! noise-correlation matrices.
+
+use rfkit_device::{OperatingPoint, Phemt};
+use rfkit_net::gains::transducer_gain;
+use rfkit_net::stability::{mu_load, mu_source, rollett_k};
+use rfkit_net::{NoisyAbcd, SParams};
+use rfkit_num::units::{db_from_amplitude_ratio, nf_db_from_factor, T0_KELVIN};
+use rfkit_num::Complex;
+use rfkit_passive::{Capacitor, Component, Inductor, Orientation};
+
+/// The six continuous design variables of the amplifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignVariables {
+    /// Drain-source bias voltage (V).
+    pub vds: f64,
+    /// Drain bias current (A).
+    pub ids: f64,
+    /// Series input inductor (H).
+    pub l1: f64,
+    /// Source degeneration inductance added to the device lead (H).
+    pub ls_deg: f64,
+    /// Shunt output inductor (H) — also the drain bias feed.
+    pub l2: f64,
+    /// Series output DC-block/match capacitor (F).
+    pub c2: f64,
+    /// Resistor in series with the bias feed (Ω) — low-frequency
+    /// stabilization.
+    pub r_bias: f64,
+}
+
+impl DesignVariables {
+    /// Encodes into the optimizer vector
+    /// `[vds, ids_mA, l1_nH, ls_nH, l2_nH, c2_pF, r_bias_ohm]`.
+    pub fn to_vec(self) -> Vec<f64> {
+        vec![
+            self.vds,
+            self.ids * 1e3,
+            self.l1 * 1e9,
+            self.ls_deg * 1e9,
+            self.l2 * 1e9,
+            self.c2 * 1e12,
+            self.r_bias,
+        ]
+    }
+
+    /// Decodes from the optimizer vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != 7`.
+    pub fn from_vec(v: &[f64]) -> Self {
+        assert_eq!(v.len(), 7, "design vector must have 7 entries");
+        DesignVariables {
+            vds: v[0],
+            ids: v[1] * 1e-3,
+            l1: v[2] * 1e-9,
+            ls_deg: v[3] * 1e-9,
+            l2: v[4] * 1e-9,
+            c2: v[5] * 1e-12,
+            r_bias: v[6],
+        }
+    }
+
+    /// The optimizer box: Vds 1.5–4 V, Ids 10–80 mA, L1 0.5–18 nH,
+    /// Ls 0–1.2 nH, L2 1–22 nH, C2 0.3–12 pF, R_bias 5–200 Ω.
+    pub fn bounds() -> rfkit_opt::Bounds {
+        rfkit_opt::Bounds::new(
+            vec![1.5, 10.0, 0.5, 0.0, 1.0, 0.3, 5.0],
+            vec![4.0, 80.0, 18.0, 1.2, 22.0, 12.0, 200.0],
+        )
+        .expect("valid design bounds")
+    }
+}
+
+/// The amplifier: a device plus design variables.
+pub struct Amplifier<'a> {
+    /// The pHEMT the amplifier is built around.
+    pub device: &'a Phemt,
+    /// The selected design.
+    pub vars: DesignVariables,
+    /// Fixed input DC-block capacitance (F).
+    pub c_block: f64,
+}
+
+/// Metrics of the amplifier at one frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointMetrics {
+    /// Frequency (Hz).
+    pub freq_hz: f64,
+    /// Transducer gain into 50 Ω terminations (dB).
+    pub gain_db: f64,
+    /// Noise figure with a 50 Ω source (dB).
+    pub nf_db: f64,
+    /// Input reflection |S11| (dB).
+    pub s11_db: f64,
+    /// Output reflection |S22| (dB).
+    pub s22_db: f64,
+    /// Rollett stability factor.
+    pub k: f64,
+    /// Geometric stability factor (load plane).
+    pub mu: f64,
+}
+
+impl<'a> Amplifier<'a> {
+    /// Creates the amplifier with the default 100 pF input block.
+    pub fn new(device: &'a Phemt, vars: DesignVariables) -> Self {
+        Amplifier {
+            device,
+            vars,
+            c_block: 100e-12,
+        }
+    }
+
+    /// The DC operating point implied by the design variables.
+    ///
+    /// Returns `None` when `ids` is outside the device's range at `vds`.
+    pub fn operating_point(&self) -> Option<OperatingPoint> {
+        let vgs = self.device.bias_for_current(self.vars.vds, self.vars.ids)?;
+        Some(self.device.operating_point(vgs, self.vars.vds))
+    }
+
+    /// The complete noisy two-port at `freq_hz` (input network × device
+    /// with degeneration × output network), at ambient temperature.
+    ///
+    /// Returns `None` when the bias point is unreachable.
+    pub fn noisy_two_port(&self, freq_hz: f64) -> Option<NoisyAbcd> {
+        let op = self.operating_point()?;
+        // Device small-signal model with the added source degeneration.
+        let mut ss = self.device.small_signal(&op);
+        ss.extrinsic.ls += self.vars.ls_deg;
+        let core = ss.noisy_two_port(freq_hz, &self.device.noise.temperatures(op.ids));
+
+        let t = T0_KELVIN;
+        let c_blk = Capacitor::chip_0402(self.c_block).two_port(freq_hz, Orientation::Series, t);
+        let l1 = Inductor::chip_0402(self.vars.l1).two_port(freq_hz, Orientation::Series, t);
+        // Bias feed: R_bias in series with the choke, shunting the drain
+        // to AC ground (the supply rail is bypassed).
+        let z_feed = Complex::real(self.vars.r_bias)
+            + Inductor::chip_0402(self.vars.l2).impedance(freq_hz);
+        let l2 = NoisyAbcd::passive_shunt(z_feed.recip(), t);
+        let c2 = Capacitor::chip_0402(self.vars.c2).two_port(freq_hz, Orientation::Series, t);
+
+        Some(c_blk.cascade(&l1).cascade(&core).cascade(&l2).cascade(&c2))
+    }
+
+    /// S-parameters of the full amplifier at `freq_hz`, 50 Ω reference.
+    pub fn s_params(&self, freq_hz: f64) -> Option<SParams> {
+        self.noisy_two_port(freq_hz)?.abcd.to_s(50.0).ok()
+    }
+
+    /// Swept response over a frequency grid, with noise parameters at
+    /// every point — ready for Touchstone export or group-delay analysis.
+    ///
+    /// Returns `None` when the bias is unreachable or any point fails.
+    pub fn frequency_response(&self, freqs: &[f64]) -> Option<rfkit_net::FrequencyResponse> {
+        let mut resp = rfkit_net::FrequencyResponse::new();
+        for &f in freqs {
+            let noisy = self.noisy_two_port(f)?;
+            let s = noisy.abcd.to_s(50.0).ok()?;
+            let np = noisy.noise_params(50.0).ok()?;
+            resp.push(f, s, Some(np));
+        }
+        Some(resp)
+    }
+
+    /// All point metrics at `freq_hz`.
+    pub fn metrics(&self, freq_hz: f64) -> Option<PointMetrics> {
+        let noisy = self.noisy_two_port(freq_hz)?;
+        let s = noisy.abcd.to_s(50.0).ok()?;
+        let np = noisy.noise_params(50.0).ok()?;
+        Some(PointMetrics {
+            freq_hz,
+            gain_db: 10.0
+                * transducer_gain(&s, Complex::ZERO, Complex::ZERO)
+                    .max(1e-30)
+                    .log10(),
+            nf_db: nf_db_from_factor(np.noise_factor(Complex::ZERO)),
+            s11_db: db_from_amplitude_ratio(s.s11().abs()),
+            s22_db: db_from_amplitude_ratio(s.s22().abs()),
+            k: rollett_k(&s),
+            mu: mu_load(&s).min(mu_source(&s)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reasonable_vars() -> DesignVariables {
+        DesignVariables {
+            vds: 3.0,
+            ids: 0.050,
+            l1: 6.8e-9,
+            ls_deg: 0.4e-9,
+            l2: 10e-9,
+            c2: 2.2e-12,
+            r_bias: 30.0,
+        }
+    }
+
+    #[test]
+    fn design_vector_roundtrip() {
+        let v = reasonable_vars();
+        let back = DesignVariables::from_vec(&v.to_vec());
+        assert!((back.ids - v.ids).abs() < 1e-15);
+        assert!((back.l1 - v.l1).abs() < 1e-22);
+        assert!(DesignVariables::bounds().contains(&v.to_vec()));
+    }
+
+    #[test]
+    fn amplifier_has_gain_at_gnss() {
+        let d = Phemt::atf54143_like();
+        let amp = Amplifier::new(&d, reasonable_vars());
+        let m = amp.metrics(1.575e9).expect("valid bias");
+        assert!(m.gain_db > 8.0, "gain = {} dB", m.gain_db);
+        assert!(m.nf_db < 2.0, "NF = {} dB", m.nf_db);
+        assert!(m.nf_db > 0.0);
+    }
+
+    #[test]
+    fn matching_network_improves_input_match() {
+        let d = Phemt::atf54143_like();
+        // Bare device vs matched amplifier at 1.575 GHz.
+        let vars = reasonable_vars();
+        let amp = Amplifier::new(&d, vars);
+        let op = amp.operating_point().unwrap();
+        let bare = d.noisy_two_port(1.575e9, &op).abcd.to_s(50.0).unwrap();
+        let matched = amp.s_params(1.575e9).unwrap();
+        assert!(
+            matched.s11().abs() < bare.s11().abs(),
+            "matching must help: {} vs {}",
+            matched.s11().abs(),
+            bare.s11().abs()
+        );
+    }
+
+    #[test]
+    fn degeneration_improves_stability() {
+        let d = Phemt::atf54143_like();
+        let mut vars = reasonable_vars();
+        vars.ls_deg = 0.0;
+        let k_plain = Amplifier::new(&d, vars).metrics(1.575e9).unwrap().k;
+        vars.ls_deg = 1.0e-9;
+        let k_degen = Amplifier::new(&d, vars).metrics(1.575e9).unwrap().k;
+        assert!(k_degen > k_plain, "{k_degen} vs {k_plain}");
+    }
+
+    #[test]
+    fn unreachable_bias_returns_none() {
+        let d = Phemt::atf54143_like();
+        let mut vars = reasonable_vars();
+        vars.ids = 5.0; // 5 A is far beyond the device
+        assert!(Amplifier::new(&d, vars).metrics(1.5e9).is_none());
+    }
+
+    #[test]
+    fn metrics_change_with_frequency() {
+        let d = Phemt::atf54143_like();
+        let amp = Amplifier::new(&d, reasonable_vars());
+        let low = amp.metrics(1.1e9).unwrap();
+        let high = amp.metrics(1.7e9).unwrap();
+        assert!((low.gain_db - high.gain_db).abs() > 0.1, "frequency matters");
+    }
+
+    #[test]
+    fn frequency_response_carries_noise_and_group_delay() {
+        let d = Phemt::atf54143_like();
+        let amp = Amplifier::new(&d, reasonable_vars());
+        let freqs = rfkit_num::linspace(1.1e9, 1.7e9, 13);
+        let resp = amp.frequency_response(&freqs).expect("feasible design");
+        assert_eq!(resp.len(), 13);
+        // Noise data present everywhere and consistent with metrics().
+        let max_nf = resp.max_nf_db().expect("noise data");
+        let mut worst = f64::NEG_INFINITY;
+        for &f in &freqs {
+            worst = worst.max(amp.metrics(f).unwrap().nf_db);
+        }
+        assert!((max_nf - worst).abs() < 1e-9);
+        // Group delay of an amplifier at L-band: a few hundred ps, and the
+        // differential group delay across the GNSS band stays bounded
+        // (GNSS receivers care about this figure).
+        let dgd_ps = resp.differential_group_delay_s().unwrap() * 1e12;
+        assert!(dgd_ps > 0.0 && dgd_ps < 500.0, "DGD = {dgd_ps} ps");
+    }
+
+    #[test]
+    fn frequency_response_none_for_dead_bias() {
+        let d = Phemt::atf54143_like();
+        let mut vars = reasonable_vars();
+        vars.ids = 3.0;
+        assert!(Amplifier::new(&d, vars).frequency_response(&[1.4e9]).is_none());
+    }
+
+    #[test]
+    fn more_current_more_gain() {
+        let d = Phemt::atf54143_like();
+        let mut vars = reasonable_vars();
+        vars.ids = 0.015;
+        let g_low = Amplifier::new(&d, vars).metrics(1.575e9).unwrap().gain_db;
+        vars.ids = 0.070;
+        let g_high = Amplifier::new(&d, vars).metrics(1.575e9).unwrap().gain_db;
+        assert!(g_high > g_low + 1.0, "{g_high} vs {g_low}");
+    }
+}

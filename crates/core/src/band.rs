@@ -1,0 +1,184 @@
+//! Band specifications and worst-case band metrics.
+//!
+//! The multi-constellation requirement is what makes this design
+//! multi-objective *across frequency*: GPS L1/L2/L5, GLONASS G1/G2,
+//! Galileo E1/E5/E6 and BeiDou B1/B2/B3 together span roughly
+//! 1.1–1.7 GHz, and the paper optimizes the worst case over that whole
+//! band rather than a single spot frequency.
+
+use crate::amplifier::{Amplifier, PointMetrics};
+use rfkit_num::linspace;
+
+/// GPS L1 / Galileo E1 / BeiDou B1C center frequency (Hz).
+pub const GPS_L1_HZ: f64 = 1.57542e9;
+/// GPS L2 center frequency (Hz).
+pub const GPS_L2_HZ: f64 = 1.2276e9;
+/// GPS L5 / Galileo E5a center frequency (Hz).
+pub const GPS_L5_HZ: f64 = 1.17645e9;
+/// GLONASS G1 center frequency (Hz).
+pub const GLONASS_G1_HZ: f64 = 1.602e9;
+
+/// A frequency band with an evaluation grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandSpec {
+    /// Lower band edge (Hz).
+    pub f_lo: f64,
+    /// Upper band edge (Hz).
+    pub f_hi: f64,
+    /// Number of in-band evaluation points.
+    pub n_points: usize,
+}
+
+impl BandSpec {
+    /// The multi-constellation GNSS band of the paper: 1.1–1.7 GHz.
+    pub fn gnss() -> Self {
+        BandSpec {
+            f_lo: 1.1e9,
+            f_hi: 1.7e9,
+            n_points: 7,
+        }
+    }
+
+    /// A wider grid for out-of-band stability checks (0.2–6 GHz).
+    pub fn stability_grid() -> Vec<f64> {
+        vec![0.2e9, 0.5e9, 1.0e9, 1.4e9, 1.8e9, 2.5e9, 4.0e9, 6.0e9]
+    }
+
+    /// The in-band evaluation grid.
+    pub fn grid(&self) -> Vec<f64> {
+        linspace(self.f_lo, self.f_hi, self.n_points)
+    }
+
+    /// Band center (Hz).
+    pub fn center(&self) -> f64 {
+        0.5 * (self.f_lo + self.f_hi)
+    }
+}
+
+/// Worst-case metrics of an amplifier over a band (plus out-of-band
+/// stability).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandMetrics {
+    /// Largest in-band 50 Ω noise figure (dB).
+    pub worst_nf_db: f64,
+    /// Smallest in-band transducer gain (dB).
+    pub min_gain_db: f64,
+    /// Largest in-band |S11| (dB).
+    pub worst_s11_db: f64,
+    /// Largest in-band |S22| (dB).
+    pub worst_s22_db: f64,
+    /// Smallest geometric stability factor μ over the wide grid
+    /// (must exceed 1 for unconditional stability).
+    pub min_mu: f64,
+    /// Smallest Rollett K over the wide grid.
+    pub min_k: f64,
+}
+
+impl BandMetrics {
+    /// Evaluates an amplifier over the band; `None` when any point fails
+    /// (e.g. unreachable bias).
+    pub fn evaluate(amp: &Amplifier<'_>, band: &BandSpec) -> Option<BandMetrics> {
+        let mut worst_nf = f64::NEG_INFINITY;
+        let mut min_gain = f64::INFINITY;
+        let mut worst_s11 = f64::NEG_INFINITY;
+        let mut worst_s22 = f64::NEG_INFINITY;
+        for f in band.grid() {
+            let m: PointMetrics = amp.metrics(f)?;
+            worst_nf = worst_nf.max(m.nf_db);
+            min_gain = min_gain.min(m.gain_db);
+            worst_s11 = worst_s11.max(m.s11_db);
+            worst_s22 = worst_s22.max(m.s22_db);
+        }
+        let mut min_mu = f64::INFINITY;
+        let mut min_k = f64::INFINITY;
+        for f in BandSpec::stability_grid() {
+            let m = amp.metrics(f)?;
+            min_mu = min_mu.min(m.mu);
+            min_k = min_k.min(m.k);
+        }
+        Some(BandMetrics {
+            worst_nf_db: worst_nf,
+            min_gain_db: min_gain,
+            worst_s11_db: worst_s11,
+            worst_s22_db: worst_s22,
+            min_mu,
+            min_k,
+        })
+    }
+
+    /// `true` when the design meets the usual hard constraints:
+    /// unconditional stability and ≤ `return_loss_db` reflections.
+    pub fn feasible(&self, return_loss_db: f64) -> bool {
+        self.min_mu > 1.0
+            && self.worst_s11_db <= return_loss_db
+            && self.worst_s22_db <= return_loss_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amplifier::DesignVariables;
+    use rfkit_device::Phemt;
+
+    fn amp_vars() -> DesignVariables {
+        DesignVariables {
+            vds: 3.0,
+            ids: 0.050,
+            l1: 6.8e-9,
+            ls_deg: 0.4e-9,
+            l2: 10e-9,
+            c2: 2.2e-12,
+            r_bias: 30.0,
+        }
+    }
+
+    #[test]
+    fn gnss_band_covers_all_constellations() {
+        let b = BandSpec::gnss();
+        for f in [GPS_L1_HZ, GPS_L2_HZ, GPS_L5_HZ, GLONASS_G1_HZ] {
+            assert!(f >= b.f_lo && f <= b.f_hi, "{f} outside band");
+        }
+        assert_eq!(b.grid().len(), 7);
+        assert!((b.center() - 1.4e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn band_metrics_evaluate() {
+        let d = Phemt::atf54143_like();
+        let amp = crate::amplifier::Amplifier::new(&d, amp_vars());
+        let m = BandMetrics::evaluate(&amp, &BandSpec::gnss()).expect("valid design");
+        assert!(m.worst_nf_db > 0.0 && m.worst_nf_db < 3.0, "NF {}", m.worst_nf_db);
+        assert!(m.min_gain_db > 5.0, "gain {}", m.min_gain_db);
+        assert!(m.min_k.is_finite());
+        // Worst-case NF is at least the best-case in-band NF.
+        let center = amp.metrics(1.4e9).unwrap();
+        assert!(m.worst_nf_db >= center.nf_db - 1e-12);
+        assert!(m.min_gain_db <= center.gain_db + 1e-12);
+    }
+
+    #[test]
+    fn infeasible_bias_propagates_none() {
+        let d = Phemt::atf54143_like();
+        let mut vars = amp_vars();
+        vars.ids = 3.0;
+        let amp = crate::amplifier::Amplifier::new(&d, vars);
+        assert!(BandMetrics::evaluate(&amp, &BandSpec::gnss()).is_none());
+    }
+
+    #[test]
+    fn feasibility_thresholds() {
+        let m = BandMetrics {
+            worst_nf_db: 0.9,
+            min_gain_db: 14.0,
+            worst_s11_db: -12.0,
+            worst_s22_db: -11.0,
+            min_mu: 1.05,
+            min_k: 1.2,
+        };
+        assert!(m.feasible(-10.0));
+        assert!(!m.feasible(-15.0));
+        let unstable = BandMetrics { min_mu: 0.9, ..m };
+        assert!(!unstable.feasible(-10.0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Plain-text table and report formatting for the experiment binaries.
+//!
+//! Every table/figure binary in `crates/bench` prints through these
+//! helpers so the reproduction's output reads like the paper's tables.
+
+use crate::amplifier::DesignVariables;
+use crate::band::BandMetrics;
+
+/// Renders a fixed-width text table. Column widths adapt to content.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+/// Formats engineering values with a unit prefix (n, p, m, …).
+pub fn eng(value: f64, unit: &str) -> String {
+    let a = value.abs();
+    let (scaled, prefix) = if a == 0.0 {
+        (value, "")
+    } else if a >= 1e9 {
+        (value / 1e9, "G")
+    } else if a >= 1e6 {
+        (value / 1e6, "M")
+    } else if a >= 1e3 {
+        (value / 1e3, "k")
+    } else if a >= 1.0 {
+        (value, "")
+    } else if a >= 1e-3 {
+        (value * 1e3, "m")
+    } else if a >= 1e-6 {
+        (value * 1e6, "u")
+    } else if a >= 1e-9 {
+        (value * 1e9, "n")
+    } else if a >= 1e-12 {
+        (value * 1e12, "p")
+    } else {
+        (value * 1e15, "f")
+    };
+    format!("{scaled:.3} {prefix}{unit}")
+}
+
+/// One-paragraph textual summary of a design's component values.
+pub fn design_summary(vars: &DesignVariables) -> Vec<(String, String)> {
+    vec![
+        ("Vds".into(), format!("{:.2} V", vars.vds)),
+        ("Ids".into(), eng(vars.ids, "A")),
+        ("L1 (series input)".into(), eng(vars.l1, "H")),
+        ("Ls (degeneration)".into(), eng(vars.ls_deg, "H")),
+        ("L2 (shunt output / bias feed)".into(), eng(vars.l2, "H")),
+        ("C2 (output block/match)".into(), eng(vars.c2, "F")),
+        ("R_bias (feed damping)".into(), format!("{:.1} ohm", vars.r_bias)),
+    ]
+}
+
+/// Summary rows of band metrics for the performance table.
+pub fn metrics_summary(m: &BandMetrics) -> Vec<(String, String)> {
+    vec![
+        ("worst in-band NF".into(), format!("{:.3} dB", m.worst_nf_db)),
+        ("min in-band gain".into(), format!("{:.2} dB", m.min_gain_db)),
+        ("worst |S11|".into(), format!("{:.1} dB", m.worst_s11_db)),
+        ("worst |S22|".into(), format!("{:.1} dB", m.worst_s22_db)),
+        ("min K (0.2-6 GHz)".into(), format!("{:.2}", m.min_k)),
+        ("min mu (0.2-6 GHz)".into(), format!("{:.3}", m.min_mu)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = format_table(
+            &["model", "rmse"],
+            &[
+                vec!["Angelov".into(), "0.004".into()],
+                vec!["TOM".into(), "0.031".into()],
+            ],
+        );
+        assert!(t.contains("| model   | rmse  |"));
+        assert!(t.contains("| Angelov | 0.004 |"));
+        assert!(t.lines().count() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        format_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn engineering_notation() {
+        assert_eq!(eng(4.7e-9, "H"), "4.700 nH");
+        assert_eq!(eng(2.2e-12, "F"), "2.200 pF");
+        assert_eq!(eng(0.05, "A"), "50.000 mA");
+        assert_eq!(eng(1.575e9, "Hz"), "1.575 GHz");
+        assert_eq!(eng(0.0, "V"), "0.000 V");
+    }
+
+    #[test]
+    fn summaries_have_all_fields() {
+        let vars = DesignVariables {
+            vds: 3.0,
+            ids: 0.05,
+            l1: 6.8e-9,
+            ls_deg: 0.4e-9,
+            l2: 10e-9,
+            c2: 2.2e-12,
+            r_bias: 30.0,
+        };
+        assert_eq!(design_summary(&vars).len(), 7);
+        let m = BandMetrics {
+            worst_nf_db: 0.8,
+            min_gain_db: 14.0,
+            worst_s11_db: -12.0,
+            worst_s22_db: -13.0,
+            min_mu: 1.1,
+            min_k: 1.3,
+        };
+        assert_eq!(metrics_summary(&m).len(), 6);
+    }
+}

@@ -1,0 +1,203 @@
+//! Operating-temperature analysis of the amplifier.
+//!
+//! A GNSS antenna amplifier lives outdoors: −40 °C on a winter roof,
+//! +85 °C in a sunlit radome. Two first-order effects dominate across that
+//! range, and both are modelled here:
+//!
+//! * every resistive element's **thermal noise scales with its physical
+//!   temperature** (the correlation-matrix machinery takes the temperature
+//!   directly);
+//! * the channel **transconductance derates with temperature** through the
+//!   mobility law `gm(T) ≈ gm(T₀)·(T/T₀)^−1.3`, dragging gain down and
+//!   noise up at the hot end.
+
+use crate::amplifier::{Amplifier, DesignVariables, PointMetrics};
+use crate::band::BandSpec;
+use rfkit_device::smallsignal::NoiseTemperatures;
+use rfkit_device::Phemt;
+use rfkit_net::gains::transducer_gain;
+use rfkit_net::stability::{mu_load, mu_source, rollett_k};
+use rfkit_num::units::{db_from_amplitude_ratio, nf_db_from_factor};
+use rfkit_num::Complex;
+use rfkit_passive::{Capacitor, Component, Inductor, Orientation};
+
+/// Ambient operating condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalCondition {
+    /// Ambient temperature in °C.
+    pub celsius: f64,
+    /// Mobility-derating exponent for gm (default 1.3).
+    pub gm_exponent: f64,
+}
+
+impl ThermalCondition {
+    /// Condition at the given ambient temperature with the default
+    /// derating law.
+    pub fn at(celsius: f64) -> Self {
+        ThermalCondition {
+            celsius,
+            gm_exponent: 1.3,
+        }
+    }
+
+    /// Ambient in kelvin.
+    pub fn kelvin(&self) -> f64 {
+        self.celsius + 273.15
+    }
+
+    /// The gm derating factor relative to the 23.35 °C reference.
+    pub fn gm_derating(&self) -> f64 {
+        (self.kelvin() / 296.5).powf(-self.gm_exponent)
+    }
+}
+
+/// Point metrics of the amplifier at one frequency and ambient condition.
+///
+/// Returns `None` for an unreachable bias.
+pub fn metrics_at_temperature(
+    device: &Phemt,
+    vars: DesignVariables,
+    freq_hz: f64,
+    cond: &ThermalCondition,
+) -> Option<PointMetrics> {
+    let amp = Amplifier::new(device, vars);
+    let op = amp.operating_point()?;
+    let t_amb = cond.kelvin();
+
+    // Device: derated gm, all noise temperatures referenced to ambient.
+    let mut ss = device.small_signal(&op);
+    ss.intrinsic.gm = op.gm * cond.gm_derating();
+    ss.extrinsic.ls += vars.ls_deg;
+    let temps = NoiseTemperatures {
+        tg: t_amb + 3.5,
+        td: (device.noise.td0 * op.ids / device.noise.ids_ref * t_amb / 296.5)
+            .max(t_amb),
+        ambient: t_amb,
+    };
+    let core = ss.noisy_two_port(freq_hz, &temps);
+
+    // Passives at ambient.
+    let c_blk = Capacitor::chip_0402(amp.c_block).two_port(freq_hz, Orientation::Series, t_amb);
+    let l1 = Inductor::chip_0402(vars.l1).two_port(freq_hz, Orientation::Series, t_amb);
+    let z_feed =
+        Complex::real(vars.r_bias) + Inductor::chip_0402(vars.l2).impedance(freq_hz);
+    let l2 = rfkit_net::NoisyAbcd::passive_shunt(z_feed.recip(), t_amb);
+    let c2 = Capacitor::chip_0402(vars.c2).two_port(freq_hz, Orientation::Series, t_amb);
+    let chain = c_blk.cascade(&l1).cascade(&core).cascade(&l2).cascade(&c2);
+
+    let s = chain.abcd.to_s(50.0).ok()?;
+    let np = chain.noise_params(50.0).ok()?;
+    Some(PointMetrics {
+        freq_hz,
+        gain_db: 10.0
+            * transducer_gain(&s, Complex::ZERO, Complex::ZERO)
+                .max(1e-30)
+                .log10(),
+        nf_db: nf_db_from_factor(np.noise_factor(Complex::ZERO)),
+        s11_db: db_from_amplitude_ratio(s.s11().abs()),
+        s22_db: db_from_amplitude_ratio(s.s22().abs()),
+        k: rollett_k(&s),
+        mu: mu_load(&s).min(mu_source(&s)),
+    })
+}
+
+/// Worst-case in-band NF and minimum gain at each ambient temperature.
+/// Rows are `(celsius, worst_nf_db, min_gain_db)`.
+pub fn band_sweep_over_temperature(
+    device: &Phemt,
+    vars: DesignVariables,
+    band: &BandSpec,
+    celsius: &[f64],
+) -> Vec<(f64, f64, f64)> {
+    celsius
+        .iter()
+        .filter_map(|&t| {
+            let cond = ThermalCondition::at(t);
+            let mut worst_nf = f64::NEG_INFINITY;
+            let mut min_gain = f64::INFINITY;
+            for f in band.grid() {
+                let m = metrics_at_temperature(device, vars, f, &cond)?;
+                worst_nf = worst_nf.max(m.nf_db);
+                min_gain = min_gain.min(m.gain_db);
+            }
+            Some((t, worst_nf, min_gain))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars() -> DesignVariables {
+        DesignVariables {
+            vds: 3.0,
+            ids: 0.050,
+            l1: 6.8e-9,
+            ls_deg: 0.4e-9,
+            l2: 10e-9,
+            c2: 2.2e-12,
+            r_bias: 30.0,
+        }
+    }
+
+    #[test]
+    fn room_temperature_matches_nominal_analysis() {
+        let device = Phemt::atf54143_like();
+        let amp = Amplifier::new(&device, vars());
+        let nominal = amp.metrics(1.4e9).unwrap();
+        let thermal =
+            metrics_at_temperature(&device, vars(), 1.4e9, &ThermalCondition::at(23.35))
+                .unwrap();
+        // Same circuit at reference temperature: tenths of a dB at most
+        // (passive reference T0 = 290 K vs ambient 296.5 K differs slightly).
+        assert!((thermal.gain_db - nominal.gain_db).abs() < 0.2);
+        assert!((thermal.nf_db - nominal.nf_db).abs() < 0.1);
+    }
+
+    #[test]
+    fn noise_rises_and_gain_falls_with_temperature() {
+        let device = Phemt::atf54143_like();
+        let sweep = band_sweep_over_temperature(
+            &device,
+            vars(),
+            &BandSpec::gnss(),
+            &[-40.0, 25.0, 85.0],
+        );
+        assert_eq!(sweep.len(), 3);
+        let (_, nf_cold, gain_cold) = sweep[0];
+        let (_, nf_room, gain_room) = sweep[1];
+        let (_, nf_hot, gain_hot) = sweep[2];
+        assert!(nf_cold < nf_room && nf_room < nf_hot, "NF: {nf_cold} {nf_room} {nf_hot}");
+        assert!(
+            gain_cold > gain_room && gain_room > gain_hot,
+            "gain: {gain_cold} {gain_room} {gain_hot}"
+        );
+        // The swing is realistic: tenths of a dB of NF, ~1 dB of gain.
+        assert!(nf_hot - nf_cold > 0.05 && nf_hot - nf_cold < 1.0);
+        assert!(gain_cold - gain_hot > 0.3 && gain_cold - gain_hot < 4.0);
+    }
+
+    #[test]
+    fn derating_factor_is_unity_at_reference() {
+        let c = ThermalCondition::at(23.35);
+        assert!((c.gm_derating() - 1.0).abs() < 1e-12);
+        assert!(ThermalCondition::at(85.0).gm_derating() < 1.0);
+        assert!(ThermalCondition::at(-40.0).gm_derating() > 1.0);
+    }
+
+    #[test]
+    fn stability_holds_over_the_automotive_range() {
+        let device = Phemt::atf54143_like();
+        for t in [-40.0, 85.0] {
+            let m = metrics_at_temperature(
+                &device,
+                vars(),
+                1.4e9,
+                &ThermalCondition::at(t),
+            )
+            .unwrap();
+            assert!(m.k > 1.0, "K at {t} °C = {}", m.k);
+        }
+    }
+}

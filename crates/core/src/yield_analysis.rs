@@ -1,0 +1,253 @@
+//! Monte-Carlo production-yield analysis.
+//!
+//! A design that meets spec only at nominal component values is not a
+//! design. This module "manufactures" many units of a design with the
+//! catalog tolerances of [`crate::measure::BuildConfig`] and reports the
+//! fraction meeting a pass/fail specification — together with which
+//! criterion kills the failures, which tells the designer what margin to
+//! buy next.
+
+use crate::amplifier::{Amplifier, DesignVariables};
+use crate::band::{BandMetrics, BandSpec};
+use crate::measure::{BuildConfig, BuiltAmplifier};
+use rfkit_device::Phemt;
+
+/// Pass/fail specification for one manufactured unit (worst case over the
+/// band).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldSpec {
+    /// Maximum allowed worst-case noise figure (dB).
+    pub max_nf_db: f64,
+    /// Minimum allowed worst-case gain (dB).
+    pub min_gain_db: f64,
+    /// Maximum allowed worst-case |S11| (dB).
+    pub max_s11_db: f64,
+    /// Require unconditional stability (min μ > 1) over the wide grid.
+    pub require_stability: bool,
+}
+
+impl Default for YieldSpec {
+    fn default() -> Self {
+        YieldSpec {
+            max_nf_db: 0.9,
+            min_gain_db: 10.0,
+            max_s11_db: -8.0,
+            require_stability: true,
+        }
+    }
+}
+
+/// Result of a yield run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldReport {
+    /// Units manufactured.
+    pub units: usize,
+    /// Units meeting every criterion.
+    pub passing: usize,
+    /// Failures per criterion (a unit can fail several):
+    /// `[nf, gain, s11, stability, dead_board]`.
+    pub failures: [usize; 5],
+    /// Worst-case NF of every live unit (dB).
+    pub nf_db: Vec<f64>,
+    /// Worst-case gain of every live unit (dB).
+    pub gain_db: Vec<f64>,
+}
+
+impl YieldReport {
+    /// Yield as a fraction in `[0, 1]`.
+    pub fn yield_fraction(&self) -> f64 {
+        if self.units == 0 {
+            return 0.0;
+        }
+        self.passing as f64 / self.units as f64
+    }
+
+    /// Name of the dominant failure mechanism, or `None` at 100 % yield.
+    pub fn dominant_failure(&self) -> Option<&'static str> {
+        const NAMES: [&str; 5] = ["noise figure", "gain", "input match", "stability", "dead board"];
+        let (idx, &count) = self
+            .failures
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)?;
+        if count == 0 {
+            None
+        } else {
+            Some(NAMES[idx])
+        }
+    }
+}
+
+/// Manufactures `units` boards of `design` (seeds `0..units` offset by
+/// `seed_base`) and grades each against `spec` over `band`.
+pub fn yield_analysis(
+    device: &Phemt,
+    design: &DesignVariables,
+    spec: &YieldSpec,
+    band: &BandSpec,
+    units: usize,
+    build: &BuildConfig,
+    seed_base: u64,
+) -> YieldReport {
+    let mut report = YieldReport {
+        units,
+        passing: 0,
+        failures: [0; 5],
+        nf_db: Vec::with_capacity(units),
+        gain_db: Vec::with_capacity(units),
+    };
+    for unit in 0..units {
+        let cfg = BuildConfig {
+            seed: seed_base.wrapping_add(unit as u64),
+            ..*build
+        };
+        let built = BuiltAmplifier::build(design, &cfg);
+        let amp = Amplifier::new(device, built.actual_vars);
+        let Some(metrics) = BandMetrics::evaluate(&amp, band) else {
+            report.failures[4] += 1;
+            continue;
+        };
+        report.nf_db.push(metrics.worst_nf_db);
+        report.gain_db.push(metrics.min_gain_db);
+        let mut pass = true;
+        if metrics.worst_nf_db > spec.max_nf_db {
+            report.failures[0] += 1;
+            pass = false;
+        }
+        if metrics.min_gain_db < spec.min_gain_db {
+            report.failures[1] += 1;
+            pass = false;
+        }
+        if metrics.worst_s11_db > spec.max_s11_db {
+            report.failures[2] += 1;
+            pass = false;
+        }
+        if spec.require_stability && metrics.min_mu <= 1.0 {
+            report.failures[3] += 1;
+            pass = false;
+        }
+        if pass {
+            report.passing += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal() -> DesignVariables {
+        DesignVariables {
+            vds: 3.0,
+            ids: 0.050,
+            l1: 6.8e-9,
+            ls_deg: 0.4e-9,
+            l2: 10e-9,
+            c2: 2.2e-12,
+            r_bias: 30.0,
+        }
+    }
+
+    #[test]
+    fn loose_spec_gives_full_yield() {
+        let device = Phemt::atf54143_like();
+        let spec = YieldSpec {
+            max_nf_db: 2.0,
+            min_gain_db: 5.0,
+            max_s11_db: 0.0,
+            require_stability: false,
+        };
+        let report = yield_analysis(
+            &device,
+            &nominal(),
+            &spec,
+            &BandSpec::gnss(),
+            20,
+            &BuildConfig::default(),
+            0,
+        );
+        assert_eq!(report.passing, 20);
+        assert_eq!(report.yield_fraction(), 1.0);
+        assert!(report.dominant_failure().is_none());
+    }
+
+    #[test]
+    fn impossible_spec_gives_zero_yield() {
+        let device = Phemt::atf54143_like();
+        let spec = YieldSpec {
+            max_nf_db: 0.1,
+            min_gain_db: 40.0,
+            max_s11_db: -40.0,
+            require_stability: true,
+        };
+        let report = yield_analysis(
+            &device,
+            &nominal(),
+            &spec,
+            &BandSpec::gnss(),
+            10,
+            &BuildConfig::default(),
+            0,
+        );
+        assert_eq!(report.passing, 0);
+        assert!(report.dominant_failure().is_some());
+    }
+
+    #[test]
+    fn tighter_tolerances_raise_yield() {
+        // Find a spec near the nominal performance edge, then compare 10 %
+        // vs 1 % parts.
+        let device = Phemt::atf54143_like();
+        let amp = Amplifier::new(&device, nominal());
+        let nominal_metrics = BandMetrics::evaluate(&amp, &BandSpec::gnss()).unwrap();
+        let spec = YieldSpec {
+            max_nf_db: nominal_metrics.worst_nf_db + 0.01,
+            min_gain_db: nominal_metrics.min_gain_db - 0.15,
+            max_s11_db: 0.0,
+            require_stability: false,
+        };
+        let run = |tol: f64| {
+            yield_analysis(
+                &device,
+                &nominal(),
+                &spec,
+                &BandSpec::gnss(),
+                40,
+                &BuildConfig {
+                    tolerance: tol,
+                    bias_error: 0.002,
+                    ..Default::default()
+                },
+                7,
+            )
+            .yield_fraction()
+        };
+        let loose = run(0.10);
+        let tight = run(0.01);
+        assert!(
+            tight > loose,
+            "1 % parts must out-yield 10 % parts: {tight} vs {loose}"
+        );
+        assert!(tight > 0.5, "1 % parts near nominal spec: {tight}");
+    }
+
+    #[test]
+    fn reports_collect_distributions() {
+        let device = Phemt::atf54143_like();
+        let report = yield_analysis(
+            &device,
+            &nominal(),
+            &YieldSpec::default(),
+            &BandSpec::gnss(),
+            15,
+            &BuildConfig::default(),
+            3,
+        );
+        assert_eq!(report.nf_db.len() + report.failures[4], 15);
+        assert!(report.nf_db.iter().all(|v| *v > 0.0 && *v < 3.0));
+        // The distribution has spread (tolerances are real).
+        let span = rfkit_num::stats::max(&report.nf_db) - rfkit_num::stats::min(&report.nf_db);
+        assert!(span > 1e-4, "NF spread {span}");
+    }
+}

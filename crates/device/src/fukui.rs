@@ -1,0 +1,124 @@
+//! Fukui's empirical minimum-noise-figure formula.
+//!
+//! Fukui (1979): `F_min = 1 + k_f·(f/f_T)·sqrt(g_m·(R_g + R_s))` with a
+//! single empirical fitting factor `k_f` (≈ 2–3 for GaAs HEMTs). The suite
+//! uses it as a sanity cross-check on the Pospieszalski correlation-matrix
+//! result — the two should agree within tens of percent at the band of
+//! interest once `k_f` is fitted.
+
+use crate::smallsignal::SmallSignalDevice;
+
+/// Fukui's minimum noise factor (linear) for the device at `freq_hz` with
+/// fitting factor `kf`.
+///
+/// # Panics
+///
+/// Panics on non-positive frequency.
+pub fn fukui_fmin(device: &SmallSignalDevice, freq_hz: f64, kf: f64) -> f64 {
+    assert!(freq_hz > 0.0, "frequency must be positive");
+    let ft = device.intrinsic.ft();
+    let r_total = device.extrinsic.rg + device.extrinsic.rs + device.intrinsic.ri;
+    1.0 + kf * (freq_hz / ft) * (device.intrinsic.gm * r_total).sqrt()
+}
+
+/// Fits the Fukui factor `k_f` so the formula matches a reference `F_min`
+/// at one frequency; returns the fitted factor.
+///
+/// # Panics
+///
+/// Panics if `fmin_ref < 1`.
+pub fn fit_kf(device: &SmallSignalDevice, freq_hz: f64, fmin_ref: f64) -> f64 {
+    assert!(fmin_ref >= 1.0, "noise factor must be >= 1");
+    let base = fukui_fmin(device, freq_hz, 1.0) - 1.0;
+    if base <= 0.0 {
+        return 0.0;
+    }
+    (fmin_ref - 1.0) / base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smallsignal::{Extrinsic, Intrinsic, NoiseTemperatures};
+
+    fn device() -> SmallSignalDevice {
+        SmallSignalDevice {
+            intrinsic: Intrinsic {
+                gm: 0.22,
+                gds: 0.008,
+                cgs: 1.8e-12,
+                cgd: 0.22e-12,
+                cds: 0.28e-12,
+                ri: 1.4,
+                tau: 2.0e-12,
+            },
+            extrinsic: Extrinsic {
+                rg: 1.0,
+                rd: 2.0,
+                rs: 0.55,
+                lg: 0.45e-9,
+                ld: 0.45e-9,
+                ls: 0.22e-9,
+                cpg: 0.25e-12,
+                cpd: 0.25e-12,
+            },
+        }
+    }
+
+    #[test]
+    fn fmin_grows_linearly_with_frequency() {
+        let d = device();
+        let f1 = fukui_fmin(&d, 1e9, 2.5) - 1.0;
+        let f2 = fukui_fmin(&d, 2e9, 2.5) - 1.0;
+        assert!((f2 / f1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fmin_in_reasonable_range_at_gnss() {
+        let d = device();
+        let f = fukui_fmin(&d, 1.575e9, 2.5);
+        let nf_db = 10.0 * f.log10();
+        assert!(nf_db > 0.1 && nf_db < 1.5, "Fukui NFmin = {nf_db} dB");
+    }
+
+    #[test]
+    fn fitted_kf_reproduces_reference() {
+        let d = device();
+        let kf = fit_kf(&d, 1.5e9, 1.12);
+        let back = fukui_fmin(&d, 1.5e9, kf);
+        assert!((back - 1.12).abs() < 1e-12);
+        assert!(kf > 0.5 && kf < 6.0, "kf = {kf}");
+    }
+
+    #[test]
+    fn fukui_and_pospieszalski_agree_within_factor() {
+        // Fit kf at 1 GHz against the correlation-matrix result, then
+        // compare at 3 GHz: both scale ~linearly in f, so they should stay
+        // within ~25 %.
+        let d = device();
+        let temps = NoiseTemperatures::default();
+        let posp = |f: f64| {
+            d.noisy_two_port(f, &temps)
+                .noise_params(50.0)
+                .unwrap()
+                .fmin
+        };
+        let kf = fit_kf(&d, 1.0e9, posp(1.0e9));
+        let fukui3 = fukui_fmin(&d, 3.0e9, kf) - 1.0;
+        let posp3 = posp(3.0e9) - 1.0;
+        let ratio = fukui3 / posp3;
+        assert!(
+            (0.75..=1.33).contains(&ratio),
+            "Fukui/Pospieszalski excess-noise ratio at 3 GHz = {ratio}"
+        );
+    }
+
+    #[test]
+    fn lower_parasitics_mean_lower_noise() {
+        let d = device();
+        let mut clean = d;
+        clean.extrinsic.rg = 0.2;
+        clean.extrinsic.rs = 0.1;
+        assert!(fukui_fmin(&clean, 1.5e9, 2.5) < fukui_fmin(&d, 1.5e9, 2.5));
+    }
+}

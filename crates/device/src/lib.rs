@@ -1,0 +1,40 @@
+//! # rfkit-device
+//!
+//! pHEMT device models for the GNSS LNA reproduction:
+//!
+//! * five classic DC drain-current models — Curtice quadratic/cubic,
+//!   Statz, TOM and Angelov — behind one object-safe trait ([`dc`]);
+//! * the small-signal equivalent circuit with extrinsic shell and the
+//!   Pospieszalski two-temperature noise model via correlation matrices
+//!   ([`smallsignal`]);
+//! * Fukui's empirical noise formula as a cross-check ([`fukui`]);
+//! * the packaged-device abstraction tying DC bias to small-signal and
+//!   noise behaviour ([`phemt`](crate::Phemt));
+//! * the golden reference device producing simulated DC/S-parameter/noise
+//!   "measurements" for the extraction experiments ([`golden`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use rfkit_device::Phemt;
+//!
+//! let d = Phemt::atf54143_like();
+//! let vgs = d.bias_for_current(3.0, 0.060).expect("60 mA bias exists");
+//! let op = d.operating_point(vgs, 3.0);
+//! let s = d.noisy_two_port(1.575e9, &op).abcd.to_s(50.0)?;
+//! assert!(s.s21().abs() > 3.0); // a real amplifier at GPS L1
+//! # Ok::<(), rfkit_net::NetworkError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dc;
+pub mod fukui;
+pub mod golden;
+mod phemt;
+pub mod smallsignal;
+
+pub use dc::DcModel;
+pub use golden::{DcSample, GoldenDevice, MeasurementNoise};
+pub use phemt::{CapacitanceModel, NoiseModel, OperatingPoint, Phemt};
+pub use smallsignal::{Extrinsic, Intrinsic, NoiseTemperatures, SmallSignalDevice};

@@ -1,0 +1,143 @@
+//! Model-comparison harness: extract every DC model against the same
+//! measured data and tabulate fit quality (the paper's "comparisons among
+//! several models").
+
+use crate::three_step::{three_step, ExtractionData, ExtractionResult, ThreeStepConfig};
+use rfkit_device::dc::all_models;
+
+/// One row of the model-comparison table.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Model name.
+    pub name: &'static str,
+    /// Number of DC parameters.
+    pub n_params: usize,
+    /// Relative DC RMSE after extraction.
+    pub dc_rmse: f64,
+    /// S-parameter RMSE after extraction.
+    pub sparam_rmse: f64,
+    /// Total objective evaluations spent.
+    pub evaluations: usize,
+    /// The full extraction result.
+    pub result: ExtractionResult,
+}
+
+/// Extracts all five DC models against `data` and reports fit quality,
+/// sorted by DC RMSE (best first).
+pub fn compare_models(data: &ExtractionData, config: &ThreeStepConfig) -> Vec<ModelReport> {
+    let mut reports: Vec<ModelReport> = all_models()
+        .into_iter()
+        .map(|model| {
+            let result = three_step(model.as_ref(), data, config);
+            ModelReport {
+                name: model.name(),
+                n_params: model.param_names().len(),
+                dc_rmse: result.dc_rmse,
+                sparam_rmse: result.sparam_rmse,
+                evaluations: result.evaluations.iter().sum(),
+                result,
+            }
+        })
+        .collect();
+    reports.sort_by(|a, b| a.dc_rmse.partial_cmp(&b.dc_rmse).expect("finite RMSE"));
+    reports
+}
+
+/// Per-parameter recovery report against known true values (only
+/// meaningful when the data came from the same model family).
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// Parameter name.
+    pub name: &'static str,
+    /// True (golden) value.
+    pub truth: f64,
+    /// Extracted value.
+    pub extracted: f64,
+    /// Relative error.
+    pub rel_error: f64,
+}
+
+/// Tabulates extracted-vs-true parameters.
+///
+/// # Panics
+///
+/// Panics if the vectors' lengths differ from `names`.
+pub fn recovery_table(
+    names: &'static [&'static str],
+    truth: &[f64],
+    extracted: &[f64],
+) -> Vec<RecoveryRow> {
+    assert_eq!(names.len(), truth.len(), "names/truth mismatch");
+    assert_eq!(names.len(), extracted.len(), "names/extracted mismatch");
+    names
+        .iter()
+        .zip(truth.iter().zip(extracted))
+        .map(|(&name, (&t, &e))| RecoveryRow {
+            name,
+            truth: t,
+            extracted: e,
+            rel_error: if t.abs() > 1e-300 {
+                (e - t).abs() / t.abs()
+            } else {
+                (e - t).abs()
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfkit_device::dc::{Angelov, DcModel as _};
+    use rfkit_device::{GoldenDevice, MeasurementNoise};
+
+    fn dataset() -> ExtractionData {
+        let g = GoldenDevice::default();
+        let (vgs_grid, vds_grid) = GoldenDevice::standard_iv_grid();
+        let bias_vgs = g.device.bias_for_current(3.0, 0.06).unwrap();
+        ExtractionData {
+            dc: g.measure_dc(&vgs_grid, &vds_grid, &MeasurementNoise::none()),
+            sparams: g.measure_sparams(
+                bias_vgs,
+                3.0,
+                &GoldenDevice::standard_freq_grid(),
+                &MeasurementNoise::none(),
+            ),
+            bias_vgs,
+            bias_vds: 3.0,
+        }
+    }
+
+    #[test]
+    fn angelov_wins_its_own_data() {
+        // Short budgets: this is a smoke-level version of Table 1.
+        let cfg = ThreeStepConfig {
+            step1_evals: 5_000,
+            step2_evals: 6_000,
+            step3_evals: 400,
+            seed: 5,
+        };
+        let data = dataset();
+        let reports = compare_models(&data, &cfg);
+        assert_eq!(reports.len(), 5);
+        // The generating model family must fit best on DC.
+        assert_eq!(reports[0].name, "Angelov", "ranking: {:?}",
+            reports.iter().map(|r| (r.name, r.dc_rmse)).collect::<Vec<_>>());
+        // And the quadratic Curtice — with no knee or gm-bell flexibility —
+        // must be visibly worse than the winner.
+        let curtice_q = reports.iter().find(|r| r.name == "Curtice quadratic").unwrap();
+        assert!(curtice_q.dc_rmse > 3.0 * reports[0].dc_rmse);
+    }
+
+    #[test]
+    fn recovery_table_flags_errors() {
+        let names = Angelov.param_names();
+        let truth = Angelov.default_params();
+        let mut extracted = truth.clone();
+        extracted[0] *= 1.10;
+        let table = recovery_table(names, &truth, &extracted);
+        assert_eq!(table.len(), names.len());
+        assert!((table[0].rel_error - 0.10).abs() < 1e-12);
+        assert_eq!(table[1].rel_error, 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # rfkit-extract
+//!
+//! pHEMT model parameter identification — the paper's "original three-step
+//! robust identification procedure based on a combination of meta-heuristic
+//! and direct optimization methods":
+//!
+//! 1. global DC fit (differential evolution, Huber loss);
+//! 2. global small-signal fit seeded by step 1;
+//! 3. direct joint Levenberg–Marquardt refinement with `gm`/`gds` tied to
+//!    the DC model.
+//!
+//! Plus the single-optimizer baselines the convergence study compares
+//! against and the model-comparison harness behind the paper's
+//! "comparisons among several models".
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use rfkit_device::dc::Angelov;
+//! use rfkit_device::{GoldenDevice, MeasurementNoise};
+//! use rfkit_extract::{three_step, ExtractionData, ThreeStepConfig};
+//!
+//! let golden = GoldenDevice::default();
+//! let (vgs, vds) = GoldenDevice::standard_iv_grid();
+//! let bias = golden.device.bias_for_current(3.0, 0.06).unwrap();
+//! let data = ExtractionData {
+//!     dc: golden.measure_dc(&vgs, &vds, &MeasurementNoise::default()),
+//!     sparams: golden.measure_sparams(bias, 3.0, &GoldenDevice::standard_freq_grid(),
+//!                                     &MeasurementNoise::default()),
+//!     bias_vgs: bias,
+//!     bias_vds: 3.0,
+//! };
+//! let result = three_step(&Angelov, &data, &ThreeStepConfig::default());
+//! assert!(result.dc_rmse < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cold;
+pub mod comparison;
+pub mod objective;
+pub mod ssvector;
+mod three_step;
+
+pub use cold::{cold_fet_extraction, ColdFetConfig, ColdFetResult};
+pub use comparison::{compare_models, recovery_table, ModelReport, RecoveryRow};
+pub use three_step::{
+    combined_error, extract_single_method, three_step, three_step_with_extrinsics,
+    ExtractionData, ExtractionResult, SingleMethod, ThreeStepConfig,
+};

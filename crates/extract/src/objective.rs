@@ -1,0 +1,184 @@
+//! Fit objectives for device-model identification.
+//!
+//! Two data domains are fitted: the DC I-V grid (drain current, relative
+//! error with a floor so pinch-off noise does not dominate) and the
+//! small-signal S-parameters (absolute complex error, all four entries).
+//! Both support a Huber robustification, which is half of what makes the
+//! paper's identification "robust" (the other half is the global+direct
+//! optimizer combination).
+
+use rfkit_device::smallsignal::SmallSignalDevice;
+use rfkit_device::{DcModel, DcSample};
+use rfkit_net::SParams;
+
+/// Huber loss: quadratic inside `delta`, linear beyond — bounds the
+/// influence of outlier samples.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_extract::objective::huber;
+/// assert_eq!(huber(0.5, 1.0), 0.125);          // quadratic region: r²/2
+/// assert_eq!(huber(3.0, 1.0), 2.5);            // linear region: δ(|r| − δ/2)
+/// ```
+pub fn huber(residual: f64, delta: f64) -> f64 {
+    let a = residual.abs();
+    if a <= delta {
+        0.5 * residual * residual
+    } else {
+        delta * (a - 0.5 * delta)
+    }
+}
+
+/// Relative DC-current residuals of a model against measured samples.
+/// The denominator is floored at `i_floor` amps.
+pub fn dc_residuals(
+    model: &dyn DcModel,
+    params: &[f64],
+    data: &[DcSample],
+    i_floor: f64,
+) -> Vec<f64> {
+    data.iter()
+        .map(|s| {
+            let predicted = model.ids(params, s.vgs, s.vds);
+            (predicted - s.ids) / s.ids.abs().max(i_floor)
+        })
+        .collect()
+}
+
+/// Root-mean-square of the relative DC residuals.
+pub fn dc_rmse(model: &dyn DcModel, params: &[f64], data: &[DcSample], i_floor: f64) -> f64 {
+    let r = dc_residuals(model, params, data, i_floor);
+    (r.iter().map(|v| v * v).sum::<f64>() / r.len().max(1) as f64).sqrt()
+}
+
+/// Huber-robustified mean DC loss.
+pub fn dc_loss(model: &dyn DcModel, params: &[f64], data: &[DcSample], i_floor: f64) -> f64 {
+    let r = dc_residuals(model, params, data, i_floor);
+    r.iter().map(|&v| huber(v, 0.1)).sum::<f64>() / r.len().max(1) as f64
+}
+
+/// Complex S-parameter residuals (re/im interleaved, all four entries per
+/// frequency) between a candidate small-signal device and measured rows.
+pub fn sparam_residuals(
+    candidate: &SmallSignalDevice,
+    measured: &[(f64, SParams)],
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(measured.len() * 8);
+    for (f, meas) in measured {
+        let model = candidate.s_params(*f, meas.z0);
+        for (m, s) in [
+            (model.s11(), meas.s11()),
+            (model.s12(), meas.s12()),
+            (model.s21(), meas.s21()),
+            (model.s22(), meas.s22()),
+        ] {
+            let d = m - s;
+            out.push(d.re);
+            out.push(d.im);
+        }
+    }
+    out
+}
+
+/// RMS S-parameter error (per complex entry).
+pub fn sparam_rmse(candidate: &SmallSignalDevice, measured: &[(f64, SParams)]) -> f64 {
+    let r = sparam_residuals(candidate, measured);
+    (r.iter().map(|v| v * v).sum::<f64>() / (r.len().max(1) as f64 / 2.0)).sqrt()
+}
+
+/// Huber-robustified mean S-parameter loss.
+pub fn sparam_loss(candidate: &SmallSignalDevice, measured: &[(f64, SParams)]) -> f64 {
+    let r = sparam_residuals(candidate, measured);
+    r.iter().map(|&v| huber(v, 0.05)).sum::<f64>() / r.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfkit_device::dc::{Angelov, DcModel as _};
+    use rfkit_device::{GoldenDevice, MeasurementNoise};
+
+    #[test]
+    fn huber_regions_and_continuity() {
+        // Continuity at |r| = δ.
+        let below = huber(0.999_999, 1.0);
+        let above = huber(1.000_001, 1.0);
+        assert!((below - above).abs() < 1e-5);
+        // Symmetry.
+        assert_eq!(huber(-2.0, 1.0), huber(2.0, 1.0));
+        // Outliers grow linearly, not quadratically.
+        assert!(huber(10.0, 1.0) < 0.5 * 100.0);
+    }
+
+    #[test]
+    fn true_parameters_have_zero_dc_error_on_clean_data() {
+        let g = GoldenDevice::default();
+        let (vgs, vds) = GoldenDevice::standard_iv_grid();
+        let data = g.measure_dc(&vgs, &vds, &MeasurementNoise::none());
+        let rmse = dc_rmse(&Angelov, &g.device.dc_params, &data, 1e-3);
+        assert!(rmse < 1e-12, "rmse = {rmse}");
+    }
+
+    #[test]
+    fn noisy_data_floor_matches_noise_level() {
+        let g = GoldenDevice::default();
+        let (vgs, vds) = GoldenDevice::standard_iv_grid();
+        let noise = MeasurementNoise {
+            dc_relative: 0.01,
+            ..Default::default()
+        };
+        let data = g.measure_dc(&vgs, &vds, &noise);
+        let rmse = dc_rmse(&Angelov, &g.device.dc_params, &data, 1e-3);
+        // True parameters against 1 % noisy data: RMSE ≈ the noise.
+        assert!(rmse > 0.002 && rmse < 0.05, "rmse = {rmse}");
+    }
+
+    #[test]
+    fn wrong_parameters_cost_more() {
+        let g = GoldenDevice::default();
+        let (vgs, vds) = GoldenDevice::standard_iv_grid();
+        let data = g.measure_dc(&vgs, &vds, &MeasurementNoise::none());
+        let mut wrong = g.device.dc_params.clone();
+        wrong[0] *= 1.3; // +30 % on Ipk
+        assert!(
+            dc_loss(&Angelov, &wrong, &data, 1e-3)
+                > 100.0 * dc_loss(&Angelov, &g.device.dc_params, &data, 1e-3)
+        );
+    }
+
+    #[test]
+    fn sparam_error_zero_for_true_small_signal() {
+        let g = GoldenDevice::default();
+        let vgs = g.device.bias_for_current(3.0, 0.06).unwrap();
+        let freqs = GoldenDevice::standard_freq_grid();
+        let rows = g.measure_sparams(vgs, 3.0, &freqs, &MeasurementNoise::none());
+        let op = g.device.operating_point(vgs, 3.0);
+        let truth = g.device.small_signal(&op);
+        let rmse = sparam_rmse(&truth, &rows);
+        assert!(rmse < 1e-12, "rmse = {rmse}");
+    }
+
+    #[test]
+    fn sparam_error_detects_capacitance_offset() {
+        let g = GoldenDevice::default();
+        let vgs = g.device.bias_for_current(3.0, 0.06).unwrap();
+        let freqs = GoldenDevice::standard_freq_grid();
+        let rows = g.measure_sparams(vgs, 3.0, &freqs, &MeasurementNoise::none());
+        let op = g.device.operating_point(vgs, 3.0);
+        let mut off = g.device.small_signal(&op);
+        off.intrinsic.cgs *= 1.5;
+        assert!(sparam_rmse(&off, &rows) > 0.01);
+        assert!(sparam_loss(&off, &rows) > 0.0);
+    }
+
+    #[test]
+    fn residual_layout_is_eight_per_frequency() {
+        let g = GoldenDevice::default();
+        let vgs = g.device.bias_for_current(3.0, 0.06).unwrap();
+        let rows = g.measure_sparams(vgs, 3.0, &[1e9, 2e9], &MeasurementNoise::none());
+        let op = g.device.operating_point(vgs, 3.0);
+        let r = sparam_residuals(&g.device.small_signal(&op), &rows);
+        assert_eq!(r.len(), 16);
+    }
+}

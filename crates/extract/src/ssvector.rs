@@ -1,0 +1,152 @@
+//! Flat parameter-vector encoding of the small-signal equivalent circuit.
+//!
+//! Optimizers work on `&[f64]`; this module maps the 15 small-signal
+//! elements to a vector in *scaled units* (pF, nH, ps, Ω, S) so every
+//! coordinate is O(0.1–10) and the optimizers see a well-conditioned box.
+
+use rfkit_device::{Extrinsic, Intrinsic, SmallSignalDevice};
+use rfkit_opt::Bounds;
+
+/// Names of the 15 vector entries, in order.
+pub const SS_NAMES: [&str; 15] = [
+    "gm_S", "gds_mS", "cgs_pF", "cgd_pF", "cds_pF", "ri_ohm", "tau_ps", "rg_ohm", "rd_ohm",
+    "rs_ohm", "lg_nH", "ld_nH", "ls_nH", "cpg_pF", "cpd_pF",
+];
+
+/// Encodes a device into the scaled 15-vector.
+pub fn ss_to_vec(d: &SmallSignalDevice) -> Vec<f64> {
+    vec![
+        d.intrinsic.gm,
+        d.intrinsic.gds * 1e3,
+        d.intrinsic.cgs * 1e12,
+        d.intrinsic.cgd * 1e12,
+        d.intrinsic.cds * 1e12,
+        d.intrinsic.ri,
+        d.intrinsic.tau * 1e12,
+        d.extrinsic.rg,
+        d.extrinsic.rd,
+        d.extrinsic.rs,
+        d.extrinsic.lg * 1e9,
+        d.extrinsic.ld * 1e9,
+        d.extrinsic.ls * 1e9,
+        d.extrinsic.cpg * 1e12,
+        d.extrinsic.cpd * 1e12,
+    ]
+}
+
+/// Decodes the scaled 15-vector back into a device.
+///
+/// # Panics
+///
+/// Panics if `v.len() != 15`.
+pub fn ss_from_vec(v: &[f64]) -> SmallSignalDevice {
+    assert_eq!(v.len(), 15, "small-signal vector must have 15 entries");
+    SmallSignalDevice {
+        intrinsic: Intrinsic {
+            gm: v[0],
+            gds: v[1] * 1e-3,
+            cgs: v[2] * 1e-12,
+            cgd: v[3] * 1e-12,
+            cds: v[4] * 1e-12,
+            ri: v[5],
+            tau: v[6] * 1e-12,
+        },
+        extrinsic: Extrinsic {
+            rg: v[7],
+            rd: v[8],
+            rs: v[9],
+            lg: v[10] * 1e-9,
+            ld: v[11] * 1e-9,
+            ls: v[12] * 1e-9,
+            cpg: v[13] * 1e-12,
+            cpd: v[14] * 1e-12,
+        },
+    }
+}
+
+/// Physically motivated box for a packaged low-noise pHEMT.
+pub fn ss_bounds() -> Bounds {
+    Bounds::new(
+        vec![
+            0.02, 0.5, 0.2, 0.02, 0.02, 0.1, 0.1, 0.05, 0.05, 0.05, 0.01, 0.01, 0.01, 0.01, 0.01,
+        ],
+        vec![
+            0.6, 40.0, 6.0, 1.5, 1.5, 8.0, 10.0, 6.0, 8.0, 4.0, 2.5, 2.5, 1.5, 1.2, 1.2,
+        ],
+    )
+    .expect("valid small-signal bounds")
+}
+
+/// The same box but with `gm` and `gds` pinned to ±`rel` around seed
+/// values (how step 2 uses the step-1 DC fit).
+pub fn ss_bounds_seeded(gm_seed: f64, gds_seed: f64, rel: f64) -> Bounds {
+    let base = ss_bounds();
+    let mut lo = base.lo().to_vec();
+    let mut hi = base.hi().to_vec();
+    lo[0] = (gm_seed * (1.0 - rel)).max(lo[0]);
+    hi[0] = (gm_seed * (1.0 + rel)).min(hi[0]).max(lo[0]);
+    lo[1] = (gds_seed * 1e3 * (1.0 - rel)).max(lo[1]);
+    hi[1] = (gds_seed * 1e3 * (1.0 + rel)).min(hi[1]).max(lo[1]);
+    Bounds::new(lo, hi).expect("seeded bounds valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfkit_device::Phemt;
+
+    fn golden_ss() -> SmallSignalDevice {
+        let d = Phemt::atf54143_like();
+        let op = d.operating_point(d.bias_for_current(3.0, 0.06).unwrap(), 3.0);
+        d.small_signal(&op)
+    }
+
+    #[test]
+    fn roundtrip_preserves_device() {
+        let d = golden_ss();
+        let v = ss_to_vec(&d);
+        let back = ss_from_vec(&v);
+        // Scaling introduces one rounding step; compare to relative 1e-14.
+        let (a, b) = (ss_to_vec(&d), ss_to_vec(&back));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() <= 1e-14 * x.abs().max(1.0), "{x} vs {y}");
+        }
+        assert_eq!(v.len(), SS_NAMES.len());
+    }
+
+    #[test]
+    fn golden_device_inside_bounds() {
+        let v = ss_to_vec(&golden_ss());
+        assert!(
+            ss_bounds().contains(&v),
+            "golden vector {v:?} outside extraction bounds"
+        );
+    }
+
+    #[test]
+    fn scaled_units_are_order_unity() {
+        let v = ss_to_vec(&golden_ss());
+        for (name, value) in SS_NAMES.iter().zip(&v) {
+            assert!(
+                (0.01..=50.0).contains(value),
+                "{name} = {value} badly scaled"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_bounds_narrow_gm() {
+        let b = ss_bounds_seeded(0.2, 0.008, 0.3);
+        assert!((b.lo()[0] - 0.14).abs() < 1e-12);
+        assert!((b.hi()[0] - 0.26).abs() < 1e-12);
+        assert!((b.lo()[1] - 5.6).abs() < 1e-12);
+        // Other dimensions unchanged.
+        assert_eq!(b.lo()[2], ss_bounds().lo()[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "15 entries")]
+    fn wrong_length_panics() {
+        ss_from_vec(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,485 @@
+//! Double-precision complex arithmetic.
+//!
+//! The whole rfkit suite works in the complex domain (impedances, scattering
+//! parameters, noise-correlation matrices), so this module provides a small,
+//! dependency-free complex type with the transcendental functions RF work
+//! needs: `exp`, `ln`, `sqrt`, hyperbolic functions for lossy transmission
+//! lines, and polar-form helpers for reflection coefficients.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_num::Complex;
+///
+/// let z = Complex::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!(z * Complex::I, Complex::new(-4.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a purely imaginary complex number.
+    #[inline]
+    pub const fn imag(im: f64) -> Self {
+        Complex { re: 0.0, im }
+    }
+
+    /// Creates a complex number from polar form `r·exp(jθ)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rfkit_num::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z - Complex::new(0.0, 2.0)).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Magnitude `|z| = sqrt(re² + im²)`, computed without overflow via `hypot`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`. Cheaper than `abs` when only comparisons or
+    /// power quantities are needed.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns infinities when `z` is zero, mirroring `1.0 / 0.0`.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+
+    /// Complex exponential `exp(z)`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal natural logarithm, with branch cut on the negative real axis.
+    #[inline]
+    pub fn ln(self) -> Self {
+        Complex::new(self.abs().ln(), self.arg())
+    }
+
+    /// Principal square root. The result lies in the right half-plane
+    /// (`Re ≥ 0`), which is the root RF work wants for propagation constants.
+    pub fn sqrt(self) -> Self {
+        if self.re == 0.0 && self.im == 0.0 {
+            return Complex::ZERO;
+        }
+        let r = self.abs();
+        // Stable half-angle formulation.
+        let re = ((r + self.re) * 0.5).sqrt();
+        let im = ((r - self.re) * 0.5).sqrt();
+        Complex::new(re, if self.im >= 0.0 { im } else { -im })
+    }
+
+    /// Raises to an integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return Complex::ONE;
+        }
+        let mut base = if n < 0 { self.recip() } else { self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = Complex::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// Raises to a real power via the principal logarithm.
+    pub fn powf(self, p: f64) -> Self {
+        if self == Complex::ZERO {
+            return Complex::ZERO;
+        }
+        (self.ln() * Complex::real(p)).exp()
+    }
+
+    /// Hyperbolic cosine, used by lossy transmission-line ABCD matrices.
+    pub fn cosh(self) -> Self {
+        Complex::new(
+            self.re.cosh() * self.im.cos(),
+            self.re.sinh() * self.im.sin(),
+        )
+    }
+
+    /// Hyperbolic sine, used by lossy transmission-line ABCD matrices.
+    pub fn sinh(self) -> Self {
+        Complex::new(
+            self.re.sinh() * self.im.cos(),
+            self.re.cosh() * self.im.sin(),
+        )
+    }
+
+    /// Hyperbolic tangent `sinh(z)/cosh(z)` (stable for moderate arguments).
+    pub fn tanh(self) -> Self {
+        self.sinh() / self.cosh()
+    }
+
+    /// Cosine.
+    pub fn cos(self) -> Self {
+        Complex::new(
+            self.re.cos() * self.im.cosh(),
+            -self.re.sin() * self.im.sinh(),
+        )
+    }
+
+    /// Sine.
+    pub fn sin(self) -> Self {
+        Complex::new(
+            self.re.sin() * self.im.cosh(),
+            self.re.cos() * self.im.sinh(),
+        )
+    }
+
+    /// Tangent.
+    pub fn tan(self) -> Self {
+        self.sin() / self.cos()
+    }
+
+    /// `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        // Smith's algorithm for improved robustness against overflow.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            Complex::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            Complex::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+macro_rules! impl_assign {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for Complex {
+            #[inline]
+            fn $method(&mut self, rhs: Complex) {
+                *self = *self $op rhs;
+            }
+        }
+        impl $trait<f64> for Complex {
+            #[inline]
+            fn $method(&mut self, rhs: f64) {
+                *self = *self $op Complex::real(rhs);
+            }
+        }
+    };
+}
+
+impl_assign!(AddAssign, add_assign, +);
+impl_assign!(SubAssign, sub_assign, -);
+impl_assign!(MulAssign, mul_assign, *);
+impl_assign!(DivAssign, div_assign, /);
+
+macro_rules! impl_mixed {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<f64> for Complex {
+            type Output = Complex;
+            #[inline]
+            fn $method(self, rhs: f64) -> Complex {
+                self $op Complex::real(rhs)
+            }
+        }
+        impl $trait<Complex> for f64 {
+            type Output = Complex;
+            #[inline]
+            fn $method(self, rhs: Complex) -> Complex {
+                Complex::real(self) $op rhs
+            }
+        }
+    };
+}
+
+impl_mixed!(Add, add, +);
+impl_mixed!(Sub, sub, -);
+impl_mixed!(Mul, mul, *);
+impl_mixed!(Div, div, /);
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Complex {
+    fn product<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(Complex::ZERO + Complex::ONE, Complex::ONE);
+        assert_eq!(Complex::I * Complex::I, -Complex::ONE);
+        assert_eq!(Complex::from(2.5), Complex::new(2.5, 0.0));
+        assert_eq!(Complex::imag(3.0), Complex::new(0.0, 3.0));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(1.5, -2.25);
+        let w = Complex::new(-0.5, 4.0);
+        assert!(close(z + w - w, z, 1e-15));
+        assert!(close(z * w / w, z, 1e-14));
+        assert!(close(z * z.recip(), Complex::ONE, 1e-14));
+        assert!(close(-(-z), z, 0.0));
+    }
+
+    #[test]
+    fn mixed_real_ops() {
+        let z = Complex::new(2.0, 3.0);
+        assert_eq!(z * 2.0, Complex::new(4.0, 6.0));
+        assert_eq!(2.0 * z, Complex::new(4.0, 6.0));
+        assert_eq!(1.0 + z, Complex::new(3.0, 3.0));
+        assert_eq!(z - 1.0, Complex::new(1.0, 3.0));
+        assert!(close(6.0 / Complex::new(0.0, 2.0), Complex::new(0.0, -3.0), 1e-15));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex::new(1.0, 1.0);
+        z += Complex::ONE;
+        z -= Complex::I;
+        z *= 2.0;
+        z /= Complex::new(2.0, 0.0);
+        assert!(close(z, Complex::new(2.0, 0.0), 1e-15));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(3.0, PI / 3.0);
+        assert!((z.abs() - 3.0).abs() < 1e-15);
+        assert!((z.arg() - PI / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn division_is_overflow_robust() {
+        let big = Complex::new(1e300, 1e300);
+        let q = big / big;
+        assert!(close(q, Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn sqrt_principal_branch() {
+        // sqrt of a negative real number is +j·sqrt(|x|)
+        let z = Complex::real(-4.0).sqrt();
+        assert!(close(z, Complex::new(0.0, 2.0), 1e-15));
+        // sqrt of conjugate is conjugate of sqrt (branch-cut symmetric)
+        let w = Complex::new(-1.0, -1.0);
+        assert!(close(w.sqrt(), w.conj().sqrt().conj(), 1e-15));
+        // result is in the right half plane
+        assert!(Complex::new(-3.0, 0.5).sqrt().re >= 0.0);
+        assert_eq!(Complex::ZERO.sqrt(), Complex::ZERO);
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let z = Complex::new(0.3, -1.2);
+        assert!(close(z.exp().ln(), z, 1e-14));
+        assert!(close(Complex::ZERO.exp(), Complex::ONE, 0.0));
+        // Euler's identity
+        assert!(close(Complex::imag(PI).exp(), -Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = Complex::new(1.1, -0.4);
+        assert!(close(z.powi(3), z * z * z, 1e-13));
+        assert!(close(z.powi(0), Complex::ONE, 0.0));
+        assert!(close(z.powi(-2), (z * z).recip(), 1e-13));
+    }
+
+    #[test]
+    fn powf_agrees_with_powi() {
+        let z = Complex::new(0.8, 0.6);
+        assert!(close(z.powf(2.0), z.powi(2), 1e-13));
+        assert!(close(z.powf(0.5), z.sqrt(), 1e-13));
+    }
+
+    #[test]
+    fn hyperbolic_identity() {
+        // cosh² − sinh² = 1
+        let z = Complex::new(0.7, -0.9);
+        let c = z.cosh();
+        let s = z.sinh();
+        assert!(close(c * c - s * s, Complex::ONE, 1e-13));
+        assert!(close(z.tanh(), s / c, 1e-14));
+    }
+
+    #[test]
+    fn trig_identity() {
+        let z = Complex::new(-0.4, 0.3);
+        let c = z.cos();
+        let s = z.sin();
+        assert!(close(c * c + s * s, Complex::ONE, 1e-13));
+        assert!(close(z.tan(), s / c, 1e-14));
+    }
+
+    #[test]
+    fn nan_and_finite_predicates() {
+        assert!(Complex::new(f64::NAN, 0.0).is_nan());
+        assert!(!Complex::ONE.is_nan());
+        assert!(Complex::ONE.is_finite());
+        assert!(!Complex::new(f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn sum_and_product() {
+        let v = [Complex::ONE, Complex::I, Complex::new(2.0, 0.0)];
+        let s: Complex = v.iter().copied().sum();
+        assert_eq!(s, Complex::new(3.0, 1.0));
+        let p: Complex = v.iter().copied().product();
+        assert_eq!(p, Complex::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

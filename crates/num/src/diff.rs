@@ -1,0 +1,148 @@
+//! Finite-difference derivatives and Jacobians.
+//!
+//! The device models provide analytic transconductance where tractable, but
+//! higher-order derivatives (needed for the IM3 power series) and optimizer
+//! Jacobians (Levenberg–Marquardt) use these central-difference helpers.
+
+/// Relative step used when none is supplied; `cbrt(eps)` balances truncation
+/// against round-off for central differences.
+fn default_step(x: f64) -> f64 {
+    let h = f64::EPSILON.cbrt();
+    h * x.abs().max(1.0)
+}
+
+/// First derivative by central difference.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_num::diff::derivative;
+/// let d = derivative(|x| x * x, 3.0, None);
+/// assert!((d - 6.0).abs() < 1e-6);
+/// ```
+pub fn derivative(f: impl Fn(f64) -> f64, x: f64, step: Option<f64>) -> f64 {
+    let h = step.unwrap_or_else(|| default_step(x));
+    (f(x + h) - f(x - h)) / (2.0 * h)
+}
+
+/// Second derivative by central difference.
+pub fn second_derivative(f: impl Fn(f64) -> f64, x: f64, step: Option<f64>) -> f64 {
+    let h = step.unwrap_or_else(|| f64::EPSILON.powf(0.25) * x.abs().max(1.0));
+    (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h)
+}
+
+/// Third derivative by the central stencil
+/// `(f(x+2h) - 2f(x+h) + 2f(x-h) - f(x-2h)) / (2h³)`.
+///
+/// Used to obtain `g_m3 = ∂³I_ds/∂V_gs³` for intermodulation analysis.
+pub fn third_derivative(f: impl Fn(f64) -> f64, x: f64, step: Option<f64>) -> f64 {
+    let h = step.unwrap_or_else(|| f64::EPSILON.powf(1.0 / 6.0) * x.abs().max(1.0) * 0.1);
+    (f(x + 2.0 * h) - 2.0 * f(x + h) + 2.0 * f(x - h) - f(x - 2.0 * h)) / (2.0 * h * h * h)
+}
+
+/// Gradient of a scalar function of a vector, by central differences.
+pub fn gradient(f: impl Fn(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
+    let mut g = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        let h = default_step(x[i]);
+        let orig = xp[i];
+        xp[i] = orig + h;
+        let fp = f(&xp);
+        xp[i] = orig - h;
+        let fm = f(&xp);
+        xp[i] = orig;
+        g[i] = (fp - fm) / (2.0 * h);
+    }
+    g
+}
+
+/// Jacobian of a vector residual function `r: R^n -> R^m`, row `i` holding
+/// `∂r_i/∂x_j`. Returned in row-major order as `m` rows of length `n`.
+pub fn jacobian(f: impl Fn(&[f64]) -> Vec<f64>, x: &[f64]) -> Vec<Vec<f64>> {
+    let n = x.len();
+    let r0 = f(x);
+    let m = r0.len();
+    let mut jac = vec![vec![0.0; n]; m];
+    let mut xp = x.to_vec();
+    for j in 0..n {
+        let h = default_step(x[j]);
+        let orig = xp[j];
+        xp[j] = orig + h;
+        let rp = f(&xp);
+        xp[j] = orig - h;
+        let rm = f(&xp);
+        xp[j] = orig;
+        assert_eq!(rp.len(), m, "residual length must not vary");
+        for i in 0..m {
+            jac[i][j] = (rp[i] - rm[i]) / (2.0 * h);
+        }
+    }
+    jac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivative_of_polynomial() {
+        let f = |x: f64| 2.0 * x * x * x - x;
+        assert!((derivative(f, 2.0, None) - 23.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn derivative_of_exp() {
+        let d = derivative(f64::exp, 1.0, None);
+        assert!((d - std::f64::consts::E).abs() < 1e-7);
+    }
+
+    #[test]
+    fn second_derivative_of_sin() {
+        let d2 = second_derivative(f64::sin, 0.7, None);
+        assert!((d2 + 0.7_f64.sin()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn third_derivative_of_cubic_is_constant() {
+        let f = |x: f64| x * x * x;
+        let d3 = third_derivative(f, 0.5, None);
+        assert!((d3 - 6.0).abs() < 1e-3, "got {d3}");
+    }
+
+    #[test]
+    fn third_derivative_of_tanh_matches_analytic() {
+        // d³/dx³ tanh = -2 sech²(x) (2 sech²(x) - 3 tanh²(x) ... use known value at 0: -2
+        let d3 = third_derivative(f64::tanh, 0.0, None);
+        assert!((d3 + 2.0).abs() < 1e-3, "got {d3}");
+    }
+
+    #[test]
+    fn gradient_of_quadratic_form() {
+        // f = x² + 3y² → grad = (2x, 6y)
+        let f = |v: &[f64]| v[0] * v[0] + 3.0 * v[1] * v[1];
+        let g = gradient(f, &[1.0, -2.0]);
+        assert!((g[0] - 2.0).abs() < 1e-6);
+        assert!((g[1] + 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jacobian_of_linear_map_is_its_matrix() {
+        let f = |v: &[f64]| vec![2.0 * v[0] + v[1], -v[0] + 3.0 * v[1], v[0]];
+        let j = jacobian(f, &[0.3, 0.4]);
+        let expect = [[2.0, 1.0], [-1.0, 3.0], [1.0, 0.0]];
+        for (row, erow) in j.iter().zip(&expect) {
+            for (a, b) in row.iter().zip(erow) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn step_scales_with_magnitude() {
+        // A huge abscissa must not destroy accuracy through absolute steps.
+        let f = |x: f64| x * x;
+        let d = derivative(f, 1e8, None);
+        assert!((d - 2e8).abs() / 2e8 < 1e-6);
+    }
+}

@@ -1,0 +1,232 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! The two-tone intermodulation test in `rfkit-circuit` drives the nonlinear
+//! device model in the time domain and reads tone amplitudes back out of the
+//! spectrum; this module supplies the transform. Only power-of-two sizes are
+//! accelerated; other sizes fall back to a direct DFT, which is plenty for
+//! the short records used in tests.
+
+use crate::complex::Complex;
+use std::f64::consts::PI;
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two (use [`dft`] for arbitrary
+/// sizes).
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_num::{fft, Complex};
+/// let mut x = vec![Complex::ONE; 4];
+/// fft::fft(&mut x);
+/// assert!((x[0] - Complex::real(4.0)).abs() < 1e-12);
+/// assert!(x[1].abs() < 1e-12);
+/// ```
+pub fn fft(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT, normalized by `1/N` so `ifft(fft(x)) == x`.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft(data: &mut [Complex]) {
+    transform(data, true);
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        *x = x.scale(1.0 / n);
+    }
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    // Bit-reversal permutation.
+    let shift = usize::BITS - n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> shift;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Direct O(N²) discrete Fourier transform for arbitrary lengths.
+pub fn dft(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (t, &x) in data.iter().enumerate() {
+                let ang = -2.0 * PI * (k * t % n) as f64 / n as f64;
+                acc += x * Complex::from_polar(1.0, ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// FFT of a real-valued signal; returns the full complex spectrum.
+///
+/// # Panics
+///
+/// Panics if `signal.len()` is not a power of two.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::real(x)).collect();
+    fft(&mut data);
+    data
+}
+
+/// Single-sided amplitude spectrum of a real signal: `2|X[k]|/N` for
+/// `0 < k < N/2`, `|X[0]|/N` at DC.
+///
+/// # Panics
+///
+/// Panics if `signal.len()` is not a power of two.
+pub fn amplitude_spectrum(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    let spec = fft_real(signal);
+    let mut out = Vec::with_capacity(n / 2 + 1);
+    for (k, x) in spec.iter().take(n / 2 + 1).enumerate() {
+        let scale = if k == 0 || k == n / 2 { 1.0 } else { 2.0 };
+        out.push(scale * x.abs() / n as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        fft(&mut x);
+        for v in &x {
+            assert!((*v - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let orig: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_matches_direct_dft() {
+        let x: Vec<Complex> = (0..8)
+            .map(|i| Complex::new(i as f64, (i * i) as f64 * 0.1))
+            .collect();
+        let direct = dft(&x);
+        let mut fast = x.clone();
+        fft(&mut fast);
+        for (a, b) in fast.iter().zip(&direct) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|t| (2.0 * PI * k0 as f64 * t as f64 / n as f64).cos() * 3.0)
+            .collect();
+        let amp = amplitude_spectrum(&signal);
+        assert!((amp[k0] - 3.0).abs() < 1e-10);
+        for (k, a) in amp.iter().enumerate() {
+            if k != k0 {
+                assert!(*a < 1e-10, "leakage at bin {k}: {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_tone_amplitudes_recovered() {
+        let n = 256;
+        let signal: Vec<f64> = (0..n)
+            .map(|t| {
+                let t = t as f64 / n as f64;
+                1.5 * (2.0 * PI * 10.0 * t).cos() + 0.25 * (2.0 * PI * 30.0 * t).sin()
+            })
+            .collect();
+        let amp = amplitude_spectrum(&signal);
+        assert!((amp[10] - 1.5).abs() < 1e-10);
+        assert!((amp[30] - 0.25).abs() < 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut spec = x.clone();
+        fft(&mut spec);
+        let freq_energy: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![Complex::ZERO; 6];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn dft_handles_arbitrary_length() {
+        let x = vec![Complex::ONE; 5];
+        let spec = dft(&x);
+        assert!((spec[0] - Complex::real(5.0)).abs() < 1e-12);
+        for v in &spec[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trivial_lengths() {
+        let mut x = vec![Complex::new(2.0, 1.0)];
+        fft(&mut x);
+        assert_eq!(x[0], Complex::new(2.0, 1.0));
+        let mut empty: Vec<Complex> = vec![];
+        fft(&mut empty); // must not panic: 0 is not a power of two? it is not.
+    }
+
+    use std::f64::consts::PI;
+}

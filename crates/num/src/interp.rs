@@ -1,0 +1,332 @@
+//! One-dimensional interpolation on tabulated data.
+//!
+//! Vendor component data (Q versus frequency, ESR versus frequency) and
+//! "measured" golden-device data are tables; the models in `rfkit-passive`
+//! interpolate them. Linear interpolation and natural cubic splines are
+//! provided, both with configurable out-of-range behaviour.
+
+/// What to do when an interpolation query falls outside the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Extrapolation {
+    /// Clamp to the nearest endpoint value (default; safest for Q/ESR data).
+    #[default]
+    Clamp,
+    /// Extend the boundary segment/derivative linearly.
+    Linear,
+    /// Panic on out-of-range queries.
+    Forbid,
+}
+
+/// Error from constructing an interpolant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Fewer than two samples were provided.
+    TooFewSamples,
+    /// The abscissae are not strictly increasing.
+    NotIncreasing,
+    /// `x` and `y` lengths differ.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::TooFewSamples => write!(f, "need at least two samples"),
+            InterpError::NotIncreasing => write!(f, "abscissae must be strictly increasing"),
+            InterpError::LengthMismatch => write!(f, "x and y lengths differ"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+fn validate(x: &[f64], y: &[f64]) -> Result<(), InterpError> {
+    if x.len() != y.len() {
+        return Err(InterpError::LengthMismatch);
+    }
+    if x.len() < 2 {
+        return Err(InterpError::TooFewSamples);
+    }
+    if x.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(InterpError::NotIncreasing);
+    }
+    Ok(())
+}
+
+/// Piecewise-linear interpolant.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_num::interp::{LinearInterp, Extrapolation};
+/// let f = LinearInterp::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 0.0]).unwrap();
+/// assert_eq!(f.eval(0.5), 5.0);
+/// assert_eq!(f.eval(3.0), 0.0); // clamped by default
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterp {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    extrapolation: Extrapolation,
+}
+
+impl LinearInterp {
+    /// Creates an interpolant over strictly increasing `x`.
+    ///
+    /// # Errors
+    ///
+    /// See [`InterpError`].
+    pub fn new(x: Vec<f64>, y: Vec<f64>) -> Result<Self, InterpError> {
+        validate(&x, &y)?;
+        Ok(LinearInterp {
+            x,
+            y,
+            extrapolation: Extrapolation::Clamp,
+        })
+    }
+
+    /// Sets the out-of-range behaviour.
+    pub fn with_extrapolation(mut self, mode: Extrapolation) -> Self {
+        self.extrapolation = mode;
+        self
+    }
+
+    /// Evaluates the interpolant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `t` when extrapolation is
+    /// [`Extrapolation::Forbid`].
+    pub fn eval(&self, t: f64) -> f64 {
+        let n = self.x.len();
+        if t < self.x[0] || t > self.x[n - 1] {
+            match self.extrapolation {
+                Extrapolation::Clamp => {
+                    return if t < self.x[0] { self.y[0] } else { self.y[n - 1] };
+                }
+                Extrapolation::Forbid => {
+                    panic!("interpolation query {t} outside [{}, {}]", self.x[0], self.x[n - 1])
+                }
+                Extrapolation::Linear => {} // fall through to segment extension
+            }
+        }
+        let seg = segment(&self.x, t);
+        let (x0, x1) = (self.x[seg], self.x[seg + 1]);
+        let (y0, y1) = (self.y[seg], self.y[seg + 1]);
+        y0 + (y1 - y0) * (t - x0) / (x1 - x0)
+    }
+}
+
+/// Natural cubic spline (second derivative zero at both ends).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubicSpline {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    /// Second derivatives at the knots.
+    ypp: Vec<f64>,
+    extrapolation: Extrapolation,
+}
+
+impl CubicSpline {
+    /// Builds a natural cubic spline through the samples.
+    ///
+    /// # Errors
+    ///
+    /// See [`InterpError`].
+    pub fn new(x: Vec<f64>, y: Vec<f64>) -> Result<Self, InterpError> {
+        validate(&x, &y)?;
+        let n = x.len();
+        // Thomas algorithm on the tridiagonal spline system.
+        let mut ypp = vec![0.0; n];
+        if n > 2 {
+            let m = n - 2;
+            let mut diag = vec![0.0; m];
+            let mut upper = vec![0.0; m];
+            let mut rhs = vec![0.0; m];
+            for i in 0..m {
+                let h0 = x[i + 1] - x[i];
+                let h1 = x[i + 2] - x[i + 1];
+                diag[i] = 2.0 * (h0 + h1);
+                upper[i] = h1;
+                rhs[i] = 6.0 * ((y[i + 2] - y[i + 1]) / h1 - (y[i + 1] - y[i]) / h0);
+            }
+            // forward sweep (lower diagonal equals previous upper)
+            for i in 1..m {
+                let lower = x[i + 1] - x[i];
+                let w = lower / diag[i - 1];
+                diag[i] -= w * upper[i - 1];
+                rhs[i] -= w * rhs[i - 1];
+            }
+            ypp[m] = rhs[m - 1] / diag[m - 1];
+            for i in (1..m).rev() {
+                ypp[i] = (rhs[i - 1] - upper[i - 1] * ypp[i]) / diag[i - 1];
+            }
+        }
+        Ok(CubicSpline {
+            x,
+            y,
+            ypp,
+            extrapolation: Extrapolation::Clamp,
+        })
+    }
+
+    /// Sets the out-of-range behaviour.
+    pub fn with_extrapolation(mut self, mode: Extrapolation) -> Self {
+        self.extrapolation = mode;
+        self
+    }
+
+    /// Evaluates the spline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `t` when extrapolation is
+    /// [`Extrapolation::Forbid`].
+    pub fn eval(&self, t: f64) -> f64 {
+        let n = self.x.len();
+        if t < self.x[0] || t > self.x[n - 1] {
+            match self.extrapolation {
+                Extrapolation::Clamp => {
+                    return if t < self.x[0] { self.y[0] } else { self.y[n - 1] };
+                }
+                Extrapolation::Forbid => {
+                    panic!("interpolation query {t} outside [{}, {}]", self.x[0], self.x[n - 1])
+                }
+                Extrapolation::Linear => {
+                    // Extend with the boundary slope.
+                    let (i0, i1) = if t < self.x[0] { (0, 1) } else { (n - 2, n - 1) };
+                    let slope = self.slope_at_knot(i0, i1, t < self.x[0]);
+                    let (xr, yr) = if t < self.x[0] {
+                        (self.x[0], self.y[0])
+                    } else {
+                        (self.x[n - 1], self.y[n - 1])
+                    };
+                    return yr + slope * (t - xr);
+                }
+            }
+        }
+        let seg = segment(&self.x, t);
+        let h = self.x[seg + 1] - self.x[seg];
+        let a = (self.x[seg + 1] - t) / h;
+        let b = (t - self.x[seg]) / h;
+        a * self.y[seg]
+            + b * self.y[seg + 1]
+            + ((a * a * a - a) * self.ypp[seg] + (b * b * b - b) * self.ypp[seg + 1]) * h * h / 6.0
+    }
+
+    fn slope_at_knot(&self, i0: usize, i1: usize, at_left: bool) -> f64 {
+        let h = self.x[i1] - self.x[i0];
+        let d = (self.y[i1] - self.y[i0]) / h;
+        if at_left {
+            d - h / 6.0 * (2.0 * self.ypp[i0] + self.ypp[i1])
+        } else {
+            d + h / 6.0 * (self.ypp[i0] + 2.0 * self.ypp[i1])
+        }
+    }
+}
+
+/// Finds the segment index `i` such that `x[i] <= t <= x[i+1]` (clamped).
+fn segment(x: &[f64], t: f64) -> usize {
+    let n = x.len();
+    match x.binary_search_by(|v| v.partial_cmp(&t).expect("NaN in interpolation table")) {
+        Ok(i) => i.min(n - 2),
+        Err(i) => i.saturating_sub(1).min(n - 2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_hits_knots_and_midpoints() {
+        let f = LinearInterp::new(vec![0.0, 1.0, 3.0], vec![1.0, 3.0, -1.0]).unwrap();
+        assert_eq!(f.eval(0.0), 1.0);
+        assert_eq!(f.eval(1.0), 3.0);
+        assert_eq!(f.eval(3.0), -1.0);
+        assert_eq!(f.eval(0.5), 2.0);
+        assert_eq!(f.eval(2.0), 1.0);
+    }
+
+    #[test]
+    fn linear_clamps_by_default() {
+        let f = LinearInterp::new(vec![0.0, 1.0], vec![2.0, 4.0]).unwrap();
+        assert_eq!(f.eval(-5.0), 2.0);
+        assert_eq!(f.eval(9.0), 4.0);
+    }
+
+    #[test]
+    fn linear_extrapolation_extends_segment() {
+        let f = LinearInterp::new(vec![0.0, 1.0], vec![2.0, 4.0])
+            .unwrap()
+            .with_extrapolation(Extrapolation::Linear);
+        assert_eq!(f.eval(2.0), 6.0);
+        assert_eq!(f.eval(-1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn forbid_panics_out_of_range() {
+        let f = LinearInterp::new(vec![0.0, 1.0], vec![0.0, 1.0])
+            .unwrap()
+            .with_extrapolation(Extrapolation::Forbid);
+        f.eval(2.0);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert_eq!(
+            LinearInterp::new(vec![0.0], vec![1.0]).unwrap_err(),
+            InterpError::TooFewSamples
+        );
+        assert_eq!(
+            LinearInterp::new(vec![0.0, 0.0], vec![1.0, 2.0]).unwrap_err(),
+            InterpError::NotIncreasing
+        );
+        assert_eq!(
+            LinearInterp::new(vec![0.0, 1.0], vec![1.0]).unwrap_err(),
+            InterpError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn spline_interpolates_knots_exactly() {
+        let x = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = vec![0.0, 1.0, 0.0, -1.0, 0.0];
+        let s = CubicSpline::new(x.clone(), y.clone()).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((s.eval(*xi) - yi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spline_reproduces_smooth_function_closely() {
+        let x: Vec<f64> = (0..21).map(|i| i as f64 * 0.1).collect();
+        let y: Vec<f64> = x.iter().map(|&t| (3.0 * t).sin()).collect();
+        let s = CubicSpline::new(x, y).unwrap();
+        for i in 0..200 {
+            let t = 0.005 + i as f64 * 0.0095;
+            assert!((s.eval(t) - (3.0 * t).sin()).abs() < 5e-3, "at t={t}");
+        }
+    }
+
+    #[test]
+    fn spline_is_linear_for_two_points() {
+        let s = CubicSpline::new(vec![0.0, 2.0], vec![0.0, 4.0]).unwrap();
+        assert!((s.eval(1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spline_linear_extrapolation_is_continuous() {
+        let s = CubicSpline::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 4.0])
+            .unwrap()
+            .with_extrapolation(Extrapolation::Linear);
+        let eps = 1e-7;
+        let inside = s.eval(2.0 - eps);
+        let outside = s.eval(2.0 + eps);
+        assert!((inside - outside).abs() < 1e-4);
+        let inside_l = s.eval(eps);
+        let outside_l = s.eval(-eps);
+        assert!((inside_l - outside_l).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,109 @@
+//! # rfkit-num
+//!
+//! Numerics substrate for the rfkit RF design suite: complex arithmetic,
+//! dense real/complex linear algebra with LU factorization, a radix-2 FFT,
+//! polynomial fitting, 1-D interpolation, statistics, finite-difference
+//! derivatives and RF unit conversions.
+//!
+//! Everything is written from scratch on top of `std` so the rest of the
+//! suite has a single, well-tested numerical foundation.
+//!
+//! ## Example
+//!
+//! ```
+//! use rfkit_num::{Complex, CMatrix};
+//!
+//! // Solve a small complex system, the core operation of AC circuit analysis.
+//! let a = CMatrix::from_rows(&[
+//!     &[Complex::new(2.0, 1.0), Complex::new(0.0, -1.0)],
+//!     &[Complex::new(1.0, 0.0), Complex::new(3.0, 2.0)],
+//! ]);
+//! let b = [Complex::ONE, Complex::I];
+//! let x = a.solve(&b)?;
+//! let r = a.matvec(&x);
+//! assert!((r[0] - b[0]).abs() < 1e-12);
+//! # Ok::<(), rfkit_num::MatrixError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+pub mod diff;
+pub mod fft;
+pub mod interp;
+mod matrix;
+mod poly;
+pub mod stats;
+pub mod units;
+
+pub use complex::Complex;
+pub use matrix::{CMatrix, Lu, Matrix, MatrixError, RMatrix, Scalar};
+pub use poly::{line_intersection, Polynomial};
+
+/// Linearly spaced grid of `n` points from `start` to `stop` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let g = rfkit_num::linspace(0.0, 1.0, 5);
+/// assert_eq!(g, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+pub fn linspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    assert!(n > 0, "linspace requires at least one point");
+    if n == 1 {
+        return vec![start];
+    }
+    let step = (stop - start) / (n - 1) as f64;
+    (0..n).map(|i| start + step * i as f64).collect()
+}
+
+/// Logarithmically spaced grid of `n` points from `start` to `stop`
+/// inclusive (both must be positive).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or either bound is non-positive.
+pub fn logspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    assert!(start > 0.0 && stop > 0.0, "logspace bounds must be positive");
+    linspace(start.ln(), stop.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let g = linspace(1.0, 2.0, 11);
+        assert_eq!(g.len(), 11);
+        assert_eq!(g[0], 1.0);
+        assert_eq!(g[10], 2.0);
+        assert!((g[1] - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linspace_single_point() {
+        assert_eq!(linspace(3.0, 9.0, 1), vec![3.0]);
+    }
+
+    #[test]
+    fn logspace_is_geometric() {
+        let g = logspace(1.0, 100.0, 3);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[1] - 10.0).abs() < 1e-9);
+        assert!((g[2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn logspace_rejects_zero() {
+        logspace(0.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,725 @@
+//! Dense matrices over `f64` and [`Complex`], with LU factorization.
+//!
+//! Circuit analysis in rfkit boils down to solving moderately sized dense
+//! complex linear systems (MNA matrices of a few dozen nodes) and real
+//! least-squares problems (model fitting). This module implements exactly
+//! that: row-major dense storage, Gaussian elimination with partial
+//! pivoting, determinants, inverses and multi-RHS solves.
+
+use crate::complex::Complex;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Error raised by factorizations and solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The matrix (or the system) is singular to working precision.
+    Singular,
+    /// Operand dimensions do not agree.
+    DimensionMismatch {
+        /// Dimensions of the left/first operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Dimensions of the right/second operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// The operation requires a square matrix.
+    NotSquare,
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::Singular => write!(f, "matrix is singular to working precision"),
+            MatrixError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::NotSquare => write!(f, "operation requires a square matrix"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// Abstraction over the scalar field so [`Matrix`] works for `f64` and
+/// [`Complex`] with one implementation.
+///
+/// This trait is sealed in spirit: it is implemented exactly for the two
+/// scalar types the suite uses and is not meant for downstream impls.
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + fmt::Debug
+    + fmt::Display
+    + Default
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Magnitude used for pivot selection.
+    fn modulus(self) -> f64;
+    /// Conjugate (identity for reals).
+    fn conj(self) -> Self;
+    /// Embeds a real number.
+    fn from_f64(x: f64) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn conj(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64(x: f64) -> f64 {
+        x
+    }
+}
+
+impl Scalar for Complex {
+    const ZERO: Complex = Complex::ZERO;
+    const ONE: Complex = Complex::ONE;
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn conj(self) -> Complex {
+        Complex::conj(self)
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Complex {
+        Complex::real(x)
+    }
+}
+
+/// A dense row-major matrix over scalar type `T`.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_num::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let x = a.solve(&[5.0, 10.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+/// Complex-valued matrix alias used throughout circuit analysis.
+pub type CMatrix = Matrix<Complex>;
+/// Real-valued matrix alias used in fitting and statistics.
+pub type RMatrix = Matrix<f64>;
+
+impl<T: Scalar> Matrix<T> {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[T]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the underlying row-major storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Returns row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Transpose (no conjugation).
+    pub fn transpose(&self) -> Self {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Conjugate transpose (Hermitian adjoint); equals [`Matrix::transpose`]
+    /// for real matrices.
+    pub fn adjoint(&self) -> Self {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] when inner dimensions differ.
+    pub fn matmul(&self, rhs: &Self) -> Result<Self, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == T::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] = out[(i, j)] + aik * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[T]) -> Vec<T> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let mut acc = T::ZERO;
+                for j in 0..self.cols {
+                    acc = acc + self[(i, j)] * v[j];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Scales every entry by `k`.
+    pub fn scaled(&self, k: T) -> Self {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| x * k).collect(),
+        }
+    }
+
+    /// Congruence transform `T · self · T†`, the fundamental operation on
+    /// noise-correlation matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] when shapes do not chain.
+    pub fn congruence(&self, t: &Self) -> Result<Self, MatrixError> {
+        t.matmul(self)?.matmul(&t.adjoint())
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::NotSquare`] for non-square input and
+    /// [`MatrixError::Singular`] when a pivot underflows.
+    pub fn lu(&self) -> Result<Lu<T>, MatrixError> {
+        if !self.is_square() {
+            return Err(MatrixError::NotSquare);
+        }
+        let n = self.rows;
+        let mut lu = self.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1i32;
+        // Scale factors for implicit scaled pivoting keep badly scaled MNA
+        // matrices (ohms next to farads) well conditioned.
+        let mut scale = vec![0.0f64; n];
+        for i in 0..n {
+            let mut big = 0.0f64;
+            for j in 0..n {
+                big = big.max(lu[(i, j)].modulus());
+            }
+            if big == 0.0 {
+                return Err(MatrixError::Singular);
+            }
+            scale[i] = 1.0 / big;
+        }
+        for k in 0..n {
+            // Find pivot.
+            let mut pivot_row = k;
+            let mut best = 0.0;
+            for i in k..n {
+                let m = lu[(i, k)].modulus() * scale[i];
+                if m > best {
+                    best = m;
+                    pivot_row = i;
+                }
+            }
+            if lu[(pivot_row, k)].modulus() == 0.0 {
+                return Err(MatrixError::Singular);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                scale.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    lu[(i, j)] = lu[(i, j)] - factor * lu[(k, j)];
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors; also returns
+    /// [`MatrixError::DimensionMismatch`] when `b.len() != n`.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, MatrixError> {
+        if b.len() != self.rows {
+            return Err(MatrixError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (b.len(), 1),
+            });
+        }
+        Ok(self.lu()?.solve(b))
+    }
+
+    /// Solves `A X = B` for a matrix right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors; also returns
+    /// [`MatrixError::DimensionMismatch`] when row counts differ.
+    pub fn solve_matrix(&self, b: &Self) -> Result<Self, MatrixError> {
+        if b.rows != self.rows {
+            return Err(MatrixError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (b.rows, b.cols),
+            });
+        }
+        let lu = self.lu()?;
+        let mut out = Matrix::zeros(b.rows, b.cols);
+        let mut col = vec![T::ZERO; b.rows];
+        for j in 0..b.cols {
+            for i in 0..b.rows {
+                col[i] = b[(i, j)];
+            }
+            let x = lu.solve(&col);
+            for i in 0..b.rows {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::Singular`] / [`MatrixError::NotSquare`] like
+    /// [`Matrix::lu`].
+    pub fn inverse(&self) -> Result<Self, MatrixError> {
+        self.solve_matrix(&Matrix::identity(self.rows))
+    }
+
+    /// Determinant via LU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::NotSquare`] for non-square matrices. A singular
+    /// matrix yields `Ok(0)`.
+    pub fn det(&self) -> Result<T, MatrixError> {
+        if !self.is_square() {
+            return Err(MatrixError::NotSquare);
+        }
+        match self.lu() {
+            Ok(lu) => {
+                let mut d = if lu.sign > 0 { T::ONE } else { -T::ONE };
+                for i in 0..self.rows {
+                    d = d * lu.lu[(i, i)];
+                }
+                Ok(d)
+            }
+            Err(MatrixError::Singular) => Ok(T::ZERO),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|x| {
+                let m = x.modulus();
+                m * m
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Extracts the square submatrix keeping the listed row/col indices —
+    /// used for Schur-complement port reduction in MNA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn submatrix(&self, row_idx: &[usize], col_idx: &[usize]) -> Self {
+        Matrix::from_fn(row_idx.len(), col_idx.len(), |i, j| {
+            self[(row_idx[i], col_idx[j])]
+        })
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> Add for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn add(self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl<T: Scalar> Sub for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn sub(self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl<T: Scalar> fmt::Display for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// LU factorization produced by [`Matrix::lu`]; solves against many RHS
+/// without refactorizing.
+#[derive(Debug, Clone)]
+pub struct Lu<T: Scalar> {
+    lu: Matrix<T>,
+    perm: Vec<usize>,
+    sign: i32,
+}
+
+impl<T: Scalar> Lu<T> {
+    /// Solves `A x = b` using the stored factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factored dimension.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let n = self.lu.rows;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Apply permutation then forward/back substitution.
+        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc = acc - self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc = acc - self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cx(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let a = RMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = RMatrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = RMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = RMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, RMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = RMatrix::zeros(2, 3);
+        let b = RMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_real_system() {
+        let a = RMatrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]);
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_complex_system() {
+        let a = CMatrix::from_rows(&[
+            &[cx(2.0, 1.0), cx(0.0, -1.0)],
+            &[cx(1.0, 0.0), cx(3.0, 2.0)],
+        ]);
+        let x_true = vec![cx(1.0, 1.0), cx(-2.0, 0.5)];
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((*xi - *ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_detection() {
+        let a = RMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(a.solve(&[1.0, 1.0]), Err(MatrixError::Singular));
+        assert_eq!(a.det().unwrap(), 0.0);
+        let z = RMatrix::zeros(2, 2);
+        assert_eq!(z.lu().unwrap_err(), MatrixError::Singular);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = CMatrix::from_rows(&[
+            &[cx(1.0, 0.5), cx(2.0, -1.0)],
+            &[cx(0.0, 1.0), cx(1.0, 1.0)],
+        ]);
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let id = CMatrix::identity(2);
+        assert!((&prod - &id).frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn det_of_triangular_is_diagonal_product() {
+        let a = RMatrix::from_rows(&[&[2.0, 5.0, 1.0], &[0.0, 3.0, 7.0], &[0.0, 0.0, -4.0]]);
+        assert!((a.det().unwrap() - (-24.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_sign_tracks_permutation() {
+        // Swapping two rows of identity gives det = -1.
+        let a = RMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((a.det().unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjoint_conjugates() {
+        let a = CMatrix::from_rows(&[&[cx(1.0, 2.0), cx(3.0, -4.0)]]);
+        let h = a.adjoint();
+        assert_eq!(h.rows(), 2);
+        assert_eq!(h.cols(), 1);
+        assert_eq!(h[(0, 0)], cx(1.0, -2.0));
+        assert_eq!(h[(1, 0)], cx(3.0, 4.0));
+    }
+
+    #[test]
+    fn congruence_preserves_hermitian() {
+        let c = CMatrix::from_rows(&[
+            &[cx(2.0, 0.0), cx(0.5, 0.3)],
+            &[cx(0.5, -0.3), cx(1.0, 0.0)],
+        ]);
+        let t = CMatrix::from_rows(&[
+            &[cx(1.0, 1.0), cx(0.0, 0.0)],
+            &[cx(0.2, -0.1), cx(2.0, 0.0)],
+        ]);
+        let out = c.congruence(&t).unwrap();
+        // result must be Hermitian
+        assert!((out[(0, 1)] - out[(1, 0)].conj()).abs() < 1e-13);
+        assert!(out[(0, 0)].im.abs() < 1e-13);
+        assert!(out[(1, 1)].im.abs() < 1e-13);
+    }
+
+    #[test]
+    fn lu_reuse_for_multiple_rhs() {
+        let a = RMatrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let lu = a.lu().unwrap();
+        let x1 = lu.solve(&[4.0, 3.0]);
+        let x2 = lu.solve(&[1.0, 0.0]);
+        assert!((x1[0] - 1.0).abs() < 1e-12 && (x1[1] - 1.0).abs() < 1e-12);
+        let r = a.matvec(&x2);
+        assert!((r[0] - 1.0).abs() < 1e-12 && r[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matrix_matches_columnwise() {
+        let a = RMatrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let b = RMatrix::from_rows(&[&[2.0, 4.0], &[8.0, 12.0]]);
+        let x = a.solve_matrix(&b).unwrap();
+        assert_eq!(x, RMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 3.0]]));
+    }
+
+    #[test]
+    fn submatrix_extraction() {
+        let a = RMatrix::from_fn(3, 3, |i, j| (3 * i + j) as f64);
+        let s = a.submatrix(&[0, 2], &[1]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 1);
+        assert_eq!(s[(0, 0)], 1.0);
+        assert_eq!(s[(1, 0)], 7.0);
+    }
+
+    #[test]
+    fn badly_scaled_system_solves() {
+        // Entries spanning 12 orders of magnitude, as in MNA with pF and kΩ.
+        let a = RMatrix::from_rows(&[&[1e-12, 1.0], &[1.0, 1e3]]);
+        let x_true = [2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-6);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frobenius_norm() {
+        let a = CMatrix::from_rows(&[&[cx(3.0, 4.0)]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,203 @@
+//! Real polynomials: evaluation, fitting and calculus.
+//!
+//! Used for intercept-point extrapolation (fitting the 1:1 and 3:1 slopes of
+//! a two-tone sweep) and for smoothing extracted dispersion data.
+
+use crate::matrix::{MatrixError, RMatrix};
+
+/// A real polynomial stored as coefficients in ascending power order:
+/// `c[0] + c[1] x + c[2] x² + …`.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_num::Polynomial;
+/// let p = Polynomial::new(vec![1.0, 0.0, 1.0]); // 1 + x²
+/// assert_eq!(p.eval(2.0), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from ascending-order coefficients.
+    /// Trailing zeros are trimmed so `degree` is meaningful.
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Polynomial { coeffs }
+    }
+
+    /// Ascending-order coefficient slice.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// First derivative.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::new(vec![0.0]);
+        }
+        Polynomial::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(k, &c)| k as f64 * c)
+                .collect(),
+        )
+    }
+
+    /// Least-squares fit of a degree-`deg` polynomial to `(x, y)` samples,
+    /// solved through the normal equations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::Singular`] when the Vandermonde system is rank
+    /// deficient (e.g. fewer distinct abscissae than `deg + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != y.len()` or if `x.len() < deg + 1`.
+    pub fn fit(x: &[f64], y: &[f64], deg: usize) -> Result<Polynomial, MatrixError> {
+        assert_eq!(x.len(), y.len(), "x and y must have the same length");
+        assert!(x.len() >= deg + 1, "need at least deg+1 samples");
+        let m = deg + 1;
+        // Normal equations A^T A c = A^T y with A the Vandermonde matrix.
+        let mut ata = RMatrix::zeros(m, m);
+        let mut aty = vec![0.0; m];
+        for (&xi, &yi) in x.iter().zip(y) {
+            let mut powers = vec![1.0; m];
+            for k in 1..m {
+                powers[k] = powers[k - 1] * xi;
+            }
+            for i in 0..m {
+                aty[i] += powers[i] * yi;
+                for j in 0..m {
+                    ata[(i, j)] += powers[i] * powers[j];
+                }
+            }
+        }
+        let c = ata.solve(&aty)?;
+        Ok(Polynomial::new(c))
+    }
+
+    /// Straight-line fit returning `(intercept, slope)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::Singular`] when all abscissae coincide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs have mismatched lengths or fewer than 2 samples.
+    pub fn fit_line(x: &[f64], y: &[f64]) -> Result<(f64, f64), MatrixError> {
+        let p = Polynomial::fit(x, y, 1)?;
+        let slope = p.coeffs.get(1).copied().unwrap_or(0.0);
+        Ok((p.coeffs[0], slope))
+    }
+}
+
+/// Intersection abscissa of two straight lines `a0 + a1·x` and `b0 + b1·x`.
+///
+/// Returns `None` when the lines are parallel. Used to find intercept points
+/// (IP3) from fundamental and IM3 power sweeps.
+pub fn line_intersection(a: (f64, f64), b: (f64, f64)) -> Option<f64> {
+    let denom = a.1 - b.1;
+    if denom.abs() < 1e-300 {
+        None
+    } else {
+        Some((b.0 - a.0) / denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_horner() {
+        let p = Polynomial::new(vec![2.0, -3.0, 1.0]); // 2 - 3x + x²
+        assert_eq!(p.eval(0.0), 2.0);
+        assert_eq!(p.eval(1.0), 0.0);
+        assert_eq!(p.eval(2.0), 0.0);
+        assert_eq!(p.eval(3.0), 2.0);
+    }
+
+    #[test]
+    fn trailing_zero_trim() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        let z = Polynomial::new(vec![]);
+        assert_eq!(z.degree(), 0);
+        assert_eq!(z.eval(5.0), 0.0);
+    }
+
+    #[test]
+    fn derivative_rules() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]); // 1 + 2x + 3x²
+        let d = p.derivative();
+        assert_eq!(d.coeffs(), &[2.0, 6.0]);
+        let c = Polynomial::new(vec![7.0]);
+        assert_eq!(c.derivative().coeffs(), &[0.0]);
+    }
+
+    #[test]
+    fn exact_fit_recovers_coefficients() {
+        let truth = Polynomial::new(vec![0.5, -1.5, 2.0, 0.25]);
+        let x: Vec<f64> = (0..12).map(|i| -1.0 + 0.2 * i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&xi| truth.eval(xi)).collect();
+        let fit = Polynomial::fit(&x, &y, 3).unwrap();
+        for (a, b) in fit.coeffs().iter().zip(truth.coeffs()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn least_squares_averages_noise() {
+        // y = 3 + 2x with symmetric "noise" that a LS fit must cancel.
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [3.1, 4.9, 7.1, 8.9];
+        let (b, m) = Polynomial::fit_line(&x, &y).unwrap();
+        assert!((m - 2.0).abs() < 0.05);
+        assert!((b - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn degenerate_fit_is_singular() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [0.0, 1.0, 2.0];
+        assert!(Polynomial::fit(&x, &y, 2).is_err());
+    }
+
+    #[test]
+    fn line_intersection_basic() {
+        // y = x and y = 2 - x intersect at x = 1.
+        assert_eq!(line_intersection((0.0, 1.0), (2.0, -1.0)), Some(1.0));
+        assert_eq!(line_intersection((0.0, 1.0), (5.0, 1.0)), None);
+    }
+
+    #[test]
+    fn ip3_style_intersection() {
+        // Fundamental: Pout = Pin + 10 (gain 10 dB, slope 1)
+        // IM3: Pim3 = 3·Pin - 40 (slope 3)
+        // Intercept input power: Pin where equal → Pin + 10 = 3 Pin - 40 → Pin = 25.
+        let x = line_intersection((10.0, 1.0), (-40.0, 3.0)).unwrap();
+        assert!((x - 25.0).abs() < 1e-12);
+    }
+}

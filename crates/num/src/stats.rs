@@ -1,0 +1,141 @@
+//! Small statistics helpers used by fitting, tolerance analysis and the
+//! benchmark harness (medians across optimizer seeds, RMS errors, etc.).
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Returns 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Root mean square of the values. Returns 0 for an empty slice.
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Root-mean-square error between two equally long sequences.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse requires equal lengths");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    rms(&diffs)
+}
+
+/// `p`-th percentile (0..=100) by linear interpolation between order
+/// statistics. Returns NaN for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Minimum of a slice, ignoring NaN. Returns +inf for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().filter(|x| !x.is_nan()).fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of a slice, ignoring NaN. Returns -inf for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(min(&[]), f64::INFINITY);
+        assert_eq!(max(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rms_of_sine_samples() {
+        let n = 1000;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64).sin())
+            .collect();
+        assert!((rms(&xs) - 1.0 / 2.0_f64.sqrt()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rmse_zero_for_identical() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&a, &a), 0.0);
+        let b = [2.0, 3.0, 4.0];
+        assert!((rmse(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [3.0, 1.0, 2.0, 4.0]; // unsorted on purpose
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(percentile(&xs, 25.0), 1.75);
+    }
+
+    #[test]
+    fn median_odd_length() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn min_max_skip_nan() {
+        let xs = [f64::NAN, 2.0, -1.0];
+        assert_eq!(min(&xs), -1.0);
+        assert_eq!(max(&xs), 2.0);
+    }
+}

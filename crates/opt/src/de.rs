@@ -1,0 +1,262 @@
+//! Differential evolution — the meta-heuristic half of the three-step
+//! identification procedure (global search that tolerates the multi-modal,
+//! non-smooth landscape of device-model fitting).
+
+use crate::problem::{Bounds, OptResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`differential_evolution`] (DE/rand/1/bin).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeConfig {
+    /// Population size; 0 selects `10 × dim` automatically.
+    pub population: usize,
+    /// Differential weight F ∈ (0, 2].
+    pub weight: f64,
+    /// Crossover probability CR ∈ [0, 1].
+    pub crossover: f64,
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Stop when the population's best value stagnates within `f_tol` for
+    /// `stall_generations` generations.
+    pub f_tol: f64,
+    /// Generations of stagnation allowed before declaring convergence.
+    pub stall_generations: usize,
+    /// RNG seed for reproducible runs.
+    pub seed: u64,
+}
+
+impl Default for DeConfig {
+    fn default() -> Self {
+        DeConfig {
+            population: 0,
+            weight: 0.7,
+            crossover: 0.5,
+            max_evals: 20_000,
+            f_tol: 1e-12,
+            stall_generations: 30,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Minimizes `f` over the box `bounds` with DE/rand/1/bin.
+///
+/// # Panics
+///
+/// Panics if `weight` or `crossover` are outside their valid ranges.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_opt::{differential_evolution, Bounds, DeConfig};
+/// let b = Bounds::uniform(2, -5.0, 5.0);
+/// // Rastrigin: many local minima, global at the origin.
+/// let rastrigin = |x: &[f64]| {
+///     20.0 + x.iter().map(|v| v * v - 10.0 * (2.0 * std::f64::consts::PI * v).cos()).sum::<f64>()
+/// };
+/// let r = differential_evolution(rastrigin, &b, &DeConfig::default());
+/// assert!(r.value < 1e-6);
+/// ```
+pub fn differential_evolution(
+    mut f: impl FnMut(&[f64]) -> f64,
+    bounds: &Bounds,
+    config: &DeConfig,
+) -> OptResult {
+    assert!(
+        config.weight > 0.0 && config.weight <= 2.0,
+        "differential weight must be in (0, 2]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.crossover),
+        "crossover must be in [0, 1]"
+    );
+    let n = bounds.dim();
+    let pop_size = if config.population == 0 {
+        (10 * n).max(8)
+    } else {
+        config.population.max(4)
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut evals = 0usize;
+
+    let mut population: Vec<Vec<f64>> = (0..pop_size).map(|_| bounds.sample(&mut rng)).collect();
+    let mut values: Vec<f64> = population
+        .iter()
+        .map(|x| {
+            evals += 1;
+            f(x)
+        })
+        .collect();
+
+    let mut best_prev = f64::INFINITY;
+    let mut stall = 0usize;
+    let mut converged = false;
+
+    'generations: loop {
+        for i in 0..pop_size {
+            if evals >= config.max_evals {
+                break 'generations;
+            }
+            // Pick three distinct donors, none equal to i.
+            let mut pick = || loop {
+                let k = rng.gen_range(0..pop_size);
+                if k != i {
+                    return k;
+                }
+            };
+            let (a, b, c) = (pick(), pick(), pick());
+            let forced = rng.gen_range(0..n);
+            // Dither the differential weight per trial — keeps separable
+            // multimodal landscapes (Rastrigin-like extraction objectives)
+            // from stagnating at a fixed step ratio.
+            let weight = config.weight * rng.gen_range(0.7..1.3);
+            let mut trial = population[i].clone();
+            for d in 0..n {
+                if d == forced || rng.gen_bool(config.crossover) {
+                    trial[d] = population[a][d] + weight * (population[b][d] - population[c][d]);
+                }
+            }
+            let trial = bounds.clamp(&trial);
+            evals += 1;
+            let v = f(&trial);
+            if v <= values[i] {
+                population[i] = trial;
+                values[i] = v;
+            }
+        }
+        let best_now = values.iter().copied().fold(f64::INFINITY, f64::min);
+        if (best_prev - best_now).abs() <= config.f_tol * best_now.abs().max(1.0) {
+            stall += 1;
+            if stall >= config.stall_generations {
+                converged = true;
+                break;
+            }
+        } else {
+            stall = 0;
+        }
+        best_prev = best_now;
+    }
+
+    let (best_idx, &best_val) = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN objective"))
+        .expect("non-empty population");
+    OptResult {
+        x: population[best_idx].clone(),
+        value: best_val,
+        evaluations: evals,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn rastrigin(x: &[f64]) -> f64 {
+        10.0 * x.len() as f64
+            + x.iter()
+                .map(|v| v * v - 10.0 * (2.0 * PI * v).cos())
+                .sum::<f64>()
+    }
+
+    fn ackley(x: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let s1: f64 = x.iter().map(|v| v * v).sum::<f64>() / n;
+        let s2: f64 = x.iter().map(|v| (2.0 * PI * v).cos()).sum::<f64>() / n;
+        -20.0 * (-0.2 * s1.sqrt()).exp() - s2.exp() + 20.0 + std::f64::consts::E
+    }
+
+    #[test]
+    fn escapes_rastrigin_local_minima() {
+        let b = Bounds::uniform(3, -5.12, 5.12);
+        let r = differential_evolution(rastrigin, &b, &DeConfig::default());
+        assert!(r.value < 1e-6, "value = {}", r.value);
+        for xi in &r.x {
+            assert!(xi.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn solves_ackley() {
+        let b = Bounds::uniform(4, -32.0, 32.0);
+        let cfg = DeConfig {
+            max_evals: 60_000,
+            ..Default::default()
+        };
+        let r = differential_evolution(ackley, &b, &cfg);
+        assert!(r.value < 1e-4, "value = {}", r.value);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let b = Bounds::uniform(2, -5.0, 5.0);
+        let cfg = DeConfig {
+            max_evals: 2000,
+            seed: 42,
+            ..Default::default()
+        };
+        let r1 = differential_evolution(rastrigin, &b, &cfg);
+        let r2 = differential_evolution(rastrigin, &b, &cfg);
+        assert_eq!(r1.x, r2.x);
+        assert_eq!(r1.value, r2.value);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let b = Bounds::uniform(2, -5.0, 5.0);
+        let short = DeConfig {
+            max_evals: 300,
+            seed: 1,
+            ..Default::default()
+        };
+        let r1 = differential_evolution(rastrigin, &b, &short);
+        let r2 = differential_evolution(
+            rastrigin,
+            &b,
+            &DeConfig {
+                seed: 2,
+                ..short.clone()
+            },
+        );
+        assert_ne!(r1.x, r2.x);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let b = Bounds::uniform(2, -5.0, 5.0);
+        let cfg = DeConfig {
+            max_evals: 123,
+            ..Default::default()
+        };
+        let r = differential_evolution(rastrigin, &b, &cfg);
+        assert!(r.evaluations <= 123);
+    }
+
+    #[test]
+    fn all_results_inside_bounds() {
+        let b = Bounds::new(vec![1.0, -2.0], vec![2.0, -1.0]).unwrap();
+        // Minimum outside the box; result must sit on the boundary.
+        let r = differential_evolution(|x| x.iter().map(|v| v * v).sum(), &b, &DeConfig::default());
+        assert!(b.contains(&r.x));
+        assert!((r.x[0] - 1.0).abs() < 1e-9);
+        assert!((r.x[1] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "crossover")]
+    fn validates_crossover() {
+        let b = Bounds::uniform(2, 0.0, 1.0);
+        differential_evolution(
+            |x| x[0],
+            &b,
+            &DeConfig {
+                crossover: 1.5,
+                ..Default::default()
+            },
+        );
+    }
+}

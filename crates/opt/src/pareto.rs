@@ -1,0 +1,264 @@
+//! Pareto-dominance utilities: non-dominated sorting, crowding distance
+//! and 2-D hypervolume (all objectives minimized).
+
+/// `true` when `a` Pareto-dominates `b`: no worse in every objective and
+/// strictly better in at least one (minimization).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must match");
+    let mut strictly_better = false;
+    for (&ai, &bi) in a.iter().zip(b) {
+        if ai > bi {
+            return false;
+        }
+        if ai < bi {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Indices of the non-dominated points (the Pareto front) among `points`.
+pub fn pareto_front_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, p)| j != i && dominates(p, &points[i]))
+        })
+        .collect()
+}
+
+/// Fast non-dominated sort (NSGA-II): partitions indices into fronts,
+/// front 0 being the Pareto-optimal set.
+pub fn nondominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = points.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
+    let mut domination_count = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&points[i], &points[j]) {
+                dominated_by[i].push(j);
+                domination_count[j] += 1;
+            } else if dominates(&points[j], &points[i]) {
+                dominated_by[j].push(i);
+                domination_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+    }
+    fronts
+}
+
+/// NSGA-II crowding distance of each member of one front (same order as
+/// `front`); boundary points get infinity.
+pub fn crowding_distance(points: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
+    let m = front.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let n_obj = points[front[0]].len();
+    let mut dist = vec![0.0f64; m];
+    for obj in 0..n_obj {
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            points[front[a]][obj]
+                .partial_cmp(&points[front[b]][obj])
+                .expect("no NaN objectives")
+        });
+        let lo = points[front[order[0]]][obj];
+        let hi = points[front[order[m - 1]]][obj];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[m - 1]] = f64::INFINITY;
+        if hi - lo <= 0.0 {
+            continue;
+        }
+        for w in 1..m.saturating_sub(1) {
+            let prev = points[front[order[w - 1]]][obj];
+            let next = points[front[order[w + 1]]][obj];
+            dist[order[w]] += (next - prev) / (hi - lo);
+        }
+    }
+    dist
+}
+
+/// Hypervolume (area) dominated by a 2-objective front relative to a
+/// reference point that every front member must dominate.
+///
+/// Returns 0 for an empty front. Points failing to dominate the reference
+/// are ignored.
+///
+/// # Panics
+///
+/// Panics if any point has a dimension other than 2.
+pub fn hypervolume_2d(front: &[Vec<f64>], reference: [f64; 2]) -> f64 {
+    let mut pts: Vec<&Vec<f64>> = front
+        .iter()
+        .inspect(|p| assert_eq!(p.len(), 2, "hypervolume_2d needs 2-D points"))
+        .filter(|p| p[0] < reference[0] && p[1] < reference[1])
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Sort by first objective ascending; sweep accumulating rectangles of
+    // the non-dominated staircase.
+    pts.sort_by(|a, b| {
+        (a[0], a[1])
+            .partial_cmp(&(b[0], b[1]))
+            .expect("no NaN objectives")
+    });
+    let mut volume = 0.0;
+    let mut best_y = reference[1];
+    for p in pts {
+        if p[1] < best_y {
+            volume += (reference[0] - p[0]) * (best_y - p[1]);
+            best_y = p[1];
+        }
+    }
+    volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(!dominates(&[2.0, 2.0], &[2.0, 2.0])); // equal: no strict gain
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0])); // trade-off
+        assert!(!dominates(&[3.0, 3.0], &[2.0, 2.0]));
+    }
+
+    #[test]
+    fn pareto_front_of_mixed_set() {
+        let pts = vec![
+            vec![1.0, 5.0], // front
+            vec![2.0, 3.0], // front
+            vec![4.0, 1.0], // front
+            vec![3.0, 4.0], // dominated by (2,3)
+            vec![5.0, 5.0], // dominated by everything
+        ];
+        assert_eq!(pareto_front_indices(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nondominated_sort_layers() {
+        let pts = vec![
+            vec![1.0, 4.0],
+            vec![4.0, 1.0],
+            vec![2.0, 5.0],
+            vec![5.0, 2.0],
+            vec![6.0, 6.0],
+        ];
+        let fronts = nondominated_sort(&pts);
+        assert_eq!(fronts[0], vec![0, 1]);
+        assert_eq!(fronts[1], vec![2, 3]);
+        assert_eq!(fronts[2], vec![4]);
+    }
+
+    #[test]
+    fn sort_handles_single_front() {
+        let pts = vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]];
+        let fronts = nondominated_sort(&pts);
+        assert_eq!(fronts.len(), 1);
+        assert_eq!(fronts[0].len(), 3);
+    }
+
+    #[test]
+    fn crowding_boundary_is_infinite() {
+        let pts = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 3.0],
+            vec![3.0, 2.0],
+            vec![4.0, 1.0],
+        ];
+        let front: Vec<usize> = (0..4).collect();
+        let d = crowding_distance(&pts, &front);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        // Uniform spacing → equal interior distances.
+        assert!((d[1] - d[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowding_prefers_isolated_points() {
+        // Point 1 is crowded, point 2 sits alone.
+        let pts = vec![
+            vec![0.0, 10.0],
+            vec![0.1, 9.9],
+            vec![5.0, 5.0],
+            vec![10.0, 0.0],
+        ];
+        let front: Vec<usize> = (0..4).collect();
+        let d = crowding_distance(&pts, &front);
+        assert!(d[2] > d[1]);
+    }
+
+    #[test]
+    fn crowding_degenerate_objective() {
+        // All equal in objective 0: no division by zero.
+        let pts = vec![vec![1.0, 1.0], vec![1.0, 2.0], vec![1.0, 3.0]];
+        let front: Vec<usize> = (0..3).collect();
+        let d = crowding_distance(&pts, &front);
+        assert!(d.iter().all(|v| !v.is_nan()));
+    }
+
+    #[test]
+    fn hypervolume_single_point() {
+        let hv = hypervolume_2d(&[vec![1.0, 1.0]], [3.0, 3.0]);
+        assert!((hv - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_staircase() {
+        let front = vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]];
+        // Rectangles: (4-1)(4-3)=3, (4-2)(3-2)=2, (4-3)(2-1)=1 → 6.
+        let hv = hypervolume_2d(&front, [4.0, 4.0]);
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_ignores_dominated_and_outside() {
+        let front = vec![
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],  // dominated: contributes nothing
+            vec![5.0, 0.5],  // outside reference in x
+        ];
+        let hv = hypervolume_2d(&front, [3.0, 3.0]);
+        assert!((hv - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_empty() {
+        assert_eq!(hypervolume_2d(&[], [1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn bigger_front_has_bigger_hypervolume() {
+        let small = vec![vec![2.0, 2.0]];
+        let large = vec![vec![2.0, 2.0], vec![1.0, 3.0], vec![3.0, 1.0]];
+        let r = [4.0, 4.0];
+        assert!(hypervolume_2d(&large, r) > hypervolume_2d(&small, r));
+    }
+}

@@ -1,0 +1,206 @@
+//! Hooke–Jeeves pattern search.
+//!
+//! The improved goal-attainment method minimizes the *exact* (non-smooth)
+//! attainment function `max_i (f_i − g_i)/w_i`; gradient-free pattern search
+//! handles the kinks where the active objective switches, which defeats
+//! smooth quasi-Newton methods.
+
+use crate::problem::{Bounds, OptResult};
+
+/// Configuration for [`pattern_search`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternConfig {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Initial mesh size as a fraction of each bound span.
+    pub initial_step: f64,
+    /// Stop when the mesh shrinks below this fraction of the span.
+    pub min_step: f64,
+    /// Mesh contraction factor on a failed poll.
+    pub contraction: f64,
+}
+
+impl Default for PatternConfig {
+    fn default() -> Self {
+        PatternConfig {
+            max_evals: 5000,
+            initial_step: 0.1,
+            min_step: 1e-9,
+            contraction: 0.5,
+        }
+    }
+}
+
+/// Minimizes `f` inside `bounds` from `x0` by coordinate polling with
+/// pattern (accelerating) moves.
+///
+/// # Panics
+///
+/// Panics if `x0.len() != bounds.dim()`.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_opt::{pattern_search, Bounds, PatternConfig};
+/// let b = Bounds::uniform(2, -5.0, 5.0);
+/// // A non-smooth objective: |x| + |y| — pattern search shrugs at the kink.
+/// let r = pattern_search(|x| x[0].abs() + x[1].abs(), &[3.0, -2.0], &b, &PatternConfig::default());
+/// assert!(r.value < 1e-6);
+/// ```
+pub fn pattern_search(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    bounds: &Bounds,
+    config: &PatternConfig,
+) -> OptResult {
+    let n = bounds.dim();
+    assert_eq!(x0.len(), n, "start point dimension mismatch");
+    let span = bounds.span();
+
+    let mut evals = 0usize;
+    let mut x = bounds.clamp(x0);
+    let mut fx = {
+        evals += 1;
+        f(&x)
+    };
+    let mut step = config.initial_step;
+    let mut converged = false;
+
+    // Remember the previous base point for pattern (extrapolation) moves.
+    let mut prev = x.clone();
+
+    while evals < config.max_evals {
+        // Poll the 2n coordinate neighbours plus the two all-coordinate
+        // diagonals. The diagonals matter for minimax objectives, where the
+        // descent direction at a kink can be invisible to axis moves (both
+        // active terms tie and any single-coordinate change leaves the max
+        // unchanged).
+        let mut improved = false;
+        let mut best_neighbor = x.clone();
+        let mut best_val = fx;
+        let mut poll_dirs: Vec<Vec<f64>> = Vec::with_capacity(2 * n + 2);
+        for d in 0..n {
+            for sign in [1.0, -1.0] {
+                let mut dir = vec![0.0; n];
+                dir[d] = sign;
+                poll_dirs.push(dir);
+            }
+        }
+        let diag_scale = 1.0 / (n as f64).sqrt();
+        poll_dirs.push(vec![diag_scale; n]);
+        poll_dirs.push(vec![-diag_scale; n]);
+        for dir in &poll_dirs {
+            if evals >= config.max_evals {
+                break;
+            }
+            let y: Vec<f64> = x
+                .iter()
+                .zip(dir)
+                .zip(&span)
+                .map(|((xi, di), s)| xi + di * step * s)
+                .collect();
+            let y = bounds.clamp(&y);
+            if y == x {
+                continue;
+            }
+            evals += 1;
+            let fy = f(&y);
+            if fy < best_val {
+                best_val = fy;
+                best_neighbor = y;
+                improved = true;
+            }
+        }
+        if improved {
+            // Pattern move: jump along the improving direction.
+            let pattern: Vec<f64> = best_neighbor
+                .iter()
+                .zip(&prev)
+                .map(|(b, p)| b + (b - p))
+                .collect();
+            prev = x;
+            x = best_neighbor;
+            fx = best_val;
+            let pattern = bounds.clamp(&pattern);
+            if pattern != x && evals < config.max_evals {
+                evals += 1;
+                let fp = f(&pattern);
+                if fp < fx {
+                    prev = x.clone();
+                    x = pattern;
+                    fx = fp;
+                }
+            }
+        } else {
+            step *= config.contraction;
+            if step < config.min_step {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    OptResult {
+        x,
+        value: fx,
+        evaluations: evals,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_smooth_quadratic() {
+        let b = Bounds::uniform(3, -10.0, 10.0);
+        let r = pattern_search(
+            |x| x.iter().map(|v| (v - 1.0) * (v - 1.0)).sum(),
+            &[5.0, -5.0, 0.0],
+            &b,
+            &PatternConfig::default(),
+        );
+        assert!(r.value < 1e-10, "value = {}", r.value);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn handles_minimax_kinks() {
+        // max(|x−1|, |y+2|) has a non-differentiable valley.
+        let f = |x: &[f64]| (x[0] - 1.0).abs().max((x[1] + 2.0).abs());
+        let b = Bounds::uniform(2, -5.0, 5.0);
+        let r = pattern_search(f, &[4.0, 4.0], &b, &PatternConfig::default());
+        assert!(r.value < 1e-6, "value = {}", r.value);
+        assert!((r.x[0] - 1.0).abs() < 1e-5);
+        assert!((r.x[1] + 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constrained_corner_solution() {
+        let f = |x: &[f64]| -(x[0] + x[1]); // maximize x+y
+        let b = Bounds::uniform(2, 0.0, 1.0);
+        let r = pattern_search(f, &[0.2, 0.2], &b, &PatternConfig::default());
+        assert!((r.x[0] - 1.0).abs() < 1e-9);
+        assert!((r.x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let b = Bounds::uniform(2, -1.0, 1.0);
+        let cfg = PatternConfig {
+            max_evals: 30,
+            ..Default::default()
+        };
+        let r = pattern_search(|x| x[0] * x[0] + x[1] * x[1], &[1.0, 1.0], &b, &cfg);
+        assert!(r.evaluations <= 30);
+    }
+
+    #[test]
+    fn already_optimal_start_converges_quickly() {
+        let b = Bounds::uniform(1, -1.0, 1.0);
+        let r = pattern_search(|x| x[0] * x[0], &[0.0], &b, &PatternConfig::default());
+        assert!(r.converged);
+        assert!(r.value < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Particle swarm optimization — a second global baseline for the
+//! extraction-method comparison.
+
+use crate::problem::{Bounds, OptResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`particle_swarm`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsoConfig {
+    /// Swarm size; 0 selects `8 × dim` automatically.
+    pub swarm: usize,
+    /// Inertia weight ω.
+    pub inertia: f64,
+    /// Cognitive coefficient c₁ (pull toward personal best).
+    pub cognitive: f64,
+    /// Social coefficient c₂ (pull toward global best).
+    pub social: f64,
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PsoConfig {
+    fn default() -> Self {
+        PsoConfig {
+            swarm: 0,
+            inertia: 0.72,
+            cognitive: 1.49,
+            social: 1.49,
+            max_evals: 20_000,
+            seed: 0x9500,
+        }
+    }
+}
+
+/// Minimizes `f` over `bounds` with a standard global-best particle swarm.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_opt::{particle_swarm, Bounds, PsoConfig};
+/// let b = Bounds::uniform(2, -5.0, 5.0);
+/// let r = particle_swarm(|x| x[0] * x[0] + x[1] * x[1], &b, &PsoConfig::default());
+/// assert!(r.value < 1e-8);
+/// ```
+pub fn particle_swarm(
+    mut f: impl FnMut(&[f64]) -> f64,
+    bounds: &Bounds,
+    config: &PsoConfig,
+) -> OptResult {
+    let n = bounds.dim();
+    let swarm_size = if config.swarm == 0 {
+        (8 * n).max(10)
+    } else {
+        config.swarm.max(2)
+    };
+    let span = bounds.span();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut evals = 0usize;
+
+    let mut pos: Vec<Vec<f64>> = (0..swarm_size).map(|_| bounds.sample(&mut rng)).collect();
+    let mut vel: Vec<Vec<f64>> = (0..swarm_size)
+        .map(|_| {
+            (0..n)
+                .map(|d| rng.gen_range(-0.2..0.2) * span[d])
+                .collect()
+        })
+        .collect();
+    let mut p_best = pos.clone();
+    let mut p_best_val: Vec<f64> = pos
+        .iter()
+        .map(|x| {
+            evals += 1;
+            f(x)
+        })
+        .collect();
+    let mut g_best_idx = p_best_val
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN objective"))
+        .map(|(i, _)| i)
+        .expect("non-empty swarm");
+    let mut g_best = p_best[g_best_idx].clone();
+    let mut g_best_val = p_best_val[g_best_idx];
+
+    'outer: loop {
+        for i in 0..swarm_size {
+            if evals >= config.max_evals {
+                break 'outer;
+            }
+            for d in 0..n {
+                let r1: f64 = rng.gen();
+                let r2: f64 = rng.gen();
+                vel[i][d] = config.inertia * vel[i][d]
+                    + config.cognitive * r1 * (p_best[i][d] - pos[i][d])
+                    + config.social * r2 * (g_best[d] - pos[i][d]);
+                // Velocity clamp keeps particles from tunnelling across the box.
+                let v_max = 0.5 * span[d];
+                vel[i][d] = vel[i][d].clamp(-v_max, v_max);
+                pos[i][d] += vel[i][d];
+            }
+            pos[i] = bounds.clamp(&pos[i]);
+            evals += 1;
+            let v = f(&pos[i]);
+            if v < p_best_val[i] {
+                p_best_val[i] = v;
+                p_best[i] = pos[i].clone();
+                if v < g_best_val {
+                    g_best_val = v;
+                    g_best = pos[i].clone();
+                    g_best_idx = i;
+                }
+            }
+        }
+    }
+    let _ = g_best_idx;
+
+    OptResult {
+        x: g_best,
+        value: g_best_val,
+        evaluations: evals,
+        converged: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn rastrigin(x: &[f64]) -> f64 {
+        10.0 * x.len() as f64
+            + x.iter()
+                .map(|v| v * v - 10.0 * (2.0 * PI * v).cos())
+                .sum::<f64>()
+    }
+
+    #[test]
+    fn minimizes_sphere_tightly() {
+        let b = Bounds::uniform(4, -10.0, 10.0);
+        let r = particle_swarm(|x| x.iter().map(|v| v * v).sum(), &b, &PsoConfig::default());
+        assert!(r.value < 1e-10, "value = {}", r.value);
+    }
+
+    #[test]
+    fn handles_rastrigin_2d() {
+        let b = Bounds::uniform(2, -5.12, 5.12);
+        let cfg = PsoConfig {
+            max_evals: 40_000,
+            ..Default::default()
+        };
+        let r = particle_swarm(rastrigin, &b, &cfg);
+        assert!(r.value < 1.0, "value = {}", r.value);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let b = Bounds::uniform(2, -5.0, 5.0);
+        let cfg = PsoConfig {
+            max_evals: 1500,
+            seed: 3,
+            ..Default::default()
+        };
+        let r1 = particle_swarm(rastrigin, &b, &cfg);
+        let r2 = particle_swarm(rastrigin, &b, &cfg);
+        assert_eq!(r1.x, r2.x);
+    }
+
+    #[test]
+    fn bound_constrained_optimum() {
+        let b = Bounds::new(vec![1.0], vec![2.0]).unwrap();
+        let r = particle_swarm(|x| (x[0] + 1.0).powi(2), &b, &PsoConfig::default());
+        assert!((r.x[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let b = Bounds::uniform(2, -1.0, 1.0);
+        let cfg = PsoConfig {
+            max_evals: 77,
+            ..Default::default()
+        };
+        let r = particle_swarm(|x| x[0] * x[0], &b, &cfg);
+        assert!(r.evaluations <= 77);
+    }
+}

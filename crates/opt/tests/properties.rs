@@ -1,0 +1,164 @@
+//! Property-based tests for the optimization crate: invariants that must
+//! hold for any objective/bounds/seed combination.
+
+use proptest::prelude::*;
+use rfkit_opt::pareto::{
+    crowding_distance, dominates, hypervolume_2d, nondominated_sort, pareto_front_indices,
+};
+use rfkit_opt::{
+    differential_evolution, nelder_mead, pattern_search, Bounds, DeConfig, GoalProblem,
+    NelderMeadConfig, PatternConfig,
+};
+
+fn small_bounds() -> impl Strategy<Value = Bounds> {
+    (1usize..4).prop_flat_map(|dim| {
+        proptest::collection::vec((-10.0..0.0f64, 0.1..10.0f64), dim).prop_map(|pairs| {
+            let lo: Vec<f64> = pairs.iter().map(|(l, _)| *l).collect();
+            let hi: Vec<f64> = pairs.iter().map(|(l, w)| l + w).collect();
+            Bounds::new(lo, hi).expect("constructed valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn optimizers_respect_bounds(bounds in small_bounds(), seed in 0u64..100) {
+        // Quadratic with minimum far outside the box: the answer must sit
+        // inside anyway.
+        let f = |x: &[f64]| x.iter().map(|v| (v - 100.0) * (v - 100.0)).sum::<f64>();
+        let de = differential_evolution(f, &bounds, &DeConfig {
+            max_evals: 500, seed, ..Default::default()
+        });
+        prop_assert!(bounds.contains(&de.x), "DE left the box: {:?}", de.x);
+        let nm = nelder_mead(f, &bounds.center(), &bounds, &NelderMeadConfig {
+            max_evals: 300, ..Default::default()
+        });
+        prop_assert!(bounds.contains(&nm.x));
+        let ps = pattern_search(f, &bounds.center(), &bounds, &PatternConfig {
+            max_evals: 300, ..Default::default()
+        });
+        prop_assert!(bounds.contains(&ps.x));
+    }
+
+    #[test]
+    fn optimizer_result_never_worse_than_start(bounds in small_bounds(), seed in 0u64..100) {
+        let f = |x: &[f64]| x.iter().map(|v| v.sin() + v * v * 0.1).sum::<f64>();
+        let start = bounds.center();
+        let f_start = f(&start);
+        let nm = nelder_mead(f, &start, &bounds, &NelderMeadConfig {
+            max_evals: 200, ..Default::default()
+        });
+        prop_assert!(nm.value <= f_start + 1e-12);
+        let ps = pattern_search(f, &start, &bounds, &PatternConfig {
+            max_evals: 200, ..Default::default()
+        });
+        prop_assert!(ps.value <= f_start + 1e-12);
+        let _ = seed;
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(
+        a in proptest::collection::vec(-10.0..10.0f64, 2..5),
+        b in proptest::collection::vec(-10.0..10.0f64, 2..5),
+    ) {
+        prop_assert!(!dominates(&a, &a), "no vector dominates itself");
+        if a.len() == b.len() && dominates(&a, &b) {
+            prop_assert!(!dominates(&b, &a), "dominance must be antisymmetric");
+        }
+    }
+
+    #[test]
+    fn pareto_front_members_are_mutually_nondominated(
+        pts in proptest::collection::vec(
+            proptest::collection::vec(-5.0..5.0f64, 2), 1..20)
+    ) {
+        let front = pareto_front_indices(&pts);
+        prop_assert!(!front.is_empty(), "a finite set always has a front");
+        for &i in &front {
+            for &j in &front {
+                if i != j {
+                    prop_assert!(!dominates(&pts[i], &pts[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nondominated_sort_partitions_everything(
+        pts in proptest::collection::vec(
+            proptest::collection::vec(-5.0..5.0f64, 2), 1..20)
+    ) {
+        let fronts = nondominated_sort(&pts);
+        let total: usize = fronts.iter().map(|f| f.len()).sum();
+        prop_assert_eq!(total, pts.len(), "every point in exactly one front");
+        // Front 0 equals the plain Pareto front.
+        let mut f0 = fronts[0].clone();
+        let mut reference = pareto_front_indices(&pts);
+        f0.sort_unstable();
+        reference.sort_unstable();
+        prop_assert_eq!(f0, reference);
+    }
+
+    #[test]
+    fn crowding_distances_nonnegative(
+        pts in proptest::collection::vec(
+            proptest::collection::vec(-5.0..5.0f64, 2), 2..15)
+    ) {
+        let front: Vec<usize> = (0..pts.len()).collect();
+        let d = crowding_distance(&pts, &front);
+        prop_assert!(d.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn hypervolume_monotone_under_point_addition(
+        pts in proptest::collection::vec(
+            proptest::collection::vec(0.0..4.0f64, 2), 1..10),
+        extra in proptest::collection::vec(0.0..4.0f64, 2),
+    ) {
+        let hv_before = hypervolume_2d(&pts, [5.0, 5.0]);
+        let mut bigger = pts.clone();
+        bigger.push(extra);
+        let hv_after = hypervolume_2d(&bigger, [5.0, 5.0]);
+        prop_assert!(hv_after >= hv_before - 1e-12, "{hv_after} < {hv_before}");
+    }
+
+    #[test]
+    fn attainment_scales_with_weights(
+        f1 in -5.0..5.0f64,
+        f2 in -5.0..5.0f64,
+        w in 0.1..10.0f64,
+    ) {
+        let obj = move |_: &[f64]| vec![0.0, 0.0];
+        let p1 = GoalProblem::new(&obj, vec![0.0, 0.0], vec![1.0, 1.0], Bounds::uniform(1, 0.0, 1.0));
+        let pw = GoalProblem::new(&obj, vec![0.0, 0.0], vec![w, w], Bounds::uniform(1, 0.0, 1.0));
+        let g1 = p1.attainment(&[f1, f2]);
+        let gw = pw.attainment(&[f1, f2]);
+        // Scaling every weight by w divides Γ by w.
+        prop_assert!((gw - g1 / w).abs() < 1e-9 * g1.abs().max(1.0));
+    }
+
+    #[test]
+    fn attainment_monotone_in_objectives(
+        f1 in -5.0..5.0f64,
+        f2 in -5.0..5.0f64,
+        bump in 0.0..3.0f64,
+    ) {
+        let obj = move |_: &[f64]| vec![0.0, 0.0];
+        let p = GoalProblem::new(&obj, vec![0.0, 0.0], vec![1.0, 2.0], Bounds::uniform(1, 0.0, 1.0));
+        // Worsening any objective can only raise Γ.
+        prop_assert!(p.attainment(&[f1 + bump, f2]) >= p.attainment(&[f1, f2]) - 1e-12);
+        prop_assert!(p.attainment(&[f1, f2 + bump]) >= p.attainment(&[f1, f2]) - 1e-12);
+    }
+
+    #[test]
+    fn de_is_deterministic_per_seed(bounds in small_bounds(), seed in 0u64..50) {
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let cfg = DeConfig { max_evals: 400, seed, ..Default::default() };
+        let a = differential_evolution(f, &bounds, &cfg);
+        let b = differential_evolution(f, &bounds, &cfg);
+        prop_assert_eq!(a.x, b.x);
+        prop_assert_eq!(a.evaluations, b.evaluations);
+    }
+}

@@ -1,0 +1,393 @@
+//! Lumped R, L, C models with parasitics and frequency dispersion.
+//!
+//! The paper stresses that the passive elements were defined "using
+//! frequency dispersion of their parameters as Q, ESR, etc." — at 1.5 GHz a
+//! chip capacitor is far from ideal: its electrodes add series inductance
+//! (self-resonance), its ESR rises with the skin effect and its dielectric
+//! adds a loss proportional to frequency. These models capture exactly
+//! that, and every element can hand back a [`NoisyAbcd`] so lossy matching
+//! parts contribute thermal noise to the amplifier analysis.
+
+use rfkit_net::NoisyAbcd;
+use rfkit_num::units::angular;
+use rfkit_num::Complex;
+use std::f64::consts::PI;
+
+/// How a two-terminal element is inserted into a ladder network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// In series with the signal path.
+    Series,
+    /// Shunt from the signal path to ground.
+    Shunt,
+}
+
+/// Common behaviour of all two-terminal component models.
+pub trait Component {
+    /// Terminal impedance at `freq_hz` (ohms).
+    fn impedance(&self, freq_hz: f64) -> Complex;
+
+    /// Quality factor `|Im(Z)| / Re(Z)` at `freq_hz`; infinite for a
+    /// lossless element.
+    fn q_factor(&self, freq_hz: f64) -> f64 {
+        let z = self.impedance(freq_hz);
+        if z.re <= 0.0 {
+            f64::INFINITY
+        } else {
+            z.im.abs() / z.re
+        }
+    }
+
+    /// Equivalent series resistance `Re(Z)` at `freq_hz` (ohms).
+    fn esr(&self, freq_hz: f64) -> f64 {
+        self.impedance(freq_hz).re
+    }
+
+    /// The element as a noisy chain two-port at `freq_hz`, in the given
+    /// orientation, with its resistive part at temperature `temp` kelvin.
+    fn two_port(&self, freq_hz: f64, orientation: Orientation, temp: f64) -> NoisyAbcd {
+        let z = self.impedance(freq_hz);
+        match orientation {
+            Orientation::Series => NoisyAbcd::passive_series(z, temp),
+            Orientation::Shunt => NoisyAbcd::passive_shunt(z.recip(), temp),
+        }
+    }
+}
+
+/// A multilayer chip capacitor with ESL, skin-effect ESR and dielectric
+/// loss.
+///
+/// Impedance model: `Z = ESR(f) + j(ωL_s − 1/(ωC))` where
+/// `ESR(f) = r_electrode·sqrt(f/1 GHz) + tanδ/(ωC)`.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_passive::{Capacitor, Component};
+/// let c = Capacitor::chip_0402(10e-12);
+/// // Below self-resonance the reactance is capacitive…
+/// assert!(c.impedance(1.0e9).im < 0.0);
+/// // …and the part self-resonates somewhere in the GHz range.
+/// let srf = c.self_resonance_hz();
+/// assert!(srf > 1.5e9 && srf < 10e9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capacitor {
+    /// Nominal capacitance (F).
+    pub capacitance: f64,
+    /// Equivalent series inductance (H).
+    pub esl: f64,
+    /// Electrode resistance coefficient at 1 GHz (Ω); scales as `sqrt(f)`.
+    pub r_electrode_1ghz: f64,
+    /// Dielectric loss tangent (dimensionless).
+    pub tan_delta: f64,
+}
+
+impl Capacitor {
+    /// An ideal capacitor (no parasitics).
+    pub fn ideal(capacitance: f64) -> Self {
+        Capacitor {
+            capacitance,
+            esl: 0.0,
+            r_electrode_1ghz: 0.0,
+            tan_delta: 0.0,
+        }
+    }
+
+    /// Typical 0402 C0G/NP0 chip capacitor: ESL ≈ 0.3 nH,
+    /// electrode ESR ≈ 0.08 Ω at 1 GHz, tanδ ≈ 5·10⁻⁴.
+    pub fn chip_0402(capacitance: f64) -> Self {
+        Capacitor {
+            capacitance,
+            esl: 0.3e-9,
+            r_electrode_1ghz: 0.08,
+            tan_delta: 5e-4,
+        }
+    }
+
+    /// Typical 0603 chip capacitor (slightly larger ESL).
+    pub fn chip_0603(capacitance: f64) -> Self {
+        Capacitor {
+            capacitance,
+            esl: 0.45e-9,
+            r_electrode_1ghz: 0.06,
+            tan_delta: 5e-4,
+        }
+    }
+
+    /// Series self-resonant frequency `1/(2π√(L·C))`; infinite for zero ESL.
+    pub fn self_resonance_hz(&self) -> f64 {
+        if self.esl <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (2.0 * PI * (self.esl * self.capacitance).sqrt())
+        }
+    }
+}
+
+impl Component for Capacitor {
+    fn impedance(&self, freq_hz: f64) -> Complex {
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        let w = angular(freq_hz);
+        let esr = self.r_electrode_1ghz * (freq_hz / 1e9).sqrt()
+            + self.tan_delta / (w * self.capacitance);
+        Complex::new(esr, w * self.esl - 1.0 / (w * self.capacitance))
+    }
+}
+
+/// A wirewound/multilayer chip inductor with skin-effect series resistance
+/// and a parallel self-capacitance.
+///
+/// Impedance model: `(R(f) + jωL) ∥ 1/(jωC_par)` with
+/// `R(f) = R_dc·(1 + sqrt(f/f_skin))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Inductor {
+    /// Nominal inductance (H).
+    pub inductance: f64,
+    /// DC winding resistance (Ω).
+    pub r_dc: f64,
+    /// Skin-effect corner frequency (Hz); R has doubled at this frequency.
+    pub f_skin: f64,
+    /// Parallel self-capacitance (F).
+    pub c_par: f64,
+}
+
+impl Inductor {
+    /// An ideal inductor (no parasitics).
+    pub fn ideal(inductance: f64) -> Self {
+        Inductor {
+            inductance,
+            r_dc: 0.0,
+            f_skin: f64::INFINITY,
+            c_par: 0.0,
+        }
+    }
+
+    /// Typical 0402 wirewound RF inductor: Q peaks near 60–100 at
+    /// 1–2 GHz for nH-range values.
+    pub fn chip_0402(inductance: f64) -> Self {
+        Inductor {
+            inductance,
+            // Scale DC resistance with inductance (more turns, thinner wire):
+            // ≈ 0.1 Ω per nH with a 0.045 Ω floor.
+            r_dc: 0.045 + 0.1 * (inductance / 1e-9),
+            f_skin: 500e6,
+            c_par: 0.08e-12,
+        }
+    }
+
+    /// Typical 0603 multilayer inductor (lossier, lower SRF margin).
+    pub fn chip_0603(inductance: f64) -> Self {
+        Inductor {
+            inductance,
+            r_dc: 0.06 + 0.13 * (inductance / 1e-9),
+            f_skin: 250e6,
+            c_par: 0.12e-12,
+        }
+    }
+
+    /// Parallel self-resonant frequency; infinite for zero `c_par`.
+    pub fn self_resonance_hz(&self) -> f64 {
+        if self.c_par <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (2.0 * PI * (self.inductance * self.c_par).sqrt())
+        }
+    }
+
+    /// Series branch resistance at `freq_hz` including skin effect.
+    pub fn series_resistance(&self, freq_hz: f64) -> f64 {
+        if self.f_skin.is_infinite() {
+            self.r_dc
+        } else {
+            self.r_dc * (1.0 + (freq_hz / self.f_skin).sqrt())
+        }
+    }
+}
+
+impl Component for Inductor {
+    fn impedance(&self, freq_hz: f64) -> Complex {
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        let w = angular(freq_hz);
+        let z_series = Complex::new(self.series_resistance(freq_hz), w * self.inductance);
+        if self.c_par <= 0.0 {
+            return z_series;
+        }
+        let y_par = Complex::imag(w * self.c_par);
+        (z_series.recip() + y_par).recip()
+    }
+}
+
+/// A thick-film chip resistor with series inductance and parallel
+/// capacitance parasitics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resistor {
+    /// Nominal resistance (Ω).
+    pub resistance: f64,
+    /// Series parasitic inductance (H).
+    pub l_series: f64,
+    /// Parallel parasitic capacitance (F).
+    pub c_par: f64,
+}
+
+impl Resistor {
+    /// An ideal resistor.
+    pub fn ideal(resistance: f64) -> Self {
+        Resistor {
+            resistance,
+            l_series: 0.0,
+            c_par: 0.0,
+        }
+    }
+
+    /// Typical 0402 chip resistor: ≈ 0.4 nH series, ≈ 40 fF parallel.
+    pub fn chip_0402(resistance: f64) -> Self {
+        Resistor {
+            resistance,
+            l_series: 0.4e-9,
+            c_par: 0.04e-12,
+        }
+    }
+}
+
+impl Component for Resistor {
+    fn impedance(&self, freq_hz: f64) -> Complex {
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        let w = angular(freq_hz);
+        let r_branch = Complex::new(self.resistance, 0.0);
+        let with_c = if self.c_par > 0.0 {
+            (r_branch.recip() + Complex::imag(w * self.c_par)).recip()
+        } else {
+            r_branch
+        };
+        with_c + Complex::imag(w * self.l_series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfkit_num::units::T0_KELVIN;
+
+    #[test]
+    fn ideal_capacitor_reactance() {
+        let c = Capacitor::ideal(10e-12);
+        let z = c.impedance(1.59155e9); // ω ≈ 1e10
+        assert!(z.re.abs() < 1e-12);
+        assert!((z.im - (-10.0)).abs() < 0.01);
+        assert!(c.q_factor(1e9).is_infinite());
+        assert!(c.self_resonance_hz().is_infinite());
+    }
+
+    #[test]
+    fn chip_capacitor_self_resonates() {
+        let c = Capacitor::chip_0402(10e-12);
+        let srf = c.self_resonance_hz();
+        // sqrt(0.3 nH · 10 pF) → ≈ 2.9 GHz
+        assert!((srf - 2.906e9).abs() / 2.906e9 < 0.01);
+        // Below SRF capacitive, above inductive.
+        assert!(c.impedance(srf * 0.5).im < 0.0);
+        assert!(c.impedance(srf * 2.0).im > 0.0);
+        // At SRF the impedance is ESR only.
+        let z = c.impedance(srf);
+        assert!(z.im.abs() < 0.02 * z.re.max(0.1));
+    }
+
+    #[test]
+    fn capacitor_esr_rises_with_frequency() {
+        let c = Capacitor::chip_0402(10e-12);
+        // Electrode part dominates at GHz: sqrt scaling.
+        let e1 = c.esr(1e9);
+        let e4 = c.esr(4e9);
+        assert!(e4 > e1);
+        assert!(c.esr(2.0e9) > 0.08, "electrode + dielectric ESR");
+    }
+
+    #[test]
+    fn capacitor_q_is_realistic_at_gnss() {
+        // A 10 pF 0402 at 1.5 GHz: Q in the few-hundreds.
+        let c = Capacitor::chip_0402(10e-12);
+        let q = c.q_factor(1.5e9);
+        assert!(q > 30.0 && q < 2000.0, "Q = {q}");
+    }
+
+    #[test]
+    fn ideal_inductor_reactance() {
+        let l = Inductor::ideal(5e-9);
+        let z = l.impedance(1e9);
+        assert!((z.im - angular(1e9) * 5e-9).abs() < 1e-9);
+        assert_eq!(z.re, 0.0);
+    }
+
+    #[test]
+    fn chip_inductor_q_peaks_and_falls() {
+        let l = Inductor::chip_0402(6.8e-9);
+        let q_low = l.q_factor(100e6);
+        let q_mid = l.q_factor(1.5e9);
+        let srf = l.self_resonance_hz();
+        // SRF for 6.8 nH / 0.08 pF ≈ 6.8 GHz.
+        assert!(srf > 4e9 && srf < 10e9, "srf = {srf}");
+        // Q should be tens at GNSS frequencies and collapse at SRF.
+        assert!(q_mid > 20.0 && q_mid < 300.0, "Q(1.5 GHz) = {q_mid}");
+        assert!(q_mid > q_low, "Q rises from LF toward its peak");
+        let q_srf = l.q_factor(srf);
+        assert!(q_srf < 1.0, "Q at SRF = {q_srf}");
+    }
+
+    #[test]
+    fn inductor_becomes_capacitive_above_srf() {
+        let l = Inductor::chip_0402(10e-9);
+        let srf = l.self_resonance_hz();
+        assert!(l.impedance(srf * 0.5).im > 0.0);
+        assert!(l.impedance(srf * 1.5).im < 0.0);
+    }
+
+    #[test]
+    fn skin_effect_doubles_resistance_at_corner() {
+        let l = Inductor {
+            inductance: 10e-9,
+            r_dc: 0.2,
+            f_skin: 50e6,
+            c_par: 0.0,
+        };
+        assert!((l.series_resistance(50e6) - 0.4).abs() < 1e-12);
+        assert!((l.series_resistance(200e6) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resistor_parasitics_matter_at_gigahertz() {
+        let r = Resistor::chip_0402(50.0);
+        let z_lf = r.impedance(1e6);
+        assert!((z_lf.re - 50.0).abs() < 0.1);
+        let z_hf = r.impedance(3e9);
+        // Parasitic L and C make it reactive at RF.
+        assert!(z_hf.im.abs() > 1.0);
+    }
+
+    #[test]
+    fn two_port_series_orientation_matches_impedance() {
+        let c = Capacitor::chip_0402(5.6e-12);
+        let tp = c.two_port(1.5e9, Orientation::Series, T0_KELVIN);
+        assert!((tp.abcd.b() - c.impedance(1.5e9)).abs() < 1e-12);
+        let sh = c.two_port(1.5e9, Orientation::Shunt, T0_KELVIN);
+        assert!((sh.abcd.c() - c.impedance(1.5e9).recip()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lossy_shunt_inductor_contributes_noise() {
+        let l = Inductor::chip_0402(4.7e-9);
+        let tp = l.two_port(1.5e9, Orientation::Shunt, T0_KELVIN);
+        let f = tp
+            .noise_params(50.0)
+            .unwrap()
+            .noise_factor(Complex::ZERO);
+        assert!(f > 1.0, "a finite-Q inductor must add noise");
+        assert!(f < 1.2, "but not much: F = {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_is_rejected() {
+        Capacitor::ideal(1e-12).impedance(0.0);
+    }
+}

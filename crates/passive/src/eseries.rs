@@ -1,0 +1,173 @@
+//! IEC 60063 preferred number series (E12/E24/E48/E96).
+//!
+//! The optimizer explores a continuous design space, but a buildable
+//! amplifier uses catalog values; the design flow snaps the optimum to the
+//! nearest E-series value and re-verifies. This module provides the snap.
+
+/// A standard component value series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ESeries {
+    /// 12 values per decade (±10 % parts).
+    E12,
+    /// 24 values per decade (±5 % parts).
+    E24,
+    /// 48 values per decade (±2 % parts).
+    E48,
+    /// 96 values per decade (±1 % parts).
+    E96,
+}
+
+const E12_VALUES: [f64; 12] = [
+    1.0, 1.2, 1.5, 1.8, 2.2, 2.7, 3.3, 3.9, 4.7, 5.6, 6.8, 8.2,
+];
+
+const E24_VALUES: [f64; 24] = [
+    1.0, 1.1, 1.2, 1.3, 1.5, 1.6, 1.8, 2.0, 2.2, 2.4, 2.7, 3.0, 3.3, 3.6, 3.9, 4.3, 4.7, 5.1,
+    5.6, 6.2, 6.8, 7.5, 8.2, 9.1,
+];
+
+impl ESeries {
+    /// The per-decade mantissas of this series (ascending, in `[1, 10)`).
+    pub fn mantissas(self) -> Vec<f64> {
+        match self {
+            ESeries::E12 => E12_VALUES.to_vec(),
+            ESeries::E24 => E24_VALUES.to_vec(),
+            // E48/E96 are geometric by definition, rounded to 3 significant
+            // digits per IEC 60063.
+            ESeries::E48 => geometric_series(48),
+            ESeries::E96 => geometric_series(96),
+        }
+    }
+
+    /// Snaps `value` to the nearest series value (geometric distance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value <= 0` — component values are strictly positive.
+    pub fn snap(self, value: f64) -> f64 {
+        assert!(value > 0.0, "component value must be positive");
+        let exp = value.log10().floor();
+        let mut best = f64::NAN;
+        let mut best_err = f64::INFINITY;
+        // Scan the decade below, at and above to handle boundary cases
+        // (e.g. 0.97 should snap to 1.0 in the next decade).
+        for e in [exp - 1.0, exp, exp + 1.0] {
+            let scale = 10f64.powf(e);
+            for m in self.mantissas() {
+                let candidate = m * scale;
+                let err = (candidate / value).ln().abs();
+                if err < best_err {
+                    best_err = err;
+                    best = candidate;
+                }
+            }
+        }
+        best
+    }
+
+    /// All series values within `[lo, hi]` (inclusive), ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0` or `hi < lo`.
+    pub fn values_in(self, lo: f64, hi: f64) -> Vec<f64> {
+        assert!(lo > 0.0 && hi >= lo, "need 0 < lo <= hi");
+        let mut out = Vec::new();
+        let mut exp = lo.log10().floor() - 1.0;
+        let top = hi.log10().ceil() + 1.0;
+        while exp <= top {
+            let scale = 10f64.powf(exp);
+            for m in self.mantissas() {
+                let v = m * scale;
+                if v >= lo * (1.0 - 1e-12) && v <= hi * (1.0 + 1e-12) {
+                    out.push(v);
+                }
+            }
+            exp += 1.0;
+        }
+        out
+    }
+}
+
+fn geometric_series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let v = 10f64.powf(i as f64 / n as f64);
+            // IEC rounds to 3 significant digits.
+            (v * 100.0).round() / 100.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snap_to_e24_known_values() {
+        // geometric distance: 4.9 is nearer 5.1 than 4.7 (log-scale)
+        assert_eq!(ESeries::E24.snap(4.9e-9), 5.1e-9);
+        assert_eq!(ESeries::E24.snap(1.04e-12), 1.0e-12);
+        assert_eq!(ESeries::E24.snap(52.0), 51.0);
+        assert_eq!(ESeries::E24.snap(3.5e3), 3.6e3);
+    }
+
+    #[test]
+    fn snap_handles_decade_boundary() {
+        // 0.97 is closer to 1.0 than to 0.91.
+        assert_eq!(ESeries::E24.snap(0.97), 1.0);
+        // 9.6 is closer to 9.1 than to 10.
+        assert_eq!(ESeries::E24.snap(9.5), 9.1);
+    }
+
+    #[test]
+    fn snap_is_idempotent() {
+        for &m in &E24_VALUES {
+            let v = m * 1e-9;
+            assert!((ESeries::E24.snap(v) - v).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn e12_is_subset_like_of_e24() {
+        // Every E12 value is also an E24 value.
+        for &v in &E12_VALUES {
+            assert!(E24_VALUES.iter().any(|&w| (w - v).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn e96_has_96_mantissas_in_decade() {
+        let m = ESeries::E96.mantissas();
+        assert_eq!(m.len(), 96);
+        assert!(m.windows(2).all(|w| w[0] < w[1]));
+        assert!((m[0] - 1.0).abs() < 1e-12);
+        assert!(*m.last().unwrap() < 10.0);
+    }
+
+    #[test]
+    fn e96_snap_error_is_within_one_percent_band() {
+        // Any positive value snaps to E96 within ~1.5 % relative error
+        // (pure geometric half-gap is 1.2 %; IEC rounding adds a little).
+        for i in 0..200 {
+            let v = 1e-12 * 10f64.powf(i as f64 * 0.03);
+            let s = ESeries::E96.snap(v);
+            assert!((s / v).ln().abs() < 0.015, "v={v} snapped to {s}");
+        }
+    }
+
+    #[test]
+    fn values_in_range() {
+        let vals = ESeries::E12.values_in(1.0e-9, 10.0e-9);
+        assert_eq!(vals.len(), 13); // 1.0 … 8.2 plus 10.0
+        assert!((vals[0] - 1.0e-9).abs() < 1e-21);
+        assert!((vals.last().unwrap() - 10.0e-9).abs() < 1e-20);
+        assert!(vals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn snap_rejects_nonpositive() {
+        ESeries::E24.snap(0.0);
+    }
+}

@@ -1,0 +1,442 @@
+//! LC ladder filter synthesis: Butterworth and Chebyshev lowpass
+//! prototypes with the standard lowpass→bandpass transformation.
+//!
+//! A GNSS antenna module puts a pre-filter around the LNA to survive
+//! out-of-band blockers; this module synthesizes those filters from
+//! specifications and evaluates them with either ideal or finite-Q
+//! catalog elements, so the rejection-versus-insertion-loss trade is
+//! visible in the same noise framework as the rest of the design.
+
+use crate::component::{Capacitor, Component, Inductor};
+use rfkit_net::{Abcd, NoisyAbcd};
+use rfkit_num::units::angular;
+use rfkit_num::Complex;
+
+/// Filter approximation family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FilterFamily {
+    /// Maximally flat passband (Butterworth).
+    Butterworth,
+    /// Equal-ripple passband with the given ripple in dB.
+    Chebyshev {
+        /// Passband ripple (dB, > 0).
+        ripple_db: f64,
+    },
+}
+
+/// Normalized lowpass prototype g-values (g1..gN) for a doubly terminated
+/// ladder with g0 = 1.
+///
+/// # Panics
+///
+/// Panics for `order == 0` or non-positive Chebyshev ripple.
+pub fn prototype_g_values(family: FilterFamily, order: usize) -> Vec<f64> {
+    assert!(order >= 1, "filter order must be at least 1");
+    match family {
+        FilterFamily::Butterworth => (1..=order)
+            .map(|k| 2.0 * ((2 * k - 1) as f64 * std::f64::consts::PI / (2 * order) as f64).sin())
+            .collect(),
+        FilterFamily::Chebyshev { ripple_db } => {
+            assert!(ripple_db > 0.0, "Chebyshev ripple must be positive");
+            let n = order as f64;
+            let beta = (1.0 / (10f64.powf(ripple_db / 10.0) - 1.0).sqrt()).asinh() / n * 2.0;
+            // Standard recursion (Matthaei/Young/Jones).
+            let gamma = (beta / 2.0).sinh();
+            let a: Vec<f64> = (1..=order)
+                .map(|k| ((2 * k - 1) as f64 * std::f64::consts::PI / (2.0 * n)).sin())
+                .collect();
+            let b: Vec<f64> = (1..=order)
+                .map(|k| gamma * gamma + (k as f64 * std::f64::consts::PI / n).sin().powi(2))
+                .collect();
+            let mut g = vec![0.0; order];
+            g[0] = 2.0 * a[0] / gamma;
+            for k in 1..order {
+                g[k] = 4.0 * a[k - 1] * a[k] / (b[k - 1] * g[k - 1]);
+            }
+            g
+        }
+    }
+}
+
+/// The load-termination scaling `g_{N+1}` of the prototype (1 for
+/// Butterworth and odd-order Chebyshev; > 1 for even-order Chebyshev).
+pub fn prototype_load(family: FilterFamily, order: usize) -> f64 {
+    match family {
+        FilterFamily::Butterworth => 1.0,
+        FilterFamily::Chebyshev { ripple_db } => {
+            if order % 2 == 1 {
+                1.0
+            } else {
+                let eps2 = 10f64.powf(ripple_db / 10.0) - 1.0;
+                (eps2.sqrt() + (1.0 + eps2).sqrt()).powi(2)
+            }
+        }
+    }
+}
+
+/// One resonator of a synthesized bandpass ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandpassElement {
+    /// Inductance (H).
+    pub l: f64,
+    /// Capacitance (F).
+    pub c: f64,
+    /// `true` = series L-C branch in the signal path; `false` = shunt
+    /// parallel L-C to ground.
+    pub series: bool,
+}
+
+/// A synthesized bandpass ladder filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandpassFilter {
+    /// The resonator ladder, input to output.
+    pub elements: Vec<BandpassElement>,
+    /// Geometric center frequency (Hz).
+    pub f0: f64,
+    /// Source-side system impedance (Ω).
+    pub z0: f64,
+    /// Required load termination (Ω): `z0` for Butterworth and odd-order
+    /// Chebyshev; `z0·g_{N+1}` for even-order Chebyshev (an equal-ripple
+    /// response of even order cannot be doubly matched to equal
+    /// terminations).
+    pub z_load: f64,
+}
+
+impl BandpassFilter {
+    /// Synthesizes an `order`-resonator bandpass between `f_lo` and `f_hi`
+    /// (−3 dB / ripple band edges) in a `z0` system. The first element is a
+    /// series resonator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < f_lo < f_hi` and `z0 > 0`.
+    pub fn synthesize(
+        family: FilterFamily,
+        order: usize,
+        f_lo: f64,
+        f_hi: f64,
+        z0: f64,
+    ) -> BandpassFilter {
+        assert!(f_lo > 0.0 && f_hi > f_lo, "need 0 < f_lo < f_hi");
+        assert!(z0 > 0.0, "system impedance must be positive");
+        let f0 = (f_lo * f_hi).sqrt();
+        let w0 = angular(f0);
+        let fbw = (f_hi - f_lo) / f0; // fractional bandwidth
+        let g = prototype_g_values(family, order);
+        let z_load = z0 * prototype_load(family, order);
+        let elements = g
+            .iter()
+            .enumerate()
+            .map(|(k, &gk)| {
+                if k % 2 == 0 {
+                    // Series prototype inductor → series L-C resonator.
+                    let l = gk * z0 / (w0 * fbw);
+                    BandpassElement {
+                        l,
+                        c: 1.0 / (w0 * w0 * l),
+                        series: true,
+                    }
+                } else {
+                    // Shunt prototype capacitor → shunt parallel L-C.
+                    let c = gk / (w0 * fbw * z0);
+                    BandpassElement {
+                        l: 1.0 / (w0 * w0 * c),
+                        c,
+                        series: false,
+                    }
+                }
+            })
+            .collect();
+        BandpassFilter {
+            elements,
+            f0,
+            z0,
+            z_load,
+        }
+    }
+
+    /// The ideal (lossless) chain matrix at `freq_hz`.
+    pub fn abcd_ideal(&self, freq_hz: f64) -> Abcd {
+        let w = angular(freq_hz);
+        let mut chain = Abcd::through();
+        for e in &self.elements {
+            let next = if e.series {
+                let z = Complex::imag(w * e.l - 1.0 / (w * e.c));
+                Abcd::series_impedance(z)
+            } else {
+                let y = Complex::imag(w * e.c - 1.0 / (w * e.l));
+                Abcd::shunt_admittance(y)
+            };
+            chain = chain.cascade(&next);
+        }
+        chain
+    }
+
+    /// The filter with finite-Q catalog parts (0402 models) as a noisy
+    /// two-port at `freq_hz` and temperature `temp` kelvin. Insertion loss
+    /// and its noise contribution come out of the component ESR models.
+    pub fn noisy_two_port(&self, freq_hz: f64, temp: f64) -> NoisyAbcd {
+        let mut chain = NoisyAbcd::through();
+        for e in &self.elements {
+            let zl = Inductor::chip_0402(e.l).impedance(freq_hz);
+            let zc = Capacitor::chip_0402(e.c).impedance(freq_hz);
+            let next = if e.series {
+                NoisyAbcd::passive_series(zl + zc, temp)
+            } else {
+                // Parallel L ∥ C to ground.
+                let y = zl.recip() + zc.recip();
+                NoisyAbcd::passive_shunt(y, temp)
+            };
+            chain = chain.cascade(&next);
+        }
+        chain
+    }
+
+    /// The filter with *tuned* finite-Q resonators: ideal L/C values plus
+    /// the series/shunt loss a quality factor implies
+    /// (`R = ωL/Q_L + 1/(ωC·Q_C)` per series branch and dually for shunt
+    /// branches). This is the textbook finite-Q analysis — resonators stay
+    /// on frequency, only the loss enters — as opposed to
+    /// [`BandpassFilter::noisy_two_port`], which uses full catalog parts
+    /// with their parasitic detuning.
+    pub fn noisy_two_port_q(&self, freq_hz: f64, q_l: f64, q_c: f64, temp: f64) -> NoisyAbcd {
+        let w = angular(freq_hz);
+        let mut chain = NoisyAbcd::through();
+        for e in &self.elements {
+            let next = if e.series {
+                let r = w * e.l / q_l + 1.0 / (w * e.c * q_c);
+                let z = Complex::new(r, w * e.l - 1.0 / (w * e.c));
+                NoisyAbcd::passive_series(z, temp)
+            } else {
+                let g = w * e.c / q_c + 1.0 / (w * e.l * q_l);
+                let y = Complex::new(g, w * e.c - 1.0 / (w * e.l));
+                NoisyAbcd::passive_shunt(y, temp)
+            };
+            chain = chain.cascade(&next);
+        }
+        chain
+    }
+
+    /// Ideal transducer |S21| in dB at `freq_hz`, between the design
+    /// terminations (`z0` source, [`BandpassFilter::z_load`] load).
+    pub fn s21_db_ideal(&self, freq_hz: f64) -> f64 {
+        let s = self
+            .abcd_ideal(freq_hz)
+            .to_s(self.z0)
+            .expect("ladder always convertible");
+        if (self.z_load - self.z0).abs() < 1e-9 {
+            return rfkit_num::units::db_from_amplitude_ratio(s.s21().abs());
+        }
+        // Even-order Chebyshev: evaluate transducer gain into the scaled
+        // load termination.
+        let gamma_l = rfkit_net::gains::reflection_coefficient(
+            Complex::real(self.z_load),
+            self.z0,
+        );
+        let gt = rfkit_net::gains::transducer_gain(&s, Complex::ZERO, gamma_l);
+        rfkit_num::units::db_from_power_ratio(gt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfkit_num::units::T0_KELVIN;
+
+    #[test]
+    fn butterworth_g_values_match_tables() {
+        // Classic N = 3: g = [1, 2, 1]; N = 5: [0.618, 1.618, 2, 1.618, 0.618].
+        let g3 = prototype_g_values(FilterFamily::Butterworth, 3);
+        assert!((g3[0] - 1.0).abs() < 1e-12);
+        assert!((g3[1] - 2.0).abs() < 1e-12);
+        assert!((g3[2] - 1.0).abs() < 1e-12);
+        let g5 = prototype_g_values(FilterFamily::Butterworth, 5);
+        for (got, want) in g5.iter().zip([0.6180, 1.6180, 2.0, 1.6180, 0.6180]) {
+            assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn chebyshev_g_values_match_tables() {
+        // 0.5 dB ripple, N = 3: g = [1.5963, 1.0967, 1.5963].
+        let g = prototype_g_values(
+            FilterFamily::Chebyshev { ripple_db: 0.5 },
+            3,
+        );
+        for (got, want) in g.iter().zip([1.5963, 1.0967, 1.5963]) {
+            assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+        }
+        assert!((prototype_load(FilterFamily::Chebyshev { ripple_db: 0.5 }, 3) - 1.0).abs() < 1e-12);
+    }
+
+    fn gnss_filter(order: usize) -> BandpassFilter {
+        BandpassFilter::synthesize(FilterFamily::Butterworth, order, 1.1e9, 1.7e9, 50.0)
+    }
+
+    #[test]
+    fn resonators_tune_to_center() {
+        let f = gnss_filter(3);
+        for e in &f.elements {
+            let fr = 1.0 / (2.0 * std::f64::consts::PI * (e.l * e.c).sqrt());
+            assert!((fr - f.f0).abs() / f.f0 < 1e-12, "resonator at {fr}");
+        }
+        assert!((f.f0 - (1.1e9_f64 * 1.7e9).sqrt()).abs() < 1.0);
+    }
+
+    #[test]
+    fn passband_flat_and_edges_at_3db() {
+        let f = gnss_filter(3);
+        // Center: lossless and matched → ~0 dB.
+        assert!(f.s21_db_ideal(f.f0).abs() < 0.01);
+        // Band edges: −3 dB for Butterworth.
+        for edge in [1.1e9, 1.7e9] {
+            let il = f.s21_db_ideal(edge);
+            assert!((il + 3.01).abs() < 0.1, "edge loss {il} dB at {edge}");
+        }
+    }
+
+    #[test]
+    fn stopband_rejection_grows_with_order() {
+        let f3 = gnss_filter(3);
+        let f5 = gnss_filter(5);
+        // An 800 MHz cellular blocker.
+        let r3 = f3.s21_db_ideal(0.8e9);
+        let r5 = f5.s21_db_ideal(0.8e9);
+        assert!(r3 < -15.0, "order 3 rejection {r3} dB");
+        assert!(r5 < r3 - 10.0, "order 5 must reject much more: {r5} vs {r3}");
+    }
+
+    #[test]
+    fn butterworth_rolloff_rate() {
+        // Far out of band, rolloff ≈ 20·N dB/decade on the lowpass-equivalent
+        // variable; just check monotone deep rejection.
+        let f = gnss_filter(3);
+        let r1 = f.s21_db_ideal(0.5e9);
+        let r2 = f.s21_db_ideal(0.25e9);
+        assert!(r2 < r1 - 15.0, "{r2} vs {r1}");
+    }
+
+    #[test]
+    fn chebyshev_ripples_but_rejects_harder() {
+        let cheb = BandpassFilter::synthesize(
+            FilterFamily::Chebyshev { ripple_db: 1.0 },
+            3,
+            1.1e9,
+            1.7e9,
+            50.0,
+        );
+        let butt = gnss_filter(3);
+        // In the passband the Chebyshev stays within its 1 dB ripple.
+        for f in [1.2e9, 1.4e9, 1.6e9] {
+            let il = cheb.s21_db_ideal(f);
+            assert!(il > -1.05 && il <= 0.01, "ripple bound violated: {il} dB at {f}");
+        }
+        // Deep in the stopband the equal-ripple design out-rejects the
+        // maximally-flat one (same ripple-band edges; the Chebyshev −3 dB
+        // band is a little wider, so compare well away from the edge).
+        assert!(
+            cheb.s21_db_ideal(0.6e9) < butt.s21_db_ideal(0.6e9) - 3.0,
+            "{} vs {}",
+            cheb.s21_db_ideal(0.6e9),
+            butt.s21_db_ideal(0.6e9)
+        );
+    }
+
+    #[test]
+    fn finite_q_adds_insertion_loss_and_noise() {
+        let f = gnss_filter(3);
+        let noisy = f.noisy_two_port(1.4e9, T0_KELVIN);
+        let s = noisy.abcd.to_s(50.0).unwrap();
+        let il = rfkit_num::units::db_from_amplitude_ratio(s.s21().abs());
+        // Catalog 0402 parts (Q ≈ 30–40 inductors plus parasitic detuning):
+        // a wide LC bandpass loses a few dB — the very reason GNSS modules
+        // place this filter *after* the first LNA stage.
+        assert!(il < -0.2 && il > -5.0, "insertion loss {il} dB");
+        // A passive network at T0 obeys F = 1/GA exactly.
+        let ga = rfkit_net::gains::available_gain(&s, Complex::ZERO);
+        let nf = noisy
+            .noise_params(50.0)
+            .unwrap()
+            .noise_factor(Complex::ZERO);
+        assert!((nf - 1.0 / ga).abs() < 1e-6 * nf, "F {nf} vs 1/GA {}", 1.0 / ga);
+    }
+
+    #[test]
+    fn tuned_finite_q_loss_is_textbook() {
+        // Midband IL of a doubly terminated ladder:
+        // IL ≈ 4.34·Σg / (FBW·Qu) dB (Cohn's formula).
+        let f = gnss_filter(3);
+        let q = 40.0;
+        let tp = f.noisy_two_port_q(f.f0, q, 10.0 * q, T0_KELVIN);
+        let s = tp.abcd.to_s(50.0).unwrap();
+        let il = -rfkit_num::units::db_from_amplitude_ratio(s.s21().abs());
+        let fbw = (1.7e9 - 1.1e9) / f.f0;
+        let g_sum: f64 = prototype_g_values(FilterFamily::Butterworth, 3).iter().sum();
+        // Effective Qu dominated by the inductors when Qc >> Ql.
+        let expect = 4.34 * g_sum / (fbw * q);
+        assert!(
+            (il - expect).abs() < 0.4 * expect,
+            "IL {il} dB vs Cohn {expect} dB"
+        );
+        // And NF == its available-gain loss (passive at T0).
+        let nf = tp.noise_params(50.0).unwrap().noise_factor(Complex::ZERO);
+        let ga = rfkit_net::gains::available_gain(&s, Complex::ZERO);
+        assert!((nf - 1.0 / ga).abs() < 1e-6 * nf);
+    }
+
+    #[test]
+    fn catalog_parts_lossier_than_tuned_equivalent() {
+        // Parasitic detuning costs extra loss beyond the pure-Q analysis.
+        let f = gnss_filter(3);
+        let il_of = |tp: NoisyAbcd| {
+            -rfkit_num::units::db_from_amplitude_ratio(
+                tp.abcd.to_s(50.0).unwrap().s21().abs(),
+            )
+        };
+        let catalog = il_of(f.noisy_two_port(f.f0, T0_KELVIN));
+        let tuned = il_of(f.noisy_two_port_q(f.f0, 40.0, 400.0, T0_KELVIN));
+        assert!(catalog > tuned, "catalog {catalog} vs tuned {tuned} dB");
+    }
+
+    #[test]
+    fn filter_is_reciprocal_and_symmetric_for_odd_orders() {
+        let f = gnss_filter(3);
+        let s = f.abcd_ideal(1.3e9).to_s(50.0).unwrap();
+        assert!(s.is_reciprocal(1e-12));
+        // Symmetric ladder: S11 == S22.
+        assert!((s.s11() - s.s22()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn even_order_chebyshev_needs_scaled_load() {
+        let cheb4 = BandpassFilter::synthesize(
+            FilterFamily::Chebyshev { ripple_db: 0.5 },
+            4,
+            1.1e9,
+            1.7e9,
+            50.0,
+        );
+        // g5 > 1: the load termination must be scaled.
+        assert!(cheb4.z_load > 60.0, "z_load = {}", cheb4.z_load);
+        // Into the correct termination the passband obeys the ripple bound.
+        for f in [1.25e9, 1.4e9, 1.55e9] {
+            let il = cheb4.s21_db_ideal(f);
+            assert!(il > -0.55 && il <= 0.01, "ripple violated: {il} dB at {f}");
+        }
+        // Odd orders terminate in z0.
+        let cheb3 = BandpassFilter::synthesize(
+            FilterFamily::Chebyshev { ripple_db: 0.5 },
+            3,
+            1.1e9,
+            1.7e9,
+            50.0,
+        );
+        assert!((cheb3.z_load - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "order")]
+    fn zero_order_rejected() {
+        prototype_g_values(FilterFamily::Butterworth, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # rfkit-passive
+//!
+//! Frequency-dispersive passive component models for RF design:
+//!
+//! * chip capacitors, inductors and resistors with ESR(f), Q(f), SRF and
+//!   case-size parasitics ([`component`](crate::Component));
+//! * IEC preferred-value series and snapping ([`ESeries`]);
+//! * microstrip lines with Hammerstad–Jensen static parameters,
+//!   Kirschning–Jansen dispersion and conductor/dielectric loss
+//!   ([`microstrip`]);
+//! * T-junction, resistive and Wilkinson splitters ([`tee`]);
+//! * vendor-style catalogs with tolerances ([`library`]).
+//!
+//! Every lossy element can be converted to a [`rfkit_net::NoisyAbcd`], so
+//! matching-network losses propagate into the amplifier's noise figure.
+//!
+//! ## Example
+//!
+//! ```
+//! use rfkit_passive::{Capacitor, Component};
+//!
+//! let c = Capacitor::chip_0402(8.2e-12);
+//! let q = c.q_factor(1.575e9);       // finite Q at GPS L1
+//! assert!(q > 10.0 && q.is_finite());
+//! let srf = c.self_resonance_hz();    // self-resonance from its ESL
+//! assert!(srf > 1.575e9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod component;
+mod eseries;
+pub mod filter;
+pub mod library;
+pub mod microstrip;
+pub mod tee;
+
+pub use component::{Capacitor, Component, Inductor, Orientation, Resistor};
+pub use eseries::ESeries;
+pub use filter::{BandpassElement, BandpassFilter, FilterFamily};
+pub use library::{CaseSize, ComponentLibrary};
+pub use microstrip::{Microstrip, Substrate};
+pub use tee::{resistive_splitter, NodeNetwork, TeeJunction, Wilkinson};

@@ -1,0 +1,139 @@
+//! Vendor-style component catalogs.
+//!
+//! The design flow selects parts the way a board designer does: from a
+//! catalog of stocked values with datasheet-grade Q/SRF behaviour and a
+//! tolerance class. The catalog is also what the measurement simulator
+//! perturbs when it builds an "as-manufactured" amplifier.
+
+use crate::component::{Capacitor, Inductor, Resistor};
+use crate::eseries::ESeries;
+
+/// A catalog of purchasable parts in one case size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentLibrary {
+    /// Which preferred-value series the catalog stocks.
+    pub series: ESeries,
+    /// Relative tolerance of stocked parts (e.g. 0.05 for ±5 %).
+    pub tolerance: f64,
+    /// Case size of stocked parts.
+    pub case: CaseSize,
+}
+
+/// Chip-component case size; selects the parasitic model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseSize {
+    /// 0402 (1005 metric).
+    C0402,
+    /// 0603 (1608 metric).
+    C0603,
+}
+
+impl Default for ComponentLibrary {
+    /// ±5 % E24 parts in 0402, the usual GNSS LNA bill of materials.
+    fn default() -> Self {
+        ComponentLibrary {
+            series: ESeries::E24,
+            tolerance: 0.05,
+            case: CaseSize::C0402,
+        }
+    }
+}
+
+impl ComponentLibrary {
+    /// Creates a catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not in `(0, 0.5)`.
+    pub fn new(series: ESeries, tolerance: f64, case: CaseSize) -> Self {
+        assert!(
+            tolerance > 0.0 && tolerance < 0.5,
+            "tolerance must be in (0, 0.5), got {tolerance}"
+        );
+        ComponentLibrary {
+            series,
+            tolerance,
+            case,
+        }
+    }
+
+    /// The stocked capacitor closest to `value` farads.
+    pub fn capacitor(&self, value: f64) -> Capacitor {
+        let snapped = self.series.snap(value);
+        match self.case {
+            CaseSize::C0402 => Capacitor::chip_0402(snapped),
+            CaseSize::C0603 => Capacitor::chip_0603(snapped),
+        }
+    }
+
+    /// The stocked inductor closest to `value` henries.
+    pub fn inductor(&self, value: f64) -> Inductor {
+        let snapped = self.series.snap(value);
+        match self.case {
+            CaseSize::C0402 => Inductor::chip_0402(snapped),
+            CaseSize::C0603 => Inductor::chip_0603(snapped),
+        }
+    }
+
+    /// The stocked resistor closest to `value` ohms.
+    pub fn resistor(&self, value: f64) -> Resistor {
+        let snapped = self.series.snap(value);
+        match self.case {
+            CaseSize::C0402 => Resistor::chip_0402(snapped),
+            CaseSize::C0603 => Resistor::chip_0402(snapped), // same parasitic class
+        }
+    }
+
+    /// Worst-case low/high values of a part within tolerance.
+    pub fn tolerance_bounds(&self, nominal: f64) -> (f64, f64) {
+        (nominal * (1.0 - self.tolerance), nominal * (1.0 + self.tolerance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+
+    #[test]
+    fn catalog_snaps_values() {
+        let lib = ComponentLibrary::default();
+        let c = lib.capacitor(4.8e-12);
+        assert!((c.capacitance - 4.7e-12).abs() < 1e-18);
+        let l = lib.inductor(7.1e-9);
+        assert!((l.inductance - 6.8e-9).abs() < 1e-15);
+        let r = lib.resistor(98.0);
+        assert!((r.resistance - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parts_have_parasitics() {
+        let lib = ComponentLibrary::default();
+        let c = lib.capacitor(10e-12);
+        assert!(c.esl > 0.0);
+        assert!(c.q_factor(1.5e9).is_finite());
+        let l = lib.inductor(6.8e-9);
+        assert!(l.r_dc > 0.0);
+    }
+
+    #[test]
+    fn case_size_changes_parasitics() {
+        let small = ComponentLibrary::new(ESeries::E24, 0.05, CaseSize::C0402);
+        let big = ComponentLibrary::new(ESeries::E24, 0.05, CaseSize::C0603);
+        assert!(big.capacitor(10e-12).esl > small.capacitor(10e-12).esl);
+    }
+
+    #[test]
+    fn tolerance_bounds() {
+        let lib = ComponentLibrary::new(ESeries::E96, 0.01, CaseSize::C0402);
+        let (lo, hi) = lib.tolerance_bounds(100.0);
+        assert!((lo - 99.0).abs() < 1e-9);
+        assert!((hi - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn rejects_silly_tolerance() {
+        ComponentLibrary::new(ESeries::E24, 0.9, CaseSize::C0402);
+    }
+}

@@ -1,0 +1,360 @@
+//! Microstrip transmission-line models with frequency dispersion.
+//!
+//! Static characteristic impedance and effective permittivity follow
+//! Hammerstad–Jensen; the frequency dispersion of `εeff` follows
+//! Kirschning–Jansen, and losses combine a skin-effect conductor term with
+//! the standard dielectric-loss formula. The result feeds the amplifier's
+//! matching/bias networks as a lossy [`rfkit_net::Abcd`] section — exactly
+//! the "transmission lines … with frequency dispersion" ingredient of the
+//! paper.
+
+use rfkit_net::{Abcd, NoisyAbcd};
+use rfkit_num::units::{angular, C0, MU0};
+use rfkit_num::Complex;
+use std::f64::consts::PI;
+
+/// Free-space wave impedance (Ω).
+const ETA0: f64 = 376.730_313_668;
+
+/// A microstrip substrate definition.
+///
+/// The default values model Rogers RO4350B, a common choice for GNSS LNA
+/// boards: εr = 3.66, h = 0.508 mm, tanδ = 0.0037, 35 µm copper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Substrate {
+    /// Relative permittivity of the dielectric.
+    pub eps_r: f64,
+    /// Substrate height (m).
+    pub height: f64,
+    /// Dielectric loss tangent.
+    pub tan_delta: f64,
+    /// Conductor conductivity (S/m).
+    pub conductivity: f64,
+    /// Conductor thickness (m).
+    pub thickness: f64,
+}
+
+impl Default for Substrate {
+    fn default() -> Self {
+        Substrate {
+            eps_r: 3.66,
+            height: 0.508e-3,
+            tan_delta: 0.0037,
+            conductivity: 5.8e7,
+            thickness: 35e-6,
+        }
+    }
+}
+
+impl Substrate {
+    /// FR-4, the cheap default laminate (εr ≈ 4.4, lossy).
+    pub fn fr4() -> Self {
+        Substrate {
+            eps_r: 4.4,
+            height: 1.6e-3,
+            tan_delta: 0.02,
+            conductivity: 5.8e7,
+            thickness: 35e-6,
+        }
+    }
+
+    /// Rogers RO4350B (the [`Default`]).
+    pub fn ro4350b() -> Self {
+        Substrate::default()
+    }
+}
+
+/// A microstrip line segment on a [`Substrate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Microstrip {
+    /// Substrate the line is printed on.
+    pub substrate: Substrate,
+    /// Strip width (m).
+    pub width: f64,
+    /// Physical length (m).
+    pub length: f64,
+}
+
+impl Microstrip {
+    /// Creates a line of the given width and length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive width or negative length.
+    pub fn new(substrate: Substrate, width: f64, length: f64) -> Self {
+        assert!(width > 0.0, "strip width must be positive");
+        assert!(length >= 0.0, "length must be non-negative");
+        Microstrip {
+            substrate,
+            width,
+            length,
+        }
+    }
+
+    /// Synthesizes the strip width for a target static characteristic
+    /// impedance by bisection on the Hammerstad–Jensen analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z0_target` is outside the achievable 5–250 Ω window.
+    pub fn for_impedance(substrate: Substrate, z0_target: f64, length: f64) -> Self {
+        assert!(
+            (5.0..=250.0).contains(&z0_target),
+            "target impedance {z0_target} Ω outside synthesizable range"
+        );
+        // Z0 decreases monotonically with width; bisect u = w/h over a wide span.
+        let h = substrate.height;
+        let (mut lo, mut hi) = (0.01 * h, 100.0 * h);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            let line = Microstrip::new(substrate, mid, length);
+            if line.z0_static() > z0_target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Microstrip::new(substrate, 0.5 * (lo + hi), length)
+    }
+
+    /// Static (quasi-TEM) effective permittivity, Hammerstad–Jensen.
+    pub fn eps_eff_static(&self) -> f64 {
+        let er = self.substrate.eps_r;
+        let u = self.width / self.substrate.height;
+        let a = 1.0
+            + (1.0 / 49.0)
+                * ((u.powi(4) + (u / 52.0).powi(2)) / (u.powi(4) + 0.432)).ln()
+            + (1.0 / 18.7) * (1.0 + (u / 18.1).powi(3)).ln();
+        let b = 0.564 * ((er - 0.9) / (er + 3.0)).powf(0.053);
+        (er + 1.0) / 2.0 + (er - 1.0) / 2.0 * (1.0 + 10.0 / u).powf(-a * b)
+    }
+
+    /// Static characteristic impedance (Ω), Hammerstad–Jensen.
+    pub fn z0_static(&self) -> f64 {
+        let u = self.width / self.substrate.height;
+        let fu = 6.0 + (2.0 * PI - 6.0) * (-(30.666 / u).powf(0.7528)).exp();
+        let z01 = ETA0 / (2.0 * PI) * ((fu / u) + (1.0 + (2.0 / u).powi(2)).sqrt()).ln();
+        z01 / self.eps_eff_static().sqrt()
+    }
+
+    /// Frequency-dependent effective permittivity, Kirschning–Jansen.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive frequency.
+    pub fn eps_eff(&self, freq_hz: f64) -> f64 {
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        let er = self.substrate.eps_r;
+        let e0 = self.eps_eff_static();
+        let u = self.width / self.substrate.height;
+        // Normalized frequency in GHz·cm.
+        let fn_ghz_cm = freq_hz / 1e9 * self.substrate.height * 100.0;
+        let p1 = 0.27488 + (0.6315 + 0.525 / (1.0 + 0.157 * fn_ghz_cm).powi(20)) * u
+            - 0.065683 * (-8.7513 * u).exp();
+        let p2 = 0.33622 * (1.0 - (-0.03442 * er).exp());
+        let p3 = 0.0363 * (-4.6 * u).exp() * (1.0 - (-(fn_ghz_cm / 3.87).powf(4.97)).exp());
+        let p4 = 1.0 + 2.751 * (1.0 - (-(er / 15.916).powi(8)).exp());
+        let p = p1 * p2 * ((0.1844 + p3 * p4) * 10.0 * fn_ghz_cm).powf(1.5763);
+        er - (er - e0) / (1.0 + p)
+    }
+
+    /// Frequency-dependent characteristic impedance (Ω), using the
+    /// Hammerstad–Jensen dispersion relation on top of the
+    /// Kirschning–Jansen `εeff(f)`.
+    pub fn z0(&self, freq_hz: f64) -> f64 {
+        let e0 = self.eps_eff_static();
+        let ef = self.eps_eff(freq_hz);
+        self.z0_static() * (ef / e0).sqrt() * (e0 - 1.0) / (ef - 1.0)
+    }
+
+    /// Conductor attenuation (Np/m) from the skin effect, wide-strip
+    /// approximation with a current-crowding factor.
+    pub fn alpha_conductor(&self, freq_hz: f64) -> f64 {
+        let rs = (PI * freq_hz * MU0 / self.substrate.conductivity).sqrt();
+        // Wheeler-style correction for narrow strips: the effective width
+        // exceeds the physical width by the fringing contribution.
+        let w_eff = self.width + 1.25 * self.substrate.thickness / PI
+            * (1.0 + (2.0 * self.substrate.height / self.substrate.thickness).ln());
+        rs / (self.z0_static() * w_eff)
+    }
+
+    /// Dielectric attenuation (Np/m).
+    pub fn alpha_dielectric(&self, freq_hz: f64) -> f64 {
+        let er = self.substrate.eps_r;
+        let ef = self.eps_eff(freq_hz);
+        PI * freq_hz / C0 * er / ef.sqrt() * (ef - 1.0) / (er - 1.0) * self.substrate.tan_delta
+    }
+
+    /// Complex propagation constant `γ = α + jβ` (1/m) at `freq_hz`.
+    pub fn gamma(&self, freq_hz: f64) -> Complex {
+        let alpha = self.alpha_conductor(freq_hz) + self.alpha_dielectric(freq_hz);
+        let beta = angular(freq_hz) * self.eps_eff(freq_hz).sqrt() / C0;
+        Complex::new(alpha, beta)
+    }
+
+    /// Guided wavelength (m) at `freq_hz`.
+    pub fn guided_wavelength(&self, freq_hz: f64) -> f64 {
+        C0 / (freq_hz * self.eps_eff(freq_hz).sqrt())
+    }
+
+    /// Electrical length in degrees at `freq_hz`.
+    pub fn electrical_length_deg(&self, freq_hz: f64) -> f64 {
+        360.0 * self.length / self.guided_wavelength(freq_hz)
+    }
+
+    /// Chain matrix of the line at `freq_hz`.
+    pub fn abcd(&self, freq_hz: f64) -> Abcd {
+        Abcd::transmission_line(
+            self.gamma(freq_hz),
+            Complex::real(self.z0(freq_hz)),
+            self.length,
+        )
+    }
+
+    /// Noisy chain two-port of the line at `freq_hz`, with its losses at
+    /// temperature `temp` kelvin.
+    pub fn two_port(&self, freq_hz: f64, temp: f64) -> NoisyAbcd {
+        NoisyAbcd::from_passive_abcd(&self.abcd(freq_hz), temp)
+            .expect("transmission line always has a Y or Z form")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfkit_net::gains::transducer_gain;
+    use rfkit_num::units::T0_KELVIN;
+
+    fn line_50ohm() -> Microstrip {
+        Microstrip::for_impedance(Substrate::ro4350b(), 50.0, 10e-3)
+    }
+
+    #[test]
+    fn eps_eff_between_one_and_er() {
+        let line = line_50ohm();
+        let e = line.eps_eff_static();
+        assert!(e > 1.0 && e < line.substrate.eps_r, "εeff = {e}");
+    }
+
+    #[test]
+    fn z0_static_realistic_for_ro4350() {
+        // On 0.508 mm RO4350B a 50 Ω line is ≈ 1.1 mm wide → w/h ≈ 2.2.
+        let line = line_50ohm();
+        assert!((line.z0_static() - 50.0).abs() < 0.05);
+        let u = line.width / line.substrate.height;
+        assert!(u > 1.5 && u < 3.0, "w/h = {u}");
+    }
+
+    #[test]
+    fn z0_decreases_with_width() {
+        let s = Substrate::ro4350b();
+        let narrow = Microstrip::new(s, 0.2e-3, 1e-3);
+        let wide = Microstrip::new(s, 2.0e-3, 1e-3);
+        assert!(narrow.z0_static() > wide.z0_static());
+    }
+
+    #[test]
+    fn synthesis_hits_target_over_range() {
+        for target in [25.0, 50.0, 75.0, 100.0] {
+            let line = Microstrip::for_impedance(Substrate::fr4(), target, 1e-3);
+            assert!(
+                (line.z0_static() - target).abs() < 0.1,
+                "target {target}, got {}",
+                line.z0_static()
+            );
+        }
+    }
+
+    #[test]
+    fn dispersion_raises_eps_eff_with_frequency() {
+        // Kirschning–Jansen: εeff(f) climbs from the static value toward εr.
+        let line = line_50ohm();
+        let e_static = line.eps_eff_static();
+        let e_1g = line.eps_eff(1e9);
+        let e_10g = line.eps_eff(10e9);
+        let e_100g = line.eps_eff(100e9);
+        assert!(e_1g >= e_static);
+        assert!(e_10g > e_1g);
+        assert!(e_100g > e_10g);
+        assert!(e_100g < line.substrate.eps_r);
+    }
+
+    #[test]
+    fn low_frequency_limit_matches_static() {
+        let line = line_50ohm();
+        assert!((line.eps_eff(1e6) - line.eps_eff_static()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn losses_increase_with_frequency() {
+        let line = line_50ohm();
+        assert!(line.alpha_conductor(4e9) > line.alpha_conductor(1e9));
+        assert!(line.alpha_dielectric(4e9) > line.alpha_dielectric(1e9));
+        // RO4350B at 1.5 GHz: total loss well under 1 dB/inch.
+        let db_per_m = (line.alpha_conductor(1.5e9) + line.alpha_dielectric(1.5e9)) * 8.686;
+        assert!(db_per_m > 0.1 && db_per_m < 10.0, "loss = {db_per_m} dB/m");
+    }
+
+    #[test]
+    fn fr4_is_lossier_than_rogers() {
+        let rogers = line_50ohm();
+        let fr4 = Microstrip::for_impedance(Substrate::fr4(), 50.0, 10e-3);
+        assert!(fr4.alpha_dielectric(1.5e9) > 3.0 * rogers.alpha_dielectric(1.5e9));
+    }
+
+    #[test]
+    fn quarter_wave_transformer_behaviour() {
+        // A λ/4 70.7 Ω line matches 100 Ω to 50 Ω.
+        let s = Substrate::ro4350b();
+        let mut line = Microstrip::for_impedance(s, 70.7, 1e-3);
+        let f = 1.5e9;
+        line.length = line.guided_wavelength(f) / 4.0;
+        assert!((line.electrical_length_deg(f) - 90.0).abs() < 0.01);
+        let zin = line.abcd(f).input_impedance(Complex::real(100.0));
+        // Lossy line: close to Zc²/ZL but not exact.
+        assert!((zin.re - 50.0).abs() < 1.5, "Re Zin = {}", zin.re);
+        assert!(zin.im.abs() < 2.0);
+    }
+
+    #[test]
+    fn matched_line_loss_equals_alpha() {
+        let line = line_50ohm();
+        let f = 1.5e9;
+        let z0 = line.z0(f);
+        let s = line.abcd(f).to_s(z0).unwrap();
+        let expected_loss = (-(line.alpha_conductor(f) + line.alpha_dielectric(f)) * line.length).exp();
+        assert!((s.s21().abs() - expected_loss).abs() < 1e-6);
+        assert!(s.s11().abs() < 1e-9, "line referenced to its own Z0");
+    }
+
+    #[test]
+    fn line_noise_figure_equals_its_loss() {
+        // A matched lossy line at T0 has F = 1/G.
+        let line = line_50ohm();
+        let f = 1.5e9;
+        let noisy = line.two_port(f, T0_KELVIN);
+        let s = noisy.abcd.to_s(50.0).unwrap();
+        let gt = transducer_gain(&s, Complex::ZERO, Complex::ZERO);
+        let nf = noisy
+            .noise_params(50.0)
+            .unwrap()
+            .noise_factor(Complex::ZERO);
+        // GT ≈ GA for this nearly matched line.
+        assert!((nf - 1.0 / gt).abs() < 2e-3, "F = {nf}, 1/GT = {}", 1.0 / gt);
+    }
+
+    #[test]
+    fn electrical_length_scales_with_frequency() {
+        let line = line_50ohm();
+        let e1 = line.electrical_length_deg(1e9);
+        let e2 = line.electrical_length_deg(2e9);
+        // Slightly superlinear because εeff grows with f.
+        assert!(e2 > 1.99 * e1 && e2 < 2.1 * e1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside synthesizable")]
+    fn synthesis_rejects_extreme_impedance() {
+        Microstrip::for_impedance(Substrate::ro4350b(), 400.0, 1e-3);
+    }
+}

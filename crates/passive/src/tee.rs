@@ -1,0 +1,344 @@
+//! Power splitters and the microstrip T-junction.
+//!
+//! The paper's front end drives several receiver chains from one antenna,
+//! which needs a "T splitter". Three models are provided, in increasing
+//! realism:
+//!
+//! * the **ideal tee** — a lossless parallel junction (cannot be matched);
+//! * the **microstrip T-junction** — ideal tee plus the discontinuity
+//!   parasitics (arm inductance, junction capacitance) that make its
+//!   response frequency dependent;
+//! * the **Wilkinson divider** — two quarter-wave arms and an isolation
+//!   resistor, matched at all ports at its design frequency.
+
+use crate::microstrip::{Microstrip, Substrate};
+use rfkit_net::{Abcd, NPort};
+use rfkit_num::units::angular;
+use rfkit_num::{CMatrix, Complex};
+
+/// A node-admittance assembler for small port networks: stamp two-terminal
+/// admittances and two-ports between nodes, then reduce internal nodes by a
+/// Schur complement and convert to an S-matrix.
+#[derive(Debug, Clone)]
+pub struct NodeNetwork {
+    y: CMatrix,
+}
+
+impl NodeNetwork {
+    /// Creates a network with `n_nodes` nodes (ground is implicit).
+    pub fn new(n_nodes: usize) -> Self {
+        NodeNetwork {
+            y: CMatrix::zeros(n_nodes, n_nodes),
+        }
+    }
+
+    /// Stamps a two-terminal admittance `y` between nodes `a` and `b`;
+    /// `None` denotes ground.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is out of range.
+    pub fn stamp(&mut self, a: Option<usize>, b: Option<usize>, y: Complex) {
+        if let Some(i) = a {
+            self.y[(i, i)] += y;
+        }
+        if let Some(j) = b {
+            self.y[(j, j)] += y;
+        }
+        if let (Some(i), Some(j)) = (a, b) {
+            self.y[(i, j)] -= y;
+            self.y[(j, i)] -= y;
+        }
+    }
+
+    /// Stamps a grounded two-port (e.g. a transmission line) between nodes
+    /// `a` and `b` given its chain matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain matrix has no Y form (`B == 0`).
+    pub fn stamp_two_port(&mut self, a: usize, b: usize, abcd: &Abcd) {
+        let y = abcd.to_y().expect("two-port must have a Y form to stamp");
+        self.y[(a, a)] += y.y11();
+        self.y[(a, b)] += y.y12();
+        self.y[(b, a)] += y.y21();
+        self.y[(b, b)] += y.y22();
+    }
+
+    /// Reduces to the listed port nodes (eliminating all others by Schur
+    /// complement) and converts to an S-matrix referenced to `z0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal-node block is singular (a floating internal
+    /// node) or a port index is out of range.
+    pub fn to_nport(&self, ports: &[usize], z0: f64) -> NPort {
+        let n = self.y.rows();
+        let internal: Vec<usize> = (0..n).filter(|i| !ports.contains(i)).collect();
+        let y_reduced = if internal.is_empty() {
+            self.y.submatrix(ports, ports)
+        } else {
+            // Y_pp − Y_pi · Y_ii⁻¹ · Y_ip
+            let ypp = self.y.submatrix(ports, ports);
+            let ypi = self.y.submatrix(ports, &internal);
+            let yip = self.y.submatrix(&internal, ports);
+            let yii = self.y.submatrix(&internal, &internal);
+            let solved = yii
+                .solve_matrix(&yip)
+                .expect("internal node block must be non-singular");
+            &ypp - &ypi.matmul(&solved).expect("dimensions chain")
+        };
+        // S = (I − z0·Y)(I + z0·Y)⁻¹
+        let m = ports.len();
+        let id = CMatrix::identity(m);
+        let yz = y_reduced.scaled(Complex::real(z0));
+        let num = &id - &yz;
+        let den = (&id + &yz).inverse().expect("I + z0 Y invertible");
+        NPort::new(num.matmul(&den).expect("dimensions chain"), z0)
+    }
+}
+
+/// A T-junction splitter with discontinuity parasitics.
+///
+/// Electrically: each arm carries a series `R + jωL`, and the common node
+/// has a shunt capacitance to ground. With all parasitics zero this reduces
+/// to the ideal parallel tee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TeeJunction {
+    /// Per-arm series inductance (H).
+    pub arm_inductance: f64,
+    /// Per-arm series resistance (Ω) — junction metal loss.
+    pub arm_resistance: f64,
+    /// Junction shunt capacitance to ground (F).
+    pub junction_capacitance: f64,
+}
+
+impl TeeJunction {
+    /// The ideal (parasitic-free) tee.
+    pub fn ideal() -> Self {
+        TeeJunction {
+            arm_inductance: 0.0,
+            arm_resistance: 0.0,
+            junction_capacitance: 0.0,
+        }
+    }
+
+    /// Discontinuity parasitics estimated from the substrate: both the
+    /// excess junction capacitance and the arm inductance scale with the
+    /// substrate height (simplified Hammerstad-style discontinuity model).
+    pub fn microstrip(substrate: &Substrate) -> Self {
+        let h_norm = substrate.height / 0.508e-3;
+        let er_norm = substrate.eps_r / 3.66;
+        TeeJunction {
+            arm_inductance: 0.15e-9 * h_norm,
+            arm_resistance: 0.05,
+            junction_capacitance: 0.08e-12 * h_norm * er_norm,
+        }
+    }
+
+    /// The 3-port S-matrix at `freq_hz`, referenced to `z0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive frequency.
+    pub fn s_matrix(&self, freq_hz: f64, z0: f64) -> NPort {
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        let w = angular(freq_hz);
+        // Nodes: 0,1,2 = ports; 3 = junction center.
+        let mut net = NodeNetwork::new(4);
+        let z_arm = Complex::new(self.arm_resistance, w * self.arm_inductance);
+        let y_arm = if z_arm.abs() == 0.0 {
+            // Ideal arms: a huge but finite conductance (10 µΩ) keeps the
+            // matrix well conditioned while being numerically
+            // indistinguishable from a short at RF impedance levels.
+            Complex::real(1e5)
+        } else {
+            z_arm.recip()
+        };
+        for port in 0..3 {
+            net.stamp(Some(port), Some(3), y_arm);
+        }
+        if self.junction_capacitance > 0.0 {
+            net.stamp(Some(3), None, Complex::imag(w * self.junction_capacitance));
+        }
+        net.to_nport(&[0, 1, 2], z0)
+    }
+}
+
+/// The matched resistive 3-port splitter (three Z0/3 star resistors):
+/// perfectly matched at every port, 6 dB loss, no isolation. Frequency
+/// independent, so it is returned directly.
+pub fn resistive_splitter(z0: f64) -> NPort {
+    let mut net = NodeNetwork::new(4);
+    let y = Complex::real(3.0 / z0);
+    for port in 0..3 {
+        net.stamp(Some(port), Some(3), y);
+    }
+    net.to_nport(&[0, 1, 2], z0)
+}
+
+/// A Wilkinson power divider realized with two quarter-wave microstrip
+/// arms (`√2·z0`) and a `2·z0` isolation resistor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wilkinson {
+    /// Design (center) frequency in Hz.
+    pub f0_hz: f64,
+    /// System impedance (Ω).
+    pub z0: f64,
+    /// Substrate the arms are printed on.
+    pub substrate: Substrate,
+}
+
+impl Wilkinson {
+    /// Designs the divider for center frequency `f0_hz` in a `z0` system.
+    pub fn design(f0_hz: f64, z0: f64, substrate: Substrate) -> Self {
+        Wilkinson {
+            f0_hz,
+            z0,
+            substrate,
+        }
+    }
+
+    /// The quarter-wave arm as a microstrip line.
+    fn arm(&self) -> Microstrip {
+        let mut line = Microstrip::for_impedance(self.substrate, self.z0 * 2f64.sqrt(), 1e-3);
+        line.length = line.guided_wavelength(self.f0_hz) / 4.0;
+        line
+    }
+
+    /// The 3-port S-matrix at `freq_hz` (port 0 = common).
+    pub fn s_matrix(&self, freq_hz: f64) -> NPort {
+        let arm = self.arm().abcd(freq_hz);
+        // Nodes: 0 = common port, 1,2 = outputs.
+        let mut net = NodeNetwork::new(3);
+        net.stamp_two_port(0, 1, &arm);
+        net.stamp_two_port(0, 2, &arm);
+        net.stamp(Some(1), Some(2), Complex::real(1.0 / (2.0 * self.z0)));
+        net.to_nport(&[0, 1, 2], self.z0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfkit_num::units::db_from_power_ratio;
+
+    fn mag_db(np: &NPort, i: usize, j: usize) -> f64 {
+        db_from_power_ratio(np.s(i, j).unwrap().norm_sqr())
+    }
+
+    #[test]
+    fn ideal_tee_limit_matches_closed_form() {
+        let tee = TeeJunction::ideal().s_matrix(1.5e9, 50.0);
+        let reference = NPort::ideal_tee(50.0);
+        for i in 0..3 {
+            for j in 0..3 {
+                let got = tee.s(i, j).unwrap();
+                let want = reference.s(i, j).unwrap();
+                assert!(
+                    (got - want).abs() < 1e-6,
+                    "S{i}{j}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parasitic_tee_degrades_with_frequency() {
+        let tee = TeeJunction::microstrip(&Substrate::ro4350b());
+        let s_low = tee.s_matrix(0.5e9, 50.0);
+        let s_high = tee.s_matrix(6.0e9, 50.0);
+        // Through-path transmission falls as the parasitics bite.
+        let t_low = s_low.s(1, 0).unwrap().abs();
+        let t_high = s_high.s(1, 0).unwrap().abs();
+        assert!(t_high < t_low, "|S21| {t_high} should drop below {t_low}");
+    }
+
+    #[test]
+    fn parasitic_tee_is_reciprocal_and_near_passive() {
+        let tee = TeeJunction::microstrip(&Substrate::ro4350b()).s_matrix(1.5e9, 50.0);
+        assert!(tee.is_reciprocal(1e-9));
+        // With small arm resistance the junction is passive.
+        for i in 0..3 {
+            let mut row_power = 0.0;
+            for j in 0..3 {
+                row_power += tee.s(j, i).unwrap().norm_sqr();
+            }
+            assert!(row_power <= 1.0 + 1e-9, "port {i} emits {row_power}");
+        }
+    }
+
+    #[test]
+    fn resistive_splitter_is_matched_and_6db() {
+        let sp = resistive_splitter(50.0);
+        for i in 0..3 {
+            assert!(sp.s(i, i).unwrap().abs() < 1e-9, "port {i} match");
+        }
+        for (i, j) in [(1, 0), (2, 0), (2, 1)] {
+            assert!((mag_db(&sp, i, j) + 6.0206).abs() < 1e-3);
+        }
+        assert!(sp.is_reciprocal(1e-12));
+    }
+
+    #[test]
+    fn wilkinson_at_center_frequency() {
+        let w = Wilkinson::design(1.575e9, 50.0, Substrate::ro4350b());
+        let s = w.s_matrix(1.575e9);
+        // Matched everywhere (small residuals from line loss).
+        for i in 0..3 {
+            assert!(
+                s.s(i, i).unwrap().abs() < 0.03,
+                "S{i}{i} = {}",
+                s.s(i, i).unwrap().abs()
+            );
+        }
+        // 3 dB split plus a little arm loss.
+        let split_db = mag_db(&s, 1, 0);
+        assert!(split_db < -3.0 && split_db > -3.4, "split = {split_db} dB");
+        // Output-to-output isolation is deep.
+        assert!(mag_db(&s, 2, 1) < -25.0, "isolation = {} dB", mag_db(&s, 2, 1));
+    }
+
+    #[test]
+    fn wilkinson_degrades_off_center() {
+        let w = Wilkinson::design(1.575e9, 50.0, Substrate::ro4350b());
+        let s_center = w.s_matrix(1.575e9);
+        let s_off = w.s_matrix(3.0e9);
+        assert!(s_off.s(0, 0).unwrap().abs() > s_center.s(0, 0).unwrap().abs());
+        assert!(mag_db(&s_off, 2, 1) > mag_db(&s_center, 2, 1), "isolation shrinks");
+    }
+
+    #[test]
+    fn wilkinson_beats_tee_and_resistive_for_split_loss_or_isolation() {
+        let f = 1.575e9;
+        let wilkinson = Wilkinson::design(f, 50.0, Substrate::ro4350b()).s_matrix(f);
+        let resistive = resistive_splitter(50.0);
+        // Wilkinson splits with ~3 dB, resistive with 6 dB.
+        assert!(mag_db(&wilkinson, 1, 0) > mag_db(&resistive, 1, 0) + 2.5);
+        // And isolates the outputs, which the ideal tee cannot.
+        let tee = NPort::ideal_tee(50.0);
+        let tee_isolation = db_from_power_ratio(tee.s(2, 1).unwrap().norm_sqr());
+        assert!(mag_db(&wilkinson, 2, 1) < tee_isolation - 20.0);
+    }
+
+    #[test]
+    fn node_network_series_resistor_two_port() {
+        // Sanity: a 50 Ω resistor between two port nodes reduces to the
+        // classic S11 = 1/3, S21 = 2/3.
+        let mut net = NodeNetwork::new(2);
+        net.stamp(Some(0), Some(1), Complex::real(1.0 / 50.0));
+        let np = net.to_nport(&[0, 1], 50.0);
+        assert!((np.s(0, 0).unwrap() - Complex::real(1.0 / 3.0)).abs() < 1e-12);
+        assert!((np.s(1, 0).unwrap() - Complex::real(2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_network_internal_elimination() {
+        // Two 25 Ω resistors in series through an internal node equal one 50 Ω.
+        let mut net = NodeNetwork::new(3);
+        net.stamp(Some(0), Some(2), Complex::real(1.0 / 25.0));
+        net.stamp(Some(2), Some(1), Complex::real(1.0 / 25.0));
+        let np = net.to_nport(&[0, 1], 50.0);
+        assert!((np.s(0, 0).unwrap() - Complex::real(1.0 / 3.0)).abs() < 1e-12);
+    }
+}

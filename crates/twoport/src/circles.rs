@@ -1,0 +1,242 @@
+//! Constant-noise-figure and constant-available-gain circles on the
+//! source (Γs) plane — the classic chart construction behind every LNA
+//! design trade-off: where the two families of circles kiss is exactly
+//! the NF/gain compromise the paper optimizes numerically.
+
+use crate::noise::NoiseParams;
+use crate::params::SParams;
+use rfkit_num::Complex;
+
+/// A circle on the reflection-coefficient plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneCircle {
+    /// Circle center.
+    pub center: Complex,
+    /// Circle radius (≥ 0).
+    pub radius: f64,
+}
+
+impl PlaneCircle {
+    /// A point on the circle at parameter angle `theta`.
+    pub fn point(&self, theta: f64) -> Complex {
+        self.center + Complex::from_polar(self.radius, theta)
+    }
+
+    /// `true` when `gamma` lies inside (or on) the circle.
+    pub fn contains(&self, gamma: Complex) -> bool {
+        (gamma - self.center).abs() <= self.radius + 1e-12
+    }
+}
+
+/// The locus of source reflection coefficients giving noise factor
+/// `f_target` (linear): returns `None` when `f_target < Fmin` (no source
+/// can achieve it).
+///
+/// Derivation: with `N = (F − Fmin)·|1 + Γopt|² / (4·Rn/z0)`, the circle is
+/// `center = Γopt/(1 + N)`, `radius = sqrt(N² + N(1 − |Γopt|²))/(1 + N)`.
+pub fn noise_circle(np: &NoiseParams, f_target: f64) -> Option<PlaneCircle> {
+    if f_target < np.fmin {
+        return None;
+    }
+    let rn_norm = np.rn / np.z0;
+    let n = (f_target - np.fmin) * (Complex::ONE + np.gamma_opt).norm_sqr() / (4.0 * rn_norm);
+    let center = np.gamma_opt / Complex::real(1.0 + n);
+    let radius = (n * n + n * (1.0 - np.gamma_opt.norm_sqr())).sqrt() / (1.0 + n);
+    Some(PlaneCircle { center, radius })
+}
+
+/// The locus of source reflection coefficients giving available gain
+/// `ga_target` (linear) for the two-port `s`. Returns `None` when the
+/// requested gain is not realizable (the circle equation has no real
+/// radius).
+///
+/// Uses the standard construction with
+/// `ga = ga_target / |S21|²`,
+/// `C1 = S11 − Δ·S22*`,
+/// `center = ga·C1* / (1 + ga(|S11|² − |Δ|²))`,
+/// `radius = sqrt(1 − 2K·ga·|S12S21| + ga²|S12S21|²) / |1 + ga(|S11|² − |Δ|²)|`.
+pub fn available_gain_circle(s: &SParams, ga_target: f64) -> Option<PlaneCircle> {
+    let s21_sq = s.s21().norm_sqr();
+    if s21_sq == 0.0 || ga_target <= 0.0 {
+        return None;
+    }
+    let ga = ga_target / s21_sq;
+    let delta = s.delta();
+    let c1 = s.s11() - delta * s.s22().conj();
+    let s12s21 = (s.s12() * s.s21()).abs();
+    let k = crate::stability::rollett_k(s);
+    let denom = 1.0 + ga * (s.s11().norm_sqr() - delta.norm_sqr());
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let disc = 1.0 - 2.0 * k * ga * s12s21 + ga * ga * s12s21 * s12s21;
+    if disc < 0.0 {
+        return None;
+    }
+    Some(PlaneCircle {
+        center: c1.conj() * Complex::real(ga / denom),
+        radius: (disc.sqrt() / denom).abs(),
+    })
+}
+
+/// The best achievable noise factor subject to an available-gain floor:
+/// scans the `ga_floor` gain circle for its minimum-noise point. Returns
+/// `(gamma_s, noise_factor)`, or `None` when the gain is unrealizable.
+///
+/// This is the graphical construction the goal-attainment method replaces
+/// with optimization — exposed here for cross-checks and teaching.
+pub fn best_nf_on_gain_circle(
+    s: &SParams,
+    np: &NoiseParams,
+    ga_floor: f64,
+    samples: usize,
+) -> Option<(Complex, f64)> {
+    let circle = available_gain_circle(s, ga_floor)?;
+    // For a stable device the GA ≥ floor region is the circle's interior:
+    // when Γopt lies inside, the unconstrained noise optimum is feasible.
+    if circle.contains(np.gamma_opt) {
+        return Some((np.gamma_opt, np.fmin));
+    }
+    let mut best: Option<(Complex, f64)> = None;
+    for k in 0..samples.max(8) {
+        let theta = 2.0 * std::f64::consts::PI * k as f64 / samples.max(8) as f64;
+        let gs = circle.point(theta);
+        if gs.abs() >= 1.0 {
+            continue;
+        }
+        let f = np.noise_factor(gs);
+        if best.map_or(true, |(_, fb)| f < fb) {
+            best = Some((gs, f));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gains::available_gain;
+
+    fn amp() -> SParams {
+        SParams::new(
+            Complex::from_polar(0.3, 2.0),
+            Complex::from_polar(0.03, 0.5),
+            Complex::from_polar(3.0, -1.0),
+            Complex::from_polar(0.4, -2.5),
+            50.0,
+        )
+    }
+
+    fn noise() -> NoiseParams {
+        NoiseParams::new(1.12, 7.0, Complex::from_polar(0.35, 0.7), 50.0)
+    }
+
+    #[test]
+    fn noise_circle_points_hit_target() {
+        let np = noise();
+        for target_excess in [0.05, 0.2, 0.5] {
+            let f_target = np.fmin + target_excess;
+            let circle = noise_circle(&np, f_target).expect("above Fmin");
+            for k in 0..12 {
+                let gs = circle.point(k as f64 * 0.5236);
+                let f = np.noise_factor(gs);
+                assert!(
+                    (f - f_target).abs() < 1e-9,
+                    "F = {f} vs target {f_target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fmin_circle_degenerates_to_gamma_opt() {
+        let np = noise();
+        let c = noise_circle(&np, np.fmin).unwrap();
+        assert!(c.radius < 1e-9);
+        assert!((c.center - np.gamma_opt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn below_fmin_unreachable() {
+        let np = noise();
+        assert!(noise_circle(&np, np.fmin - 0.01).is_none());
+    }
+
+    #[test]
+    fn noise_circles_nest_with_target() {
+        let np = noise();
+        let inner = noise_circle(&np, np.fmin + 0.1).unwrap();
+        let outer = noise_circle(&np, np.fmin + 0.5).unwrap();
+        assert!(outer.radius > inner.radius);
+        // The tighter circle lies inside the looser one.
+        assert!(outer.contains(inner.center));
+    }
+
+    #[test]
+    fn gain_circle_points_hit_target() {
+        let s = amp();
+        let mag = crate::gains::maximum_available_gain(&s).expect("stable");
+        for frac in [0.5, 0.7, 0.9] {
+            let target = mag * frac;
+            let circle = available_gain_circle(&s, target).expect("realizable");
+            for k in 0..12 {
+                let gs = circle.point(k as f64 * 0.5236);
+                if gs.abs() >= 1.0 {
+                    continue;
+                }
+                let ga = available_gain(&s, gs);
+                assert!(
+                    (ga - target).abs() / target < 1e-9,
+                    "GA = {ga} vs target {target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mag_circle_degenerates_to_match_point() {
+        let s = amp();
+        let mag = crate::gains::maximum_available_gain(&s).unwrap();
+        let circle = available_gain_circle(&s, mag).expect("at MAG");
+        let (gms, _) = crate::gains::simultaneous_conjugate_match(&s).unwrap();
+        assert!(circle.radius < 1e-6, "radius {}", circle.radius);
+        assert!((circle.center - gms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beyond_mag_unrealizable() {
+        let s = amp();
+        let mag = crate::gains::maximum_available_gain(&s).unwrap();
+        assert!(available_gain_circle(&s, mag * 1.05).is_none());
+    }
+
+    #[test]
+    fn chart_tradeoff_matches_direct_evaluation() {
+        // The graphical best-NF-at-gain construction must agree with a
+        // dense direct scan of the Γs plane.
+        let s = amp();
+        let np = noise();
+        let mag = crate::gains::maximum_available_gain(&s).unwrap();
+        let floor = 0.8 * mag;
+        let (gs_chart, f_chart) =
+            best_nf_on_gain_circle(&s, &np, floor, 720).expect("realizable");
+        // Direct scan: any Γs achieving >= floor gain should not beat the
+        // chart point by more than grid error.
+        let mut best_direct = f64::INFINITY;
+        for r in 0..30 {
+            for a in 0..60 {
+                let gs = Complex::from_polar(r as f64 / 30.0, a as f64 * 0.1047);
+                if available_gain(&s, gs) >= floor {
+                    best_direct = best_direct.min(np.noise_factor(gs));
+                }
+            }
+        }
+        // The NF optimum subject to GA >= floor lies ON the circle when the
+        // unconstrained optimum is outside the gain disk.
+        assert!(
+            f_chart <= best_direct + 5e-3,
+            "chart {f_chart} vs direct {best_direct}"
+        );
+        assert!(gs_chart.abs() < 1.0);
+    }
+}

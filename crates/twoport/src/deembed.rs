@@ -1,0 +1,161 @@
+//! Fixture de-embedding.
+//!
+//! A VNA measures the device *plus* its launch structures. When the
+//! launches are known (modelled microstrip lines, characterized adapters),
+//! the device response is recovered by inverting the chain:
+//! `A_dev = A_left⁻¹ · A_meas · A_right⁻¹`. This is how the paper-style
+//! measured s-parameter plots are referenced to the amplifier proper.
+
+use crate::params::{Abcd, NetworkError, SParams};
+
+/// Inverts a chain matrix.
+///
+/// # Errors
+///
+/// Returns [`NetworkError::NotInvertible`] when `det(A) == 0` (never the
+/// case for a physical two-port, whose chain determinant is ±1-ish for
+/// reciprocal networks).
+pub fn invert_abcd(a: &Abcd) -> Result<Abcd, NetworkError> {
+    let inv = a
+        .m
+        .inverse()
+        .ok_or(NetworkError::NotInvertible("ABCD"))?;
+    Ok(Abcd { m: inv })
+}
+
+/// Removes known left/right fixtures from a measured two-port:
+/// `A_dev = A_left⁻¹ · A_meas · A_right⁻¹`.
+///
+/// Pass [`Abcd::through`] for a side with no fixture.
+///
+/// # Errors
+///
+/// Propagates conversion errors (a measurement with `S21 == 0` has no
+/// chain form) and singular-fixture errors.
+pub fn deembed(
+    measured: &SParams,
+    left: &Abcd,
+    right: &Abcd,
+) -> Result<SParams, NetworkError> {
+    let a_meas = measured.to_abcd()?;
+    let li = invert_abcd(left)?;
+    let ri = invert_abcd(right)?;
+    li.cascade(&a_meas).cascade(&ri).to_s(measured.z0)
+}
+
+/// Convenience: de-embeds identical fixtures from both ports (the common
+/// symmetric-launch case).
+///
+/// # Errors
+///
+/// See [`deembed`].
+pub fn deembed_symmetric(measured: &SParams, fixture: &Abcd) -> Result<SParams, NetworkError> {
+    deembed(measured, fixture, fixture)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfkit_num::Complex;
+
+    fn device_s() -> SParams {
+        SParams::new(
+            Complex::from_polar(0.4, -1.2),
+            Complex::from_polar(0.05, 0.8),
+            Complex::from_polar(3.5, 2.0),
+            Complex::from_polar(0.35, -0.5),
+            50.0,
+        )
+    }
+
+    fn launch() -> Abcd {
+        // A short lossy 50 Ω-ish line.
+        Abcd::transmission_line(Complex::new(0.8, 45.0), Complex::real(51.0), 0.008)
+    }
+
+    #[test]
+    fn embed_then_deembed_is_identity() {
+        let dev = device_s();
+        let fixture = launch();
+        let a_dev = dev.to_abcd().unwrap();
+        let measured = fixture
+            .cascade(&a_dev)
+            .cascade(&fixture)
+            .to_s(50.0)
+            .unwrap();
+        // The raw measurement differs from the device…
+        assert!((measured.s21() - dev.s21()).abs() > 1e-3);
+        // …and de-embedding restores it.
+        let recovered = deembed_symmetric(&measured, &fixture).unwrap();
+        for (a, b) in [
+            (recovered.s11(), dev.s11()),
+            (recovered.s12(), dev.s12()),
+            (recovered.s21(), dev.s21()),
+            (recovered.s22(), dev.s22()),
+        ] {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_fixtures() {
+        let dev = device_s();
+        let left = launch();
+        let right = Abcd::series_impedance(Complex::new(1.0, 8.0));
+        let measured = left
+            .cascade(&dev.to_abcd().unwrap())
+            .cascade(&right)
+            .to_s(50.0)
+            .unwrap();
+        let recovered = deembed(&measured, &left, &right).unwrap();
+        assert!((recovered.s21() - dev.s21()).abs() < 1e-10);
+        assert!((recovered.s11() - dev.s11()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn through_fixture_is_neutral() {
+        let dev = device_s();
+        let recovered = deembed(&dev, &Abcd::through(), &Abcd::through()).unwrap();
+        assert!((recovered.s21() - dev.s21()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invert_abcd_roundtrip() {
+        let a = launch();
+        let ai = invert_abcd(&a).unwrap();
+        let id = a.cascade(&ai);
+        assert!((id.a() - Complex::ONE).abs() < 1e-12);
+        assert!(id.b().abs() < 1e-9);
+        assert!(id.c().abs() < 1e-12);
+        assert!((id.d() - Complex::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolation_measurement_cannot_be_deembedded() {
+        let s = SParams::new(Complex::ZERO, Complex::ZERO, Complex::ZERO, Complex::ZERO, 50.0);
+        assert!(deembed_symmetric(&s, &launch()).is_err());
+    }
+
+    #[test]
+    fn deembedding_with_noise_amplifies_but_stays_close() {
+        // Small measurement error stays small after de-embedding through a
+        // low-loss fixture.
+        let dev = device_s();
+        let fixture = launch();
+        let measured = fixture
+            .cascade(&dev.to_abcd().unwrap())
+            .cascade(&fixture)
+            .to_s(50.0)
+            .unwrap();
+        let noisy = SParams::new(
+            measured.s11() + Complex::new(0.002, -0.001),
+            measured.s12() + Complex::new(-0.001, 0.002),
+            measured.s21() + Complex::new(0.002, 0.002),
+            measured.s22() + Complex::new(-0.002, 0.001),
+            50.0,
+        );
+        let recovered = deembed_symmetric(&noisy, &fixture).unwrap();
+        assert!((recovered.s21() - dev.s21()).abs() < 0.05);
+        assert!((recovered.s11() - dev.s11()).abs() < 0.05);
+    }
+}

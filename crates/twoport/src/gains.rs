@@ -1,0 +1,252 @@
+//! Power-gain definitions for two-ports embedded between arbitrary
+//! source/load reflection coefficients.
+//!
+//! The design flow optimizes **transducer power gain** `G_T` (delivered to
+//! the load over available from the source), which is the quantity the
+//! paper trades off against noise figure. Available gain `G_A` feeds the
+//! Friis cascade formula; operating gain `G_P` and the maximum
+//! available/stable gains complete the usual set.
+
+use crate::params::SParams;
+use rfkit_num::Complex;
+
+/// Reflection coefficient of an impedance `z` against reference `z0`.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_net::gains::reflection_coefficient;
+/// use rfkit_num::Complex;
+/// let g = reflection_coefficient(Complex::real(50.0), 50.0);
+/// assert!(g.abs() < 1e-15);
+/// ```
+pub fn reflection_coefficient(z: Complex, z0: f64) -> Complex {
+    let z0 = Complex::real(z0);
+    (z - z0) / (z + z0)
+}
+
+/// Impedance corresponding to a reflection coefficient against `z0`.
+pub fn impedance_from_reflection(gamma: Complex, z0: f64) -> Complex {
+    Complex::real(z0) * (Complex::ONE + gamma) / (Complex::ONE - gamma)
+}
+
+/// Input reflection coefficient of a two-port with load `gamma_l` at port 2:
+/// `Γin = S11 + S12·S21·ΓL / (1 − S22·ΓL)`.
+pub fn gamma_in(s: &SParams, gamma_l: Complex) -> Complex {
+    s.s11() + s.s12() * s.s21() * gamma_l / (Complex::ONE - s.s22() * gamma_l)
+}
+
+/// Output reflection coefficient with source `gamma_s` at port 1:
+/// `Γout = S22 + S12·S21·Γs / (1 − S11·Γs)`.
+pub fn gamma_out(s: &SParams, gamma_s: Complex) -> Complex {
+    s.s22() + s.s12() * s.s21() * gamma_s / (Complex::ONE - s.s11() * gamma_s)
+}
+
+/// Transducer power gain `G_T` for the given source and load reflection
+/// coefficients (linear, not dB).
+pub fn transducer_gain(s: &SParams, gamma_s: Complex, gamma_l: Complex) -> f64 {
+    let num = s.s21().norm_sqr() * (1.0 - gamma_s.norm_sqr()) * (1.0 - gamma_l.norm_sqr());
+    let den = ((Complex::ONE - s.s11() * gamma_s) * (Complex::ONE - s.s22() * gamma_l)
+        - s.s12() * s.s21() * gamma_s * gamma_l)
+        .norm_sqr();
+    num / den
+}
+
+/// Available power gain `G_A` (load conjugately matched to the output) for
+/// the given source reflection coefficient (linear).
+pub fn available_gain(s: &SParams, gamma_s: Complex) -> f64 {
+    let g_out = gamma_out(s, gamma_s);
+    let num = s.s21().norm_sqr() * (1.0 - gamma_s.norm_sqr());
+    let den = (Complex::ONE - s.s11() * gamma_s).norm_sqr() * (1.0 - g_out.norm_sqr());
+    num / den
+}
+
+/// Operating (power) gain `G_P` (power to load over power into the network)
+/// for the given load reflection coefficient (linear).
+pub fn operating_gain(s: &SParams, gamma_l: Complex) -> f64 {
+    let g_in = gamma_in(s, gamma_l);
+    let num = s.s21().norm_sqr() * (1.0 - gamma_l.norm_sqr());
+    let den = (1.0 - g_in.norm_sqr()) * (Complex::ONE - s.s22() * gamma_l).norm_sqr();
+    num / den
+}
+
+/// Maximum stable gain `MSG = |S21| / |S12|` (linear); the gain bound when
+/// the device is only conditionally stable. Returns infinity for a
+/// unilateral device.
+pub fn maximum_stable_gain(s: &SParams) -> f64 {
+    let s12 = s.s12().abs();
+    if s12 == 0.0 {
+        f64::INFINITY
+    } else {
+        s.s21().abs() / s12
+    }
+}
+
+/// Maximum available gain
+/// `MAG = MSG · (K − sqrt(K² − 1))` (linear), defined only for `K ≥ 1`;
+/// returns `None` when the device is not unconditionally stable.
+pub fn maximum_available_gain(s: &SParams) -> Option<f64> {
+    let k = crate::stability::rollett_k(s);
+    if k < 1.0 {
+        return None;
+    }
+    Some(maximum_stable_gain(s) * (k - (k * k - 1.0).sqrt()))
+}
+
+/// Simultaneous conjugate match source/load reflection coefficients
+/// `(ΓMS, ΓML)` for an unconditionally stable two-port.
+///
+/// Returns `None` when `K < 1` (no simultaneous match exists).
+pub fn simultaneous_conjugate_match(s: &SParams) -> Option<(Complex, Complex)> {
+    let k = crate::stability::rollett_k(s);
+    if k < 1.0 {
+        return None;
+    }
+    let delta = s.delta();
+    let b1 = 1.0 + s.s11().norm_sqr() - s.s22().norm_sqr() - delta.norm_sqr();
+    let b2 = 1.0 + s.s22().norm_sqr() - s.s11().norm_sqr() - delta.norm_sqr();
+    let c1 = s.s11() - delta * s.s22().conj();
+    let c2 = s.s22() - delta * s.s11().conj();
+    let gs = solve_match(b1, c1)?;
+    let gl = solve_match(b2, c2)?;
+    Some((gs, gl))
+}
+
+/// Solves `Γ = (B ± sqrt(B² − 4|C|²)) / 2C`, picking the root with `|Γ| < 1`.
+fn solve_match(b: f64, c: Complex) -> Option<Complex> {
+    let c_mag = c.abs();
+    if c_mag == 0.0 {
+        return Some(Complex::ZERO);
+    }
+    let disc = b * b - 4.0 * c_mag * c_mag;
+    if disc < 0.0 {
+        return None;
+    }
+    let root = disc.sqrt();
+    let g1 = (Complex::real(b) - Complex::real(root)) / (Complex::real(2.0) * c);
+    let g2 = (Complex::real(b) + Complex::real(root)) / (Complex::real(2.0) * c);
+    if g1.abs() < 1.0 {
+        Some(g1)
+    } else if g2.abs() < 1.0 {
+        Some(g2)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Abcd;
+
+    fn cx(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    /// A stable amplifier-like S matrix (K > 1).
+    fn stable_amp() -> SParams {
+        SParams::new(
+            Complex::from_polar(0.3, 2.0),
+            Complex::from_polar(0.03, 0.5),
+            Complex::from_polar(3.0, -1.0),
+            Complex::from_polar(0.4, -2.5),
+            50.0,
+        )
+    }
+
+    #[test]
+    fn reflection_coefficient_basics() {
+        assert!(reflection_coefficient(cx(50.0, 0.0), 50.0).abs() < 1e-15);
+        let open = reflection_coefficient(cx(1e12, 0.0), 50.0);
+        assert!((open - Complex::ONE).abs() < 1e-9);
+        let short = reflection_coefficient(Complex::ZERO, 50.0);
+        assert!((short + Complex::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reflection_impedance_roundtrip() {
+        let z = cx(30.0, 40.0);
+        let g = reflection_coefficient(z, 50.0);
+        let z2 = impedance_from_reflection(g, 50.0);
+        assert!((z - z2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_in_reduces_to_s11_when_matched() {
+        let s = stable_amp();
+        assert!((gamma_in(&s, Complex::ZERO) - s.s11()).abs() < 1e-15);
+        assert!((gamma_out(&s, Complex::ZERO) - s.s22()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matched_transducer_gain_is_s21_squared() {
+        let s = stable_amp();
+        let gt = transducer_gain(&s, Complex::ZERO, Complex::ZERO);
+        assert!((gt - s.s21().norm_sqr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gains_ordering_holds() {
+        // GT ≤ GA and GT ≤ GP for any terminations.
+        let s = stable_amp();
+        let gs = Complex::from_polar(0.4, 1.0);
+        let gl = Complex::from_polar(0.3, -0.3);
+        let gt = transducer_gain(&s, gs, gl);
+        let ga = available_gain(&s, gs);
+        let gp = operating_gain(&s, gl);
+        assert!(gt <= ga + 1e-12, "GT={gt} GA={ga}");
+        assert!(gt <= gp + 1e-12, "GT={gt} GP={gp}");
+    }
+
+    #[test]
+    fn simultaneous_match_maximizes_transducer_gain() {
+        let s = stable_amp();
+        let (gms, gml) = simultaneous_conjugate_match(&s).expect("stable");
+        let g_matched = transducer_gain(&s, gms, gml);
+        let mag = maximum_available_gain(&s).unwrap();
+        assert!(
+            (g_matched - mag).abs() / mag < 1e-9,
+            "match gain {g_matched} vs MAG {mag}"
+        );
+        // Any perturbation must not do better.
+        for d in [0.05, -0.05] {
+            let g2 = transducer_gain(&s, gms + Complex::real(d), gml);
+            assert!(g2 <= g_matched + 1e-9);
+        }
+    }
+
+    #[test]
+    fn msg_of_unilateral_device_is_infinite() {
+        let s = SParams::new(Complex::ZERO, Complex::ZERO, Complex::real(3.0), Complex::ZERO, 50.0);
+        assert!(maximum_stable_gain(&s).is_infinite());
+    }
+
+    #[test]
+    fn passive_attenuator_gain_is_its_loss() {
+        // 6 dB matched pad: GT at matched ports = |S21|² = 1/4.
+        let pad = Abcd::shunt_admittance(cx(1.0 / 150.0, 0.0))
+            .cascade(&Abcd::series_impedance(cx(37.5, 0.0)))
+            .cascade(&Abcd::shunt_admittance(cx(1.0 / 150.0, 0.0)));
+        let s = pad.to_s(50.0).unwrap();
+        let gt = transducer_gain(&s, Complex::ZERO, Complex::ZERO);
+        assert!((gt - 0.25).abs() < 1e-9);
+        // Available gain of a matched passive pad equals GT.
+        let ga = available_gain(&s, Complex::ZERO);
+        assert!((ga - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_device_has_no_mag() {
+        // Pozar's conditionally stable FET example: K ≈ 0.607.
+        let s = SParams::new(
+            Complex::from_polar(0.894, (-60.6f64).to_radians()),
+            Complex::from_polar(0.020, 62.4f64.to_radians()),
+            Complex::from_polar(3.122, 123.6f64.to_radians()),
+            Complex::from_polar(0.781, (-27.6f64).to_radians()),
+            50.0,
+        );
+        assert!(crate::stability::rollett_k(&s) < 1.0);
+        assert!(maximum_available_gain(&s).is_none());
+        assert!(simultaneous_conjugate_match(&s).is_none());
+    }
+}

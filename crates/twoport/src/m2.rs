@@ -1,0 +1,234 @@
+//! A tiny 2×2 complex matrix used by every two-port representation.
+//!
+//! Kept separate from `rfkit_num::CMatrix` because two-port algebra is hot
+//! (every frequency point of every optimizer evaluation) and fixed-size
+//! closed-form inverses avoid allocation entirely.
+
+use rfkit_num::Complex;
+
+/// A 2×2 complex matrix with closed-form determinant and inverse.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_net::M2;
+/// use rfkit_num::Complex;
+///
+/// let i = M2::identity();
+/// let a = M2::new(
+///     Complex::real(2.0), Complex::ZERO,
+///     Complex::ZERO, Complex::real(4.0),
+/// );
+/// assert_eq!(a.mul(&i), a);
+/// assert_eq!(a.det(), Complex::real(8.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct M2 {
+    /// Element (1,1).
+    pub m11: Complex,
+    /// Element (1,2).
+    pub m12: Complex,
+    /// Element (2,1).
+    pub m21: Complex,
+    /// Element (2,2).
+    pub m22: Complex,
+}
+
+impl M2 {
+    /// Creates a matrix from its four entries in row-major order.
+    pub const fn new(m11: Complex, m12: Complex, m21: Complex, m22: Complex) -> Self {
+        M2 { m11, m12, m21, m22 }
+    }
+
+    /// The 2×2 identity.
+    pub const fn identity() -> Self {
+        M2::new(Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ONE)
+    }
+
+    /// The 2×2 zero matrix.
+    pub const fn zero() -> Self {
+        M2::new(Complex::ZERO, Complex::ZERO, Complex::ZERO, Complex::ZERO)
+    }
+
+    /// Determinant `m11·m22 − m12·m21`.
+    pub fn det(&self) -> Complex {
+        self.m11 * self.m22 - self.m12 * self.m21
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn mul(&self, rhs: &M2) -> M2 {
+        M2::new(
+            self.m11 * rhs.m11 + self.m12 * rhs.m21,
+            self.m11 * rhs.m12 + self.m12 * rhs.m22,
+            self.m21 * rhs.m11 + self.m22 * rhs.m21,
+            self.m21 * rhs.m12 + self.m22 * rhs.m22,
+        )
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, rhs: &M2) -> M2 {
+        M2::new(
+            self.m11 + rhs.m11,
+            self.m12 + rhs.m12,
+            self.m21 + rhs.m21,
+            self.m22 + rhs.m22,
+        )
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, rhs: &M2) -> M2 {
+        M2::new(
+            self.m11 - rhs.m11,
+            self.m12 - rhs.m12,
+            self.m21 - rhs.m21,
+            self.m22 - rhs.m22,
+        )
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, k: Complex) -> M2 {
+        M2::new(self.m11 * k, self.m12 * k, self.m21 * k, self.m22 * k)
+    }
+
+    /// Closed-form inverse.
+    ///
+    /// Returns `None` when the determinant magnitude underflows to zero.
+    pub fn inverse(&self) -> Option<M2> {
+        let d = self.det();
+        if d.abs() == 0.0 {
+            return None;
+        }
+        Some(M2::new(self.m22 / d, -self.m12 / d, -self.m21 / d, self.m11 / d))
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> M2 {
+        M2::new(
+            self.m11.conj(),
+            self.m21.conj(),
+            self.m12.conj(),
+            self.m22.conj(),
+        )
+    }
+
+    /// Transpose without conjugation.
+    pub fn transpose(&self) -> M2 {
+        M2::new(self.m11, self.m21, self.m12, self.m22)
+    }
+
+    /// Congruence transform `T · self · T†` (noise-correlation transform).
+    pub fn congruence(&self, t: &M2) -> M2 {
+        t.mul(self).mul(&t.adjoint())
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, v: [Complex; 2]) -> [Complex; 2] {
+        [
+            self.m11 * v[0] + self.m12 * v[1],
+            self.m21 * v[0] + self.m22 * v[1],
+        ]
+    }
+
+    /// `true` when all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.m11.is_finite() && self.m12.is_finite() && self.m21.is_finite() && self.m22.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cx(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    fn sample() -> M2 {
+        M2::new(cx(1.0, 0.5), cx(-2.0, 1.0), cx(0.0, 3.0), cx(4.0, -1.0))
+    }
+
+    #[test]
+    fn identity_behaviour() {
+        let a = sample();
+        assert_eq!(a.mul(&M2::identity()), a);
+        assert_eq!(M2::identity().mul(&a), a);
+        assert_eq!(M2::identity().det(), Complex::ONE);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = sample();
+        let inv = a.inverse().unwrap();
+        let p = a.mul(&inv);
+        assert!((p.m11 - Complex::ONE).abs() < 1e-13);
+        assert!(p.m12.abs() < 1e-13);
+        assert!(p.m21.abs() < 1e-13);
+        assert!((p.m22 - Complex::ONE).abs() < 1e-13);
+    }
+
+    #[test]
+    fn singular_has_no_inverse() {
+        let a = M2::new(cx(1.0, 0.0), cx(2.0, 0.0), cx(2.0, 0.0), cx(4.0, 0.0));
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn det_multiplicative() {
+        let a = sample();
+        let b = M2::new(cx(0.3, 0.0), cx(1.0, -1.0), cx(2.0, 0.0), cx(0.0, 0.5));
+        let lhs = a.mul(&b).det();
+        let rhs = a.det() * b.det();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjoint_and_transpose() {
+        let a = sample();
+        assert_eq!(a.transpose().m12, a.m21);
+        assert_eq!(a.adjoint().m12, a.m21.conj());
+        // (AB)† = B†A†
+        let b = M2::new(cx(1.0, 1.0), cx(0.0, 0.0), cx(0.5, 0.0), cx(2.0, 0.0));
+        let lhs = a.mul(&b).adjoint();
+        let rhs = b.adjoint().mul(&a.adjoint());
+        assert!((lhs.m11 - rhs.m11).abs() < 1e-13);
+        assert!((lhs.m22 - rhs.m22).abs() < 1e-13);
+    }
+
+    #[test]
+    fn congruence_preserves_hermitian() {
+        // Hermitian input stays Hermitian under congruence.
+        let h = M2::new(cx(2.0, 0.0), cx(0.3, 0.4), cx(0.3, -0.4), cx(1.0, 0.0));
+        let t = sample();
+        let out = h.congruence(&t);
+        assert!((out.m12 - out.m21.conj()).abs() < 1e-12);
+        assert!(out.m11.im.abs() < 1e-12);
+        assert!(out.m22.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_linearity() {
+        let a = sample();
+        let v = [cx(1.0, 2.0), cx(-0.5, 0.0)];
+        let w = [cx(0.0, 1.0), cx(3.0, 0.0)];
+        let sum = a.matvec([v[0] + w[0], v[1] + w[1]]);
+        let av = a.matvec(v);
+        let aw = a.matvec(w);
+        assert!((sum[0] - (av[0] + aw[0])).abs() < 1e-13);
+        assert!((sum[1] - (av[1] + aw[1])).abs() < 1e-13);
+    }
+
+    #[test]
+    fn scale_add_sub() {
+        let a = sample();
+        let two = a.scale(Complex::real(2.0));
+        assert_eq!(two, a.add(&a));
+        assert_eq!(a.sub(&a), M2::zero());
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(sample().is_finite());
+        let bad = M2::new(cx(f64::NAN, 0.0), Complex::ZERO, Complex::ZERO, Complex::ONE);
+        assert!(!bad.is_finite());
+    }
+}

@@ -1,0 +1,261 @@
+//! Noise parameters of a two-port and the classic noise-figure formulas.
+//!
+//! A noisy linear two-port is fully described for noise purposes by the
+//! quartet (`Fmin`, `Rn`, `Γopt`) — minimum noise factor, equivalent noise
+//! resistance and optimum source reflection coefficient. The amplifier
+//! design flow trades `F(Γs)` against transducer gain; this module supplies
+//! both directions of the parameter algebra plus the Friis cascade formula.
+
+use crate::gains::{impedance_from_reflection, reflection_coefficient};
+use rfkit_num::units::{nf_db_from_factor, T0_KELVIN};
+use rfkit_num::Complex;
+
+/// Noise parameters of a linear two-port at one frequency.
+///
+/// All quantities are linear (`fmin` is a noise *factor*, not dB).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseParams {
+    /// Minimum noise factor (≥ 1).
+    pub fmin: f64,
+    /// Equivalent noise resistance in ohms.
+    pub rn: f64,
+    /// Optimum source reflection coefficient (referenced to `z0`).
+    pub gamma_opt: Complex,
+    /// Reference impedance for `gamma_opt`, ohms.
+    pub z0: f64,
+}
+
+impl NoiseParams {
+    /// Creates noise parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fmin < 1`, `rn < 0` or `z0 <= 0` — physically meaningless
+    /// inputs that would silently corrupt downstream optimization.
+    pub fn new(fmin: f64, rn: f64, gamma_opt: Complex, z0: f64) -> Self {
+        assert!(fmin >= 1.0, "noise factor must be >= 1, got {fmin}");
+        assert!(rn >= 0.0, "noise resistance must be >= 0, got {rn}");
+        assert!(z0 > 0.0, "reference impedance must be positive");
+        NoiseParams {
+            fmin,
+            rn,
+            gamma_opt,
+            z0,
+        }
+    }
+
+    /// The ideal noiseless two-port: `F = 1` for every source.
+    pub fn noiseless(z0: f64) -> Self {
+        NoiseParams::new(1.0, 0.0, Complex::ZERO, z0)
+    }
+
+    /// Optimum source admittance `Yopt` corresponding to `gamma_opt`.
+    pub fn y_opt(&self) -> Complex {
+        let z = impedance_from_reflection(self.gamma_opt, self.z0);
+        z.recip()
+    }
+
+    /// Noise factor for a source admittance `ys` (siemens):
+    /// `F = Fmin + (Rn/Gs)·|Ys − Yopt|²`.
+    ///
+    /// Returns infinity for a reactive source (`Gs <= 0`), which cannot
+    /// deliver noise power to compare against.
+    pub fn noise_factor_ys(&self, ys: Complex) -> f64 {
+        let gs = ys.re;
+        if gs <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.fmin + self.rn / gs * (ys - self.y_opt()).norm_sqr()
+    }
+
+    /// Noise factor for a source reflection coefficient `Γs`:
+    /// `F = Fmin + 4·rn·|Γs − Γopt|² / ((1 − |Γs|²)·|1 + Γopt|²)`
+    /// with `rn = Rn/z0`.
+    pub fn noise_factor(&self, gamma_s: Complex) -> f64 {
+        let den = (1.0 - gamma_s.norm_sqr()) * (Complex::ONE + self.gamma_opt).norm_sqr();
+        if den <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.fmin + 4.0 * (self.rn / self.z0) * (gamma_s - self.gamma_opt).norm_sqr() / den
+    }
+
+    /// Noise factor with a source impedance `zs` (ohms).
+    pub fn noise_factor_zs(&self, zs: Complex) -> f64 {
+        self.noise_factor(reflection_coefficient(zs, self.z0))
+    }
+
+    /// Minimum noise figure in dB.
+    pub fn nf_min_db(&self) -> f64 {
+        nf_db_from_factor(self.fmin)
+    }
+
+    /// Noise figure in dB for a source reflection coefficient.
+    pub fn nf_db(&self, gamma_s: Complex) -> f64 {
+        nf_db_from_factor(self.noise_factor(gamma_s))
+    }
+
+    /// Equivalent noise temperature (K) at the optimum source.
+    pub fn t_min_kelvin(&self) -> f64 {
+        (self.fmin - 1.0) * T0_KELVIN
+    }
+}
+
+/// One stage of a noise cascade: available gain and noise factor, both
+/// linear.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeStage {
+    /// Available power gain (linear).
+    pub gain: f64,
+    /// Noise factor (linear).
+    pub noise_factor: f64,
+}
+
+/// Friis formula: total noise factor of a cascade,
+/// `F = F1 + (F2 − 1)/G1 + (F3 − 1)/(G1·G2) + …`.
+///
+/// Returns 1.0 (noiseless) for an empty cascade.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_net::noise::{friis, CascadeStage};
+/// // A 0.5 dB NF LNA with 15 dB gain in front of a 10 dB NF receiver
+/// // keeps the system NF near the LNA's.
+/// let lna = CascadeStage { gain: 31.62, noise_factor: 1.122 };
+/// let rx = CascadeStage { gain: 1.0, noise_factor: 10.0 };
+/// let f = friis(&[lna, rx]);
+/// assert!(f < 1.5);
+/// ```
+pub fn friis(stages: &[CascadeStage]) -> f64 {
+    let mut f_total = 1.0;
+    let mut gain_product = 1.0;
+    for stage in stages {
+        f_total += (stage.noise_factor - 1.0) / gain_product;
+        gain_product *= stage.gain;
+    }
+    f_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn typical_lna_noise() -> NoiseParams {
+        // ATF-54143-class values at 1.5 GHz: NFmin ≈ 0.45 dB, Rn ≈ 7 Ω,
+        // Γopt ≈ 0.35 ∠ 40°.
+        NoiseParams::new(
+            1.109,
+            7.0,
+            Complex::from_polar(0.35, 40f64.to_radians()),
+            50.0,
+        )
+    }
+
+    #[test]
+    fn minimum_is_attained_at_gamma_opt() {
+        let np = typical_lna_noise();
+        let f_opt = np.noise_factor(np.gamma_opt);
+        assert!((f_opt - np.fmin).abs() < 1e-12);
+        // Any other source is worse.
+        for k in 0..12 {
+            let g = Complex::from_polar(0.5, k as f64 * 0.5);
+            assert!(np.noise_factor(g) >= np.fmin - 1e-12);
+        }
+    }
+
+    #[test]
+    fn ys_and_gamma_formulas_agree() {
+        let np = typical_lna_noise();
+        for k in 0..8 {
+            let gs = Complex::from_polar(0.3, k as f64 * 0.8);
+            let zs = impedance_from_reflection(gs, 50.0);
+            let f1 = np.noise_factor(gs);
+            let f2 = np.noise_factor_ys(zs.recip());
+            assert!(
+                (f1 - f2).abs() < 1e-9 * f1,
+                "Γ formula {f1} vs Y formula {f2}"
+            );
+        }
+    }
+
+    #[test]
+    fn zs_wrapper_matches_gamma() {
+        let np = typical_lna_noise();
+        let zs = Complex::new(30.0, 20.0);
+        let f1 = np.noise_factor_zs(zs);
+        let f2 = np.noise_factor(reflection_coefficient(zs, 50.0));
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn noiseless_two_port_has_unit_factor() {
+        let np = NoiseParams::noiseless(50.0);
+        assert_eq!(np.noise_factor(Complex::ZERO), 1.0);
+        assert_eq!(np.noise_factor(Complex::from_polar(0.6, 1.0)), 1.0);
+        assert_eq!(np.nf_min_db(), 0.0);
+        assert_eq!(np.t_min_kelvin(), 0.0);
+    }
+
+    #[test]
+    fn reactive_source_is_infinite() {
+        let np = typical_lna_noise();
+        // |Γs| = 1 → purely reactive source
+        assert!(np.noise_factor(Complex::ONE).is_infinite());
+        assert!(np.noise_factor_ys(Complex::imag(0.01)).is_infinite());
+    }
+
+    #[test]
+    fn nf_db_conversion() {
+        let np = NoiseParams::new(2.0, 5.0, Complex::ZERO, 50.0);
+        assert!((np.nf_min_db() - 3.0103).abs() < 1e-3);
+        assert!((np.t_min_kelvin() - 290.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn friis_single_stage_is_its_factor() {
+        let f = friis(&[CascadeStage {
+            gain: 10.0,
+            noise_factor: 1.5,
+        }]);
+        assert_eq!(f, 1.5);
+        assert_eq!(friis(&[]), 1.0);
+    }
+
+    #[test]
+    fn friis_high_front_gain_suppresses_second_stage() {
+        let front = CascadeStage {
+            gain: 100.0,
+            noise_factor: 1.2,
+        };
+        let back = CascadeStage {
+            gain: 10.0,
+            noise_factor: 15.0,
+        };
+        let f = friis(&[front, back]);
+        assert!((f - (1.2 + 14.0 / 100.0)).abs() < 1e-12);
+        // Reversing the order is catastrophically worse.
+        let f_rev = friis(&[back, front]);
+        assert!(f_rev > 10.0 * f);
+    }
+
+    #[test]
+    fn friis_attenuator_first_adds_its_loss() {
+        // 3 dB pad (G = 0.5, F = 2) before an F = 2 amp: F_total = 2 + 1/0.5 = 4 (6 dB).
+        let pad = CascadeStage {
+            gain: 0.5,
+            noise_factor: 2.0,
+        };
+        let amp = CascadeStage {
+            gain: 100.0,
+            noise_factor: 2.0,
+        };
+        let f = friis(&[pad, amp]);
+        assert!((f - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise factor")]
+    fn rejects_sub_unity_fmin() {
+        NoiseParams::new(0.9, 5.0, Complex::ZERO, 50.0);
+    }
+}

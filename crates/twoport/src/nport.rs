@@ -1,0 +1,279 @@
+//! N-port scattering matrices and port-termination reduction.
+//!
+//! The T splitter the paper uses in the antenna front end is a 3-port; this
+//! module holds arbitrary N-port S matrices and reduces them to smaller
+//! networks by terminating ports, which is how the dual-output front end is
+//! analysed (each receiver chain sees the splitter with the other output
+//! terminated).
+
+use crate::params::SParams;
+use rfkit_num::{CMatrix, Complex};
+
+/// Error from N-port operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NPortError {
+    /// A port index was out of range.
+    PortOutOfRange {
+        /// The offending index.
+        port: usize,
+        /// Number of ports in the network.
+        n_ports: usize,
+    },
+    /// The operation requires exactly two remaining ports.
+    NotTwoPort(usize),
+}
+
+impl std::fmt::Display for NPortError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NPortError::PortOutOfRange { port, n_ports } => {
+                write!(f, "port {port} out of range for {n_ports}-port network")
+            }
+            NPortError::NotTwoPort(n) => {
+                write!(f, "operation requires a two-port, network has {n} ports")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NPortError {}
+
+/// An N-port scattering matrix referenced to a single real impedance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NPort {
+    s: CMatrix,
+    z0: f64,
+}
+
+impl NPort {
+    /// Creates an N-port from a square scattering matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `z0 <= 0`.
+    pub fn new(s: CMatrix, z0: f64) -> Self {
+        assert!(s.is_square(), "scattering matrix must be square");
+        assert!(z0 > 0.0, "reference impedance must be positive");
+        NPort { s, z0 }
+    }
+
+    /// Builds a 3-port ideal (lossless, matched-reference) T junction:
+    /// `Sii = −1/3`, `Sij = 2/3`. This is the textbook parallel junction of
+    /// three identical lines; it cannot be matched at all ports
+    /// simultaneously, which is why real designs add isolation resistors.
+    pub fn ideal_tee(z0: f64) -> Self {
+        let s = CMatrix::from_fn(3, 3, |i, j| {
+            if i == j {
+                Complex::real(-1.0 / 3.0)
+            } else {
+                Complex::real(2.0 / 3.0)
+            }
+        });
+        NPort::new(s, z0)
+    }
+
+    /// Builds an ideal Wilkinson power divider (port 1 = input): matched at
+    /// all ports, −3 dB to each output with isolation between them.
+    pub fn ideal_wilkinson(z0: f64) -> Self {
+        let k = Complex::new(0.0, -1.0 / 2f64.sqrt());
+        let mut s = CMatrix::zeros(3, 3);
+        s[(0, 1)] = k;
+        s[(0, 2)] = k;
+        s[(1, 0)] = k;
+        s[(2, 0)] = k;
+        NPort::new(s, z0)
+    }
+
+    /// Number of ports.
+    pub fn n_ports(&self) -> usize {
+        self.s.rows()
+    }
+
+    /// Reference impedance (ohms).
+    pub fn z0(&self) -> f64 {
+        self.z0
+    }
+
+    /// Scattering coefficient `S(i, j)` with zero-based port indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NPortError::PortOutOfRange`] for bad indices.
+    pub fn s(&self, i: usize, j: usize) -> Result<Complex, NPortError> {
+        let n = self.n_ports();
+        if i >= n || j >= n {
+            return Err(NPortError::PortOutOfRange {
+                port: i.max(j),
+                n_ports: n,
+            });
+        }
+        Ok(self.s[(i, j)])
+    }
+
+    /// Terminates port `k` with reflection coefficient `gamma`, producing an
+    /// (N−1)-port. The surviving ports keep their relative order.
+    ///
+    /// Uses `S'ᵢⱼ = Sᵢⱼ + Sᵢₖ·Γ·Sₖⱼ / (1 − Sₖₖ·Γ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NPortError::PortOutOfRange`] for a bad index.
+    pub fn terminate(&self, k: usize, gamma: Complex) -> Result<NPort, NPortError> {
+        let n = self.n_ports();
+        if k >= n {
+            return Err(NPortError::PortOutOfRange { port: k, n_ports: n });
+        }
+        let den = Complex::ONE - self.s[(k, k)] * gamma;
+        let keep: Vec<usize> = (0..n).filter(|&p| p != k).collect();
+        let s = CMatrix::from_fn(n - 1, n - 1, |i, j| {
+            let (pi, pj) = (keep[i], keep[j]);
+            self.s[(pi, pj)] + self.s[(pi, k)] * gamma * self.s[(k, pj)] / den
+        });
+        Ok(NPort::new(s, self.z0))
+    }
+
+    /// Terminates port `k` in the reference impedance (Γ = 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NPortError::PortOutOfRange`] for a bad index.
+    pub fn terminate_matched(&self, k: usize) -> Result<NPort, NPortError> {
+        self.terminate(k, Complex::ZERO)
+    }
+
+    /// Converts a 2-port [`NPort`] into [`SParams`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NPortError::NotTwoPort`] unless exactly two ports remain.
+    pub fn to_two_port(&self) -> Result<SParams, NPortError> {
+        if self.n_ports() != 2 {
+            return Err(NPortError::NotTwoPort(self.n_ports()));
+        }
+        Ok(SParams::new(
+            self.s[(0, 0)],
+            self.s[(0, 1)],
+            self.s[(1, 0)],
+            self.s[(1, 1)],
+            self.z0,
+        ))
+    }
+
+    /// `true` when the matrix is unitary within `tol` (lossless network).
+    pub fn is_lossless(&self, tol: f64) -> bool {
+        let product = self
+            .s
+            .adjoint()
+            .matmul(&self.s)
+            .expect("square matrices chain");
+        let n = self.n_ports();
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { Complex::ONE } else { Complex::ZERO };
+                if (product[(i, j)] - expect).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` when the matrix is symmetric within `tol` (reciprocal network).
+    pub fn is_reciprocal(&self, tol: f64) -> bool {
+        let n = self.n_ports();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if (self.s[(i, j)] - self.s[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_tee_is_lossless_and_reciprocal() {
+        let tee = NPort::ideal_tee(50.0);
+        assert!(tee.is_lossless(1e-12));
+        assert!(tee.is_reciprocal(1e-12));
+        assert_eq!(tee.n_ports(), 3);
+    }
+
+    #[test]
+    fn tee_split_loses_power_into_mismatch() {
+        // With port 3 matched, the through path of an ideal tee delivers
+        // |S21|² = 4/9 of the power and reflects 1/9.
+        let tee = NPort::ideal_tee(50.0);
+        let two = tee.terminate_matched(2).unwrap().to_two_port().unwrap();
+        assert!((two.s21().norm_sqr() - 4.0 / 9.0).abs() < 1e-12);
+        assert!((two.s11().norm_sqr() - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilkinson_is_matched_and_isolating() {
+        let w = NPort::ideal_wilkinson(50.0);
+        assert!(w.s(0, 0).unwrap().abs() < 1e-12);
+        assert!(w.s(1, 2).unwrap().abs() < 1e-12, "output ports isolated");
+        assert!((w.s(1, 0).unwrap().norm_sqr() - 0.5).abs() < 1e-12, "3 dB split");
+        // The isolation resistor makes it lossy for odd-mode signals,
+        // so the matrix is NOT unitary.
+        assert!(!w.is_lossless(1e-6));
+        assert!(w.is_reciprocal(1e-12));
+    }
+
+    #[test]
+    fn wilkinson_terminated_is_a_clean_two_port() {
+        let w = NPort::ideal_wilkinson(50.0);
+        let two = w.terminate_matched(2).unwrap().to_two_port().unwrap();
+        assert!(two.s11().abs() < 1e-12);
+        assert!(two.s22().abs() < 1e-12);
+        assert!((two.s21().norm_sqr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn terminating_with_short_reflects() {
+        // A 2-port through terminated in a short at port 2 gives Γin = -1.
+        let mut s = CMatrix::zeros(2, 2);
+        s[(0, 1)] = Complex::ONE;
+        s[(1, 0)] = Complex::ONE;
+        let through = NPort::new(s, 50.0);
+        let one = through.terminate(1, -Complex::ONE).unwrap();
+        assert_eq!(one.n_ports(), 1);
+        assert!((one.s(0, 0).unwrap() + Complex::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn termination_matches_two_port_gamma_in_formula() {
+        let s2 = SParams::new(
+            Complex::from_polar(0.4, 1.0),
+            Complex::from_polar(0.1, -0.2),
+            Complex::from_polar(2.5, 0.7),
+            Complex::from_polar(0.3, 2.0),
+            50.0,
+        );
+        let np = NPort::new(
+            CMatrix::from_rows(&[&[s2.s11(), s2.s12()], &[s2.s21(), s2.s22()]]),
+            50.0,
+        );
+        let gl = Complex::from_polar(0.6, -1.1);
+        let reduced = np.terminate(1, gl).unwrap();
+        let expect = crate::gains::gamma_in(&s2, gl);
+        assert!((reduced.s(0, 0).unwrap() - expect).abs() < 1e-13);
+    }
+
+    #[test]
+    fn port_out_of_range_errors() {
+        let tee = NPort::ideal_tee(50.0);
+        assert!(matches!(
+            tee.terminate(3, Complex::ZERO),
+            Err(NPortError::PortOutOfRange { .. })
+        ));
+        assert!(matches!(tee.s(0, 5), Err(NPortError::PortOutOfRange { .. })));
+        assert!(matches!(tee.to_two_port(), Err(NPortError::NotTwoPort(3))));
+    }
+}

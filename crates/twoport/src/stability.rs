@@ -1,0 +1,191 @@
+//! Linear stability measures of a two-port.
+//!
+//! A GNSS antenna amplifier must be unconditionally stable well beyond its
+//! operating band (any antenna mismatch must not start an oscillation), so
+//! the design flow constrains these quantities from 100 MHz to several GHz.
+
+use crate::params::SParams;
+use rfkit_num::Complex;
+
+/// Rollett stability factor
+/// `K = (1 − |S11|² − |S22|² + |Δ|²) / (2|S12·S21|)`.
+///
+/// `K > 1` together with `|Δ| < 1` means unconditional stability. Returns
+/// infinity for a unilateral device (`S12 == 0`).
+pub fn rollett_k(s: &SParams) -> f64 {
+    let num = 1.0 - s.s11().norm_sqr() - s.s22().norm_sqr() + s.delta().norm_sqr();
+    let den = 2.0 * (s.s12() * s.s21()).abs();
+    if den == 0.0 {
+        f64::INFINITY
+    } else {
+        num / den
+    }
+}
+
+/// Edwards–Sinsky geometric stability factor seen from the load plane:
+/// `μ = (1 − |S11|²) / (|S22 − Δ·S11*| + |S12·S21|)`.
+///
+/// `μ > 1` alone is necessary and sufficient for unconditional stability.
+pub fn mu_load(s: &SParams) -> f64 {
+    let num = 1.0 - s.s11().norm_sqr();
+    let den = (s.s22() - s.delta() * s.s11().conj()).abs() + (s.s12() * s.s21()).abs();
+    if den == 0.0 {
+        f64::INFINITY
+    } else {
+        num / den
+    }
+}
+
+/// Geometric stability factor seen from the source plane (`μ'`):
+/// `μ' = (1 − |S22|²) / (|S11 − Δ·S22*| + |S12·S21|)`.
+pub fn mu_source(s: &SParams) -> f64 {
+    let num = 1.0 - s.s22().norm_sqr();
+    let den = (s.s11() - s.delta() * s.s22().conj()).abs() + (s.s12() * s.s21()).abs();
+    if den == 0.0 {
+        f64::INFINITY
+    } else {
+        num / den
+    }
+}
+
+/// Auxiliary stability parameter `B1 = 1 + |S11|² − |S22|² − |Δ|²`;
+/// `B1 > 0` selects the usable root in matching formulas.
+pub fn b1(s: &SParams) -> f64 {
+    1.0 + s.s11().norm_sqr() - s.s22().norm_sqr() - s.delta().norm_sqr()
+}
+
+/// `true` when the two-port is unconditionally stable (`K > 1` and
+/// `|Δ| < 1`).
+pub fn is_unconditionally_stable(s: &SParams) -> bool {
+    rollett_k(s) > 1.0 && s.delta().abs() < 1.0
+}
+
+/// Center and radius of the **load-plane** stability circle (the locus of
+/// loads giving `|Γin| = 1`).
+pub fn load_stability_circle(s: &SParams) -> (Complex, f64) {
+    let delta = s.delta();
+    let den = s.s22().norm_sqr() - delta.norm_sqr();
+    let center = (s.s22() - delta * s.s11().conj()).conj() / Complex::real(den);
+    let radius = ((s.s12() * s.s21()).abs() / den).abs();
+    (center, radius)
+}
+
+/// Center and radius of the **source-plane** stability circle.
+pub fn source_stability_circle(s: &SParams) -> (Complex, f64) {
+    let delta = s.delta();
+    let den = s.s11().norm_sqr() - delta.norm_sqr();
+    let center = (s.s11() - delta * s.s22().conj()).conj() / Complex::real(den);
+    let radius = ((s.s12() * s.s21()).abs() / den).abs();
+    (center, radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gains::gamma_in;
+
+    fn stable_amp() -> SParams {
+        SParams::new(
+            Complex::from_polar(0.3, 2.0),
+            Complex::from_polar(0.03, 0.5),
+            Complex::from_polar(3.0, -1.0),
+            Complex::from_polar(0.4, -2.5),
+            50.0,
+        )
+    }
+
+    fn unstable_amp() -> SParams {
+        // Pozar's conditionally stable FET example: K ≈ 0.607, |Δ| ≈ 0.696.
+        SParams::new(
+            Complex::from_polar(0.894, (-60.6f64).to_radians()),
+            Complex::from_polar(0.020, 62.4f64.to_radians()),
+            Complex::from_polar(3.122, 123.6f64.to_radians()),
+            Complex::from_polar(0.781, (-27.6f64).to_radians()),
+            50.0,
+        )
+    }
+
+    #[test]
+    fn k_and_mu_agree_on_stability_verdict() {
+        let s = stable_amp();
+        assert!(rollett_k(&s) > 1.0);
+        assert!(mu_load(&s) > 1.0);
+        assert!(mu_source(&s) > 1.0);
+        assert!(is_unconditionally_stable(&s));
+        let u = unstable_amp();
+        assert!(rollett_k(&u) < 1.0);
+        assert!(mu_load(&u) < 1.0);
+        assert!(mu_source(&u) < 1.0);
+        assert!(!is_unconditionally_stable(&u));
+    }
+
+    #[test]
+    fn passive_network_is_unconditionally_stable() {
+        // Matched 6 dB pad.
+        let s = SParams::new(
+            Complex::ZERO,
+            Complex::real(0.5),
+            Complex::real(0.5),
+            Complex::ZERO,
+            50.0,
+        );
+        assert!(is_unconditionally_stable(&s));
+        assert!(mu_load(&s) > 1.0);
+    }
+
+    #[test]
+    fn unilateral_device_k_is_infinite() {
+        let s = SParams::new(
+            Complex::from_polar(0.5, 1.0),
+            Complex::ZERO,
+            Complex::real(4.0),
+            Complex::from_polar(0.4, 0.0),
+            50.0,
+        );
+        assert!(rollett_k(&s).is_infinite());
+    }
+
+    #[test]
+    fn stability_circle_boundary_gives_unit_gamma_in() {
+        // Points on the load stability circle must map to |Γin| = 1.
+        let s = unstable_amp();
+        let (c, r) = load_stability_circle(&s);
+        for k in 0..8 {
+            let ang = k as f64 * std::f64::consts::PI / 4.0;
+            let gl = c + Complex::from_polar(r, ang);
+            let gin = gamma_in(&s, gl);
+            assert!(
+                (gin.abs() - 1.0).abs() < 1e-9,
+                "|Γin| = {} at angle {ang}",
+                gin.abs()
+            );
+        }
+    }
+
+    #[test]
+    fn source_circle_boundary_gives_unit_gamma_out() {
+        let s = unstable_amp();
+        let (c, r) = source_stability_circle(&s);
+        for k in 0..8 {
+            let ang = k as f64 * std::f64::consts::PI / 4.0;
+            let gs = c + Complex::from_polar(r, ang);
+            let gout = crate::gains::gamma_out(&s, gs);
+            assert!((gout.abs() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stable_device_circle_excludes_origin() {
+        // For an unconditionally stable device the load stability circle must
+        // not contain the center of the Smith chart.
+        let s = stable_amp();
+        let (c, r) = load_stability_circle(&s);
+        assert!((c.abs() - r).abs() > 0.0);
+        assert!(c.abs() > r, "origin inside stability circle of stable device");
+    }
+
+    #[test]
+    fn b1_positive_for_stable_amp() {
+        assert!(b1(&stable_amp()) > 0.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! Frequency-swept network responses.
+//!
+//! A [`FrequencyResponse`] is the thing a vector network analyzer produces
+//! and the thing every experiment in the paper plots: S-parameters (and
+//! optionally noise parameters) on a frequency grid, with helpers for the
+//! dB series and worst-case extraction the band-design objectives need.
+
+use crate::noise::NoiseParams;
+use crate::params::SParams;
+use rfkit_num::units::db_from_amplitude_ratio;
+use rfkit_num::Complex;
+
+/// S-parameters (and optional noise parameters) on a frequency grid.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FrequencyResponse {
+    points: Vec<ResponsePoint>,
+}
+
+/// One frequency point of a [`FrequencyResponse`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponsePoint {
+    /// Frequency in Hz.
+    pub freq_hz: f64,
+    /// Scattering parameters at this frequency.
+    pub s: SParams,
+    /// Noise parameters, when the analysis produced them.
+    pub noise: Option<NoiseParams>,
+}
+
+impl FrequencyResponse {
+    /// Creates an empty response.
+    pub fn new() -> Self {
+        FrequencyResponse { points: Vec::new() }
+    }
+
+    /// Appends a point; frequencies must be pushed in increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` does not exceed the last stored frequency.
+    pub fn push(&mut self, freq_hz: f64, s: SParams, noise: Option<NoiseParams>) {
+        if let Some(last) = self.points.last() {
+            assert!(
+                freq_hz > last.freq_hz,
+                "frequencies must be strictly increasing"
+            );
+        }
+        self.points.push(ResponsePoint { freq_hz, s, noise });
+    }
+
+    /// Number of frequency points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over the stored points.
+    pub fn iter(&self) -> std::slice::Iter<'_, ResponsePoint> {
+        self.points.iter()
+    }
+
+    /// The frequency grid in Hz.
+    pub fn freqs(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.freq_hz).collect()
+    }
+
+    /// Magnitude of the selected S-parameter in dB at each point;
+    /// `which` is `(row, col)` with 1-based RF convention, e.g. `(2, 1)`
+    /// for S21.
+    ///
+    /// # Panics
+    ///
+    /// Panics for indices outside `1..=2`.
+    pub fn s_db(&self, which: (usize, usize)) -> Vec<f64> {
+        self.points
+            .iter()
+            .map(|p| db_from_amplitude_ratio(select(p.s, which).abs()))
+            .collect()
+    }
+
+    /// Noise figure in dB for a matched (Γs = 0) source at each point;
+    /// `None` entries where noise data is missing.
+    pub fn nf_db(&self) -> Vec<Option<f64>> {
+        self.points
+            .iter()
+            .map(|p| p.noise.map(|n| n.nf_db(Complex::ZERO)))
+            .collect()
+    }
+
+    /// Restricts to points within `[f_lo, f_hi]` (inclusive).
+    pub fn band(&self, f_lo: f64, f_hi: f64) -> FrequencyResponse {
+        FrequencyResponse {
+            points: self
+                .points
+                .iter()
+                .filter(|p| p.freq_hz >= f_lo && p.freq_hz <= f_hi)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Worst (largest) |S11| in dB over the stored points — the input
+    /// return-loss figure of merit. Returns `None` when empty.
+    pub fn worst_input_match_db(&self) -> Option<f64> {
+        self.s_db((1, 1))
+            .into_iter()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Smallest |S21| in dB over the stored points — the worst-case gain.
+    /// Returns `None` when empty.
+    pub fn min_gain_db(&self) -> Option<f64> {
+        self.s_db((2, 1))
+            .into_iter()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Largest matched-source noise figure in dB over the stored points.
+    /// Returns `None` when no point carries noise data.
+    pub fn max_nf_db(&self) -> Option<f64> {
+        self.nf_db()
+            .into_iter()
+            .flatten()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// The stored S rows as `(freq, SParams)` pairs, e.g. for
+    /// [`crate::touchstone::write_s2p`].
+    pub fn s_rows(&self) -> Vec<(f64, SParams)> {
+        self.points.iter().map(|p| (p.freq_hz, p.s)).collect()
+    }
+
+    /// Group delay `τg = −dφ/dω` of the selected S-parameter in seconds at
+    /// each point, from the unwrapped phase (central differences, one-sided
+    /// at the grid ends). GNSS receivers care about this: differential
+    /// group delay across the band corrupts the code/carrier alignment.
+    ///
+    /// Returns an empty vector for fewer than 2 points.
+    ///
+    /// # Panics
+    ///
+    /// Panics for S-parameter indices outside `1..=2`.
+    pub fn group_delay_s(&self, which: (usize, usize)) -> Vec<f64> {
+        let n = self.points.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        // Unwrap the phase.
+        let mut phase: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| select(p.s, which).arg())
+            .collect();
+        for i in 1..n {
+            let mut d = phase[i] - phase[i - 1];
+            while d > std::f64::consts::PI {
+                d -= 2.0 * std::f64::consts::PI;
+            }
+            while d < -std::f64::consts::PI {
+                d += 2.0 * std::f64::consts::PI;
+            }
+            phase[i] = phase[i - 1] + d;
+        }
+        let w: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| 2.0 * std::f64::consts::PI * p.freq_hz)
+            .collect();
+        (0..n)
+            .map(|i| {
+                let (a, b) = if i == 0 {
+                    (0, 1)
+                } else if i == n - 1 {
+                    (n - 2, n - 1)
+                } else {
+                    (i - 1, i + 1)
+                };
+                -(phase[b] - phase[a]) / (w[b] - w[a])
+            })
+            .collect()
+    }
+
+    /// Differential group delay of S21 over the stored points:
+    /// `max(τg) − min(τg)` in seconds. Returns `None` with fewer than 2
+    /// points.
+    pub fn differential_group_delay_s(&self) -> Option<f64> {
+        let tg = self.group_delay_s((2, 1));
+        if tg.is_empty() {
+            return None;
+        }
+        let max = tg.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = tg.iter().cloned().fold(f64::INFINITY, f64::min);
+        Some(max - min)
+    }
+}
+
+impl FromIterator<ResponsePoint> for FrequencyResponse {
+    fn from_iter<I: IntoIterator<Item = ResponsePoint>>(iter: I) -> Self {
+        let mut resp = FrequencyResponse::new();
+        for p in iter {
+            resp.push(p.freq_hz, p.s, p.noise);
+        }
+        resp
+    }
+}
+
+impl<'a> IntoIterator for &'a FrequencyResponse {
+    type Item = &'a ResponsePoint;
+    type IntoIter = std::slice::Iter<'a, ResponsePoint>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+fn select(s: SParams, which: (usize, usize)) -> Complex {
+    match which {
+        (1, 1) => s.s11(),
+        (1, 2) => s.s12(),
+        (2, 1) => s.s21(),
+        (2, 2) => s.s22(),
+        _ => panic!("S-parameter index must be in 1..=2, got {which:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(f: f64, s21_mag: f64, s11_mag: f64, nf_factor: Option<f64>) -> ResponsePoint {
+        ResponsePoint {
+            freq_hz: f,
+            s: SParams::new(
+                Complex::real(s11_mag),
+                Complex::ZERO,
+                Complex::real(s21_mag),
+                Complex::ZERO,
+                50.0,
+            ),
+            noise: nf_factor.map(|fm| NoiseParams::new(fm, 5.0, Complex::ZERO, 50.0)),
+        }
+    }
+
+    fn sample() -> FrequencyResponse {
+        [
+            point(1.0e9, 10.0, 0.30, Some(1.10)),
+            point(1.4e9, 8.0, 0.20, Some(1.15)),
+            point(1.8e9, 6.0, 0.40, Some(1.25)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn push_enforces_increasing_frequency() {
+        let mut r = FrequencyResponse::new();
+        r.push(1e9, point(1e9, 1.0, 0.1, None).s, None);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.push(0.5e9, point(0.5e9, 1.0, 0.1, None).s, None);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn db_series() {
+        let r = sample();
+        let s21 = r.s_db((2, 1));
+        assert!((s21[0] - 20.0).abs() < 1e-9);
+        let s11 = r.s_db((1, 1));
+        assert!((s11[1] - (-13.979)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn band_filtering() {
+        let r = sample();
+        let b = r.band(1.1e9, 1.7e9);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.freqs(), vec![1.4e9]);
+    }
+
+    #[test]
+    fn worst_case_extraction() {
+        let r = sample();
+        // Worst S11 is the 0.40 point → about −7.96 dB.
+        assert!((r.worst_input_match_db().unwrap() + 7.9588).abs() < 1e-3);
+        // Min gain is 6× → 15.56 dB.
+        assert!((r.min_gain_db().unwrap() - 15.563).abs() < 1e-3);
+        // Max NF from factor 1.25 → 0.969 dB.
+        assert!((r.max_nf_db().unwrap() - 0.9691).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_response_yields_none() {
+        let r = FrequencyResponse::new();
+        assert!(r.is_empty());
+        assert!(r.worst_input_match_db().is_none());
+        assert!(r.min_gain_db().is_none());
+        assert!(r.max_nf_db().is_none());
+    }
+
+    #[test]
+    fn missing_noise_points_are_skipped() {
+        let r: FrequencyResponse = [
+            point(1.0e9, 10.0, 0.3, None),
+            point(1.4e9, 8.0, 0.2, Some(1.5)),
+        ]
+        .into_iter()
+        .collect();
+        let nf = r.nf_db();
+        assert!(nf[0].is_none());
+        assert!(nf[1].is_some());
+        assert!((r.max_nf_db().unwrap() - 1.7609).abs() < 1e-3);
+    }
+
+    #[test]
+    fn iteration_and_rows() {
+        let r = sample();
+        assert_eq!(r.iter().count(), 3);
+        assert_eq!((&r).into_iter().count(), 3);
+        assert_eq!(r.s_rows().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "index")]
+    fn bad_sparam_index_panics() {
+        sample().s_db((3, 1));
+    }
+
+    #[test]
+    fn group_delay_of_ideal_delay_line() {
+        // S21 = exp(-jωτ) with τ = 1 ns: the group delay must be 1 ns at
+        // every point, including across phase wraps.
+        let tau = 1e-9;
+        let mut r = FrequencyResponse::new();
+        for k in 0..21 {
+            let f = 0.5e9 + k as f64 * 0.1e9;
+            let w = 2.0 * std::f64::consts::PI * f;
+            let s21 = Complex::from_polar(1.0, -w * tau);
+            r.push(
+                f,
+                SParams::new(Complex::ZERO, s21, s21, Complex::ZERO, 50.0),
+                None,
+            );
+        }
+        let tg = r.group_delay_s((2, 1));
+        assert_eq!(tg.len(), 21);
+        for v in &tg {
+            assert!((v - tau).abs() < 1e-12, "τg = {v}");
+        }
+        assert!(r.differential_group_delay_s().unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn group_delay_detects_dispersion() {
+        // A quadratic phase gives linearly varying group delay.
+        let mut r = FrequencyResponse::new();
+        for k in 0..11 {
+            let f = 1.0e9 + k as f64 * 0.1e9;
+            let phi = -1e-19 * (f - 1.0e9).powi(2); // curvature
+            let s21 = Complex::from_polar(1.0, phi);
+            r.push(
+                f,
+                SParams::new(Complex::ZERO, s21, s21, Complex::ZERO, 50.0),
+                None,
+            );
+        }
+        let dgd = r.differential_group_delay_s().unwrap();
+        assert!(dgd > 0.0, "dispersion must show: {dgd}");
+    }
+
+    #[test]
+    fn group_delay_trivial_cases() {
+        let r = FrequencyResponse::new();
+        assert!(r.differential_group_delay_s().is_none());
+        assert!(r.group_delay_s((2, 1)).is_empty());
+    }
+}

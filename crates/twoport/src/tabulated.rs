@@ -1,0 +1,316 @@
+//! Measurement-tabulated two-ports.
+//!
+//! Downstream users rarely have a parameter-extracted model — they have a
+//! vendor `.s2p` file. A [`TabulatedTwoPort`] wraps such a table and
+//! interpolates S-parameters (spline on real/imaginary parts) and noise
+//! parameters (spline on NFmin, Rn and Γopt components) to any in-range
+//! frequency, so the whole design flow can run straight off a datasheet.
+
+use crate::m2::M2;
+use crate::noise::NoiseParams;
+use crate::params::SParams;
+use crate::touchstone::{parse_s2p, TouchstoneError};
+use rfkit_num::interp::{CubicSpline, InterpError};
+use rfkit_num::Complex;
+
+/// Error constructing a [`TabulatedTwoPort`].
+#[derive(Debug)]
+pub enum TabulatedError {
+    /// The underlying Touchstone text failed to parse.
+    Touchstone(TouchstoneError),
+    /// The table is unusable (too few points, unsorted frequencies, …).
+    Interp(InterpError),
+    /// Reference impedances differ between rows.
+    MixedReference,
+}
+
+impl std::fmt::Display for TabulatedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TabulatedError::Touchstone(e) => write!(f, "touchstone: {e}"),
+            TabulatedError::Interp(e) => write!(f, "interpolation table: {e}"),
+            TabulatedError::MixedReference => write!(f, "rows use different reference impedances"),
+        }
+    }
+}
+
+impl std::error::Error for TabulatedError {}
+
+impl From<TouchstoneError> for TabulatedError {
+    fn from(e: TouchstoneError) -> Self {
+        TabulatedError::Touchstone(e)
+    }
+}
+
+impl From<InterpError> for TabulatedError {
+    fn from(e: InterpError) -> Self {
+        TabulatedError::Interp(e)
+    }
+}
+
+/// Splines for one complex S entry.
+struct ComplexSpline {
+    re: CubicSpline,
+    im: CubicSpline,
+}
+
+impl ComplexSpline {
+    fn new(freqs: &[f64], values: &[Complex]) -> Result<Self, InterpError> {
+        Ok(ComplexSpline {
+            re: CubicSpline::new(freqs.to_vec(), values.iter().map(|v| v.re).collect())?,
+            im: CubicSpline::new(freqs.to_vec(), values.iter().map(|v| v.im).collect())?,
+        })
+    }
+
+    fn eval(&self, f: f64) -> Complex {
+        Complex::new(self.re.eval(f), self.im.eval(f))
+    }
+}
+
+/// A two-port defined by a table of measured S-parameters (and optionally
+/// noise parameters), interpolated in frequency.
+///
+/// Out-of-range queries clamp to the table edges (datasheet behaviour);
+/// check [`TabulatedTwoPort::freq_range`] when that matters.
+pub struct TabulatedTwoPort {
+    z0: f64,
+    f_lo: f64,
+    f_hi: f64,
+    s: [ComplexSpline; 4],
+    noise: Option<NoiseSplines>,
+}
+
+struct NoiseSplines {
+    fmin: CubicSpline,
+    rn: CubicSpline,
+    gopt: ComplexSpline,
+}
+
+impl TabulatedTwoPort {
+    /// Builds the interpolant from `(freq, SParams)` rows (ascending) plus
+    /// optional noise rows.
+    ///
+    /// # Errors
+    ///
+    /// See [`TabulatedError`].
+    pub fn new(
+        s_rows: &[(f64, SParams)],
+        noise_rows: &[(f64, NoiseParams)],
+    ) -> Result<Self, TabulatedError> {
+        let freqs: Vec<f64> = s_rows.iter().map(|(f, _)| *f).collect();
+        let z0 = s_rows.first().map(|(_, s)| s.z0).unwrap_or(50.0);
+        if s_rows.iter().any(|(_, s)| (s.z0 - z0).abs() > 1e-9) {
+            return Err(TabulatedError::MixedReference);
+        }
+        let entry = |pick: fn(&SParams) -> Complex| -> Result<ComplexSpline, InterpError> {
+            let vals: Vec<Complex> = s_rows.iter().map(|(_, s)| pick(s)).collect();
+            ComplexSpline::new(&freqs, &vals)
+        };
+        let s = [
+            entry(SParams::s11)?,
+            entry(SParams::s12)?,
+            entry(SParams::s21)?,
+            entry(SParams::s22)?,
+        ];
+        let noise = if noise_rows.len() >= 2 {
+            let nf: Vec<f64> = noise_rows.iter().map(|(f, _)| *f).collect();
+            Some(NoiseSplines {
+                fmin: CubicSpline::new(nf.clone(), noise_rows.iter().map(|(_, n)| n.fmin).collect())?,
+                rn: CubicSpline::new(nf.clone(), noise_rows.iter().map(|(_, n)| n.rn).collect())?,
+                gopt: ComplexSpline::new(
+                    &nf,
+                    &noise_rows
+                        .iter()
+                        .map(|(_, n)| n.gamma_opt)
+                        .collect::<Vec<_>>(),
+                )?,
+            })
+        } else {
+            None
+        };
+        Ok(TabulatedTwoPort {
+            z0,
+            f_lo: *freqs.first().expect("validated non-empty"),
+            f_hi: *freqs.last().expect("validated non-empty"),
+            s,
+            noise,
+        })
+    }
+
+    /// Parses a Touchstone document and builds the interpolant.
+    ///
+    /// # Errors
+    ///
+    /// See [`TabulatedError`].
+    pub fn from_touchstone(text: &str) -> Result<Self, TabulatedError> {
+        let doc = parse_s2p(text)?;
+        TabulatedTwoPort::new(&doc.s_rows, &doc.noise_rows)
+    }
+
+    /// The tabulated frequency range `(lo, hi)` in Hz.
+    pub fn freq_range(&self) -> (f64, f64) {
+        (self.f_lo, self.f_hi)
+    }
+
+    /// Reference impedance of the table.
+    pub fn z0(&self) -> f64 {
+        self.z0
+    }
+
+    /// `true` when the table carries noise parameters.
+    pub fn has_noise(&self) -> bool {
+        self.noise.is_some()
+    }
+
+    /// Interpolated S-parameters at `freq_hz` (clamped to the table range).
+    pub fn s_params(&self, freq_hz: f64) -> SParams {
+        SParams {
+            m: M2::new(
+                self.s[0].eval(freq_hz),
+                self.s[1].eval(freq_hz),
+                self.s[2].eval(freq_hz),
+                self.s[3].eval(freq_hz),
+            ),
+            z0: self.z0,
+        }
+    }
+
+    /// Interpolated noise parameters at `freq_hz`, when the table has them.
+    pub fn noise_params(&self, freq_hz: f64) -> Option<NoiseParams> {
+        let n = self.noise.as_ref()?;
+        Some(NoiseParams::new(
+            n.fmin.eval(freq_hz).max(1.0),
+            n.rn.eval(freq_hz).max(0.0),
+            n.gopt.eval(freq_hz),
+            self.z0,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::touchstone::{write_s2p, TouchstoneFormat};
+
+    fn synthetic_rows() -> (Vec<(f64, SParams)>, Vec<(f64, NoiseParams)>) {
+        // A smooth frequency-dependent response.
+        let s_rows: Vec<(f64, SParams)> = (0..13)
+            .map(|k| {
+                let f = 0.5e9 + k as f64 * 0.5e9;
+                let x = f / 1e9;
+                (
+                    f,
+                    SParams::new(
+                        Complex::from_polar(0.8 - 0.05 * x, -0.4 * x),
+                        Complex::from_polar(0.02 + 0.005 * x, 0.8 - 0.1 * x),
+                        Complex::from_polar(6.0 / x.max(0.5), 2.8 - 0.5 * x),
+                        Complex::from_polar(0.5 - 0.02 * x, -0.3 * x),
+                        50.0,
+                    ),
+                )
+            })
+            .collect();
+        let noise_rows: Vec<(f64, NoiseParams)> = (0..7)
+            .map(|k| {
+                let f = 0.5e9 + k as f64 * 1.0e9;
+                let x = f / 1e9;
+                (
+                    f,
+                    NoiseParams::new(
+                        1.0 + 0.03 * x,
+                        9.0 - 0.5 * x,
+                        Complex::from_polar(0.4 - 0.02 * x, 0.5 * x),
+                        50.0,
+                    ),
+                )
+            })
+            .collect();
+        (s_rows, noise_rows)
+    }
+
+    #[test]
+    fn interpolant_hits_table_points_exactly() {
+        let (s_rows, noise_rows) = synthetic_rows();
+        let tab = TabulatedTwoPort::new(&s_rows, &noise_rows).unwrap();
+        for (f, s) in &s_rows {
+            let got = tab.s_params(*f);
+            assert!((got.s21() - s.s21()).abs() < 1e-10);
+            assert!((got.s11() - s.s11()).abs() < 1e-10);
+        }
+        for (f, n) in &noise_rows {
+            let got = tab.noise_params(*f).unwrap();
+            assert!((got.fmin - n.fmin).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn interpolation_is_smooth_between_points() {
+        let (s_rows, _) = synthetic_rows();
+        let tab = TabulatedTwoPort::new(&s_rows, &[]).unwrap();
+        // Midpoints stay between neighbours' magnitudes (smooth data).
+        for k in 0..s_rows.len() - 1 {
+            let (f0, s0) = s_rows[k];
+            let (f1, s1) = s_rows[k + 1];
+            let mid = tab.s_params(0.5 * (f0 + f1));
+            let lo = s0.s21().abs().min(s1.s21().abs());
+            let hi = s0.s21().abs().max(s1.s21().abs());
+            assert!(
+                mid.s21().abs() > lo * 0.95 && mid.s21().abs() < hi * 1.05,
+                "wild interpolation at {f0}"
+            );
+        }
+    }
+
+    #[test]
+    fn touchstone_roundtrip_to_interpolant() {
+        let (s_rows, noise_rows) = synthetic_rows();
+        let text = write_s2p(&s_rows, &noise_rows, TouchstoneFormat::Ri);
+        let tab = TabulatedTwoPort::from_touchstone(&text).unwrap();
+        assert!(tab.has_noise());
+        assert_eq!(tab.z0(), 50.0);
+        let (lo, hi) = tab.freq_range();
+        assert!((lo - 0.5e9).abs() < 1.0 && (hi - 6.5e9).abs() < 1.0);
+        let s = tab.s_params(1.5e9);
+        let reference = &s_rows[2].1; // exact table point at 1.5 GHz
+        assert!((s.s21() - reference.s21()).abs() < 1e-6);
+        let np = tab.noise_params(1.5e9).unwrap();
+        assert!((np.fmin - (1.0 + 0.03 * 1.5)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let (s_rows, _) = synthetic_rows();
+        let tab = TabulatedTwoPort::new(&s_rows, &[]).unwrap();
+        let below = tab.s_params(0.1e9);
+        let at_edge = tab.s_params(0.5e9);
+        assert!((below.s21() - at_edge.s21()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        let (s_rows, _) = synthetic_rows();
+        assert!(matches!(
+            TabulatedTwoPort::new(&s_rows[..1], &[]),
+            Err(TabulatedError::Interp(_))
+        ));
+    }
+
+    #[test]
+    fn single_noise_row_is_dropped() {
+        let (s_rows, noise_rows) = synthetic_rows();
+        let tab = TabulatedTwoPort::new(&s_rows, &noise_rows[..1]).unwrap();
+        assert!(!tab.has_noise());
+        assert!(tab.noise_params(1e9).is_none());
+    }
+
+    #[test]
+    fn mixed_reference_rejected() {
+        let (mut s_rows, _) = synthetic_rows();
+        let (f, s) = s_rows[3];
+        s_rows[3] = (f, SParams::new(s.s11(), s.s12(), s.s21(), s.s22(), 75.0));
+        assert!(matches!(
+            TabulatedTwoPort::new(&s_rows, &[]),
+            Err(TabulatedError::MixedReference)
+        ));
+    }
+}

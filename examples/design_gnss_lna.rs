@@ -1,0 +1,65 @@
+//! Full design-and-verify walkthrough: design the amplifier with the
+//! improved goal-attainment method, "build" three units with ±5 % parts,
+//! and compare their measured responses against the design — the complete
+//! story of the paper in one program.
+//!
+//! Run with: `cargo run --release --example design_gnss_lna`
+
+use lna::{
+    design_lna, measure, Amplifier, BuildConfig, BuiltAmplifier, DesignConfig, DesignGoals,
+};
+use rfkit_device::Phemt;
+use rfkit_num::linspace;
+
+fn main() {
+    let device = Phemt::atf54143_like();
+
+    println!("=== design phase ===");
+    let goals = DesignGoals {
+        nf_db: 0.7,
+        gain_db: 13.0,
+        ..Default::default()
+    };
+    let design = design_lna(
+        &device,
+        &goals,
+        &DesignConfig {
+            max_evals: 10_000,
+            ..Default::default()
+        },
+    );
+    println!("snapped design: {:#?}", design.snapped);
+    println!(
+        "worst-case band metrics: NF {:.3} dB, gain {:.2} dB, |S11| {:.1} dB, min mu {:.3}",
+        design.snapped_metrics.worst_nf_db,
+        design.snapped_metrics.min_gain_db,
+        design.snapped_metrics.worst_s11_db,
+        design.snapped_metrics.min_mu,
+    );
+
+    println!("\n=== production phase: three as-built units ===");
+    let freqs = linspace(1.1e9, 1.7e9, 7);
+    let amp = Amplifier::new(&device, design.snapped);
+    for unit in 0..3u64 {
+        let cfg = BuildConfig {
+            seed: 0x100 + unit,
+            ..Default::default()
+        };
+        let built = BuiltAmplifier::build(&design.snapped, &cfg);
+        let session = measure(&device, &built, &freqs, &cfg).expect("unit alive");
+        // Worst deviation from design across the band.
+        let mut worst_gain_dev: f64 = 0.0;
+        let mut worst_nf_dev: f64 = 0.0;
+        for (point, nf_meas) in session.response.iter().zip(&session.nf_db) {
+            let m = amp.metrics(point.freq_hz).expect("design feasible");
+            let gain_meas =
+                10.0 * point.s.s21().norm_sqr().log10();
+            worst_gain_dev = worst_gain_dev.max((gain_meas - m.gain_db).abs());
+            worst_nf_dev = worst_nf_dev.max((nf_meas - m.nf_db).abs());
+        }
+        println!(
+            "unit {unit}: max |gain - design| = {worst_gain_dev:.2} dB, max |NF - design| = {worst_nf_dev:.3} dB"
+        );
+    }
+    println!("\n(prototype papers report exactly this kind of sub-dB agreement)");
+}

@@ -1,0 +1,70 @@
+//! Extract pHEMT model parameters from (simulated) measurements with the
+//! three-step robust identification procedure, and compare candidate
+//! models — the paper's first contribution, end to end.
+//!
+//! Run with: `cargo run --release --example extract_phemt`
+
+use rfkit_device::dc::{Angelov, DcModel as _};
+use rfkit_device::{GoldenDevice, MeasurementNoise};
+use rfkit_extract::{compare_models, three_step, ExtractionData, ThreeStepConfig};
+
+fn main() {
+    // "Measure" the golden device: a DC I-V grid plus an S-parameter sweep
+    // at the characterization bias, both with instrument noise.
+    let golden = GoldenDevice::default();
+    let (vgs_grid, vds_grid) = GoldenDevice::standard_iv_grid();
+    let bias_vgs = golden
+        .device
+        .bias_for_current(3.0, 0.06)
+        .expect("60 mA bias");
+    let noise = MeasurementNoise::default();
+    let data = ExtractionData {
+        dc: golden.measure_dc(&vgs_grid, &vds_grid, &noise),
+        sparams: golden.measure_sparams(
+            bias_vgs,
+            3.0,
+            &GoldenDevice::standard_freq_grid(),
+            &noise,
+        ),
+        bias_vgs,
+        bias_vds: 3.0,
+    };
+    println!(
+        "characterization data: {} DC points, {} S-parameter frequencies",
+        data.dc.len(),
+        data.sparams.len()
+    );
+
+    // Identify the Angelov model.
+    let cfg = ThreeStepConfig::default();
+    let result = three_step(&Angelov, &data, &cfg);
+    println!("\nthree-step identification of the Angelov model:");
+    for (name, (truth, fit)) in Angelov.param_names().iter().zip(
+        golden
+            .device
+            .dc_params
+            .iter()
+            .zip(&result.dc_params),
+    ) {
+        println!("  {name:>8}: truth {truth:>9.4}, extracted {fit:>9.4}");
+    }
+    println!(
+        "  DC RMSE = {:.4} (relative), S RMSE = {:.4}",
+        result.dc_rmse, result.sparam_rmse
+    );
+
+    // Quick model shoot-out (short budgets).
+    println!("\nmodel comparison (short budgets):");
+    let quick = ThreeStepConfig {
+        step1_evals: 6_000,
+        step2_evals: 8_000,
+        step3_evals: 600,
+        seed: 1,
+    };
+    for report in compare_models(&data, &quick) {
+        println!(
+            "  {:<18} DC RMSE {:.4}, S RMSE {:.4}",
+            report.name, report.dc_rmse, report.sparam_rmse
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Quickstart: design a multi-constellation GNSS antenna preamplifier in
+//! five lines, then inspect it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lna::{design_lna, Amplifier, DesignConfig, DesignGoals};
+use rfkit_device::Phemt;
+
+fn main() {
+    // 1. The transistor: an ATF-54143-class low-noise pHEMT.
+    let device = Phemt::atf54143_like();
+
+    // 2. Aspirations: ≤ 0.8 dB noise figure and ≥ 14 dB gain over the
+    //    whole 1.1–1.7 GHz multi-constellation band, matched and
+    //    unconditionally stable.
+    let goals = DesignGoals::default();
+
+    // 3. Run the improved goal-attainment design flow.
+    let design = design_lna(&device, &goals, &DesignConfig::default());
+
+    println!("snapped (buildable) design: {:#?}", design.snapped);
+    println!(
+        "worst-case over 1.1-1.7 GHz: NF = {:.2} dB, gain = {:.1} dB, min mu = {:.3}",
+        design.snapped_metrics.worst_nf_db,
+        design.snapped_metrics.min_gain_db,
+        design.snapped_metrics.min_mu,
+    );
+
+    // 4. Ask anything about the finished amplifier.
+    let amp = Amplifier::new(&device, design.snapped);
+    for f_ghz in [1.17645, 1.2276, 1.57542, 1.602] {
+        let m = amp.metrics(f_ghz * 1e9).expect("design is feasible");
+        println!(
+            "  {:>8.4} GHz: gain {:>5.2} dB, NF {:>5.3} dB, |S11| {:>6.1} dB",
+            f_ghz, m.gain_db, m.nf_db, m.s11_db
+        );
+    }
+}

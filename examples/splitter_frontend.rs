@@ -1,0 +1,87 @@
+//! Dual-output GNSS front end: one antenna, one LNA, a T splitter feeding
+//! two receiver chains — with the per-chain noise budget computed three
+//! ways (ideal tee, resistive star, Wilkinson).
+//!
+//! Run with: `cargo run --release --example splitter_frontend`
+
+use lna::{design_lna, Amplifier, DesignConfig, DesignGoals};
+use rfkit_device::Phemt;
+use rfkit_net::noise::{friis, CascadeStage};
+use rfkit_net::NPort;
+use rfkit_num::units::db_from_power_ratio;
+use rfkit_num::Complex;
+use rfkit_passive::{resistive_splitter, Substrate, TeeJunction, Wilkinson};
+
+const F0: f64 = 1.57542e9;
+
+fn chain_report(name: &str, splitter: &NPort, lna_gain: f64, lna_f: f64) {
+    let through = splitter.s(1, 0).expect("3-port").norm_sqr();
+    let isolation = splitter.s(2, 1).expect("3-port").norm_sqr();
+    let f_total = friis(&[
+        CascadeStage {
+            gain: lna_gain,
+            noise_factor: lna_f,
+        },
+        CascadeStage {
+            gain: through,
+            noise_factor: 1.0 / through.min(1.0),
+        },
+        // A typical receiver behind the splitter: NF 8 dB.
+        CascadeStage {
+            gain: 1.0,
+            noise_factor: 6.31,
+        },
+    ]);
+    println!(
+        "  {:<16} split {:>6.2} dB, isolation {:>6.1} dB, system NF {:>5.3} dB",
+        name,
+        db_from_power_ratio(through),
+        db_from_power_ratio(isolation),
+        10.0 * f_total.log10(),
+    );
+}
+
+fn main() {
+    let device = Phemt::atf54143_like();
+    println!("designing the antenna LNA…");
+    let design = design_lna(
+        &device,
+        &DesignGoals::default(),
+        &DesignConfig {
+            max_evals: 6_000,
+            ..Default::default()
+        },
+    );
+    let amp = Amplifier::new(&device, design.snapped);
+    let noisy = amp.noisy_two_port(F0).expect("feasible");
+    let s = noisy.abcd.to_s(50.0).unwrap();
+    let lna_gain = rfkit_net::gains::available_gain(&s, Complex::ZERO);
+    let lna_f = noisy
+        .noise_params(50.0)
+        .unwrap()
+        .noise_factor(Complex::ZERO);
+    println!(
+        "LNA: GA = {:.2} dB, NF = {:.3} dB at GPS L1\n",
+        db_from_power_ratio(lna_gain),
+        10.0 * lna_f.log10()
+    );
+
+    println!("per-receiver-chain budget (LNA -> splitter -> NF 8 dB receiver):");
+    let substrate = Substrate::ro4350b();
+    chain_report(
+        "microstrip tee",
+        &TeeJunction::microstrip(&substrate).s_matrix(F0, 50.0),
+        lna_gain,
+        lna_f,
+    );
+    chain_report("resistive star", &resistive_splitter(50.0), lna_gain, lna_f);
+    chain_report(
+        "Wilkinson",
+        &Wilkinson::design(F0, 50.0, substrate).s_matrix(F0),
+        lna_gain,
+        lna_f,
+    );
+    println!("\nWith ~12 dB of LNA gain in front, even the 6 dB resistive split");
+    println!("costs only tenths of a dB of system noise — but only the Wilkinson");
+    println!("keeps the two receivers from talking to each other.");
+}

@@ -1,0 +1,18 @@
+//! # gnss-lna
+//!
+//! Umbrella crate of the reproduction of *"Multi-objective optimization of
+//! a low-noise antenna amplifier for multi-constellation
+//! satellite-navigation receivers"* (Dobeš et al., SOCC 2015).
+//!
+//! Re-exports the workspace crates; see the `examples/` directory for
+//! runnable walkthroughs and `crates/bench` for the per-table/figure
+//! experiment binaries.
+
+pub use lna;
+pub use rfkit_circuit;
+pub use rfkit_device;
+pub use rfkit_extract;
+pub use rfkit_net;
+pub use rfkit_num;
+pub use rfkit_opt;
+pub use rfkit_passive;

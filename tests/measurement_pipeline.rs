@@ -1,0 +1,94 @@
+//! Measurement-data plumbing across crates: swept responses, Touchstone
+//! round trips and build reproducibility.
+
+use lna::{design_lna, measure, BuildConfig, BuiltAmplifier, DesignConfig, DesignGoals};
+use rfkit_device::Phemt;
+use rfkit_net::touchstone::{parse_s2p, write_s2p, TouchstoneFormat};
+use rfkit_num::linspace;
+
+#[test]
+fn measured_amplifier_survives_touchstone_roundtrip() {
+    let device = Phemt::atf54143_like();
+    let design = design_lna(
+        &device,
+        &DesignGoals::default(),
+        &DesignConfig {
+            max_evals: 3_000,
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let cfg = BuildConfig::default();
+    let built = BuiltAmplifier::build(&design.snapped, &cfg);
+    let freqs = linspace(1.0e9, 2.0e9, 11);
+    let session = measure(&device, &built, &freqs, &cfg).expect("unit alive");
+
+    let text = write_s2p(&session.response.s_rows(), &[], TouchstoneFormat::Ri);
+    let parsed = parse_s2p(&text).expect("own output parses");
+    assert_eq!(parsed.s_rows.len(), 11);
+    for ((fa, sa), point) in parsed.s_rows.iter().zip(session.response.iter()) {
+        assert!((fa - point.freq_hz).abs() < 1.0);
+        assert!((sa.s21() - point.s.s21()).abs() < 1e-8);
+        assert!((sa.s11() - point.s.s11()).abs() < 1e-8);
+    }
+}
+
+#[test]
+fn same_seed_same_board_different_seed_different_board() {
+    let device = Phemt::atf54143_like();
+    let vars = lna::DesignVariables {
+        vds: 3.0,
+        ids: 0.05,
+        l1: 6.8e-9,
+        ls_deg: 0.4e-9,
+        l2: 10e-9,
+        c2: 2.2e-12,
+        r_bias: 30.0,
+    };
+    let freqs = [1.4e9];
+    let cfg_a = BuildConfig {
+        seed: 1,
+        ..Default::default()
+    };
+    let cfg_b = BuildConfig {
+        seed: 2,
+        ..Default::default()
+    };
+    let m_a1 = measure(&device, &BuiltAmplifier::build(&vars, &cfg_a), &freqs, &cfg_a).unwrap();
+    let m_a2 = measure(&device, &BuiltAmplifier::build(&vars, &cfg_a), &freqs, &cfg_a).unwrap();
+    let m_b = measure(&device, &BuiltAmplifier::build(&vars, &cfg_b), &freqs, &cfg_b).unwrap();
+    let s21 = |m: &lna::MeasurementSession| m.response.iter().next().unwrap().s.s21();
+    assert_eq!(s21(&m_a1), s21(&m_a2), "one seed = one physical board");
+    assert_ne!(s21(&m_a1), s21(&m_b), "different seed = different board");
+}
+
+#[test]
+fn unit_to_unit_spread_is_tolerance_scale() {
+    // Measure 8 builds; the spread of in-band gain across units must look
+    // like ±5 % parts: visible but bounded.
+    let device = Phemt::atf54143_like();
+    let vars = lna::DesignVariables {
+        vds: 3.0,
+        ids: 0.05,
+        l1: 6.8e-9,
+        ls_deg: 0.4e-9,
+        l2: 10e-9,
+        c2: 2.2e-12,
+        r_bias: 30.0,
+    };
+    let mut gains = Vec::new();
+    for seed in 0..8u64 {
+        let cfg = BuildConfig {
+            seed,
+            vna_noise: 0.0,
+            nf_meter_sigma_db: 0.0,
+            ..Default::default()
+        };
+        let built = BuiltAmplifier::build(&vars, &cfg);
+        let session = measure(&device, &built, &[1.4e9], &cfg).expect("alive");
+        gains.push(10.0 * session.response.iter().next().unwrap().s.s21().norm_sqr().log10());
+    }
+    let spread = rfkit_num::stats::max(&gains) - rfkit_num::stats::min(&gains);
+    assert!(spread > 0.01, "units must differ: spread {spread} dB");
+    assert!(spread < 2.0, "but stay in family: spread {spread} dB");
+}

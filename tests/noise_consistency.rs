@@ -1,0 +1,154 @@
+//! Cross-crate noise-theory consistency: the correlation-matrix machinery
+//! (rfkit-net), the device noise model (rfkit-device), the passive models
+//! (rfkit-passive) and the amplifier analysis (lna) must all tell the same
+//! story.
+
+use lna::{Amplifier, DesignVariables};
+use rfkit_device::fukui::{fit_kf, fukui_fmin};
+use rfkit_device::Phemt;
+use rfkit_net::gains::available_gain;
+use rfkit_net::noise::{friis, CascadeStage};
+use rfkit_net::NoisyAbcd;
+use rfkit_num::units::T0_KELVIN;
+use rfkit_num::Complex;
+use rfkit_passive::{Component, Inductor, Microstrip, Orientation, Substrate};
+
+fn vars() -> DesignVariables {
+    DesignVariables {
+        vds: 3.0,
+        ids: 0.050,
+        l1: 6.8e-9,
+        ls_deg: 0.4e-9,
+        l2: 10e-9,
+        c2: 2.2e-12,
+        r_bias: 30.0,
+    }
+}
+
+#[test]
+fn correlation_cascade_matches_friis_for_line_plus_amplifier() {
+    // A lossy microstrip line in front of the amplifier: the full
+    // correlation-matrix result must equal the Friis combination of the
+    // line's loss and the amplifier's noise figure.
+    let device = Phemt::atf54143_like();
+    let amp = Amplifier::new(&device, vars());
+    let f0 = 1.4e9;
+    let amp_noisy = amp.noisy_two_port(f0).expect("feasible");
+    let mut line = Microstrip::for_impedance(Substrate::fr4(), 50.0, 50e-3);
+    line.length = 50e-3;
+    let line_noisy = line.two_port(f0, T0_KELVIN);
+
+    // Friis needs available gains and standalone noise factors.
+    let line_s = line_noisy.abcd.to_s(50.0).unwrap();
+    let line_ga = available_gain(&line_s, Complex::ZERO);
+    let line_f = line_noisy
+        .noise_params(50.0)
+        .unwrap()
+        .noise_factor(Complex::ZERO);
+    // The amplifier's Friis stage must be evaluated with the source
+    // impedance the line presents; the line is near-matched so Γ ≈ 0.
+    let amp_f = amp_noisy
+        .noise_params(50.0)
+        .unwrap()
+        .noise_factor(line_s.s22());
+    let friis_f = friis(&[
+        CascadeStage {
+            gain: line_ga,
+            noise_factor: line_f,
+        },
+        CascadeStage {
+            gain: 1.0, // last stage gain is irrelevant to F
+            noise_factor: amp_f,
+        },
+    ]);
+
+    let chain_f = line_noisy
+        .cascade(&amp_noisy)
+        .noise_params(50.0)
+        .unwrap()
+        .noise_factor(Complex::ZERO);
+    assert!(
+        (chain_f - friis_f).abs() / friis_f < 0.02,
+        "correlation {chain_f} vs Friis {friis_f}"
+    );
+    // And the line's loss must show up: chain noisier than amp alone.
+    let amp_alone = amp_noisy
+        .noise_params(50.0)
+        .unwrap()
+        .noise_factor(Complex::ZERO);
+    assert!(chain_f > amp_alone);
+}
+
+#[test]
+fn fukui_tracks_correlation_model_across_bias() {
+    // Fit Fukui's kf once at mid bias/frequency, then check it stays
+    // within 35 % of the Pospieszalski result across bias points.
+    let device = Phemt::atf54143_like();
+    let f0 = 1.5e9;
+    let op_mid = device.operating_point(device.bias_for_current(3.0, 0.05).unwrap(), 3.0);
+    let ss_mid = device.small_signal(&op_mid);
+    let fmin_mid = device
+        .noisy_two_port(f0, &op_mid)
+        .noise_params(50.0)
+        .unwrap()
+        .fmin;
+    let kf = fit_kf(&ss_mid, f0, fmin_mid);
+    for ids in [0.03, 0.07] {
+        let op = device.operating_point(device.bias_for_current(3.0, ids).unwrap(), 3.0);
+        let ss = device.small_signal(&op);
+        let posp = device
+            .noisy_two_port(f0, &op)
+            .noise_params(50.0)
+            .unwrap()
+            .fmin
+            - 1.0;
+        let fukui = fukui_fmin(&ss, f0, kf) - 1.0;
+        let ratio = fukui / posp;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "Fukui/Pospieszalski at {ids} A: {ratio}"
+        );
+    }
+}
+
+#[test]
+fn amplifier_nf_dominated_by_device_not_passives() {
+    // Remove the passives' loss (ideal elements) and check the NF barely
+    // moves: the matching-network loss contributes tenths of a dB at most.
+    let device = Phemt::atf54143_like();
+    let amp = Amplifier::new(&device, vars());
+    let f0 = 1.4e9;
+    let nf_with_parts = amp.metrics(f0).unwrap().nf_db;
+
+    // Device alone with degeneration, no matching network.
+    let op = amp.operating_point().unwrap();
+    let mut ss = device.small_signal(&op);
+    ss.extrinsic.ls += vars().ls_deg;
+    let dev_nf = ss
+        .noisy_two_port(f0, &device.noise.temperatures(op.ids))
+        .noise_params(50.0)
+        .unwrap()
+        .nf_db(Complex::ZERO);
+    // The matching network both adds loss (worse) and moves the source
+    // impedance toward Γopt (better); net effect stays within ~0.6 dB.
+    assert!(
+        (nf_with_parts - dev_nf).abs() < 0.6,
+        "amp NF {nf_with_parts} vs bare device NF {dev_nf}"
+    );
+}
+
+#[test]
+fn lossy_inductor_noise_equals_equivalent_resistor_noise() {
+    // A shunt inductor's noise at f comes only from its ESR: replacing it
+    // with the exact same complex impedance synthesized from R+X gives the
+    // identical noise parameters.
+    let f0 = 1.5e9;
+    let ind = Inductor::chip_0402(10e-9);
+    let z = ind.impedance(f0);
+    let via_component = ind.two_port(f0, Orientation::Shunt, T0_KELVIN);
+    let via_impedance = NoisyAbcd::passive_shunt(z.recip(), T0_KELVIN);
+    let np1 = via_component.noise_params(50.0).unwrap();
+    let np2 = via_impedance.noise_params(50.0).unwrap();
+    assert!((np1.fmin - np2.fmin).abs() < 1e-12);
+    assert!((np1.rn - np2.rn).abs() < 1e-12);
+}
