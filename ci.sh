@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the workspace: formatting, lints (best-effort — the
+# offline toolchain may lack the clippy component), release build, tests.
+# Run before committing and as the run_all_experiments.sh preflight.
+set -uo pipefail
+
+fail=0
+
+echo "== cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+  cargo fmt --all -- --check || fail=1
+else
+  echo "   (rustfmt unavailable; skipping)"
+fi
+
+echo "== cargo clippy -D warnings (best-effort)"
+if cargo clippy --version >/dev/null 2>&1; then
+  cargo clippy --workspace --all-targets -- -D warnings || fail=1
+else
+  echo "   (clippy unavailable; skipping)"
+fi
+
+echo "== cargo build --release"
+cargo build --release || fail=1
+
+echo "== cargo test -q"
+cargo test -q --workspace --release || fail=1
+
+if [ "$fail" -ne 0 ]; then
+  echo "ci.sh: FAILED"
+  exit 1
+fi
+echo "ci.sh: all checks passed"

@@ -1,8 +1,12 @@
-//! Criterion performance benches for the computational kernels behind the
+//! Performance benches for the computational kernels behind the
 //! experiments: network algebra, FFT, MNA, DC Newton, the optimizers and
 //! one full design-objective evaluation.
+//!
+//! Hand-rolled `harness = false` timing (criterion is unavailable in the
+//! offline build environment): each kernel is timed over enough
+//! iterations to dominate clock granularity and reported as ns/iter,
+//! best of three batches. Run with `cargo bench -p lna-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lna::{band_objectives, Amplifier, BandSpec, DesignVariables};
 use rfkit_circuit::{solve_dc, two_port_s, AcStamps, Circuit};
 use rfkit_device::dc::{Angelov, DcModel as _};
@@ -10,43 +14,56 @@ use rfkit_device::Phemt;
 use rfkit_net::{Abcd, NoisyAbcd};
 use rfkit_num::{fft, Complex};
 use rfkit_opt::{differential_evolution, nelder_mead, Bounds, DeConfig, NelderMeadConfig};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_network(c: &mut Criterion) {
+/// Times `f` over `iters` iterations, best of 3 batches, printing ns/iter.
+fn bench_kernel<F: FnMut()>(name: &str, iters: usize, mut f: F) {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    println!("{name:>34}: {:>12.0} ns/iter", best * 1e9);
+}
+
+fn main() {
+    println!("kernel microbenches (best of 3 batches)\n");
+
+    // Network algebra.
     let line = Abcd::transmission_line(Complex::new(0.1, 30.0), Complex::real(50.0), 0.01);
     let l = Abcd::series_impedance(Complex::imag(45.0));
     let sh = Abcd::shunt_admittance(Complex::imag(0.01));
-    c.bench_function("abcd_cascade_3stage_to_s", |b| {
-        b.iter(|| {
-            black_box(
-                l.cascade(&sh)
-                    .cascade(&line)
-                    .to_s(50.0)
-                    .expect("convertible"),
-            )
-        })
+    bench_kernel("abcd_cascade_3stage_to_s", 100_000, || {
+        black_box(
+            l.cascade(&sh)
+                .cascade(&line)
+                .to_s(50.0)
+                .expect("convertible"),
+        );
     });
     let noisy = NoisyAbcd::passive_series(Complex::new(5.0, 45.0), 290.0);
-    c.bench_function("noisy_cascade_and_noise_params", |b| {
-        b.iter(|| {
-            black_box(
-                noisy
-                    .cascade(&noisy)
-                    .cascade(&noisy)
-                    .noise_params(50.0)
-                    .expect("valid"),
-            )
-        })
+    bench_kernel("noisy_cascade_and_noise_params", 50_000, || {
+        black_box(
+            noisy
+                .cascade(&noisy)
+                .cascade(&noisy)
+                .noise_params(50.0)
+                .expect("valid"),
+        );
     });
-}
 
-fn bench_fft(c: &mut Criterion) {
+    // FFT.
     let signal: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.1).sin()).collect();
-    c.bench_function("fft_1024_amplitude_spectrum", |b| {
-        b.iter(|| black_box(fft::amplitude_spectrum(black_box(&signal))))
+    bench_kernel("fft_1024_amplitude_spectrum", 5_000, || {
+        black_box(fft::amplitude_spectrum(black_box(&signal)));
     });
-}
 
-fn bench_circuit(c: &mut Criterion) {
+    // Circuit solves.
     let mut ladder = Circuit::new();
     ladder
         .inductor("in", "a", 5e-9)
@@ -56,62 +73,57 @@ fn bench_circuit(c: &mut Criterion) {
         .capacitor("b", "out", 2e-12)
         .port("in", 50.0)
         .port("out", 50.0);
-    c.bench_function("mna_ladder_two_port_s", |b| {
-        b.iter(|| black_box(two_port_s(&ladder, 1.5e9, &AcStamps::none()).expect("solves")))
+    bench_kernel("mna_ladder_two_port_s", 20_000, || {
+        black_box(two_port_s(&ladder, 1.5e9, &AcStamps::none()).expect("solves"));
+    });
+    bench_kernel("dc_newton_biased_fet", 2_000, || {
+        let mut net = Circuit::new();
+        net.vsource("vdd", "gnd", 5.0)
+            .vsource("vg", "gnd", -0.3)
+            .resistor("vdd", "drain", 33.0)
+            .fet(
+                "vg",
+                "drain",
+                "gnd",
+                Box::new(Angelov),
+                Angelov.default_params(),
+            );
+        black_box(solve_dc(&net).expect("converges"));
     });
 
-    c.bench_function("dc_newton_biased_fet", |b| {
-        b.iter(|| {
-            let mut net = Circuit::new();
-            net.vsource("vdd", "gnd", 5.0)
-                .vsource("vg", "gnd", -0.3)
-                .resistor("vdd", "drain", 33.0)
-                .fet("vg", "drain", "gnd", Box::new(Angelov), Angelov.default_params());
-            black_box(solve_dc(&net).expect("converges"))
-        })
-    });
-}
-
-fn bench_device(c: &mut Criterion) {
+    // Device model.
     let device = Phemt::atf54143_like();
     let op = device.operating_point(device.bias_for_current(3.0, 0.05).unwrap(), 3.0);
-    c.bench_function("device_noisy_two_port", |b| {
-        b.iter(|| black_box(device.noisy_two_port(black_box(1.575e9), &op)))
+    bench_kernel("device_noisy_two_port", 50_000, || {
+        black_box(device.noisy_two_port(black_box(1.575e9), &op));
     });
-    c.bench_function("device_bias_solve", |b| {
-        b.iter(|| black_box(device.bias_for_current(3.0, black_box(0.05))))
+    bench_kernel("device_bias_solve", 10_000, || {
+        black_box(device.bias_for_current(3.0, black_box(0.05)));
     });
-}
 
-fn bench_optimizers(c: &mut Criterion) {
+    // Optimizers.
     let sphere = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
     let bounds = Bounds::uniform(6, -5.0, 5.0);
-    c.bench_function("de_1000_evals_sphere6", |b| {
-        b.iter(|| {
-            black_box(differential_evolution(
-                sphere,
-                &bounds,
-                &DeConfig {
-                    max_evals: 1000,
-                    ..Default::default()
-                },
-            ))
-        })
+    bench_kernel("de_1000_evals_sphere6", 50, || {
+        black_box(differential_evolution(
+            sphere,
+            &bounds,
+            &DeConfig {
+                max_evals: 1000,
+                ..Default::default()
+            },
+        ));
     });
-    c.bench_function("nelder_mead_sphere6", |b| {
-        b.iter(|| {
-            black_box(nelder_mead(
-                sphere,
-                &[3.0; 6],
-                &bounds,
-                &NelderMeadConfig::default(),
-            ))
-        })
+    bench_kernel("nelder_mead_sphere6", 500, || {
+        black_box(nelder_mead(
+            sphere,
+            &[3.0; 6],
+            &bounds,
+            &NelderMeadConfig::default(),
+        ));
     });
-}
 
-fn bench_design_objective(c: &mut Criterion) {
-    let device = Phemt::atf54143_like();
+    // Full design objective.
     let band = BandSpec::gnss();
     let objective = band_objectives(&device, &band);
     let vars = DesignVariables {
@@ -124,19 +136,11 @@ fn bench_design_objective(c: &mut Criterion) {
         r_bias: 30.0,
     };
     let x = vars.to_vec();
-    c.bench_function("band_objective_evaluation", |b| {
-        b.iter(|| black_box(objective(black_box(&x))))
+    bench_kernel("band_objective_evaluation", 2_000, || {
+        black_box(objective(black_box(&x)));
     });
     let amp = Amplifier::new(&device, vars);
-    c.bench_function("amplifier_point_metrics", |b| {
-        b.iter(|| black_box(amp.metrics(black_box(1.4e9))))
+    bench_kernel("amplifier_point_metrics", 20_000, || {
+        black_box(amp.metrics(black_box(1.4e9)));
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_network, bench_fft, bench_circuit, bench_device,
-              bench_optimizers, bench_design_objective
-}
-criterion_main!(benches);

@@ -14,11 +14,13 @@ use rfkit_extract::{
 };
 
 fn main() {
-    header("Figure 10 (extension)", "cold-FET extrinsic extraction and its payoff");
+    header(
+        "Figure 10 (extension)",
+        "cold-FET extrinsic extraction and its payoff",
+    );
     let golden = GoldenDevice::default();
     let noise = MeasurementNoise::default();
-    let cold_rows =
-        golden.measure_sparams(0.25, 0.0, &GoldenDevice::standard_freq_grid(), &noise);
+    let cold_rows = golden.measure_sparams(0.25, 0.0, &GoldenDevice::standard_freq_grid(), &noise);
     let cold = cold_fet_extraction(&cold_rows, &ColdFetConfig::default());
     println!("\ncold-fit S RMSE = {:.4}", cold.sparam_rmse);
 
@@ -53,9 +55,7 @@ fn main() {
     };
     let plain = three_step(&Angelov, &data, &cfg);
     let pinned = three_step_with_extrinsics(&Angelov, &data, &cold.extrinsic, &cfg);
-    let op = golden
-        .device
-        .operating_point(data.bias_vgs, data.bias_vds);
+    let op = golden.device.operating_point(data.bias_vgs, data.bias_vds);
     let cgs_true = golden.device.small_signal(&op).intrinsic.cgs;
     println!("warm extraction at equal budget:");
     println!(

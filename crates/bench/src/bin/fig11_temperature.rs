@@ -11,7 +11,10 @@ use lna_bench::{header, print_series, reference_design};
 use rfkit_device::Phemt;
 
 fn main() {
-    header("Figure 11 (extension)", "worst-case band performance vs ambient temperature");
+    header(
+        "Figure 11 (extension)",
+        "worst-case band performance vs ambient temperature",
+    );
     let device = Phemt::atf54143_like();
     let design = reference_design(&device);
     let temps: Vec<f64> = vec![-40.0, -20.0, 0.0, 25.0, 45.0, 65.0, 85.0];
@@ -19,7 +22,12 @@ fn main() {
     let nf: Vec<f64> = sweep.iter().map(|(_, nf, _)| *nf).collect();
     let gain: Vec<f64> = sweep.iter().map(|(_, _, g)| *g).collect();
     println!();
-    print_series("T (degC)", &["worst NF (dB)", "min gain (dB)"], &temps, &[nf, gain]);
+    print_series(
+        "T (degC)",
+        &["worst NF (dB)", "min gain (dB)"],
+        &temps,
+        &[nf, gain],
+    );
 
     println!("\nstability at the corners (1.4 GHz):");
     for t in [-40.0, 85.0] {

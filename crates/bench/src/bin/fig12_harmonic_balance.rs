@@ -16,7 +16,10 @@ use rfkit_num::units::dbm_from_watts;
 use rfkit_num::Complex;
 
 fn main() {
-    header("Figure 12 (extension)", "harmonic balance vs fixed-Vds analysis at large signal");
+    header(
+        "Figure 12 (extension)",
+        "harmonic balance vs fixed-Vds analysis at large signal",
+    );
     let device = Phemt::atf54143_like();
     let op = device.operating_point(device.bias_for_current(3.0, 0.06).unwrap(), 3.0);
     let r_load = 100.0;

@@ -27,7 +27,10 @@ const BUDGET: usize = 15_000;
 const SEEDS: u64 = 7;
 
 fn main() {
-    header("Figure 13 (extension)", "meta-heuristics on the DC identification (7 seeds)");
+    header(
+        "Figure 13 (extension)",
+        "meta-heuristics on the DC identification (7 seeds)",
+    );
     let data = golden_dataset(MeasurementNoise::default());
     let bounds = Angelov.param_bounds();
     let objective = |p: &[f64]| dc_loss(&Angelov, p, &data.dc, 1e-3);

@@ -12,14 +12,17 @@
 //! snap recovers it.
 
 use lna::{
-    band_objectives, design_lna, snap_to_catalog, Amplifier, BandMetrics, BandSpec,
-    DesignConfig, DesignGoals, DesignVariables,
+    band_objectives, design_lna, snap_to_catalog, Amplifier, BandMetrics, BandSpec, DesignConfig,
+    DesignGoals, DesignVariables,
 };
 use lna_bench::header;
 use rfkit_device::Phemt;
 
 fn main() {
-    header("Figure 14 (extension)", "post-snap repair ablation over 10 design runs");
+    header(
+        "Figure 14 (extension)",
+        "post-snap repair ablation over 10 design runs",
+    );
     let device = Phemt::atf54143_like();
     for (label, margin) in [
         ("default stability margin (0.005)", 0.005),

@@ -19,10 +19,7 @@ const BUDGET: usize = 30_000;
 const SEEDS: u64 = 7;
 
 fn main() {
-    header(
-        "Figure 1",
-        "extraction convergence over 7 random seeds",
-    );
+    header("Figure 1", "extraction convergence over 7 random seeds");
     let data = golden_dataset(MeasurementNoise::default());
 
     // Three-step: checkpoints after each phase.

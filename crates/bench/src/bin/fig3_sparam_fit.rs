@@ -12,7 +12,10 @@ use rfkit_extract::{three_step, ThreeStepConfig};
 use rfkit_num::units::db_from_amplitude_ratio;
 
 fn main() {
-    header("Figure 3", "S-parameters 0.5-6 GHz: measured vs extracted model");
+    header(
+        "Figure 3",
+        "S-parameters 0.5-6 GHz: measured vs extracted model",
+    );
     let data = golden_dataset(MeasurementNoise::default());
     let cfg = ThreeStepConfig {
         step1_evals: 15_000,
@@ -23,17 +26,13 @@ fn main() {
     let result = three_step(&Angelov, &data, &cfg);
 
     let freqs_ghz: Vec<f64> = data.sparams.iter().map(|(f, _)| f / 1e9).collect();
-    let mut meas = vec![Vec::new(), Vec::new(), Vec::new()];
-    let mut model = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut meas = [Vec::new(), Vec::new(), Vec::new()];
+    let mut model = [Vec::new(), Vec::new(), Vec::new()];
     for (f, s) in &data.sparams {
         let m = result.small_signal.s_params(*f, 50.0);
-        for (k, (a, b)) in [
-            (s.s11(), m.s11()),
-            (s.s21(), m.s21()),
-            (s.s22(), m.s22()),
-        ]
-        .iter()
-        .enumerate()
+        for (k, (a, b)) in [(s.s11(), m.s11()), (s.s21(), m.s21()), (s.s22(), m.s22())]
+            .iter()
+            .enumerate()
         {
             meas[k].push(db_from_amplitude_ratio(a.abs()));
             model[k].push(db_from_amplitude_ratio(b.abs()));
@@ -48,5 +47,8 @@ fn main() {
             &[meas[k].clone(), model[k].clone()],
         );
     }
-    println!("\noverall S RMSE = {:.4} per complex entry", result.sparam_rmse);
+    println!(
+        "\noverall S RMSE = {:.4} per complex entry",
+        result.sparam_rmse
+    );
 }

@@ -26,8 +26,8 @@ use rfkit_num::linspace;
 use rfkit_opt::pareto::{hypervolume_2d, pareto_front_indices};
 use rfkit_opt::scalarize::weighted_sum_sweep;
 use rfkit_opt::{
-    improved_goal_attainment, nsga2, standard_goal_attainment, GoalConfig, GoalProblem,
-    GoalResult, Nsga2Config,
+    improved_goal_attainment, nsga2, standard_goal_attainment, GoalConfig, GoalProblem, GoalResult,
+    Nsga2Config,
 };
 
 const F0: f64 = 1.4e9;
@@ -42,14 +42,20 @@ fn print_front(name: &str, points: &[(f64, f64)], evals: usize) {
     let objs: Vec<Vec<f64>> = points.iter().map(|(nf, g)| vec![*nf, -*g]).collect();
     let nondom = pareto_front_indices(&objs).len();
     let hv = hypervolume_2d(&objs, [2.0, 0.0]);
-    println!("  non-dominated: {nondom}/{}  hypervolume(ref NF=2 dB, G=0 dB): {hv:.3}", points.len());
+    println!(
+        "  non-dominated: {nondom}/{}  hypervolume(ref NF=2 dB, G=0 dB): {hv:.3}",
+        points.len()
+    );
 }
 
 fn main() {
-    header("Figure 4", "NF vs gain Pareto front at 1.4 GHz, four methods");
+    header(
+        "Figure 4",
+        "NF vs gain Pareto front at 1.4 GHz, four methods",
+    );
     let device = Phemt::atf54143_like();
     let objectives = spot_objectives(&device, F0);
-    let obj_ref: &dyn Fn(&[f64]) -> Vec<f64> = &objectives;
+    let obj_ref: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &objectives;
     let bounds = DesignVariables::bounds();
     let nf_goals = linspace(0.35, 1.0, 9);
 
@@ -128,7 +134,7 @@ fn main() {
     );
 
     // NSGA-II on the penalized pair.
-    let nsga_obj: &dyn Fn(&[f64]) -> Vec<f64> = &penalized;
+    let nsga_obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &penalized;
     let nsga = nsga2(
         nsga_obj,
         &bounds,
@@ -156,8 +162,10 @@ fn main() {
 /// Panel B: worst-band NF vs DC power — a genuinely conflicting pair.
 fn panel_b(device: &Phemt) {
     use lna::{band_objectives, BandSpec};
-    println!("
-----------------------------------------------------------------");
+    println!(
+        "
+----------------------------------------------------------------"
+    );
     println!("Panel B: worst-band NF (1.1-1.7 GHz) vs DC power, improved GA sweep");
     println!("----------------------------------------------------------------");
     let band = BandSpec::gnss();
@@ -168,13 +176,15 @@ fn panel_b(device: &Phemt) {
         let vars = DesignVariables::from_vec(x);
         let power_mw = vars.vds * vars.ids * 1e3;
         // Bundle the hard terms: match and stability.
-        let violation =
-            (f[2] + 10.0).max(0.0) + (f[3] + 10.0).max(0.0) + (f[4] + 0.005).max(0.0);
+        let violation = (f[2] + 10.0).max(0.0) + (f[3] + 10.0).max(0.0) + (f[4] + 0.005).max(0.0);
         vec![f[0], power_mw, violation]
     };
-    let obj_ref: &dyn Fn(&[f64]) -> Vec<f64> = &objectives;
+    let obj_ref: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &objectives;
     let bounds = DesignVariables::bounds();
-    println!("{:>14} {:>10} {:>12}", "P goal (mW)", "NF (dB)", "power (mW)");
+    println!(
+        "{:>14} {:>10} {:>12}",
+        "P goal (mW)", "NF (dB)", "power (mW)"
+    );
     for (k, power_goal) in [40.0, 70.0, 100.0, 150.0, 220.0, 320.0].iter().enumerate() {
         let p = GoalProblem::new(
             obj_ref,

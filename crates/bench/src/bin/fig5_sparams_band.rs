@@ -13,7 +13,10 @@ use rfkit_num::linspace;
 use rfkit_num::units::db_from_amplitude_ratio;
 
 fn main() {
-    header("Figure 5", "amplifier S-parameters: design vs simulated measurement");
+    header(
+        "Figure 5",
+        "amplifier S-parameters: design vs simulated measurement",
+    );
     let device = Phemt::atf54143_like();
     let design = reference_design(&device);
     let vars = design.snapped;
@@ -26,11 +29,7 @@ fn main() {
 
     let amp = Amplifier::new(&device, vars);
     let freqs_ghz: Vec<f64> = freqs.iter().map(|f| f / 1e9).collect();
-    for (name, pick) in [
-        ("S11", 0usize),
-        ("S21", 1),
-        ("S22", 2),
-    ] {
+    for (name, pick) in [("S11", 0usize), ("S21", 1), ("S22", 2)] {
         let design_db: Vec<f64> = freqs
             .iter()
             .map(|&f| {

@@ -13,7 +13,10 @@ use rfkit_num::linspace;
 use rfkit_num::stats;
 
 fn main() {
-    header("Figure 6", "amplifier noise figure: design vs simulated measurement");
+    header(
+        "Figure 6",
+        "amplifier noise figure: design vs simulated measurement",
+    );
     let device = Phemt::atf54143_like();
     let design = reference_design(&device);
     let vars = design.snapped;

@@ -14,7 +14,10 @@ use rfkit_circuit::{ip3_sweep, power_series, TwoToneSpec};
 use rfkit_device::Phemt;
 
 fn main() {
-    header("Figure 7", "two-tone IM3 sweep around GPS L1 and OIP3 extrapolation");
+    header(
+        "Figure 7",
+        "two-tone IM3 sweep around GPS L1 and OIP3 extrapolation",
+    );
     let device = Phemt::atf54143_like();
     let design = reference_design(&device);
     let built = BuiltAmplifier::build(&design.snapped, &BuildConfig::default());

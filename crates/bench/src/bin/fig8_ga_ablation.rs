@@ -13,9 +13,8 @@
 
 use lna::{band_objectives, BandSpec, DesignVariables};
 use lna_bench::header;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rfkit_device::Phemt;
+use rfkit_num::rng::Rng64;
 use rfkit_num::stats::{median, percentile};
 use rfkit_opt::{
     improved_goal_attainment, pattern_search, standard_goal_attainment, GoalConfig, GoalProblem,
@@ -35,11 +34,14 @@ fn summarize(name: &str, values: &[f64]) {
 }
 
 fn main() {
-    header("Figure 8", "goal-attainment ablation: attainment distribution over 10 runs");
+    header(
+        "Figure 8",
+        "goal-attainment ablation: attainment distribution over 10 runs",
+    );
     let device = Phemt::atf54143_like();
     let band = BandSpec::gnss();
     let objectives = band_objectives(&device, &band);
-    let obj_ref: &dyn Fn(&[f64]) -> Vec<f64> = &objectives;
+    let obj_ref: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &objectives;
     let goals = vec![0.8, -14.0, -10.0, -10.0, -0.005];
     let weights = vec![0.5, 2.0, 0.0, 0.0, 0.0];
     let bounds = DesignVariables::bounds();
@@ -64,14 +66,14 @@ fn main() {
     summarize("improved (DE global + pattern polish)", &improved);
 
     let mut no_global = Vec::new();
-    let mut rng = StdRng::seed_from_u64(0xab1a7);
+    let mut rng = Rng64::new(0xab1a7);
     for _ in 0..RUNS {
         let p = make_problem();
         let start: Vec<f64> = bounds
             .lo()
             .iter()
             .zip(bounds.hi())
-            .map(|(&l, &h)| rng.gen_range(l..h))
+            .map(|(&l, &h)| rng.uniform(l, h))
             .collect();
         let r = pattern_search(
             |x| p.attainment(&(p.objectives)(x)),
@@ -87,14 +89,14 @@ fn main() {
     summarize("ablation: exact minimax, local only", &no_global);
 
     let mut standard = Vec::new();
-    let mut rng = StdRng::seed_from_u64(0x57d);
+    let mut rng = Rng64::new(0x57d);
     for _ in 0..RUNS {
         let p = make_problem();
         let start: Vec<f64> = bounds
             .lo()
             .iter()
             .zip(bounds.hi())
-            .map(|(&l, &h)| rng.gen_range(l..h))
+            .map(|(&l, &h)| rng.uniform(l, h))
             .collect();
         let r = standard_goal_attainment(
             &p,

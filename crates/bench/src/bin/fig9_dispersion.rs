@@ -12,7 +12,10 @@ use rfkit_num::linspace;
 use rfkit_passive::{Capacitor, Component, Inductor, Microstrip, Substrate};
 
 fn main() {
-    header("Figure 9", "frequency dispersion of passive-element parameters");
+    header(
+        "Figure 9",
+        "frequency dispersion of passive-element parameters",
+    );
     let freqs = linspace(0.1e9, 6.0e9, 13);
     let freqs_ghz: Vec<f64> = freqs.iter().map(|f| f / 1e9).collect();
 

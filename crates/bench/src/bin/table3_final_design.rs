@@ -7,7 +7,10 @@ use lna_bench::{header, reference_design};
 use rfkit_device::Phemt;
 
 fn main() {
-    header("Table 3", "final GNSS LNA design (improved goal attainment + E24 snap)");
+    header(
+        "Table 3",
+        "final GNSS LNA design (improved goal attainment + E24 snap)",
+    );
     let device = Phemt::atf54143_like();
     let design = reference_design(&device);
 

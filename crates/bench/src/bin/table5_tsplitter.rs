@@ -47,7 +47,10 @@ fn splitter_row(name: &str, np: &NPort, lna_gain: f64, lna_f: f64) -> Vec<String
 }
 
 fn main() {
-    header("Table 5", "dual-output GNSS front end: splitter comparison at L1");
+    header(
+        "Table 5",
+        "dual-output GNSS front end: splitter comparison at L1",
+    );
     let device = Phemt::atf54143_like();
     let design = reference_design(&device);
     let amp = Amplifier::new(&device, design.snapped);

@@ -13,7 +13,10 @@ use rfkit_device::Phemt;
 use rfkit_num::stats;
 
 fn main() {
-    header("Table 6 (extension)", "production yield vs component tolerance");
+    header(
+        "Table 6 (extension)",
+        "production yield vs component tolerance",
+    );
     let device = Phemt::atf54143_like();
     let design = reference_design(&device);
     let band = BandSpec::gnss();
@@ -31,7 +34,11 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for (grade, tol) in [("E24 +-10 %", 0.10), ("E24 +-5 %", 0.05), ("E96 +-1 %", 0.01)] {
+    for (grade, tol) in [
+        ("E24 +-10 %", 0.10),
+        ("E24 +-5 %", 0.05),
+        ("E96 +-1 %", 0.01),
+    ] {
         let report = yield_analysis(
             &device,
             &design.snapped,
@@ -49,10 +56,7 @@ fn main() {
             format!("{:.1} %", 100.0 * report.yield_fraction()),
             format!("{:.3}", stats::median(&report.nf_db)),
             format!("{:.2}", stats::median(&report.gain_db)),
-            report
-                .dominant_failure()
-                .unwrap_or("none")
-                .to_string(),
+            report.dominant_failure().unwrap_or("none").to_string(),
         ]);
     }
     println!(

@@ -21,7 +21,10 @@ const L1: f64 = 1.57542e9;
 const BLOCKER: f64 = 0.8e9;
 
 fn main() {
-    header("Table 7 (extension)", "pre-filter placement: NF vs blocker protection");
+    header(
+        "Table 7 (extension)",
+        "pre-filter placement: NF vs blocker protection",
+    );
     let device = Phemt::atf54143_like();
     let design = reference_design(&device);
     let amp = Amplifier::new(&device, design.snapped);
@@ -69,13 +72,16 @@ fn main() {
                 .unwrap()
                 .noise_factor(Complex::ZERO)
                 .log10();
-        let blocker_gain =
-            db_from_amplitude_ratio(chain_of(filter_first, BLOCKER).abcd.to_s(50.0).unwrap().s21().abs());
+        let blocker_gain = db_from_amplitude_ratio(
+            chain_of(filter_first, BLOCKER)
+                .abcd
+                .to_s(50.0)
+                .unwrap()
+                .s21()
+                .abs(),
+        );
         let device_protection = if filter_first {
-            format!(
-                "{:.1} dB before the FET",
-                -filter.s21_db_ideal(BLOCKER)
-            )
+            format!("{:.1} dB before the FET", -filter.s21_db_ideal(BLOCKER))
         } else {
             "none (blocker hits the FET)".to_string()
         };

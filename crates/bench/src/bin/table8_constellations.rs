@@ -27,7 +27,10 @@ const CARRIERS: [(&str, f64); 11] = [
 ];
 
 fn main() {
-    header("Table 8 (extension)", "the one amplifier at every constellation carrier");
+    header(
+        "Table 8 (extension)",
+        "the one amplifier at every constellation carrier",
+    );
     let device = Phemt::atf54143_like();
     let design = reference_design(&device);
     let amp = Amplifier::new(&device, design.snapped);

@@ -61,6 +61,87 @@ pub fn print_series(x_label: &str, y_labels: &[&str], xs: &[f64], ys: &[Vec<f64>
     }
 }
 
+pub mod timing {
+    //! Minimal wall-clock benchmarking and JSON reporting for the parallel
+    //! engine — hand-rolled because the offline build environment cannot
+    //! fetch criterion. Timings are best-of-`reps` to suppress scheduler
+    //! noise, and every record carries the machine's core count so the
+    //! perf trajectory across PRs compares like with like.
+
+    use std::time::Instant;
+
+    /// Best-of-`reps` wall-clock seconds for `f` (after one warmup call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps == 0`.
+    pub fn time_best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+        assert!(reps > 0, "need at least one repetition");
+        f(); // warmup: JIT-free in Rust, but populates caches and the pool
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    }
+
+    /// One benchmark case: a workload timed serially and at several thread
+    /// counts.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct BenchRecord {
+        /// Workload name, e.g. `"de_population_eval"`.
+        pub name: String,
+        /// Serial (RFKIT_THREADS=1) wall-clock seconds.
+        pub serial_s: f64,
+        /// `(threads, wall-clock seconds)` pairs.
+        pub parallel_s: Vec<(usize, f64)>,
+    }
+
+    impl BenchRecord {
+        /// Speedup of the `threads` entry over serial (`None` if absent).
+        pub fn speedup(&self, threads: usize) -> Option<f64> {
+            self.parallel_s
+                .iter()
+                .find(|(t, _)| *t == threads)
+                .map(|(_, s)| self.serial_s / s)
+        }
+    }
+
+    /// Renders the records as the `results/BENCH_parallel.json` document.
+    /// Hand-rolled JSON (no serde offline): numbers via `{:e}` so the
+    /// round-trip is lossless enough for trend tracking.
+    pub fn to_json(records: &[BenchRecord], cores: usize) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"cores\": {cores},\n"));
+        out.push_str("  \"benches\": [\n");
+        for (i, r) in records.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+            out.push_str(&format!("      \"serial_s\": {:e},\n", r.serial_s));
+            out.push_str("      \"parallel\": [");
+            for (j, (t, s)) in r.parallel_s.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"threads\": {t}, \"wall_s\": {s:e}, \"speedup\": {:.3}}}",
+                    r.serial_s / s
+                ));
+            }
+            out.push_str("]\n");
+            out.push_str(if i + 1 == records.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,16 +11,14 @@ use rfkit_net::{NPort, SParams, YParams};
 use rfkit_num::units::angular;
 use rfkit_num::{CMatrix, Complex};
 
+/// A Y-matrix provider evaluated per frequency for one stamped two-port.
+type YProvider<'a> = &'a dyn Fn(f64) -> YParams;
+
 /// Extra linear two-ports to stamp at analysis time (node pair + Y-matrix
 /// provider), used for linearized active devices.
+#[derive(Default)]
 pub struct AcStamps<'a> {
-    stamps: Vec<(Option<usize>, Option<usize>, &'a dyn Fn(f64) -> YParams)>,
-}
-
-impl<'a> Default for AcStamps<'a> {
-    fn default() -> Self {
-        AcStamps { stamps: Vec::new() }
-    }
+    stamps: Vec<(Option<usize>, Option<usize>, YProvider<'a>)>,
 }
 
 impl<'a> AcStamps<'a> {
@@ -191,7 +189,9 @@ mod tests {
     #[test]
     fn series_resistor_two_port() {
         let mut c = Circuit::new();
-        c.resistor("in", "out", 50.0).port("in", 50.0).port("out", 50.0);
+        c.resistor("in", "out", 50.0)
+            .port("in", 50.0)
+            .port("out", 50.0);
         let s = two_port_s(&c, 1e9, &AcStamps::none()).unwrap();
         assert!((s.s11() - Complex::real(1.0 / 3.0)).abs() < 1e-9);
         assert!((s.s21() - Complex::real(2.0 / 3.0)).abs() < 1e-9);
@@ -290,7 +290,12 @@ mod tests {
         let stamps = AcStamps::none().two_port(g, dn, &y_of);
         let s = two_port_s(&c, 1.575e9, &stamps).unwrap();
         let s_ref = ss.s_params(1.575e9, 50.0);
-        assert!((s.s21() - s_ref.s21()).abs() < 1e-6, "{} vs {}", s.s21(), s_ref.s21());
+        assert!(
+            (s.s21() - s_ref.s21()).abs() < 1e-6,
+            "{} vs {}",
+            s.s21(),
+            s_ref.s21()
+        );
         assert!((s.s11() - s_ref.s11()).abs() < 1e-6);
     }
 

@@ -45,7 +45,10 @@ impl std::fmt::Display for DcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DcError::NoConvergence { residual } => {
-                write!(f, "newton iteration did not converge (residual {residual:.3e})")
+                write!(
+                    f,
+                    "newton iteration did not converge (residual {residual:.3e})"
+                )
             }
             DcError::Singular => write!(f, "singular MNA matrix (floating node or source loop)"),
         }
@@ -232,7 +235,11 @@ fn finish(circuit: &Circuit, x: Vec<f64>, iterations: usize) -> DcSolution {
                 source,
                 model,
                 params,
-            } => Some(model.ids(params, v(*gate) - v(*source), (v(*drain) - v(*source)).max(0.0))),
+            } => Some(model.ids(
+                params,
+                v(*gate) - v(*source),
+                (v(*drain) - v(*source)).max(0.0),
+            )),
             _ => None,
         })
         .collect();
@@ -323,7 +330,13 @@ mod tests {
             .resistor("vdd", "drain", 50.0)
             .resistor("g", "gnd", 10000.0)
             .resistor("s", "gnd", 10.0)
-            .fet("g", "drain", "s", Box::new(Angelov), Angelov.default_params());
+            .fet(
+                "g",
+                "drain",
+                "s",
+                Box::new(Angelov),
+                Angelov.default_params(),
+            );
         let g_id = c.node("g").unwrap();
         let s_id = c.node("s").unwrap();
         let sol = solve_dc(&c).unwrap();
@@ -341,15 +354,13 @@ mod tests {
         let target = 0.040;
         let vgs = d.bias_for_current(3.0, target).unwrap();
         let mut c = Circuit::new();
-        c.vsource("vd", "gnd", 3.0)
-            .vsource("vg", "gnd", vgs)
-            .fet(
-                "vg",
-                "vd",
-                "gnd",
-                Box::new(Angelov),
-                d.dc_params.clone(),
-            );
+        c.vsource("vd", "gnd", 3.0).vsource("vg", "gnd", vgs).fet(
+            "vg",
+            "vd",
+            "gnd",
+            Box::new(Angelov),
+            d.dc_params.clone(),
+        );
         let sol = solve_dc(&c).unwrap();
         assert!((sol.fet_currents[0] - target).abs() < 1e-6);
     }

@@ -105,7 +105,10 @@ impl std::fmt::Display for HbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HbError::NoConvergence { residual } => {
-                write!(f, "harmonic balance did not converge (residual {residual:.3e} A)")
+                write!(
+                    f,
+                    "harmonic balance did not converge (residual {residual:.3e} A)"
+                )
             }
             HbError::Singular => write!(f, "singular harmonic-balance Jacobian"),
         }
@@ -123,7 +126,11 @@ impl std::error::Error for HbError {}
 /// # Errors
 ///
 /// See [`HbError`].
-pub fn solve(bench: &HbTestbench<'_>, a_gate: f64, config: &HbConfig) -> Result<HbSolution, HbError> {
+pub fn solve(
+    bench: &HbTestbench<'_>,
+    a_gate: f64,
+    config: &HbConfig,
+) -> Result<HbSolution, HbError> {
     let h = config.harmonics.max(1);
     let dim = 1 + 2 * h;
     let mut x0 = vec![0.0; dim];
@@ -272,8 +279,8 @@ fn device_harmonics(
     fft(&mut current);
     let mut out = Vec::with_capacity(h + 1);
     out.push(current[0].scale(1.0 / n_time as f64));
-    for k in 1..=h {
-        out.push(current[k].scale(2.0 / n_time as f64));
+    for harmonic in current.iter().take(h + 1).skip(1) {
+        out.push(harmonic.scale(2.0 / n_time as f64));
     }
     out
 }
@@ -328,7 +335,11 @@ mod tests {
         let device = Phemt::atf54143_like();
         let bench = bench_with_load(&device, 50.0);
         let sol = solve(&bench, 0.0, &HbConfig::default()).unwrap();
-        assert!((sol.v_ds[0].re - bench.op.vds).abs() < 1e-6, "V0 = {}", sol.v_ds[0].re);
+        assert!(
+            (sol.v_ds[0].re - bench.op.vds).abs() < 1e-6,
+            "V0 = {}",
+            sol.v_ds[0].re
+        );
         assert!((sol.dc_current() - bench.op.ids).abs() < 1e-6);
         for k in 1..sol.v_ds.len() {
             assert!(sol.v_ds[k].abs() < 1e-9, "harmonic {k} must vanish");
@@ -400,7 +411,10 @@ mod tests {
         let n = rows.len();
         let final_slope = rows[n - 1].1 - rows[n - 2].1;
         let early_slope = rows[2].1 - rows[1].1;
-        assert!(final_slope < 0.6 * early_slope, "{final_slope} vs {early_slope}");
+        assert!(
+            final_slope < 0.6 * early_slope,
+            "{final_slope} vs {early_slope}"
+        );
     }
 
     #[test]
@@ -416,8 +430,7 @@ mod tests {
             let large = solve(&bench, a, &cfg).unwrap();
             // Gain drop in dB relative to small signal (currents scale
             // linearly absent compression).
-            20.0 * (small.i_d[1].abs() / 1e-3).log10()
-                - 20.0 * (large.i_d[1].abs() / a).log10()
+            20.0 * (small.i_d[1].abs() / 1e-3).log10() - 20.0 * (large.i_d[1].abs() / a).log10()
         };
         let light = compression_at(25.0, 0.3);
         let heavy = compression_at(150.0, 0.3);

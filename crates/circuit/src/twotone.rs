@@ -99,8 +99,7 @@ pub fn time_domain(device: &Phemt, op: &OperatingPoint, spec: &TwoToneSpec) -> T
     let signal: Vec<f64> = (0..N)
         .map(|t| {
             let phase = 2.0 * std::f64::consts::PI * t as f64 / N as f64;
-            let vg = op.vgs
-                + a * ((K1 as f64 * phase).cos() + (K2 as f64 * phase).cos());
+            let vg = op.vgs + a * ((K1 as f64 * phase).cos() + (K2 as f64 * phase).cos());
             model.ids(&device.dc_params, vg, op.vds) - i0
         })
         .collect();
@@ -130,10 +129,7 @@ pub struct Ip3Sweep {
 
 /// Runs a two-tone power sweep with the given evaluator and extrapolates
 /// IP3 from the small-signal (lowest-power) portion of the sweep.
-pub fn ip3_sweep(
-    pin_dbm: &[f64],
-    mut eval: impl FnMut(f64) -> TwoToneResult,
-) -> Ip3Sweep {
+pub fn ip3_sweep(pin_dbm: &[f64], mut eval: impl FnMut(f64) -> TwoToneResult) -> Ip3Sweep {
     let rows: Vec<TwoToneResult> = pin_dbm.iter().map(|&p| eval(p)).collect();
     // Fit the 1:1 and 3:1 slopes on the lowest third of the sweep where
     // both stay well below compression.
@@ -141,19 +137,15 @@ pub fn ip3_sweep(
     let x: Vec<f64> = rows[..n_fit].iter().map(|r| r.pin_dbm).collect();
     let y1: Vec<f64> = rows[..n_fit].iter().map(|r| r.p_fund_dbm).collect();
     let y3: Vec<f64> = rows[..n_fit].iter().map(|r| r.p_im3_dbm).collect();
-    let (oip3_dbm, iip3_dbm) = match (
-        Polynomial::fit_line(&x, &y1),
-        Polynomial::fit_line(&x, &y3),
-    ) {
-        (Ok(l1), Ok(l3)) if y3.iter().all(|v| v.is_finite()) => {
-            match line_intersection(l1, l3) {
-                Some(pin_ip3) => {
-                    let oip3 = l1.0 + l1.1 * pin_ip3;
-                    (Some(oip3), Some(pin_ip3))
-                }
-                None => (None, None),
+    let (oip3_dbm, iip3_dbm) = match (Polynomial::fit_line(&x, &y1), Polynomial::fit_line(&x, &y3))
+    {
+        (Ok(l1), Ok(l3)) if y3.iter().all(|v| v.is_finite()) => match line_intersection(l1, l3) {
+            Some(pin_ip3) => {
+                let oip3 = l1.0 + l1.1 * pin_ip3;
+                (Some(oip3), Some(pin_ip3))
             }
-        }
+            None => (None, None),
+        },
         _ => (None, None),
     };
     Ip3Sweep {

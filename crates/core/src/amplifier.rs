@@ -157,8 +157,8 @@ impl<'a> Amplifier<'a> {
         let l1 = Inductor::chip_0402(self.vars.l1).two_port(freq_hz, Orientation::Series, t);
         // Bias feed: R_bias in series with the choke, shunting the drain
         // to AC ground (the supply rail is bypassed).
-        let z_feed = Complex::real(self.vars.r_bias)
-            + Inductor::chip_0402(self.vars.l2).impedance(freq_hz);
+        let z_feed =
+            Complex::real(self.vars.r_bias) + Inductor::chip_0402(self.vars.l2).impedance(freq_hz);
         let l2 = NoisyAbcd::passive_shunt(z_feed.recip(), t);
         let c2 = Capacitor::chip_0402(self.vars.c2).two_port(freq_hz, Orientation::Series, t);
 
@@ -173,16 +173,18 @@ impl<'a> Amplifier<'a> {
     /// Swept response over a frequency grid, with noise parameters at
     /// every point — ready for Touchstone export or group-delay analysis.
     ///
+    /// The per-frequency solves run in parallel through `rfkit-par`
+    /// (see [`rfkit_net::FrequencyResponse::from_fn_par`]); the response
+    /// is assembled in grid order.
+    ///
     /// Returns `None` when the bias is unreachable or any point fails.
     pub fn frequency_response(&self, freqs: &[f64]) -> Option<rfkit_net::FrequencyResponse> {
-        let mut resp = rfkit_net::FrequencyResponse::new();
-        for &f in freqs {
+        rfkit_net::FrequencyResponse::from_fn_par(freqs, |f| {
             let noisy = self.noisy_two_port(f)?;
             let s = noisy.abcd.to_s(50.0).ok()?;
             let np = noisy.noise_params(50.0).ok()?;
-            resp.push(f, s, Some(np));
-        }
-        Some(resp)
+            Some((s, Some(np)))
+        })
     }
 
     /// All point metrics at `freq_hz`.
@@ -282,7 +284,10 @@ mod tests {
         let amp = Amplifier::new(&d, reasonable_vars());
         let low = amp.metrics(1.1e9).unwrap();
         let high = amp.metrics(1.7e9).unwrap();
-        assert!((low.gain_db - high.gain_db).abs() > 0.1, "frequency matters");
+        assert!(
+            (low.gain_db - high.gain_db).abs() > 0.1,
+            "frequency matters"
+        );
     }
 
     #[test]
@@ -311,7 +316,9 @@ mod tests {
         let d = Phemt::atf54143_like();
         let mut vars = reasonable_vars();
         vars.ids = 3.0;
-        assert!(Amplifier::new(&d, vars).frequency_response(&[1.4e9]).is_none());
+        assert!(Amplifier::new(&d, vars)
+            .frequency_response(&[1.4e9])
+            .is_none());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::amplifier::{Amplifier, PointMetrics};
 use rfkit_num::linspace;
+use rfkit_par::par_map;
 
 /// GPS L1 / Galileo E1 / BeiDou B1C center frequency (Hz).
 pub const GPS_L1_HZ: f64 = 1.57542e9;
@@ -77,13 +78,27 @@ pub struct BandMetrics {
 impl BandMetrics {
     /// Evaluates an amplifier over the band; `None` when any point fails
     /// (e.g. unreachable bias).
+    ///
+    /// The per-frequency evaluations (in-band grid plus out-of-band
+    /// stability grid) go through `rfkit-par`: each point is a pure
+    /// function of frequency, so the worst-case reduction — done serially
+    /// in grid order afterwards — is thread-count independent. When this
+    /// is itself called from a parallel region (e.g. optimizer population
+    /// evaluation), the nested call runs serially, and dense grids in
+    /// standalone sweeps fan out.
     pub fn evaluate(amp: &Amplifier<'_>, band: &BandSpec) -> Option<BandMetrics> {
+        let in_band = band.grid();
+        let stability = BandSpec::stability_grid();
+        let mut freqs = in_band.clone();
+        freqs.extend_from_slice(&stability);
+        let points: Vec<Option<PointMetrics>> = par_map(&freqs, |&f| amp.metrics(f));
+
         let mut worst_nf = f64::NEG_INFINITY;
         let mut min_gain = f64::INFINITY;
         let mut worst_s11 = f64::NEG_INFINITY;
         let mut worst_s22 = f64::NEG_INFINITY;
-        for f in band.grid() {
-            let m: PointMetrics = amp.metrics(f)?;
+        for m in &points[..in_band.len()] {
+            let m = m.as_ref()?;
             worst_nf = worst_nf.max(m.nf_db);
             min_gain = min_gain.min(m.gain_db);
             worst_s11 = worst_s11.max(m.s11_db);
@@ -91,8 +106,8 @@ impl BandMetrics {
         }
         let mut min_mu = f64::INFINITY;
         let mut min_k = f64::INFINITY;
-        for f in BandSpec::stability_grid() {
-            let m = amp.metrics(f)?;
+        for m in &points[in_band.len()..] {
+            let m = m.as_ref()?;
             min_mu = min_mu.min(m.mu);
             min_k = min_k.min(m.k);
         }
@@ -148,7 +163,11 @@ mod tests {
         let d = Phemt::atf54143_like();
         let amp = crate::amplifier::Amplifier::new(&d, amp_vars());
         let m = BandMetrics::evaluate(&amp, &BandSpec::gnss()).expect("valid design");
-        assert!(m.worst_nf_db > 0.0 && m.worst_nf_db < 3.0, "NF {}", m.worst_nf_db);
+        assert!(
+            m.worst_nf_db > 0.0 && m.worst_nf_db < 3.0,
+            "NF {}",
+            m.worst_nf_db
+        );
         assert!(m.min_gain_db > 5.0, "gain {}", m.min_gain_db);
         assert!(m.min_k.is_finite());
         // Worst-case NF is at least the best-case in-band NF.

@@ -145,7 +145,7 @@ impl Default for DesignConfig {
 /// full budget (does not occur for the golden device with sane goals).
 pub fn design_lna(device: &Phemt, goals: &DesignGoals, config: &DesignConfig) -> LnaDesign {
     let objectives = band_objectives(device, &config.band);
-    let objective_ref: &dyn Fn(&[f64]) -> Vec<f64> = &objectives;
+    let objective_ref: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &objectives;
     let goal_vec = vec![
         goals.nf_db,
         -goals.gain_db,
@@ -154,12 +154,7 @@ pub fn design_lna(device: &Phemt, goals: &DesignGoals, config: &DesignConfig) ->
         -goals.stability_margin,
     ];
     let weights = vec![goals.nf_weight, goals.gain_weight, 0.0, 0.0, 0.0];
-    let problem = GoalProblem::new(
-        objective_ref,
-        goal_vec,
-        weights,
-        DesignVariables::bounds(),
-    );
+    let problem = GoalProblem::new(objective_ref, goal_vec, weights, DesignVariables::bounds());
     // One long global phase beats split multistarts in this 7-dimensional
     // space at practical budgets.
     let cfg = GoalConfig {
@@ -180,12 +175,7 @@ pub fn design_lna(device: &Phemt, goals: &DesignGoals, config: &DesignConfig) ->
     let continuous_metrics =
         BandMetrics::evaluate(&amp, &config.band).expect("optimizer returned feasible design");
 
-    let snapped = repair_snapped(
-        device,
-        &config.band,
-        &problem,
-        snap_to_catalog(continuous),
-    );
+    let snapped = repair_snapped(device, &config.band, &problem, snap_to_catalog(continuous));
     let snapped_amp = Amplifier::new(device, snapped);
     let snapped_metrics =
         BandMetrics::evaluate(&snapped_amp, &config.band).expect("snapped design feasible");
@@ -244,9 +234,7 @@ fn repair_snapped(
     // resistor on E24 where that costs nothing.
     repaired.ids = (repaired.ids / 5e-3).round().max(1.0) * 5e-3;
     repaired.r_bias = ESeries::E24.snap(repaired.r_bias);
-    let check = |v: DesignVariables| {
-        problem.attainment(&(problem.objectives)(&v.to_vec()))
-    };
+    let check = |v: DesignVariables| problem.attainment(&(problem.objectives)(&v.to_vec()));
     let unquantized = DesignVariables::from_vec(&expand(&r.x));
     if check(repaired) <= check(unquantized) {
         repaired
@@ -308,7 +296,8 @@ mod tests {
         assert!(close(ESeries::E24.snap(s.l2), s.l2));
         assert!(close(ESeries::E24.snap(s.c2), s.c2));
         // Snapping cannot wreck the design.
-        let degradation = design.snapped_metrics.worst_nf_db - design.continuous_metrics.worst_nf_db;
+        let degradation =
+            design.snapped_metrics.worst_nf_db - design.continuous_metrics.worst_nf_db;
         assert!(degradation < 0.3, "snapping cost {degradation} dB of NF");
         assert!(design.snapped_metrics.min_mu > 1.0);
     }

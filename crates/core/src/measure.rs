@@ -10,11 +10,10 @@
 //! final figures.
 
 use crate::amplifier::{Amplifier, DesignVariables};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rfkit_circuit::{ip3_sweep, time_domain, Ip3Sweep, TwoToneSpec};
 use rfkit_device::Phemt;
 use rfkit_net::{FrequencyResponse, SParams};
+use rfkit_num::rng::Rng64;
 use rfkit_num::units::db_from_amplitude_ratio;
 use rfkit_num::Complex;
 use rfkit_passive::{Microstrip, Substrate};
@@ -49,10 +48,10 @@ impl Default for BuildConfig {
     }
 }
 
-fn gaussian(rng: &mut StdRng) -> f64 {
+fn gaussian(rng: &mut Rng64) -> f64 {
     loop {
-        let u: f64 = rng.gen_range(-1.0..1.0);
-        let v: f64 = rng.gen_range(-1.0..1.0);
+        let u: f64 = rng.uniform(-1.0, 1.0);
+        let v: f64 = rng.uniform(-1.0, 1.0);
         let s = u * u + v * v;
         if s > 0.0 && s < 1.0 {
             return u * (-2.0 * s.ln() / s).sqrt();
@@ -72,7 +71,7 @@ pub struct BuiltAmplifier {
 impl BuiltAmplifier {
     /// "Manufactures" one unit of the design.
     pub fn build(design: &DesignVariables, config: &BuildConfig) -> BuiltAmplifier {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Rng64::new(config.seed);
         let mut perturb = |v: f64, rel: f64| v * (1.0 + rel * gaussian(&mut rng));
         let actual_vars = DesignVariables {
             vds: perturb(design.vds, 0.01),
@@ -85,11 +84,7 @@ impl BuiltAmplifier {
         };
         BuiltAmplifier {
             actual_vars,
-            launch: Microstrip::for_impedance(
-                Substrate::ro4350b(),
-                50.0,
-                config.launch_length,
-            ),
+            launch: Microstrip::for_impedance(Substrate::ro4350b(), 50.0, config.launch_length),
         }
     }
 
@@ -131,12 +126,14 @@ pub fn measure(
     freqs: &[f64],
     config: &BuildConfig,
 ) -> Option<MeasurementSession> {
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x5ca1e));
+    let mut rng = Rng64::new(config.seed.wrapping_add(0x5ca1e));
     let mut response = FrequencyResponse::new();
     let mut nf_db = Vec::with_capacity(freqs.len());
     for &f in freqs {
         let s = built.true_s_params(device, f)?;
-        let jitter = |rng: &mut StdRng, sigma: f64| Complex::new(sigma * gaussian(rng), sigma * gaussian(rng));
+        let jitter = |rng: &mut Rng64, sigma: f64| {
+            Complex::new(sigma * gaussian(rng), sigma * gaussian(rng))
+        };
         let noisy = SParams::new(
             s.s11() + jitter(&mut rng, config.vna_noise),
             s.s12() + jitter(&mut rng, config.vna_noise),
@@ -157,11 +154,7 @@ pub fn measure(
 /// network's transmission.
 ///
 /// Returns `None` for unreachable bias.
-pub fn measure_im3(
-    device: &Phemt,
-    built: &BuiltAmplifier,
-    pin_dbm: &[f64],
-) -> Option<Ip3Sweep> {
+pub fn measure_im3(device: &Phemt, built: &BuiltAmplifier, pin_dbm: &[f64]) -> Option<Ip3Sweep> {
     let vars = built.actual_vars;
     let vgs = device.bias_for_current(vars.vds, vars.ids)?;
     let op = device.operating_point(vgs, vars.vds);
@@ -225,13 +218,7 @@ mod tests {
         let b1 = BuiltAmplifier::build(&design(), &cfg);
         let b2 = BuiltAmplifier::build(&design(), &cfg);
         assert_eq!(b1, b2);
-        let b3 = BuiltAmplifier::build(
-            &design(),
-            &BuildConfig {
-                seed: 99,
-                ..cfg
-            },
-        );
+        let b3 = BuiltAmplifier::build(&design(), &BuildConfig { seed: 99, ..cfg });
         assert_ne!(b1.actual_vars, b3.actual_vars);
     }
 

@@ -83,15 +83,24 @@ pub fn design_summary(vars: &DesignVariables) -> Vec<(String, String)> {
         ("Ls (degeneration)".into(), eng(vars.ls_deg, "H")),
         ("L2 (shunt output / bias feed)".into(), eng(vars.l2, "H")),
         ("C2 (output block/match)".into(), eng(vars.c2, "F")),
-        ("R_bias (feed damping)".into(), format!("{:.1} ohm", vars.r_bias)),
+        (
+            "R_bias (feed damping)".into(),
+            format!("{:.1} ohm", vars.r_bias),
+        ),
     ]
 }
 
 /// Summary rows of band metrics for the performance table.
 pub fn metrics_summary(m: &BandMetrics) -> Vec<(String, String)> {
     vec![
-        ("worst in-band NF".into(), format!("{:.3} dB", m.worst_nf_db)),
-        ("min in-band gain".into(), format!("{:.2} dB", m.min_gain_db)),
+        (
+            "worst in-band NF".into(),
+            format!("{:.3} dB", m.worst_nf_db),
+        ),
+        (
+            "min in-band gain".into(),
+            format!("{:.2} dB", m.min_gain_db),
+        ),
         ("worst |S11|".into(), format!("{:.1} dB", m.worst_s11_db)),
         ("worst |S22|".into(), format!("{:.1} dB", m.worst_s22_db)),
         ("min K (0.2-6 GHz)".into(), format!("{:.2}", m.min_k)),

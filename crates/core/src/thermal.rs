@@ -70,8 +70,7 @@ pub fn metrics_at_temperature(
     ss.extrinsic.ls += vars.ls_deg;
     let temps = NoiseTemperatures {
         tg: t_amb + 3.5,
-        td: (device.noise.td0 * op.ids / device.noise.ids_ref * t_amb / 296.5)
-            .max(t_amb),
+        td: (device.noise.td0 * op.ids / device.noise.ids_ref * t_amb / 296.5).max(t_amb),
         ambient: t_amb,
     };
     let core = ss.noisy_two_port(freq_hz, &temps);
@@ -79,8 +78,7 @@ pub fn metrics_at_temperature(
     // Passives at ambient.
     let c_blk = Capacitor::chip_0402(amp.c_block).two_port(freq_hz, Orientation::Series, t_amb);
     let l1 = Inductor::chip_0402(vars.l1).two_port(freq_hz, Orientation::Series, t_amb);
-    let z_feed =
-        Complex::real(vars.r_bias) + Inductor::chip_0402(vars.l2).impedance(freq_hz);
+    let z_feed = Complex::real(vars.r_bias) + Inductor::chip_0402(vars.l2).impedance(freq_hz);
     let l2 = rfkit_net::NoisyAbcd::passive_shunt(z_feed.recip(), t_amb);
     let c2 = Capacitor::chip_0402(vars.c2).two_port(freq_hz, Orientation::Series, t_amb);
     let chain = c_blk.cascade(&l1).cascade(&core).cascade(&l2).cascade(&c2);
@@ -147,8 +145,7 @@ mod tests {
         let amp = Amplifier::new(&device, vars());
         let nominal = amp.metrics(1.4e9).unwrap();
         let thermal =
-            metrics_at_temperature(&device, vars(), 1.4e9, &ThermalCondition::at(23.35))
-                .unwrap();
+            metrics_at_temperature(&device, vars(), 1.4e9, &ThermalCondition::at(23.35)).unwrap();
         // Same circuit at reference temperature: tenths of a dB at most
         // (passive reference T0 = 290 K vs ambient 296.5 K differs slightly).
         assert!((thermal.gain_db - nominal.gain_db).abs() < 0.2);
@@ -158,17 +155,16 @@ mod tests {
     #[test]
     fn noise_rises_and_gain_falls_with_temperature() {
         let device = Phemt::atf54143_like();
-        let sweep = band_sweep_over_temperature(
-            &device,
-            vars(),
-            &BandSpec::gnss(),
-            &[-40.0, 25.0, 85.0],
-        );
+        let sweep =
+            band_sweep_over_temperature(&device, vars(), &BandSpec::gnss(), &[-40.0, 25.0, 85.0]);
         assert_eq!(sweep.len(), 3);
         let (_, nf_cold, gain_cold) = sweep[0];
         let (_, nf_room, gain_room) = sweep[1];
         let (_, nf_hot, gain_hot) = sweep[2];
-        assert!(nf_cold < nf_room && nf_room < nf_hot, "NF: {nf_cold} {nf_room} {nf_hot}");
+        assert!(
+            nf_cold < nf_room && nf_room < nf_hot,
+            "NF: {nf_cold} {nf_room} {nf_hot}"
+        );
         assert!(
             gain_cold > gain_room && gain_room > gain_hot,
             "gain: {gain_cold} {gain_room} {gain_hot}"
@@ -190,13 +186,8 @@ mod tests {
     fn stability_holds_over_the_automotive_range() {
         let device = Phemt::atf54143_like();
         for t in [-40.0, 85.0] {
-            let m = metrics_at_temperature(
-                &device,
-                vars(),
-                1.4e9,
-                &ThermalCondition::at(t),
-            )
-            .unwrap();
+            let m =
+                metrics_at_temperature(&device, vars(), 1.4e9, &ThermalCondition::at(t)).unwrap();
             assert!(m.k > 1.0, "K at {t} °C = {}", m.k);
         }
     }

@@ -11,6 +11,7 @@ use crate::amplifier::{Amplifier, DesignVariables};
 use crate::band::{BandMetrics, BandSpec};
 use crate::measure::{BuildConfig, BuiltAmplifier};
 use rfkit_device::Phemt;
+use rfkit_par::par_collect;
 
 /// Pass/fail specification for one manufactured unit (worst case over the
 /// band).
@@ -64,12 +65,14 @@ impl YieldReport {
 
     /// Name of the dominant failure mechanism, or `None` at 100 % yield.
     pub fn dominant_failure(&self) -> Option<&'static str> {
-        const NAMES: [&str; 5] = ["noise figure", "gain", "input match", "stability", "dead board"];
-        let (idx, &count) = self
-            .failures
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)?;
+        const NAMES: [&str; 5] = [
+            "noise figure",
+            "gain",
+            "input match",
+            "stability",
+            "dead board",
+        ];
+        let (idx, &count) = self.failures.iter().enumerate().max_by_key(|(_, &c)| c)?;
         if count == 0 {
             None
         } else {
@@ -80,6 +83,11 @@ impl YieldReport {
 
 /// Manufactures `units` boards of `design` (seeds `0..units` offset by
 /// `seed_base`) and grades each against `spec` over `band`.
+///
+/// The units are evaluated in parallel through `rfkit-par`: every unit's
+/// tolerance draw is seeded from `seed_base + unit` before dispatch, so
+/// the report is bit-identical at any thread count, and the grading
+/// reduction runs serially in unit order.
 pub fn yield_analysis(
     device: &Phemt,
     design: &DesignVariables,
@@ -89,6 +97,18 @@ pub fn yield_analysis(
     build: &BuildConfig,
     seed_base: u64,
 ) -> YieldReport {
+    // Parallel phase: manufacture and measure each unit independently.
+    let measured: Vec<Option<BandMetrics>> = par_collect(units, &Default::default(), |unit| {
+        let cfg = BuildConfig {
+            seed: seed_base.wrapping_add(unit as u64),
+            ..*build
+        };
+        let built = BuiltAmplifier::build(design, &cfg);
+        let amp = Amplifier::new(device, built.actual_vars);
+        BandMetrics::evaluate(&amp, band)
+    });
+
+    // Serial reduction in unit order.
     let mut report = YieldReport {
         units,
         passing: 0,
@@ -96,14 +116,8 @@ pub fn yield_analysis(
         nf_db: Vec::with_capacity(units),
         gain_db: Vec::with_capacity(units),
     };
-    for unit in 0..units {
-        let cfg = BuildConfig {
-            seed: seed_base.wrapping_add(unit as u64),
-            ..*build
-        };
-        let built = BuiltAmplifier::build(design, &cfg);
-        let amp = Amplifier::new(device, built.actual_vars);
-        let Some(metrics) = BandMetrics::evaluate(&amp, band) else {
+    for metrics in measured {
+        let Some(metrics) = metrics else {
             report.failures[4] += 1;
             continue;
         };

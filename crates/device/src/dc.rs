@@ -13,7 +13,7 @@
 use rfkit_opt::Bounds;
 
 /// A DC drain-current equation with named, bounded parameters.
-pub trait DcModel {
+pub trait DcModel: Send + Sync {
     /// Model name for tables and reports.
     fn name(&self) -> &'static str;
 
@@ -415,7 +415,11 @@ mod tests {
             let g = gds(m.as_ref(), &p, 0.0, 2.0);
             let gm_v = gm(m.as_ref(), &p, 0.0, 2.0);
             assert!(g >= 0.0, "{}: gds = {g}", m.name());
-            assert!(g < gm_v, "{}: gds {g} should be well below gm {gm_v}", m.name());
+            assert!(
+                g < gm_v,
+                "{}: gds {g} should be well below gm {gm_v}",
+                m.name()
+            );
         }
     }
 
@@ -460,8 +464,7 @@ mod tests {
         for m in models() {
             let p = m.default_params();
             let target = 0.5 * m.ids(&p, 0.3, 2.0);
-            let vgs =
-                vgs_for_current(m.as_ref(), &p, 2.0, target, -2.0, 0.8).expect("bracketed");
+            let vgs = vgs_for_current(m.as_ref(), &p, 2.0, target, -2.0, 0.8).expect("bracketed");
             let i = m.ids(&p, vgs, 2.0);
             assert!(
                 (i - target).abs() / target < 1e-6,

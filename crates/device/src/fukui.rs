@@ -97,12 +97,7 @@ mod tests {
         // within ~25 %.
         let d = device();
         let temps = NoiseTemperatures::default();
-        let posp = |f: f64| {
-            d.noisy_two_port(f, &temps)
-                .noise_params(50.0)
-                .unwrap()
-                .fmin
-        };
+        let posp = |f: f64| d.noisy_two_port(f, &temps).noise_params(50.0).unwrap().fmin;
         let kf = fit_kf(&d, 1.0e9, posp(1.0e9));
         let fukui3 = fukui_fmin(&d, 3.0e9, kf) - 1.0;
         let posp3 = posp(3.0e9) - 1.0;

@@ -8,9 +8,8 @@
 //! parameters — all with configurable, reproducible instrument noise.
 
 use crate::phemt::Phemt;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rfkit_net::{NoiseParams, SParams};
+use rfkit_num::rng::Rng64;
 use rfkit_num::{linspace, Complex};
 
 /// One sample of a DC I-V characterization.
@@ -56,11 +55,11 @@ impl MeasurementNoise {
     }
 }
 
-fn gaussian(rng: &mut StdRng) -> f64 {
+fn gaussian(rng: &mut Rng64) -> f64 {
     // Marsaglia polar method.
     loop {
-        let u: f64 = rng.gen_range(-1.0..1.0);
-        let v: f64 = rng.gen_range(-1.0..1.0);
+        let u: f64 = rng.uniform(-1.0, 1.0);
+        let v: f64 = rng.uniform(-1.0, 1.0);
         let s = u * u + v * v;
         if s > 0.0 && s < 1.0 {
             return u * (-2.0 * s.ln() / s).sqrt();
@@ -102,14 +101,11 @@ impl GoldenDevice {
         vds_grid: &[f64],
         noise: &MeasurementNoise,
     ) -> Vec<DcSample> {
-        let mut rng = StdRng::seed_from_u64(noise.seed);
+        let mut rng = Rng64::new(noise.seed);
         let mut out = Vec::with_capacity(vgs_grid.len() * vds_grid.len());
         for &vgs in vgs_grid {
             for &vds in vds_grid {
-                let ids_true = self
-                    .device
-                    .dc_model
-                    .ids(&self.device.dc_params, vgs, vds);
+                let ids_true = self.device.dc_model.ids(&self.device.dc_params, vgs, vds);
                 // Relative noise plus a 1 µA ammeter floor.
                 let sigma = noise.dc_relative * ids_true.abs() + 1e-6 * noise.dc_relative * 200.0;
                 let ids = ids_true + sigma * gaussian(&mut rng);
@@ -128,7 +124,7 @@ impl GoldenDevice {
         freqs: &[f64],
         noise: &MeasurementNoise,
     ) -> Vec<(f64, SParams)> {
-        let mut rng = StdRng::seed_from_u64(noise.seed.wrapping_add(1));
+        let mut rng = Rng64::new(noise.seed.wrapping_add(1));
         let op = self.device.operating_point(vgs, vds);
         freqs
             .iter()
@@ -139,7 +135,7 @@ impl GoldenDevice {
                     .abcd
                     .to_s(50.0)
                     .expect("golden device has S form");
-                let jitter = |rng: &mut StdRng| {
+                let jitter = |rng: &mut Rng64| {
                     Complex::new(
                         noise.sparam_absolute * gaussian(rng),
                         noise.sparam_absolute * gaussian(rng),
@@ -160,7 +156,12 @@ impl GoldenDevice {
     /// Simulated noise-parameter measurement at bias `(vgs, vds)` over
     /// `freqs` (source-pull + noise-figure meter emulation; returned
     /// noiseless — NF meters average heavily).
-    pub fn measure_noise_params(&self, vgs: f64, vds: f64, freqs: &[f64]) -> Vec<(f64, NoiseParams)> {
+    pub fn measure_noise_params(
+        &self,
+        vgs: f64,
+        vds: f64,
+        freqs: &[f64],
+    ) -> Vec<(f64, NoiseParams)> {
         let op = self.device.operating_point(vgs, vds);
         freqs
             .iter()
@@ -206,20 +207,17 @@ mod tests {
         // increasing grids are not required here), so use many seeds.
         let mut errors = Vec::new();
         for seed in 0..200 {
-            let data = g.measure_dc(
-                &[0.0],
-                &[3.0],
-                &MeasurementNoise {
-                    seed,
-                    ..noise
-                },
-            );
+            let data = g.measure_dc(&[0.0], &[3.0], &MeasurementNoise { seed, ..noise });
             let truth = g.device.dc_model.ids(&g.device.dc_params, 0.0, 3.0);
             errors.push((data[0].ids - truth) / truth);
         }
         let sd = stats::std_dev(&errors);
         assert!((sd - 0.01).abs() < 0.004, "sd = {sd}");
-        assert!(stats::mean(&errors).abs() < 0.005, "bias = {}", stats::mean(&errors));
+        assert!(
+            stats::mean(&errors).abs() < 0.005,
+            "bias = {}",
+            stats::mean(&errors)
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! Pospieszalski's model, evaluated here through correlation matrices so
 //! the extrinsic shell's thermal noise is handled consistently.
 
-use rfkit_net::{Abcd, M2, NoisyAbcd, SParams, YParams, ZParams};
+use rfkit_net::{Abcd, NoisyAbcd, SParams, YParams, ZParams, M2};
 use rfkit_num::units::{angular, K_BOLTZMANN};
 use rfkit_num::Complex;
 
@@ -186,8 +186,8 @@ impl SmallSignalDevice {
         };
         let sn = 4.0 * K_BOLTZMANN * temps.ambient * e.rs;
         let cz_total = cz.add(&ones.scale(Complex::real(sn)));
-        let core = NoisyAbcd::from_z_correlation(&z_total, &cz_total)
-            .expect("intrinsic Z21 nonzero");
+        let core =
+            NoisyAbcd::from_z_correlation(&z_total, &cz_total).expect("intrinsic Z21 nonzero");
 
         // Gate and drain series elements, pad shunts.
         let gate = NoisyAbcd::passive_series(Complex::new(e.rg, w * e.lg), temps.ambient);
@@ -307,17 +307,11 @@ mod tests {
     fn nf_min_realistic_and_rising_with_frequency() {
         let d = typical();
         let temps = NoiseTemperatures::default();
-        let np1 = d
-            .noisy_two_port(1.5e9, &temps)
-            .noise_params(50.0)
-            .unwrap();
+        let np1 = d.noisy_two_port(1.5e9, &temps).noise_params(50.0).unwrap();
         let nf1 = np1.nf_min_db();
         // ATF-54143 class: NFmin ≈ 0.3–0.9 dB at 1.5 GHz.
         assert!(nf1 > 0.1 && nf1 < 1.2, "NFmin(1.5 GHz) = {nf1} dB");
-        let np4 = d
-            .noisy_two_port(4.0e9, &temps)
-            .noise_params(50.0)
-            .unwrap();
+        let np4 = d.noisy_two_port(4.0e9, &temps).noise_params(50.0).unwrap();
         assert!(np4.nf_min_db() > nf1, "NFmin must rise with frequency");
     }
 
@@ -345,8 +339,16 @@ mod tests {
             td: 3000.0,
             ..Default::default()
         };
-        let nf_cool = d.noisy_two_port(1.5e9, &cool).noise_params(50.0).unwrap().fmin;
-        let nf_hot = d.noisy_two_port(1.5e9, &hot).noise_params(50.0).unwrap().fmin;
+        let nf_cool = d
+            .noisy_two_port(1.5e9, &cool)
+            .noise_params(50.0)
+            .unwrap()
+            .fmin;
+        let nf_hot = d
+            .noisy_two_port(1.5e9, &hot)
+            .noise_params(50.0)
+            .unwrap()
+            .fmin;
         assert!(nf_hot > nf_cool);
     }
 

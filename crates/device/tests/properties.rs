@@ -1,132 +1,155 @@
 //! Property-based tests on the device models: physical invariants that
-//! must hold at any bias and frequency.
+//! must hold at any bias and frequency. Cases come from a fixed-seed
+//! `Rng64` stream (the workspace builds offline, so no proptest), which
+//! keeps every run reproducible.
 
-use proptest::prelude::*;
 use rfkit_device::dc::{all_models, gds, gm};
 use rfkit_device::smallsignal::NoiseTemperatures;
 use rfkit_device::Phemt;
+use rfkit_num::rng::Rng64;
 use rfkit_num::Complex;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dc_models_nonnegative_current_and_conductances(
-        model_idx in 0usize..5,
-        vgs in -1.5..0.8f64,
-        vds in 0.0..4.0f64,
-    ) {
-        let models = all_models();
-        let m = &models[model_idx];
+#[test]
+fn dc_models_nonnegative_current_and_conductances() {
+    let models = all_models();
+    let mut rng = Rng64::new(0xde1c_0001);
+    for _ in 0..48 {
+        let m = &models[rng.index(5)];
+        let vgs = rng.uniform(-1.5, 0.8);
+        let vds = rng.uniform(0.0, 4.0);
         let p = m.default_params();
         let i = m.ids(&p, vgs, vds);
-        prop_assert!(i >= -1e-12, "{}: negative current {i}", m.name());
-        prop_assert!(i < 1.0, "{}: absurd current {i}", m.name());
+        assert!(i >= -1e-12, "{}: negative current {i}", m.name());
+        assert!(i < 1.0, "{}: absurd current {i}", m.name());
         if vds > 0.05 {
-            prop_assert!(gm(m.as_ref(), &p, vgs, vds) >= -1e-6, "{}: negative gm", m.name());
+            assert!(
+                gm(m.as_ref(), &p, vgs, vds) >= -1e-6,
+                "{}: negative gm",
+                m.name()
+            );
             // Published models legitimately produce a few mS of *negative*
             // output conductance at strong forward gate drive: the Curtice
             // cubic through its V1 = Vgs(1 + β(Vds0 − Vds)) feedback, the
             // TOM through its δ·Vds·I0 self-heating-style denominator.
             // Bound the effect rather than forbid it.
-            prop_assert!(
+            assert!(
                 gds(m.as_ref(), &p, vgs, vds) >= -8e-3,
-                "{}: excessive negative gds", m.name()
+                "{}: excessive negative gds",
+                m.name()
             );
         }
     }
+}
 
-    #[test]
-    fn dc_current_monotone_in_vgs(
-        model_idx in 0usize..5,
-        vgs in -1.2..0.5f64,
-        dv in 0.01..0.3f64,
-        vds in 0.5..4.0f64,
-    ) {
-        let models = all_models();
-        let m = &models[model_idx];
+#[test]
+fn dc_current_monotone_in_vgs() {
+    let models = all_models();
+    let mut rng = Rng64::new(0xde1c_0002);
+    for _ in 0..48 {
+        let m = &models[rng.index(5)];
+        let vgs = rng.uniform(-1.2, 0.5);
+        let dv = rng.uniform(0.01, 0.3);
+        let vds = rng.uniform(0.5, 4.0);
         let p = m.default_params();
-        prop_assert!(
+        assert!(
             m.ids(&p, vgs + dv, vds) >= m.ids(&p, vgs, vds) - 1e-9,
-            "{}: Ids must not fall as Vgs rises", m.name()
+            "{}: Ids must not fall as Vgs rises",
+            m.name()
         );
     }
+}
 
-    #[test]
-    fn golden_device_noise_params_physical(
-        ids_ma in 12.0..78.0f64,
-        vds in 2.0..4.0f64,
-        f_ghz in 0.5..6.0f64,
-    ) {
-        let d = Phemt::atf54143_like();
+#[test]
+fn golden_device_noise_params_physical() {
+    let d = Phemt::atf54143_like();
+    let mut rng = Rng64::new(0xde1c_0003);
+    for _ in 0..48 {
+        let ids_ma = rng.uniform(12.0, 78.0);
+        let vds = rng.uniform(2.0, 4.0);
+        let f_ghz = rng.uniform(0.5, 6.0);
         let vgs = d.bias_for_current(vds, ids_ma * 1e-3).expect("in range");
         let op = d.operating_point(vgs, vds);
-        let np = d.noisy_two_port(f_ghz * 1e9, &op).noise_params(50.0).unwrap();
-        prop_assert!(np.fmin >= 1.0, "Fmin >= 1");
-        prop_assert!(np.fmin < 10.0, "Fmin sane: {}", np.fmin);
-        prop_assert!(np.rn > 0.0 && np.rn < 200.0, "Rn = {}", np.rn);
-        prop_assert!(np.gamma_opt.abs() < 1.0, "|Γopt| < 1");
+        let np = d
+            .noisy_two_port(f_ghz * 1e9, &op)
+            .noise_params(50.0)
+            .unwrap();
+        assert!(np.fmin >= 1.0, "Fmin >= 1");
+        assert!(np.fmin < 10.0, "Fmin sane: {}", np.fmin);
+        assert!(np.rn > 0.0 && np.rn < 200.0, "Rn = {}", np.rn);
+        assert!(np.gamma_opt.abs() < 1.0, "|Γopt| < 1");
         // F(Γs) >= Fmin for a scatter of sources.
         for k in 0..6 {
             let gs = Complex::from_polar(0.6, k as f64);
-            prop_assert!(np.noise_factor(gs) >= np.fmin - 1e-9);
+            assert!(np.noise_factor(gs) >= np.fmin - 1e-9);
         }
     }
+}
 
-    #[test]
-    fn two_port_reciprocity_violated_only_by_gm(
-        ids_ma in 12.0..78.0f64,
-        f_ghz in 0.5..6.0f64,
-    ) {
-        // An active FET must NOT be reciprocal (S21 != S12), and the
-        // forward path must dominate.
-        let d = Phemt::atf54143_like();
+#[test]
+fn two_port_reciprocity_violated_only_by_gm() {
+    // An active FET must NOT be reciprocal (S21 != S12), and the
+    // forward path must dominate.
+    let d = Phemt::atf54143_like();
+    let mut rng = Rng64::new(0xde1c_0004);
+    for _ in 0..48 {
+        let ids_ma = rng.uniform(12.0, 78.0);
+        let f_ghz = rng.uniform(0.5, 6.0);
         let vgs = d.bias_for_current(3.0, ids_ma * 1e-3).unwrap();
         let op = d.operating_point(vgs, 3.0);
         let s = d.noisy_two_port(f_ghz * 1e9, &op).abcd.to_s(50.0).unwrap();
-        prop_assert!(s.s21().abs() > s.s12().abs(), "forward dominates reverse");
-        prop_assert!(!s.is_reciprocal(1e-3));
+        assert!(s.s21().abs() > s.s12().abs(), "forward dominates reverse");
+        assert!(!s.is_reciprocal(1e-3));
     }
+}
 
-    #[test]
-    fn noise_monotone_in_drain_temperature(
-        td1 in 300.0..1500.0f64,
-        dt in 100.0..2000.0f64,
-        f_ghz in 0.8..4.0f64,
-    ) {
-        let d = Phemt::atf54143_like();
-        let op = d.operating_point(d.bias_for_current(3.0, 0.05).unwrap(), 3.0);
-        let ss = d.small_signal(&op);
+#[test]
+fn noise_monotone_in_drain_temperature() {
+    let d = Phemt::atf54143_like();
+    let op = d.operating_point(d.bias_for_current(3.0, 0.05).unwrap(), 3.0);
+    let ss = d.small_signal(&op);
+    let mut rng = Rng64::new(0xde1c_0005);
+    for _ in 0..48 {
+        let td1 = rng.uniform(300.0, 1500.0);
+        let dt = rng.uniform(100.0, 2000.0);
+        let f_ghz = rng.uniform(0.8, 4.0);
         let f = |td: f64| {
-            ss.noisy_two_port(f_ghz * 1e9, &NoiseTemperatures {
-                td, ..Default::default()
-            })
+            ss.noisy_two_port(
+                f_ghz * 1e9,
+                &NoiseTemperatures {
+                    td,
+                    ..Default::default()
+                },
+            )
             .noise_params(50.0)
             .unwrap()
             .fmin
         };
-        prop_assert!(f(td1 + dt) >= f(td1) - 1e-12);
+        assert!(f(td1 + dt) >= f(td1) - 1e-12);
     }
+}
 
-    #[test]
-    fn bias_solver_inverts_dc_model(
-        ids_ma in 5.0..90.0f64,
-        vds in 1.0..4.0f64,
-    ) {
-        let d = Phemt::atf54143_like();
+#[test]
+fn bias_solver_inverts_dc_model() {
+    let d = Phemt::atf54143_like();
+    let mut rng = Rng64::new(0xde1c_0006);
+    for _ in 0..48 {
+        let ids_ma = rng.uniform(5.0, 90.0);
+        let vds = rng.uniform(1.0, 4.0);
         if let Some(vgs) = d.bias_for_current(vds, ids_ma * 1e-3) {
             let i = d.operating_point(vgs, vds).ids;
-            prop_assert!((i - ids_ma * 1e-3).abs() < 1e-6);
+            assert!((i - ids_ma * 1e-3).abs() < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn ft_positive_and_finite(
-        ids_ma in 12.0..78.0f64,
-    ) {
-        let d = Phemt::atf54143_like();
+#[test]
+fn ft_positive_and_finite() {
+    let d = Phemt::atf54143_like();
+    let mut rng = Rng64::new(0xde1c_0007);
+    for _ in 0..48 {
+        let ids_ma = rng.uniform(12.0, 78.0);
         let op = d.operating_point(d.bias_for_current(3.0, ids_ma * 1e-3).unwrap(), 3.0);
         let ft = d.small_signal(&op).intrinsic.ft();
-        prop_assert!(ft > 1e9 && ft < 200e9, "fT = {ft}");
+        assert!(ft > 1e9 && ft < 200e9, "fT = {ft}");
     }
 }

@@ -13,9 +13,7 @@ use crate::objective::sparam_loss;
 use crate::ssvector::{ss_from_vec, SS_NAMES};
 use rfkit_device::{Extrinsic, SmallSignalDevice};
 use rfkit_net::SParams;
-use rfkit_opt::{
-    differential_evolution, levenberg_marquardt, Bounds, DeConfig, LmConfig,
-};
+use rfkit_opt::{differential_evolution, levenberg_marquardt, Bounds, DeConfig, LmConfig};
 
 /// Configuration of the cold-FET fit.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,9 +71,9 @@ pub fn cold_fet_extraction(
     config: &ColdFetConfig,
 ) -> ColdFetResult {
     let bounds = cold_bounds();
-    let evals = std::cell::Cell::new(0usize);
+    let evals = std::sync::atomic::AtomicUsize::new(0);
     let objective = |v: &[f64]| {
-        evals.set(evals.get() + 1);
+        evals.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         sparam_loss(&ss_from_vec(v), cold_sparams)
     };
     let de = differential_evolution(
@@ -89,7 +87,7 @@ pub fn cold_fet_extraction(
     );
     let lm = levenberg_marquardt(
         |v| {
-            evals.set(evals.get() + 1);
+            evals.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             crate::objective::sparam_residuals(&ss_from_vec(v), cold_sparams)
         },
         &de.x,
@@ -104,7 +102,7 @@ pub fn cold_fet_extraction(
         extrinsic: cold_model.extrinsic,
         sparam_rmse: crate::objective::sparam_rmse(&cold_model, cold_sparams),
         cold_model,
-        evaluations: evals.get(),
+        evaluations: evals.load(std::sync::atomic::Ordering::Relaxed),
     }
 }
 
@@ -142,13 +140,32 @@ mod tests {
     fn recovers_extrinsic_resistances_and_inductances() {
         let (g, rows) = cold_measurement(MeasurementNoise::none());
         let result = cold_fet_extraction(&rows, &ColdFetConfig::default());
-        assert!(result.sparam_rmse < 0.01, "cold fit RMSE {}", result.sparam_rmse);
+        assert!(
+            result.sparam_rmse < 0.01,
+            "cold fit RMSE {}",
+            result.sparam_rmse
+        );
         let truth = g.device.extrinsic;
         let got = result.extrinsic;
         // Series elements are well identified by the cold condition.
-        assert!((got.lg - truth.lg).abs() / truth.lg < 0.25, "Lg {} vs {}", got.lg, truth.lg);
-        assert!((got.ld - truth.ld).abs() / truth.ld < 0.25, "Ld {} vs {}", got.ld, truth.ld);
-        assert!((got.ls - truth.ls).abs() / truth.ls < 0.4, "Ls {} vs {}", got.ls, truth.ls);
+        assert!(
+            (got.lg - truth.lg).abs() / truth.lg < 0.25,
+            "Lg {} vs {}",
+            got.lg,
+            truth.lg
+        );
+        assert!(
+            (got.ld - truth.ld).abs() / truth.ld < 0.25,
+            "Ld {} vs {}",
+            got.ld,
+            truth.ld
+        );
+        assert!(
+            (got.ls - truth.ls).abs() / truth.ls < 0.4,
+            "Ls {} vs {}",
+            got.ls,
+            truth.ls
+        );
         // Resistances to within an ohm-ish (Rg/Rd trade against the
         // channel resistance; the sums are what the warm fit needs).
         let r_in_sum_true = truth.rg + truth.rs;

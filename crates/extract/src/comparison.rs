@@ -121,11 +121,21 @@ mod tests {
         let reports = compare_models(&data, &cfg);
         assert_eq!(reports.len(), 5);
         // The generating model family must fit best on DC.
-        assert_eq!(reports[0].name, "Angelov", "ranking: {:?}",
-            reports.iter().map(|r| (r.name, r.dc_rmse)).collect::<Vec<_>>());
+        assert_eq!(
+            reports[0].name,
+            "Angelov",
+            "ranking: {:?}",
+            reports
+                .iter()
+                .map(|r| (r.name, r.dc_rmse))
+                .collect::<Vec<_>>()
+        );
         // And the quadratic Curtice — with no knee or gm-bell flexibility —
         // must be visibly worse than the winner.
-        let curtice_q = reports.iter().find(|r| r.name == "Curtice quadratic").unwrap();
+        let curtice_q = reports
+            .iter()
+            .find(|r| r.name == "Curtice quadratic")
+            .unwrap();
         assert!(curtice_q.dc_rmse > 3.0 * reports[0].dc_rmse);
     }
 

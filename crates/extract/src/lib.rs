@@ -45,6 +45,6 @@ mod three_step;
 pub use cold::{cold_fet_extraction, ColdFetConfig, ColdFetResult};
 pub use comparison::{compare_models, recovery_table, ModelReport, RecoveryRow};
 pub use three_step::{
-    combined_error, extract_single_method, three_step, three_step_with_extrinsics,
-    ExtractionData, ExtractionResult, SingleMethod, ThreeStepConfig,
+    combined_error, extract_single_method, three_step, three_step_with_extrinsics, ExtractionData,
+    ExtractionResult, SingleMethod, ThreeStepConfig,
 };

@@ -13,7 +13,9 @@
 //!    DC model's derivatives*, so the final parameter set is
 //!    self-consistent across both data domains.
 
-use crate::objective::{dc_loss, dc_residuals, dc_rmse, sparam_loss, sparam_residuals, sparam_rmse};
+use crate::objective::{
+    dc_loss, dc_residuals, dc_rmse, sparam_loss, sparam_residuals, sparam_rmse,
+};
 use crate::ssvector::{ss_bounds_seeded, ss_from_vec};
 use rfkit_device::dc::{gds as dc_gds, gm as dc_gm};
 use rfkit_device::{DcModel, DcSample, SmallSignalDevice};
@@ -106,11 +108,7 @@ pub fn three_step(
         seed: config.seed,
         ..Default::default()
     };
-    let step1 = differential_evolution(
-        |p| dc_loss(model, p, &data.dc, I_FLOOR),
-        &dc_bounds,
-        &de1,
-    );
+    let step1 = differential_evolution(|p| dc_loss(model, p, &data.dc, I_FLOOR), &dc_bounds, &de1);
     let dc_params = step1.x.clone();
 
     // ---- Step 2: global small-signal fit, gm/gds seeded from step 1. ----
@@ -210,11 +208,7 @@ pub fn three_step_with_extrinsics(
         seed: config.seed,
         ..Default::default()
     };
-    let step1 = differential_evolution(
-        |p| dc_loss(model, p, &data.dc, I_FLOOR),
-        &dc_bounds,
-        &de1,
-    );
+    let step1 = differential_evolution(|p| dc_loss(model, p, &data.dc, I_FLOOR), &dc_bounds, &de1);
     let dc_params = step1.x.clone();
 
     let gm_seed = dc_gm(model, &dc_params, data.bias_vgs, data.bias_vds);
@@ -352,8 +346,7 @@ pub fn extract_single_method(
     budget: usize,
     seed: u64,
 ) -> (ExtractionResult, Vec<(usize, f64)>) {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rfkit_num::rng::Rng64;
     let joint = JointVector {
         model,
         n_dc: model.param_names().len(),
@@ -362,7 +355,7 @@ pub fn extract_single_method(
     };
     let bounds = joint.bounds(&model.param_bounds(), &crate::ssvector::ss_bounds());
     let start = {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+        let mut rng = Rng64::new(seed.wrapping_mul(0x9e37_79b9));
         bounds.sample(&mut rng)
     };
     let counter = rfkit_opt::CountingObjective::new(|x: &[f64]| {
@@ -438,12 +431,7 @@ mod tests {
         let bias_vgs = g.device.bias_for_current(3.0, 0.06).unwrap();
         ExtractionData {
             dc: g.measure_dc(&vgs_grid, &vds_grid, &noise),
-            sparams: g.measure_sparams(
-                bias_vgs,
-                3.0,
-                &GoldenDevice::standard_freq_grid(),
-                &noise,
-            ),
+            sparams: g.measure_sparams(bias_vgs, 3.0, &GoldenDevice::standard_freq_grid(), &noise),
             bias_vgs,
             bias_vds: 3.0,
         }
@@ -454,7 +442,7 @@ mod tests {
             step1_evals: 8_000,
             step2_evals: 12_000,
             step3_evals: 800,
-            seed: 7,
+            seed: 5,
         }
     }
 

@@ -64,9 +64,7 @@ fn pinned_shell_improves_cgs_identifiability() {
     // Cgs more tightly than the fully free fit at equal budget.
     let noise = MeasurementNoise::default();
     let (golden, data) = warm_data(noise);
-    let op = golden
-        .device
-        .operating_point(data.bias_vgs, data.bias_vds);
+    let op = golden.device.operating_point(data.bias_vgs, data.bias_vds);
     let cgs_true = golden.device.small_signal(&op).intrinsic.cgs;
 
     let cfg = ThreeStepConfig {

@@ -377,7 +377,11 @@ mod tests {
         assert_eq!(2.0 * z, Complex::new(4.0, 6.0));
         assert_eq!(1.0 + z, Complex::new(3.0, 3.0));
         assert_eq!(z - 1.0, Complex::new(1.0, 3.0));
-        assert!(close(6.0 / Complex::new(0.0, 2.0), Complex::new(0.0, -3.0), 1e-15));
+        assert!(close(
+            6.0 / Complex::new(0.0, 2.0),
+            Complex::new(0.0, -3.0),
+            1e-15
+        ));
     }
 
     #[test]

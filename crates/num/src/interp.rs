@@ -102,10 +102,18 @@ impl LinearInterp {
         if t < self.x[0] || t > self.x[n - 1] {
             match self.extrapolation {
                 Extrapolation::Clamp => {
-                    return if t < self.x[0] { self.y[0] } else { self.y[n - 1] };
+                    return if t < self.x[0] {
+                        self.y[0]
+                    } else {
+                        self.y[n - 1]
+                    };
                 }
                 Extrapolation::Forbid => {
-                    panic!("interpolation query {t} outside [{}, {}]", self.x[0], self.x[n - 1])
+                    panic!(
+                        "interpolation query {t} outside [{}, {}]",
+                        self.x[0],
+                        self.x[n - 1]
+                    )
                 }
                 Extrapolation::Linear => {} // fall through to segment extension
             }
@@ -187,14 +195,26 @@ impl CubicSpline {
         if t < self.x[0] || t > self.x[n - 1] {
             match self.extrapolation {
                 Extrapolation::Clamp => {
-                    return if t < self.x[0] { self.y[0] } else { self.y[n - 1] };
+                    return if t < self.x[0] {
+                        self.y[0]
+                    } else {
+                        self.y[n - 1]
+                    };
                 }
                 Extrapolation::Forbid => {
-                    panic!("interpolation query {t} outside [{}, {}]", self.x[0], self.x[n - 1])
+                    panic!(
+                        "interpolation query {t} outside [{}, {}]",
+                        self.x[0],
+                        self.x[n - 1]
+                    )
                 }
                 Extrapolation::Linear => {
                     // Extend with the boundary slope.
-                    let (i0, i1) = if t < self.x[0] { (0, 1) } else { (n - 2, n - 1) };
+                    let (i0, i1) = if t < self.x[0] {
+                        (0, 1)
+                    } else {
+                        (n - 2, n - 1)
+                    };
                     let slope = self.slope_at_knot(i0, i1, t < self.x[0]);
                     let (xr, yr) = if t < self.x[0] {
                         (self.x[0], self.y[0])

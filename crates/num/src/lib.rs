@@ -33,6 +33,7 @@ pub mod fft;
 pub mod interp;
 mod matrix;
 mod poly;
+pub mod rng;
 pub mod stats;
 pub mod units;
 
@@ -68,7 +69,10 @@ pub fn linspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
 ///
 /// Panics if `n == 0` or either bound is non-positive.
 pub fn logspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
-    assert!(start > 0.0 && stop > 0.0, "logspace bounds must be positive");
+    assert!(
+        start > 0.0 && stop > 0.0,
+        "logspace bounds must be positive"
+    );
     linspace(start.ln(), stop.ln(), n)
         .into_iter()
         .map(f64::exp)

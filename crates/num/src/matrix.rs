@@ -534,6 +534,7 @@ impl<T: Scalar> Lu<T> {
     /// # Panics
     ///
     /// Panics if `b.len()` differs from the factored dimension.
+    #[allow(clippy::needless_range_loop)] // triangular substitution reads clearer indexed
     pub fn solve(&self, b: &[T]) -> Vec<T> {
         let n = self.lu.rows;
         assert_eq!(b.len(), n, "rhs length mismatch");

@@ -76,7 +76,7 @@ impl Polynomial {
     /// Panics if `x.len() != y.len()` or if `x.len() < deg + 1`.
     pub fn fit(x: &[f64], y: &[f64], deg: usize) -> Result<Polynomial, MatrixError> {
         assert_eq!(x.len(), y.len(), "x and y must have the same length");
-        assert!(x.len() >= deg + 1, "need at least deg+1 samples");
+        assert!(x.len() > deg, "need at least deg+1 samples");
         let m = deg + 1;
         // Normal equations A^T A c = A^T y with A the Vandermonde matrix.
         let mut ata = RMatrix::zeros(m, m);

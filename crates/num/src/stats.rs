@@ -68,7 +68,10 @@ pub fn median(xs: &[f64]) -> f64 {
 
 /// Minimum of a slice, ignoring NaN. Returns +inf for an empty slice.
 pub fn min(xs: &[f64]) -> f64 {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(f64::INFINITY, f64::min)
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Maximum of a slice, ignoring NaN. Returns -inf for an empty slice.

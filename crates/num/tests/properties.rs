@@ -1,139 +1,146 @@
-//! Property-based tests for the numerics substrate.
+//! Property-based tests for the numerics substrate. Cases come from a
+//! fixed-seed `Rng64` stream (the workspace builds offline, so no
+//! proptest), which keeps every run reproducible.
 
-use proptest::prelude::*;
+use rfkit_num::rng::Rng64;
 use rfkit_num::{fft, stats, Complex, Matrix, Polynomial, RMatrix};
 
-fn finite_f64(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
-    range.prop_filter("finite", |x| x.is_finite())
+fn complex_in(rng: &mut Rng64, lo: f64, hi: f64) -> Complex {
+    Complex::new(rng.uniform(lo, hi), rng.uniform(lo, hi))
 }
 
-fn complex_strategy() -> impl Strategy<Value = Complex> {
-    (finite_f64(-1e3..1e3), finite_f64(-1e3..1e3)).prop_map(|(re, im)| Complex::new(re, im))
-}
-
-proptest! {
-    #[test]
-    fn complex_add_commutes(a in complex_strategy(), b in complex_strategy()) {
-        prop_assert_eq!(a + b, b + a);
-    }
-
-    #[test]
-    fn complex_mul_commutes(a in complex_strategy(), b in complex_strategy()) {
-        let ab = a * b;
-        let ba = b * a;
-        prop_assert!((ab - ba).abs() <= 1e-9 * ab.abs().max(1.0));
-    }
-
-    #[test]
-    fn complex_mul_distributes(a in complex_strategy(), b in complex_strategy(), c in complex_strategy()) {
+#[test]
+fn complex_field_laws() {
+    let mut rng = Rng64::new(0x0c0a_0001);
+    for _ in 0..256 {
+        let a = complex_in(&mut rng, -1e3, 1e3);
+        let b = complex_in(&mut rng, -1e3, 1e3);
+        let c = complex_in(&mut rng, -1e3, 1e3);
+        // Addition commutes exactly.
+        assert_eq!(a + b, b + a);
+        // Multiplication commutes to rounding.
+        let (ab, ba) = (a * b, b * a);
+        assert!((ab - ba).abs() <= 1e-9 * ab.abs().max(1.0));
+        // Distributivity to rounding.
         let lhs = a * (b + c);
         let rhs = a * b + a * c;
-        prop_assert!((lhs - rhs).abs() <= 1e-6 * lhs.abs().max(1.0));
-    }
-
-    #[test]
-    fn conj_is_involution(a in complex_strategy()) {
-        prop_assert_eq!(a.conj().conj(), a);
-    }
-
-    #[test]
-    fn abs_is_multiplicative(a in complex_strategy(), b in complex_strategy()) {
-        let lhs = (a * b).abs();
-        let rhs = a.abs() * b.abs();
-        prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.max(1.0));
-    }
-
-    #[test]
-    fn sqrt_squares_back(a in complex_strategy()) {
+        assert!((lhs - rhs).abs() <= 1e-6 * lhs.abs().max(1.0));
+        // Conjugation is an involution; |·| is multiplicative.
+        assert_eq!(a.conj().conj(), a);
+        assert!(((a * b).abs() - a.abs() * b.abs()).abs() <= 1e-6 * (a.abs() * b.abs()).max(1.0));
+        // sqrt squares back.
         let r = a.sqrt();
-        let sq = r * r;
-        prop_assert!((sq - a).abs() <= 1e-7 * a.abs().max(1.0));
+        assert!((r * r - a).abs() <= 1e-7 * a.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn polar_roundtrip(r in 1e-6..1e3f64, theta in -3.1..3.1f64) {
+#[test]
+fn polar_roundtrip() {
+    let mut rng = Rng64::new(0x0c0a_0002);
+    for _ in 0..256 {
+        let r = rng.uniform(1e-6, 1e3);
+        let theta = rng.uniform(-3.1, 3.1);
         let z = Complex::from_polar(r, theta);
-        prop_assert!((z.abs() - r).abs() <= 1e-9 * r);
-        prop_assert!((z.arg() - theta).abs() <= 1e-9);
+        assert!((z.abs() - r).abs() <= 1e-9 * r);
+        assert!((z.arg() - theta).abs() <= 1e-9);
     }
 }
 
-fn small_matrix() -> impl Strategy<Value = RMatrix> {
-    (2usize..5).prop_flat_map(|n| {
-        proptest::collection::vec(finite_f64(-10.0..10.0), n * n)
-            .prop_map(move |data| Matrix::from_fn(n, n, |i, j| data[i * n + j]))
-    })
+fn small_matrix(rng: &mut Rng64) -> RMatrix {
+    let n = 2 + rng.index(3);
+    let data: Vec<f64> = (0..n * n).map(|_| rng.uniform(-10.0, 10.0)).collect();
+    Matrix::from_fn(n, n, |i, j| data[i * n + j])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn solve_then_multiply_recovers_rhs(a in small_matrix(), seed in 0u64..1000) {
-        // Skip near-singular draws.
+#[test]
+fn solve_then_multiply_recovers_rhs() {
+    let mut rng = Rng64::new(0x0c0a_0003);
+    for seed in 0..64u64 {
+        let a = small_matrix(&mut rng);
         let n = a.rows();
-        let x_true: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 7) as f64 - 3.0).collect();
+        let x_true: Vec<f64> = (0..n)
+            .map(|i| ((seed + i as u64) % 7) as f64 - 3.0)
+            .collect();
         let b = a.matvec(&x_true);
+        // Near-singular draws may fail to solve; that's fine.
         if let Ok(x) = a.solve(&b) {
             let b2 = a.matvec(&x);
             for (u, v) in b.iter().zip(&b2) {
-                prop_assert!((u - v).abs() <= 1e-6 * u.abs().max(1.0));
+                assert!((u - v).abs() <= 1e-6 * u.abs().max(1.0));
             }
         }
     }
+}
 
-    #[test]
-    fn det_of_product_is_product_of_dets(a in small_matrix(), b in small_matrix()) {
+#[test]
+fn det_of_product_is_product_of_dets() {
+    let mut rng = Rng64::new(0x0c0a_0004);
+    for _ in 0..64 {
+        let a = small_matrix(&mut rng);
+        let b = small_matrix(&mut rng);
         if a.rows() == b.rows() {
             let da = a.det().unwrap();
             let db = b.det().unwrap();
             let dab = a.matmul(&b).unwrap().det().unwrap();
-            prop_assert!((dab - da * db).abs() <= 1e-6 * dab.abs().max(da.abs() * db.abs()).max(1.0));
+            assert!((dab - da * db).abs() <= 1e-6 * dab.abs().max(da.abs() * db.abs()).max(1.0));
         }
-    }
-
-    #[test]
-    fn transpose_is_involution(a in small_matrix()) {
-        prop_assert_eq!(a.transpose().transpose(), a);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn transpose_is_involution() {
+    let mut rng = Rng64::new(0x0c0a_0005);
+    for _ in 0..64 {
+        let a = small_matrix(&mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+}
 
-    #[test]
-    fn fft_roundtrip_property(xs in proptest::collection::vec(finite_f64(-100.0..100.0), 16)) {
-        let orig: Vec<Complex> = xs.iter().map(|&x| Complex::real(x)).collect();
+#[test]
+fn fft_roundtrip_property() {
+    let mut rng = Rng64::new(0x0c0a_0006);
+    for _ in 0..32 {
+        let orig: Vec<Complex> = (0..16)
+            .map(|_| Complex::real(rng.uniform(-100.0, 100.0)))
+            .collect();
         let mut data = orig.clone();
         fft::fft(&mut data);
         fft::ifft(&mut data);
         for (a, b) in data.iter().zip(&orig) {
-            prop_assert!((*a - *b).abs() <= 1e-9 * b.abs().max(1.0));
+            assert!((*a - *b).abs() <= 1e-9 * b.abs().max(1.0));
         }
     }
+}
 
-    #[test]
-    fn polynomial_fit_interpolates_exactly_at_degree(coeffs in proptest::collection::vec(finite_f64(-5.0..5.0), 1..5)) {
+#[test]
+fn polynomial_fit_interpolates_exactly_at_degree() {
+    let mut rng = Rng64::new(0x0c0a_0007);
+    for _ in 0..32 {
+        let n_coeffs = 1 + rng.index(4);
+        let coeffs: Vec<f64> = (0..n_coeffs).map(|_| rng.uniform(-5.0, 5.0)).collect();
         let p = Polynomial::new(coeffs);
         let deg = p.degree();
         let x: Vec<f64> = (0..(deg + 3)).map(|i| i as f64 * 0.5 - 1.0).collect();
         let y: Vec<f64> = x.iter().map(|&xi| p.eval(xi)).collect();
         if let Ok(fit) = Polynomial::fit(&x, &y, deg) {
             for &xi in &x {
-                prop_assert!((fit.eval(xi) - p.eval(xi)).abs() <= 1e-5 * p.eval(xi).abs().max(1.0));
+                assert!((fit.eval(xi) - p.eval(xi)).abs() <= 1e-5 * p.eval(xi).abs().max(1.0));
             }
         }
     }
+}
 
-    #[test]
-    fn percentile_is_monotone(xs in proptest::collection::vec(finite_f64(-100.0..100.0), 1..30), p in 0.0..100.0f64, q in 0.0..100.0f64) {
+#[test]
+fn percentile_is_monotone_and_mean_bounded() {
+    let mut rng = Rng64::new(0x0c0a_0008);
+    for _ in 0..32 {
+        let n = 1 + rng.index(29);
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-100.0, 100.0)).collect();
+        let p = rng.uniform(0.0, 100.0);
+        let q = rng.uniform(0.0, 100.0);
         let (lo, hi) = if p <= q { (p, q) } else { (q, p) };
-        prop_assert!(stats::percentile(&xs, lo) <= stats::percentile(&xs, hi) + 1e-12);
-    }
-
-    #[test]
-    fn mean_bounded_by_min_max(xs in proptest::collection::vec(finite_f64(-100.0..100.0), 1..30)) {
+        assert!(stats::percentile(&xs, lo) <= stats::percentile(&xs, hi) + 1e-12);
         let m = stats::mean(&xs);
-        prop_assert!(m >= stats::min(&xs) - 1e-9 && m <= stats::max(&xs) + 1e-9);
+        assert!(m >= stats::min(&xs) - 1e-9 && m <= stats::max(&xs) + 1e-9);
     }
 }

@@ -1,10 +1,18 @@
 //! Differential evolution — the meta-heuristic half of the three-step
 //! identification procedure (global search that tolerates the multi-modal,
 //! non-smooth landscape of device-model fitting).
+//!
+//! The implementation is the *generational* (synchronous) variant of
+//! DE/rand/1/bin: every trial vector of a generation is produced from the
+//! previous generation's population before any acceptance happens. That
+//! structure is what lets the whole trial batch be evaluated in parallel
+//! through `rfkit-par` while every RNG draw stays in the serial control
+//! loop — a fixed seed therefore yields bit-identical results at any
+//! `RFKIT_THREADS` setting.
 
 use crate::problem::{Bounds, OptResult};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rfkit_num::rng::Rng64;
+use rfkit_par::par_map;
 
 /// Configuration for [`differential_evolution`] (DE/rand/1/bin).
 #[derive(Debug, Clone, PartialEq)]
@@ -40,7 +48,10 @@ impl Default for DeConfig {
     }
 }
 
-/// Minimizes `f` over the box `bounds` with DE/rand/1/bin.
+/// Minimizes `f` over the box `bounds` with generational DE/rand/1/bin.
+///
+/// Trial vectors are generated serially (all randomness lives here) and
+/// evaluated as one parallel batch per generation.
 ///
 /// # Panics
 ///
@@ -59,7 +70,7 @@ impl Default for DeConfig {
 /// assert!(r.value < 1e-6);
 /// ```
 pub fn differential_evolution(
-    mut f: impl FnMut(&[f64]) -> f64,
+    f: impl Fn(&[f64]) -> f64 + Sync,
     bounds: &Bounds,
     config: &DeConfig,
 ) -> OptResult {
@@ -77,54 +88,69 @@ pub fn differential_evolution(
     } else {
         config.population.max(4)
     };
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng64::new(config.seed);
     let mut evals = 0usize;
 
-    let mut population: Vec<Vec<f64>> = (0..pop_size).map(|_| bounds.sample(&mut rng)).collect();
-    let mut values: Vec<f64> = population
-        .iter()
-        .map(|x| {
-            evals += 1;
-            f(x)
-        })
+    let population_init: Vec<Vec<f64>> = (0..pop_size.min(config.max_evals.max(4)))
+        .map(|_| bounds.sample(&mut rng))
         .collect();
+    let mut population = population_init;
+    let mut values: Vec<f64> = par_map(&population, |x| f(x));
+    evals += population.len();
+    let pop_size = population.len();
 
     let mut best_prev = f64::INFINITY;
     let mut stall = 0usize;
     let mut converged = false;
 
-    'generations: loop {
-        for i in 0..pop_size {
-            if evals >= config.max_evals {
-                break 'generations;
-            }
-            // Pick three distinct donors, none equal to i.
-            let mut pick = || loop {
-                let k = rng.gen_range(0..pop_size);
-                if k != i {
-                    return k;
+    loop {
+        let remaining = config.max_evals.saturating_sub(evals);
+        if remaining == 0 {
+            break;
+        }
+        let batch = pop_size.min(remaining);
+
+        // Serial trial generation: every RNG draw happens here, in index
+        // order, against the previous generation's snapshot.
+        let trials: Vec<Vec<f64>> = (0..batch)
+            .map(|i| {
+                // Pick three distinct donors, none equal to i.
+                let pick = |rng: &mut Rng64| loop {
+                    let k = rng.index(pop_size);
+                    if k != i {
+                        return k;
+                    }
+                };
+                let (a, b, c) = (pick(&mut rng), pick(&mut rng), pick(&mut rng));
+                let forced = rng.index(n);
+                // Dither the differential weight per trial — keeps separable
+                // multimodal landscapes (Rastrigin-like extraction objectives)
+                // from stagnating at a fixed step ratio.
+                let weight = config.weight * rng.uniform(0.7, 1.3);
+                let mut trial = population[i].clone();
+                for (d, slot) in trial.iter_mut().enumerate() {
+                    if d == forced || rng.chance(config.crossover) {
+                        *slot = population[a][d] + weight * (population[b][d] - population[c][d]);
+                    }
                 }
-            };
-            let (a, b, c) = (pick(), pick(), pick());
-            let forced = rng.gen_range(0..n);
-            // Dither the differential weight per trial — keeps separable
-            // multimodal landscapes (Rastrigin-like extraction objectives)
-            // from stagnating at a fixed step ratio.
-            let weight = config.weight * rng.gen_range(0.7..1.3);
-            let mut trial = population[i].clone();
-            for d in 0..n {
-                if d == forced || rng.gen_bool(config.crossover) {
-                    trial[d] = population[a][d] + weight * (population[b][d] - population[c][d]);
-                }
-            }
-            let trial = bounds.clamp(&trial);
-            evals += 1;
-            let v = f(&trial);
+                bounds.clamp(&trial)
+            })
+            .collect();
+
+        // Parallel batch evaluation — pure, RNG-free.
+        let trial_values = par_map(&trials, |t| f(t));
+        evals += batch;
+
+        for (i, (trial, v)) in trials.into_iter().zip(trial_values).enumerate() {
             if v <= values[i] {
                 population[i] = trial;
                 values[i] = v;
             }
         }
+        if batch < pop_size {
+            break; // budget exhausted mid-generation
+        }
+
         let best_now = values.iter().copied().fold(f64::INFINITY, f64::min);
         if (best_prev - best_now).abs() <= config.f_tol * best_now.abs().max(1.0) {
             stall += 1;

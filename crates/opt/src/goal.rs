@@ -26,11 +26,13 @@ use crate::de::{differential_evolution, DeConfig};
 use crate::nelder_mead::{nelder_mead, NelderMeadConfig};
 use crate::pattern::{pattern_search, PatternConfig};
 use crate::problem::Bounds;
+use rfkit_par::{par_collect, par_map_cfg, ParConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A multi-objective goal-attainment problem instance.
 pub struct GoalProblem<'a> {
     /// Vector objective `f(x)`; every component is minimized.
-    pub objectives: &'a dyn Fn(&[f64]) -> Vec<f64>,
+    pub objectives: &'a (dyn Fn(&[f64]) -> Vec<f64> + Sync),
     /// Goal (aspiration) level per objective.
     pub goals: Vec<f64>,
     /// Weight per objective; larger = softer. A zero weight makes the goal
@@ -48,7 +50,7 @@ impl<'a> GoalProblem<'a> {
     /// Panics if goal/weight lengths differ, weights are negative, or all
     /// weights are zero.
     pub fn new(
-        objectives: &'a dyn Fn(&[f64]) -> Vec<f64>,
+        objectives: &'a (dyn Fn(&[f64]) -> Vec<f64> + Sync),
         goals: Vec<f64>,
         weights: Vec<f64>,
         bounds: Bounds,
@@ -56,7 +58,10 @@ impl<'a> GoalProblem<'a> {
         assert_eq!(goals.len(), weights.len(), "goals/weights length mismatch");
         assert!(!goals.is_empty(), "need at least one objective");
         assert!(weights.iter().all(|&w| w >= 0.0), "weights must be >= 0");
-        assert!(weights.iter().any(|&w| w > 0.0), "at least one weight must be positive");
+        assert!(
+            weights.iter().any(|&w| w > 0.0),
+            "at least one weight must be positive"
+        );
         GoalProblem {
             objectives,
             goals,
@@ -137,12 +142,12 @@ pub fn standard_goal_attainment(
 ) -> GoalResult {
     let n = problem.bounds.dim();
     assert_eq!(start.len(), n, "start dimension mismatch");
-    let evals = std::cell::Cell::new(0usize);
+    let evals = AtomicUsize::new(0);
 
     // Augmented variables: (x, γ). γ is bounded loosely around the start's
     // own attainment value.
     let f_start = (problem.objectives)(start);
-    evals.set(evals.get() + 1);
+    evals.fetch_add(1, Ordering::Relaxed);
     let gamma0 = problem.attainment(&f_start).min(1e6);
     let gamma_span = 10.0 * (gamma0.abs() + 1.0);
     let mut lo = problem.bounds.lo().to_vec();
@@ -155,7 +160,7 @@ pub fn standard_goal_attainment(
     let objective = |xz: &[f64]| -> f64 {
         let (x, gamma) = xz.split_at(n);
         let gamma = gamma[0];
-        evals.set(evals.get() + 1);
+        evals.fetch_add(1, Ordering::Relaxed);
         let f = (problem.objectives)(x);
         let mut pen = 0.0;
         for ((&fi, &gi), &wi) in f.iter().zip(&problem.goals).zip(&problem.weights) {
@@ -176,34 +181,42 @@ pub fn standard_goal_attainment(
     let r = nelder_mead(objective, &x0, &aug_bounds, &nm_cfg);
     let x = r.x[..n].to_vec();
     let f = (problem.objectives)(&x);
-    evals.set(evals.get() + 1);
+    evals.fetch_add(1, Ordering::Relaxed);
     let attainment = problem.attainment(&f);
     GoalResult {
         x,
         attainment,
         objectives: f,
-        evaluations: evals.get(),
+        evaluations: evals.load(Ordering::Relaxed),
     }
 }
 
 /// The improved goal-attainment solve: exact minimax attainment function,
 /// DE global phase, pattern-search polish, multistart.
+///
+/// The independent restarts run in parallel through `rfkit-par` (each is
+/// seeded from `config.seed + k`, so the result is identical at any thread
+/// count); the winner is picked in restart order.
 pub fn improved_goal_attainment(problem: &GoalProblem<'_>, config: &GoalConfig) -> GoalResult {
-    let evals = std::cell::Cell::new(0usize);
+    let evals = AtomicUsize::new(0);
     let gamma = |x: &[f64]| -> f64 {
-        evals.set(evals.get() + 1);
+        evals.fetch_add(1, Ordering::Relaxed);
         problem.attainment(&(problem.objectives)(x))
     };
 
     let starts = config.multistart.max(1);
     let per_start = config.max_evals / starts;
-    let global_budget =
-        ((per_start as f64) * config.global_fraction.clamp(0.0, 1.0)) as usize;
+    let global_budget = ((per_start as f64) * config.global_fraction.clamp(0.0, 1.0)) as usize;
     let polish_budget = per_start.saturating_sub(global_budget);
 
-    let mut best_x: Option<Vec<f64>> = None;
-    let mut best_gamma = f64::INFINITY;
-    for k in 0..starts {
+    // Every restart is self-contained and deterministically seeded, so the
+    // batch parallelizes; serial_threshold 0 because each item is an entire
+    // optimization run, not a cheap evaluation.
+    let runs_cfg = ParConfig {
+        serial_threshold: 0,
+        ..ParConfig::default()
+    };
+    let runs = par_collect(starts, &runs_cfg, |k| {
         let candidate = if global_budget > 0 {
             let de_cfg = DeConfig {
                 max_evals: global_budget,
@@ -218,7 +231,12 @@ pub fn improved_goal_attainment(problem: &GoalProblem<'_>, config: &GoalConfig) 
             max_evals: polish_budget.max(1),
             ..Default::default()
         };
-        let polished = pattern_search(|x| gamma(x), &candidate, &problem.bounds, &ps_cfg);
+        pattern_search(|x| gamma(x), &candidate, &problem.bounds, &ps_cfg)
+    });
+
+    let mut best_x: Option<Vec<f64>> = None;
+    let mut best_gamma = f64::INFINITY;
+    for polished in runs {
         if polished.value < best_gamma {
             best_gamma = polished.value;
             best_x = Some(polished.x);
@@ -227,33 +245,36 @@ pub fn improved_goal_attainment(problem: &GoalProblem<'_>, config: &GoalConfig) 
 
     let x = best_x.expect("at least one start ran");
     let objectives = (problem.objectives)(&x);
-    evals.set(evals.get() + 1);
+    evals.fetch_add(1, Ordering::Relaxed);
     GoalResult {
         attainment: problem.attainment(&objectives),
         x,
         objectives,
-        evaluations: evals.get(),
+        evaluations: evals.load(Ordering::Relaxed),
     }
 }
 
 /// Traces a Pareto front by sweeping goal vectors: for each goal vector in
 /// `goal_sweep` the improved method is run and the resulting objective
 /// point collected.
+///
+/// The sweep points are independent solves and run in parallel through
+/// `rfkit-par`; results come back in sweep order.
 pub fn trace_front(
-    objectives: &dyn Fn(&[f64]) -> Vec<f64>,
+    objectives: &(dyn Fn(&[f64]) -> Vec<f64> + Sync),
     goal_sweep: &[Vec<f64>],
     weights: &[f64],
     bounds: &Bounds,
     config: &GoalConfig,
 ) -> Vec<GoalResult> {
-    goal_sweep
-        .iter()
-        .map(|g| {
-            let problem =
-                GoalProblem::new(objectives, g.clone(), weights.to_vec(), bounds.clone());
-            improved_goal_attainment(&problem, config)
-        })
-        .collect()
+    let sweep_cfg = ParConfig {
+        serial_threshold: 0,
+        ..ParConfig::default()
+    };
+    par_map_cfg(&sweep_cfg, goal_sweep, |g| {
+        let problem = GoalProblem::new(objectives, g.clone(), weights.to_vec(), bounds.clone());
+        improved_goal_attainment(&problem, config)
+    })
 }
 
 /// Derives balanced weights from ideal (per-objective best) and nadir
@@ -288,7 +309,12 @@ mod tests {
     #[test]
     fn exact_attainment_function() {
         let obj = |_: &[f64]| vec![0.0];
-        let p = GoalProblem::new(&obj, vec![1.0, 2.0], vec![1.0, 2.0], Bounds::uniform(1, 0.0, 1.0));
+        let p = GoalProblem::new(
+            &obj,
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+            Bounds::uniform(1, 0.0, 1.0),
+        );
         // f = (3, 2): terms (3-1)/1 = 2, (2-2)/2 = 0 → Γ = 2.
         assert_eq!(p.attainment(&[3.0, 2.0]), 2.0);
         // Over-attained goals give negative Γ.
@@ -298,7 +324,12 @@ mod tests {
     #[test]
     fn hard_constraint_weight_zero() {
         let obj = |_: &[f64]| vec![0.0];
-        let p = GoalProblem::new(&obj, vec![1.0, 2.0], vec![1.0, 0.0], Bounds::uniform(1, 0.0, 1.0));
+        let p = GoalProblem::new(
+            &obj,
+            vec![1.0, 2.0],
+            vec![1.0, 0.0],
+            Bounds::uniform(1, 0.0, 1.0),
+        );
         // Violating the w=0 goal incurs the big penalty.
         assert!(p.attainment(&[0.0, 3.0]) > 1e5);
         // Satisfying it leaves only the soft term.
@@ -307,7 +338,7 @@ mod tests {
 
     #[test]
     fn improved_reaches_balanced_point_on_convex_front() {
-        let obj: &dyn Fn(&[f64]) -> Vec<f64> = &convex_pair;
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &convex_pair;
         let p = GoalProblem::new(
             obj,
             vec![0.0, 0.0],
@@ -322,7 +353,7 @@ mod tests {
 
     #[test]
     fn standard_also_solves_easy_convex_case() {
-        let obj: &dyn Fn(&[f64]) -> Vec<f64> = &convex_pair;
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &convex_pair;
         let p = GoalProblem::new(
             obj,
             vec![0.0, 0.0],
@@ -335,7 +366,7 @@ mod tests {
 
     #[test]
     fn weights_bias_the_attained_point() {
-        let obj: &dyn Fn(&[f64]) -> Vec<f64> = &convex_pair;
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &convex_pair;
         // Heavier weight on f1 → f1 allowed to be worse → x closer to 2.
         let p = GoalProblem::new(
             obj,
@@ -353,11 +384,9 @@ mod tests {
     fn goal_sweep_traces_concave_front() {
         // Sweep goals along the f1 axis; the improved method must recover
         // circle points including the concave middle.
-        let obj: &dyn Fn(&[f64]) -> Vec<f64> = &concave_pair;
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &concave_pair;
         let bounds = Bounds::uniform(1, 0.0, 1.0);
-        let sweep: Vec<Vec<f64>> = (1..10)
-            .map(|k| vec![k as f64 / 10.0, 0.0])
-            .collect();
+        let sweep: Vec<Vec<f64>> = (1..10).map(|k| vec![k as f64 / 10.0, 0.0]).collect();
         let cfg = GoalConfig {
             max_evals: 3000,
             ..Default::default()
@@ -373,7 +402,10 @@ mod tests {
         }
         // The middle of the sweep is in the concave region; check spread.
         let f1s: Vec<f64> = results.iter().map(|r| r.objectives[0]).collect();
-        assert!(f1s.windows(2).all(|w| w[1] >= w[0] - 1e-6), "sweep is ordered");
+        assert!(
+            f1s.windows(2).all(|w| w[1] >= w[0] - 1e-6),
+            "sweep is ordered"
+        );
     }
 
     #[test]
@@ -383,7 +415,7 @@ mod tests {
             let trap = 2.0 + (x[1] * 7.0).sin() * 2.0 + x[1] * x[1];
             vec![x[0] * x[0] + trap, (x[0] - 2.0) * (x[0] - 2.0) + trap]
         };
-        let obj: &dyn Fn(&[f64]) -> Vec<f64> = &tricky;
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &tricky;
         let bounds = Bounds::uniform(2, -3.0, 3.0);
         let goals = vec![0.0, 0.0];
         let weights = vec![1.0, 1.0];
@@ -396,10 +428,7 @@ mod tests {
         for seed in 0..5u64 {
             let p = GoalProblem::new(obj, goals.clone(), weights.clone(), bounds.clone());
             // Standard starts from a "random-ish" corner-dependent point.
-            let start = [
-                -3.0 + (seed as f64) * 1.4,
-                3.0 - (seed as f64) * 1.3,
-            ];
+            let start = [-3.0 + (seed as f64) * 1.4, 3.0 - (seed as f64) * 1.3];
             let s = standard_goal_attainment(&p, &start, &cfg);
             let i = improved_goal_attainment(
                 &p,
@@ -440,6 +469,11 @@ mod tests {
     #[should_panic(expected = "at least one weight")]
     fn rejects_all_zero_weights() {
         let obj = |_: &[f64]| vec![0.0, 0.0];
-        GoalProblem::new(&obj, vec![0.0, 0.0], vec![0.0, 0.0], Bounds::uniform(1, 0.0, 1.0));
+        GoalProblem::new(
+            &obj,
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            Bounds::uniform(1, 0.0, 1.0),
+        );
     }
 }

@@ -82,7 +82,7 @@ pub fn levenberg_marquardt(
     let mut lambda = config.lambda0;
     let mut converged = false;
 
-    while evals + n + 1 <= config.max_evals {
+    while evals + n < config.max_evals {
         // Forward-difference Jacobian (m×n).
         let mut jac = RMatrix::zeros(m, n);
         for j in 0..n {

@@ -74,7 +74,11 @@ pub fn nelder_mead(
     for i in 0..n {
         let mut v = x0.to_vec();
         let step = (config.initial_step * span[i]).max(1e-12);
-        v[i] += if v[i] + step <= bounds.hi()[i] { step } else { -step };
+        v[i] += if v[i] + step <= bounds.hi()[i] {
+            step
+        } else {
+            -step
+        };
         simplex.push(bounds.clamp(&v));
     }
     let mut values: Vec<f64> = simplex.iter().map(|v| eval(v, &mut evals)).collect();

@@ -4,11 +4,16 @@
 //! approximates the whole Pareto front in one run: non-dominated sorting,
 //! crowding-distance diversity, binary tournaments, simulated binary
 //! crossover and polynomial mutation (Deb et al. 2002).
+//!
+//! Offspring variation (tournaments, SBX, mutation — all the randomness)
+//! runs serially per generation; the resulting batch of candidate vectors
+//! is then evaluated in parallel through `rfkit-par`, so fixed-seed runs
+//! are identical at any thread count.
 
 use crate::pareto::{crowding_distance, nondominated_sort};
 use crate::problem::Bounds;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rfkit_num::rng::Rng64;
+use rfkit_par::par_map;
 
 /// Configuration for [`nsga2`].
 #[derive(Debug, Clone, PartialEq)]
@@ -74,7 +79,7 @@ pub struct Nsga2Result {
 /// assert!(r.front.len() > 10);
 /// ```
 pub fn nsga2(
-    objectives: &dyn Fn(&[f64]) -> Vec<f64>,
+    objectives: &(dyn Fn(&[f64]) -> Vec<f64> + Sync),
     bounds: &Bounds,
     config: &Nsga2Config,
 ) -> Nsga2Result {
@@ -89,20 +94,16 @@ pub fn nsga2(
     } else {
         config.mutation_prob
     };
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng64::new(config.seed);
     let mut evals = 0usize;
 
-    let eval = |x: &[f64], evals: &mut usize| -> Vec<f64> {
-        *evals += 1;
-        objectives(x)
-    };
-
-    let mut pop: Vec<Individual> = (0..pop_size)
-        .map(|_| {
-            let x = bounds.sample(&mut rng);
-            let objectives = eval(&x, &mut evals);
-            Individual { x, objectives }
-        })
+    let init_xs: Vec<Vec<f64>> = (0..pop_size).map(|_| bounds.sample(&mut rng)).collect();
+    let init_objs = par_map(&init_xs, |x| objectives(x));
+    evals += init_xs.len();
+    let mut pop: Vec<Individual> = init_xs
+        .into_iter()
+        .zip(init_objs)
+        .map(|(x, objectives)| Individual { x, objectives })
         .collect();
 
     for _gen in 0..config.generations {
@@ -118,9 +119,9 @@ pub fn nsga2(
                 crowd[idx] = d[k];
             }
         }
-        let tournament = |rng: &mut StdRng| -> usize {
-            let a = rng.gen_range(0..pop.len());
-            let b = rng.gen_range(0..pop.len());
+        let tournament = |rng: &mut Rng64| -> usize {
+            let a = rng.index(pop.len());
+            let b = rng.index(pop.len());
             if rank[a] < rank[b] || (rank[a] == rank[b] && crowd[a] > crowd[b]) {
                 a
             } else {
@@ -128,9 +129,9 @@ pub fn nsga2(
             }
         };
 
-        // Offspring generation.
-        let mut offspring: Vec<Individual> = Vec::with_capacity(pop_size);
-        while offspring.len() < pop_size {
+        // Offspring variation: serial, all RNG draws happen here.
+        let mut child_xs: Vec<Vec<f64>> = Vec::with_capacity(pop_size);
+        while child_xs.len() < pop_size {
             let p1 = tournament(&mut rng);
             let p2 = tournament(&mut rng);
             let (mut c1, mut c2) = sbx_crossover(
@@ -141,15 +142,35 @@ pub fn nsga2(
                 config.eta_crossover,
                 &mut rng,
             );
-            polynomial_mutation(&mut c1, bounds, mutation_prob, config.eta_mutation, &mut rng);
-            polynomial_mutation(&mut c2, bounds, mutation_prob, config.eta_mutation, &mut rng);
+            polynomial_mutation(
+                &mut c1,
+                bounds,
+                mutation_prob,
+                config.eta_mutation,
+                &mut rng,
+            );
+            polynomial_mutation(
+                &mut c2,
+                bounds,
+                mutation_prob,
+                config.eta_mutation,
+                &mut rng,
+            );
             for c in [c1, c2] {
-                if offspring.len() < pop_size {
-                    let objectives = eval(&c, &mut evals);
-                    offspring.push(Individual { x: c, objectives });
+                if child_xs.len() < pop_size {
+                    child_xs.push(c);
                 }
             }
         }
+
+        // Parallel batch evaluation of the offspring.
+        let child_objs = par_map(&child_xs, |x| objectives(x));
+        evals += child_xs.len();
+        let offspring: Vec<Individual> = child_xs
+            .into_iter()
+            .zip(child_objs)
+            .map(|(x, objectives)| Individual { x, objectives })
+            .collect();
 
         // Environmental selection on parents ∪ offspring.
         pop.extend(offspring);
@@ -196,16 +217,16 @@ fn sbx_crossover(
     bounds: &Bounds,
     prob: f64,
     eta: f64,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
 ) -> (Vec<f64>, Vec<f64>) {
     let mut c1 = p1.to_vec();
     let mut c2 = p2.to_vec();
-    if rng.gen::<f64>() < prob {
+    if rng.next_f64() < prob {
         for d in 0..p1.len() {
-            if rng.gen_bool(0.5) || (p1[d] - p2[d]).abs() < 1e-14 {
+            if rng.chance(0.5) || (p1[d] - p2[d]).abs() < 1e-14 {
                 continue;
             }
-            let u: f64 = rng.gen();
+            let u: f64 = rng.next_f64();
             let beta = if u <= 0.5 {
                 (2.0 * u).powf(1.0 / (eta + 1.0))
             } else {
@@ -219,19 +240,13 @@ fn sbx_crossover(
 }
 
 /// Polynomial mutation.
-fn polynomial_mutation(
-    x: &mut Vec<f64>,
-    bounds: &Bounds,
-    prob: f64,
-    eta: f64,
-    rng: &mut StdRng,
-) {
+fn polynomial_mutation(x: &mut Vec<f64>, bounds: &Bounds, prob: f64, eta: f64, rng: &mut Rng64) {
     let span = bounds.span();
     for d in 0..x.len() {
-        if rng.gen::<f64>() >= prob || span[d] <= 0.0 {
+        if rng.next_f64() >= prob || span[d] <= 0.0 {
             continue;
         }
-        let u: f64 = rng.gen();
+        let u: f64 = rng.next_f64();
         let delta = if u < 0.5 {
             (2.0 * u).powf(1.0 / (eta + 1.0)) - 1.0
         } else {
@@ -264,7 +279,7 @@ mod tests {
 
     #[test]
     fn approximates_zdt1_front() {
-        let obj: &dyn Fn(&[f64]) -> Vec<f64> = &zdt1;
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &zdt1;
         let bounds = Bounds::uniform(3, 0.0, 1.0);
         let cfg = Nsga2Config {
             generations: 120,
@@ -290,7 +305,7 @@ mod tests {
 
     #[test]
     fn covers_concave_front_unlike_weighted_sum() {
-        let obj: &dyn Fn(&[f64]) -> Vec<f64> = &concave_pair;
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &concave_pair;
         let bounds = Bounds::uniform(1, 0.0, 1.0);
         let cfg = Nsga2Config {
             generations: 60,
@@ -307,30 +322,42 @@ mod tests {
 
     #[test]
     fn front_is_internally_nondominated() {
-        let obj: &dyn Fn(&[f64]) -> Vec<f64> = &zdt1;
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &zdt1;
         let bounds = Bounds::uniform(3, 0.0, 1.0);
-        let r = nsga2(obj, &bounds, &Nsga2Config {
-            generations: 30,
-            ..Default::default()
-        });
+        let r = nsga2(
+            obj,
+            &bounds,
+            &Nsga2Config {
+                generations: 30,
+                ..Default::default()
+            },
+        );
         let objs: Vec<Vec<f64>> = r.front.iter().map(|i| i.objectives.clone()).collect();
         assert_eq!(pareto_front_indices(&objs).len(), objs.len());
     }
 
     #[test]
     fn hypervolume_grows_with_generations() {
-        let obj: &dyn Fn(&[f64]) -> Vec<f64> = &zdt1;
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &zdt1;
         let bounds = Bounds::uniform(3, 0.0, 1.0);
-        let short = nsga2(obj, &bounds, &Nsga2Config {
-            generations: 5,
-            seed: 7,
-            ..Default::default()
-        });
-        let long = nsga2(obj, &bounds, &Nsga2Config {
-            generations: 80,
-            seed: 7,
-            ..Default::default()
-        });
+        let short = nsga2(
+            obj,
+            &bounds,
+            &Nsga2Config {
+                generations: 5,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let long = nsga2(
+            obj,
+            &bounds,
+            &Nsga2Config {
+                generations: 80,
+                seed: 7,
+                ..Default::default()
+            },
+        );
         let hv = |r: &Nsga2Result| {
             let pts: Vec<Vec<f64>> = r.front.iter().map(|i| i.objectives.clone()).collect();
             hypervolume_2d(&pts, [1.5, 10.0])
@@ -340,7 +367,7 @@ mod tests {
 
     #[test]
     fn deterministic_with_seed() {
-        let obj: &dyn Fn(&[f64]) -> Vec<f64> = &zdt1;
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &zdt1;
         let bounds = Bounds::uniform(3, 0.0, 1.0);
         let cfg = Nsga2Config {
             generations: 10,

@@ -77,6 +77,7 @@ pub fn crowding_distance(points: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
     }
     let n_obj = points[front[0]].len();
     let mut dist = vec![0.0f64; m];
+    #[allow(clippy::needless_range_loop)] // obj indexes a column across many rows
     for obj in 0..n_obj {
         let mut order: Vec<usize> = (0..m).collect();
         order.sort_by(|&a, &b| {
@@ -242,8 +243,8 @@ mod tests {
     fn hypervolume_ignores_dominated_and_outside() {
         let front = vec![
             vec![1.0, 1.0],
-            vec![2.0, 2.0],  // dominated: contributes nothing
-            vec![5.0, 0.5],  // outside reference in x
+            vec![2.0, 2.0], // dominated: contributes nothing
+            vec![5.0, 0.5], // outside reference in x
         ];
         let hv = hypervolume_2d(&front, [3.0, 3.0]);
         assert!((hv - 4.0).abs() < 1e-12);

@@ -1,7 +1,9 @@
 //! Problem definitions shared by every optimizer: box bounds, results and
 //! evaluation counting.
 
-use rand::Rng;
+use rfkit_num::rng::Rng64;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Axis-aligned box bounds for a parameter vector.
 ///
@@ -103,11 +105,11 @@ impl Bounds {
     }
 
     /// Uniform random point inside the box.
-    pub fn sample(&self, rng: &mut impl Rng) -> Vec<f64> {
+    pub fn sample(&self, rng: &mut Rng64) -> Vec<f64> {
         self.lo
             .iter()
             .zip(&self.hi)
-            .map(|(&l, &h)| if l == h { l } else { rng.gen_range(l..h) })
+            .map(|(&l, &h)| if l == h { l } else { rng.uniform(l, h) })
             .collect()
     }
 
@@ -142,13 +144,16 @@ pub struct OptResult {
 
 /// Wraps an objective closure and counts evaluations — used by the
 /// extraction-convergence experiment to plot error versus evaluations.
+///
+/// Thread-safe so it can sit behind the `Fn + Sync` objective bound the
+/// parallel optimizers require: the counter is atomic and the
+/// improvement trace sits behind a mutex.
 pub struct CountingObjective<F> {
     f: F,
-    count: std::cell::Cell<usize>,
-    /// Trace of `(evaluations, best_so_far)` pairs, recorded whenever the
-    /// best value improves.
-    trace: std::cell::RefCell<Vec<(usize, f64)>>,
-    best: std::cell::Cell<f64>,
+    count: AtomicUsize,
+    /// Trace of `(evaluations, best_so_far)` pairs plus the running best,
+    /// recorded whenever the best value improves.
+    state: Mutex<(Vec<(usize, f64)>, f64)>,
 }
 
 impl<F: Fn(&[f64]) -> f64> CountingObjective<F> {
@@ -156,44 +161,42 @@ impl<F: Fn(&[f64]) -> f64> CountingObjective<F> {
     pub fn new(f: F) -> Self {
         CountingObjective {
             f,
-            count: std::cell::Cell::new(0),
-            trace: std::cell::RefCell::new(Vec::new()),
-            best: std::cell::Cell::new(f64::INFINITY),
+            count: AtomicUsize::new(0),
+            state: Mutex::new((Vec::new(), f64::INFINITY)),
         }
     }
 
     /// Evaluates the wrapped objective, recording the call.
     pub fn eval(&self, x: &[f64]) -> f64 {
         let v = (self.f)(x);
-        self.count.set(self.count.get() + 1);
-        if v < self.best.get() {
-            self.best.set(v);
-            self.trace.borrow_mut().push((self.count.get(), v));
+        let n = self.count.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut state = self.state.lock().unwrap();
+        if v < state.1 {
+            state.1 = v;
+            state.0.push((n, v));
         }
         v
     }
 
     /// Number of evaluations so far.
     pub fn count(&self) -> usize {
-        self.count.get()
+        self.count.load(Ordering::Relaxed)
     }
 
     /// Improvement trace as `(evaluations, best_value)` pairs.
     pub fn trace(&self) -> Vec<(usize, f64)> {
-        self.trace.borrow().clone()
+        self.state.lock().unwrap().0.clone()
     }
 
     /// Best value seen.
     pub fn best(&self) -> f64 {
-        self.best.get()
+        self.state.lock().unwrap().1
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn construction_validation() {
@@ -220,7 +223,7 @@ mod tests {
     #[test]
     fn sample_stays_inside() {
         let b = Bounds::new(vec![1.0, -10.0, 5.0], vec![2.0, 10.0, 5.0]).unwrap();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::new(7);
         for _ in 0..100 {
             let x = b.sample(&mut rng);
             assert!(b.contains(&x), "{x:?}");
@@ -231,7 +234,7 @@ mod tests {
     fn degenerate_dimension_sampling() {
         // lo == hi must not panic and must return the fixed value.
         let b = Bounds::new(vec![3.0], vec![3.0]).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         assert_eq!(b.sample(&mut rng), vec![3.0]);
     }
 

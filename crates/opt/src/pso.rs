@@ -1,9 +1,15 @@
 //! Particle swarm optimization — a second global baseline for the
 //! extraction-method comparison.
+//!
+//! Synchronous (generational) global-best PSO: every particle's velocity
+//! update for an iteration reads the *previous* iteration's global best,
+//! the whole swarm moves, and the batch of new positions is evaluated in
+//! parallel through `rfkit-par`. All RNG draws stay in the serial update
+//! loop, so fixed-seed runs are identical at any thread count.
 
 use crate::problem::{Bounds, OptResult};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rfkit_num::rng::Rng64;
+use rfkit_par::par_map;
 
 /// Configuration for [`particle_swarm`].
 #[derive(Debug, Clone, PartialEq)]
@@ -35,7 +41,8 @@ impl Default for PsoConfig {
     }
 }
 
-/// Minimizes `f` over `bounds` with a standard global-best particle swarm.
+/// Minimizes `f` over `bounds` with a synchronous global-best particle
+/// swarm; each iteration's position batch is evaluated in parallel.
 ///
 /// # Examples
 ///
@@ -46,7 +53,7 @@ impl Default for PsoConfig {
 /// assert!(r.value < 1e-8);
 /// ```
 pub fn particle_swarm(
-    mut f: impl FnMut(&[f64]) -> f64,
+    f: impl Fn(&[f64]) -> f64 + Sync,
     bounds: &Bounds,
     config: &PsoConfig,
 ) -> OptResult {
@@ -57,26 +64,17 @@ pub fn particle_swarm(
         config.swarm.max(2)
     };
     let span = bounds.span();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng64::new(config.seed);
     let mut evals = 0usize;
 
     let mut pos: Vec<Vec<f64>> = (0..swarm_size).map(|_| bounds.sample(&mut rng)).collect();
     let mut vel: Vec<Vec<f64>> = (0..swarm_size)
-        .map(|_| {
-            (0..n)
-                .map(|d| rng.gen_range(-0.2..0.2) * span[d])
-                .collect()
-        })
+        .map(|_| (0..n).map(|d| rng.uniform(-0.2, 0.2) * span[d]).collect())
         .collect();
     let mut p_best = pos.clone();
-    let mut p_best_val: Vec<f64> = pos
-        .iter()
-        .map(|x| {
-            evals += 1;
-            f(x)
-        })
-        .collect();
-    let mut g_best_idx = p_best_val
+    let mut p_best_val: Vec<f64> = par_map(&pos, |x| f(x));
+    evals += swarm_size;
+    let g_best_idx = p_best_val
         .iter()
         .enumerate()
         .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN objective"))
@@ -85,37 +83,51 @@ pub fn particle_swarm(
     let mut g_best = p_best[g_best_idx].clone();
     let mut g_best_val = p_best_val[g_best_idx];
 
-    'outer: loop {
-        for i in 0..swarm_size {
-            if evals >= config.max_evals {
-                break 'outer;
-            }
+    loop {
+        let remaining = config.max_evals.saturating_sub(evals);
+        if remaining == 0 {
+            break;
+        }
+        let batch = swarm_size.min(remaining);
+
+        // Serial kinematics: all RNG draws happen here, in particle order,
+        // against the previous iteration's global best.
+        for (i, (p, v)) in pos.iter_mut().zip(vel.iter_mut()).enumerate().take(batch) {
             for d in 0..n {
-                let r1: f64 = rng.gen();
-                let r2: f64 = rng.gen();
-                vel[i][d] = config.inertia * vel[i][d]
-                    + config.cognitive * r1 * (p_best[i][d] - pos[i][d])
-                    + config.social * r2 * (g_best[d] - pos[i][d]);
+                let r1 = rng.next_f64();
+                let r2 = rng.next_f64();
+                v[d] = config.inertia * v[d]
+                    + config.cognitive * r1 * (p_best[i][d] - p[d])
+                    + config.social * r2 * (g_best[d] - p[d]);
                 // Velocity clamp keeps particles from tunnelling across the box.
                 let v_max = 0.5 * span[d];
-                vel[i][d] = vel[i][d].clamp(-v_max, v_max);
-                pos[i][d] += vel[i][d];
+                v[d] = v[d].clamp(-v_max, v_max);
+                p[d] += v[d];
             }
-            pos[i] = bounds.clamp(&pos[i]);
-            evals += 1;
-            let v = f(&pos[i]);
+            *p = bounds.clamp(p);
+        }
+
+        // Parallel batch evaluation of the moved particles.
+        let batch_vals = par_map(&pos[..batch], |x| f(x));
+        evals += batch;
+
+        for (i, v) in batch_vals.into_iter().enumerate() {
             if v < p_best_val[i] {
                 p_best_val[i] = v;
                 p_best[i] = pos[i].clone();
-                if v < g_best_val {
-                    g_best_val = v;
-                    g_best = pos[i].clone();
-                    g_best_idx = i;
-                }
             }
         }
+        // Global best advances only after the full batch — synchronous PSO.
+        for i in 0..batch {
+            if p_best_val[i] < g_best_val {
+                g_best_val = p_best_val[i];
+                g_best = p_best[i].clone();
+            }
+        }
+        if batch < swarm_size {
+            break; // budget exhausted mid-iteration
+        }
     }
-    let _ = g_best_idx;
 
     OptResult {
         x: g_best,

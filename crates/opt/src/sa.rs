@@ -2,27 +2,7 @@
 //! differential evolution in the extraction study.
 
 use crate::problem::{Bounds, OptResult};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr_normal::sample_standard_normal;
-
-/// A tiny standard-normal sampler (Marsaglia polar method) so the crate
-/// needs no distribution dependency.
-mod rand_distr_normal {
-    use rand::Rng;
-
-    /// One standard normal draw.
-    pub fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
-        loop {
-            let u: f64 = rng.gen_range(-1.0..1.0);
-            let v: f64 = rng.gen_range(-1.0..1.0);
-            let s = u * u + v * v;
-            if s > 0.0 && s < 1.0 {
-                return u * (-2.0 * s.ln() / s).sqrt();
-            }
-        }
-    }
-}
+use rfkit_num::rng::Rng64;
 
 /// Configuration for [`simulated_annealing`].
 #[derive(Debug, Clone, PartialEq)]
@@ -70,7 +50,7 @@ pub fn simulated_annealing(
 ) -> OptResult {
     let n = bounds.dim();
     let span = bounds.span();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng64::new(config.seed);
     let mut evals = 0usize;
 
     let mut current = bounds.sample(&mut rng);
@@ -92,7 +72,11 @@ pub fn simulated_annealing(
             diffs.push((f(&probe) - current_val).abs());
         }
         diffs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN objective"));
-        diffs.get(diffs.len() / 2).copied().unwrap_or(1.0).max(1e-12)
+        diffs
+            .get(diffs.len() / 2)
+            .copied()
+            .unwrap_or(1.0)
+            .max(1e-12)
     };
 
     while evals < config.max_evals {
@@ -100,10 +84,10 @@ pub fn simulated_annealing(
         let step = config.step_scale * (1.0 - 0.95 * progress);
         let mut candidate = current.clone();
         // Perturb a random subset of coordinates.
-        let k = rng.gen_range(0..n);
+        let k = rng.index(n);
         for (d, c) in candidate.iter_mut().enumerate() {
-            if d == k || rng.gen_bool(0.3) {
-                *c += step * span[d] * sample_standard_normal(&mut rng);
+            if d == k || rng.chance(0.3) {
+                *c += step * span[d] * rng.normal();
             }
         }
         let candidate = bounds.clamp(&candidate);
@@ -111,7 +95,7 @@ pub fn simulated_annealing(
         let v = f(&candidate);
         let accept = v <= current_val || {
             let p = (-(v - current_val) / temp.max(1e-300)).exp();
-            rng.gen_bool(p.clamp(0.0, 1.0))
+            rng.chance(p.clamp(0.0, 1.0))
         };
         if accept {
             current = candidate;
@@ -147,11 +131,7 @@ mod tests {
     #[test]
     fn minimizes_sphere() {
         let b = Bounds::uniform(3, -10.0, 10.0);
-        let r = simulated_annealing(
-            |x| x.iter().map(|v| v * v).sum(),
-            &b,
-            &SaConfig::default(),
-        );
+        let r = simulated_annealing(|x| x.iter().map(|v| v * v).sum(), &b, &SaConfig::default());
         assert!(r.value < 1e-2, "value = {}", r.value);
     }
 

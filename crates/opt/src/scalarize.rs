@@ -8,6 +8,7 @@
 use crate::de::{differential_evolution, DeConfig};
 use crate::goal::GoalResult;
 use crate::problem::Bounds;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Minimizes the weighted sum `Σ wᵢ·fᵢ(x)` for each weight vector in
 /// `weight_sweep`, returning one attained point per weight vector.
@@ -17,7 +18,7 @@ use crate::problem::Bounds;
 /// Panics if a weight vector length disagrees with the objective count at
 /// evaluation time.
 pub fn weighted_sum_sweep(
-    objectives: &dyn Fn(&[f64]) -> Vec<f64>,
+    objectives: &(dyn Fn(&[f64]) -> Vec<f64> + Sync),
     weight_sweep: &[Vec<f64>],
     bounds: &Bounds,
     max_evals_each: usize,
@@ -27,9 +28,9 @@ pub fn weighted_sum_sweep(
         .iter()
         .enumerate()
         .map(|(k, w)| {
-            let evals = std::cell::Cell::new(0usize);
+            let evals = AtomicUsize::new(0);
             let scalar = |x: &[f64]| -> f64 {
-                evals.set(evals.get() + 1);
+                evals.fetch_add(1, Ordering::Relaxed);
                 let f = objectives(x);
                 assert_eq!(f.len(), w.len(), "weight length mismatch");
                 f.iter().zip(w).map(|(fi, wi)| fi * wi).sum()
@@ -45,7 +46,7 @@ pub fn weighted_sum_sweep(
                 x: r.x,
                 attainment: f.iter().zip(w).map(|(fi, wi)| fi * wi).sum(),
                 objectives: f,
-                evaluations: evals.get(),
+                evaluations: evals.load(Ordering::Relaxed),
             }
         })
         .collect()
@@ -56,7 +57,7 @@ pub fn weighted_sum_sweep(
 /// (entries for the primary objective are ignored). Constraints enter as a
 /// quadratic penalty.
 pub fn epsilon_constraint_sweep(
-    objectives: &dyn Fn(&[f64]) -> Vec<f64>,
+    objectives: &(dyn Fn(&[f64]) -> Vec<f64> + Sync),
     primary: usize,
     eps_sweep: &[Vec<f64>],
     bounds: &Bounds,
@@ -67,9 +68,9 @@ pub fn epsilon_constraint_sweep(
         .iter()
         .enumerate()
         .map(|(k, eps)| {
-            let evals = std::cell::Cell::new(0usize);
+            let evals = AtomicUsize::new(0);
             let scalar = |x: &[f64]| -> f64 {
-                evals.set(evals.get() + 1);
+                evals.fetch_add(1, Ordering::Relaxed);
                 let f = objectives(x);
                 assert!(primary < f.len(), "primary objective out of range");
                 let mut v = f[primary];
@@ -92,7 +93,7 @@ pub fn epsilon_constraint_sweep(
                 x: r.x,
                 attainment: f[primary],
                 objectives: f,
-                evaluations: evals.get(),
+                evaluations: evals.load(Ordering::Relaxed),
             }
         })
         .collect()
@@ -116,7 +117,7 @@ mod tests {
 
     #[test]
     fn weighted_sum_covers_convex_front() {
-        let obj: &dyn Fn(&[f64]) -> Vec<f64> = &convex_pair;
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &convex_pair;
         let bounds = Bounds::uniform(1, -1.0, 3.0);
         let sweep: Vec<Vec<f64>> = (1..10)
             .map(|k| {
@@ -139,7 +140,7 @@ mod tests {
     fn weighted_sum_misses_concave_interior() {
         // On a strictly concave front the weighted sum only ever returns the
         // two endpoints.
-        let obj: &dyn Fn(&[f64]) -> Vec<f64> = &concave_pair;
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &concave_pair;
         let bounds = Bounds::uniform(1, 0.0, 1.0);
         let sweep: Vec<Vec<f64>> = (1..20)
             .map(|k| {
@@ -160,7 +161,7 @@ mod tests {
 
     #[test]
     fn epsilon_constraint_reaches_concave_interior() {
-        let obj: &dyn Fn(&[f64]) -> Vec<f64> = &concave_pair;
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &concave_pair;
         let bounds = Bounds::uniform(1, 0.0, 1.0);
         // Constrain f1 ≤ ε, minimize f2.
         let sweep: Vec<Vec<f64>> = (1..10).map(|k| vec![k as f64 / 10.0, 0.0]).collect();
@@ -169,7 +170,10 @@ mod tests {
             .iter()
             .filter(|p| p.objectives[0] > 0.05 && p.objectives[0] < 0.95)
             .count();
-        assert!(interior >= 5, "ε-constraint must populate the interior, got {interior}");
+        assert!(
+            interior >= 5,
+            "ε-constraint must populate the interior, got {interior}"
+        );
         // All on the circle.
         for p in &pts {
             let f = &p.objectives;
@@ -180,7 +184,7 @@ mod tests {
 
     #[test]
     fn sweeps_produce_mutually_nondominated_sets_on_convex_front() {
-        let obj: &dyn Fn(&[f64]) -> Vec<f64> = &convex_pair;
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &convex_pair;
         let bounds = Bounds::uniform(1, -1.0, 3.0);
         let sweep: Vec<Vec<f64>> = (1..6)
             .map(|k| {
@@ -191,6 +195,10 @@ mod tests {
         let pts = weighted_sum_sweep(obj, &sweep, &bounds, 2000, 4);
         let objs: Vec<Vec<f64>> = pts.iter().map(|p| p.objectives.clone()).collect();
         let front = pareto_front_indices(&objs);
-        assert_eq!(front.len(), objs.len(), "all weighted-sum points nondominated");
+        assert_eq!(
+            front.len(),
+            objs.len(),
+            "all weighted-sum points nondominated"
+        );
     }
 }

@@ -1,0 +1,84 @@
+//! The parallel-evaluation determinism guarantee: a fixed seed must yield
+//! bit-identical optimizer output at any `RFKIT_THREADS` setting, because
+//! all RNG draws live in the serial generation loops and `rfkit-par`
+//! returns results in input order.
+//!
+//! Everything lives in one `#[test]` because `RFKIT_THREADS` is process
+//! state and the test harness runs separate tests concurrently.
+
+use rfkit_opt::{
+    differential_evolution, nsga2, particle_swarm, Bounds, DeConfig, Nsga2Config, PsoConfig,
+};
+use std::f64::consts::PI;
+
+fn rastrigin(x: &[f64]) -> f64 {
+    10.0 * x.len() as f64
+        + x.iter()
+            .map(|v| v * v - 10.0 * (2.0 * PI * v).cos())
+            .sum::<f64>()
+}
+
+fn zdt1(x: &[f64]) -> Vec<f64> {
+    let f1 = x[0];
+    let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (x.len() - 1) as f64;
+    let f2 = g * (1.0 - (f1 / g).sqrt());
+    vec![f1, f2]
+}
+
+#[test]
+fn fixed_seed_output_identical_at_1_and_4_threads() {
+    let run_all = || {
+        let b = Bounds::uniform(3, -5.12, 5.12);
+        let de = differential_evolution(
+            rastrigin,
+            &b,
+            &DeConfig {
+                max_evals: 3000,
+                seed: 0xd5,
+                ..Default::default()
+            },
+        );
+        let pso = particle_swarm(
+            rastrigin,
+            &b,
+            &PsoConfig {
+                max_evals: 3000,
+                seed: 0xd6,
+                ..Default::default()
+            },
+        );
+        let moo = nsga2(
+            &zdt1,
+            &Bounds::uniform(3, 0.0, 1.0),
+            &Nsga2Config {
+                generations: 20,
+                seed: 0xd7,
+                ..Default::default()
+            },
+        );
+        (de, pso, moo)
+    };
+
+    std::env::set_var("RFKIT_THREADS", "1");
+    let (de_1, pso_1, moo_1) = run_all();
+    std::env::set_var("RFKIT_THREADS", "4");
+    let (de_4, pso_4, moo_4) = run_all();
+    std::env::remove_var("RFKIT_THREADS");
+
+    // Bit-identical, not approximately equal.
+    assert_eq!(de_1.x, de_4.x, "DE best point differs across thread counts");
+    assert_eq!(de_1.value, de_4.value);
+    assert_eq!(de_1.evaluations, de_4.evaluations);
+
+    assert_eq!(
+        pso_1.x, pso_4.x,
+        "PSO best point differs across thread counts"
+    );
+    assert_eq!(pso_1.value, pso_4.value);
+
+    assert_eq!(
+        moo_1.front, moo_4.front,
+        "NSGA-II front differs across thread counts"
+    );
+    assert_eq!(moo_1.evaluations, moo_4.evaluations);
+}

@@ -1,0 +1,575 @@
+//! # rfkit-par
+//!
+//! Dependency-free parallel evaluation engine for the rfkit workspace.
+//!
+//! The crate provides an ordered parallel map over slices and index ranges,
+//! built entirely on `std`: a lazily-started persistent worker pool,
+//! chunked work distribution through a single atomic index, and panic
+//! propagation back to the caller. It exists because every hot loop in the
+//! reproduction — optimizer population evaluation, Monte-Carlo yield runs,
+//! band-objective frequency sweeps, extraction residuals — is
+//! embarrassingly parallel across items, and the offline build environment
+//! rules out rayon.
+//!
+//! ## Determinism contract
+//!
+//! `par_map` and friends return results in **input order**, and the worker
+//! pool never touches an RNG. Callers keep every random draw in their
+//! serial control loop and hand the engine pure `Fn + Sync` evaluations,
+//! so a fixed seed yields bit-identical output at any thread count. The
+//! optimizers in `rfkit-opt` are structured this way and covered by a
+//! `RFKIT_THREADS=1` vs `RFKIT_THREADS=4` determinism test.
+//!
+//! ## Thread count
+//!
+//! The effective thread count is, in priority order: `ParConfig::threads`
+//! if non-zero, else the `RFKIT_THREADS` environment variable, else
+//! [`std::thread::available_parallelism`]. Batches at or below
+//! `ParConfig::serial_threshold` run serially on the caller — dispatching
+//! a handful of microsecond-scale evaluations costs more than it saves.
+//! Nested calls (a `par_map` inside a worker) also run serially, which
+//! makes composition deadlock-free by construction.
+//!
+//! ## Example
+//!
+//! ```
+//! let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+//! let squares = rfkit_par::par_map(&xs, |x| x * x);
+//! assert_eq!(squares[17], 17.0 * 17.0);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Hard ceiling on pool size; `RFKIT_THREADS` is clamped to this.
+const MAX_THREADS: usize = 64;
+
+/// Tuning knobs for a parallel map call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    /// Number of participating threads including the caller.
+    /// `0` means auto: `RFKIT_THREADS` if set, else `available_parallelism()`.
+    pub threads: usize,
+    /// Batches of at most this many items run serially on the caller.
+    pub serial_threshold: usize,
+    /// Items claimed per atomic fetch. `0` means auto:
+    /// `max(1, n / (threads * 4))`, which balances steal granularity
+    /// against contention on the shared index.
+    pub chunk: usize,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig {
+            threads: 0,
+            serial_threshold: 16,
+            chunk: 0,
+        }
+    }
+}
+
+impl ParConfig {
+    /// Config that always runs serially, regardless of environment.
+    pub fn serial() -> Self {
+        ParConfig {
+            threads: 1,
+            ..ParConfig::default()
+        }
+    }
+
+    /// Config pinned to exactly `threads` participants with no serial
+    /// fallback threshold (used by benches and determinism tests).
+    pub fn exact(threads: usize) -> Self {
+        ParConfig {
+            threads: threads.max(1),
+            serial_threshold: 0,
+            chunk: 0,
+        }
+    }
+}
+
+/// Effective auto thread count: `RFKIT_THREADS` if set to a positive
+/// integer, else `available_parallelism()`, clamped to [`MAX_THREADS`].
+///
+/// Read dynamically on every call so tests and callers can vary
+/// `RFKIT_THREADS` at runtime.
+pub fn num_threads() -> usize {
+    let n = match std::env::var("RFKIT_THREADS") {
+        Ok(s) => s.trim().parse::<usize>().ok().filter(|&v| v >= 1),
+        Err(_) => None,
+    };
+    n.unwrap_or_else(|| thread::available_parallelism().map_or(1, |p| p.get()))
+        .min(MAX_THREADS)
+}
+
+/// True while the current thread is executing inside a parallel region;
+/// nested parallel maps detect this and run serially.
+pub fn in_parallel_region() -> bool {
+    IN_PAR.with(|flag| flag.get())
+}
+
+/// Ordered parallel map over a slice with auto configuration.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_cfg(&ParConfig::default(), items, f)
+}
+
+/// Ordered parallel map over a slice where the closure also receives the
+/// item index.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed_cfg(&ParConfig::default(), items, f)
+}
+
+/// [`par_map`] with explicit configuration.
+pub fn par_map_cfg<T, R, F>(cfg: &ParConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_collect(items.len(), cfg, |i| f(&items[i]))
+}
+
+/// [`par_map_indexed`] with explicit configuration.
+pub fn par_map_indexed_cfg<T, R, F>(cfg: &ParConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_collect(items.len(), cfg, |i| f(i, &items[i]))
+}
+
+/// Core primitive: evaluate `f(0), f(1), …, f(n-1)` across the pool and
+/// collect the results in index order.
+///
+/// This is the right entry point when there is no input slice — e.g. a
+/// Monte-Carlo loop over unit indices or a multistart loop over seeds.
+///
+/// # Panics
+///
+/// If `f` panics on any index, the first panic payload is re-thrown on
+/// the caller after all in-flight work has drained. Results computed
+/// before the panic are leaked, not dropped.
+pub fn par_collect<R, F>(n: usize, cfg: &ParConfig, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = if cfg.threads == 0 {
+        num_threads()
+    } else {
+        cfg.threads.min(MAX_THREADS)
+    };
+    if n <= cfg.serial_threshold || threads <= 1 || in_parallel_region() {
+        return (0..n).map(f).collect();
+    }
+
+    let chunk = if cfg.chunk == 0 {
+        (n / (threads * 4)).max(1)
+    } else {
+        cfg.chunk
+    };
+
+    // No point dispatching more helpers than there are chunks beyond the
+    // caller's own share.
+    let total_chunks = n.div_ceil(chunk);
+    let wanted_helpers = (threads - 1).min(total_chunks.saturating_sub(1));
+    let helpers = Pool::global().ensure_workers(wanted_helpers);
+    if helpers == 0 {
+        return (0..n).map(f).collect();
+    }
+
+    let results: Vec<Slot<R>> = (0..n).map(|_| Slot::new()).collect();
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let latch = Latch::new(helpers);
+
+    let work = || {
+        let _region = RegionGuard::enter();
+        let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+            if abort.load(Ordering::Relaxed) {
+                break;
+            }
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            #[allow(clippy::needless_range_loop)] // i is the work-item id, not just an index
+            for i in start..(start + chunk).min(n) {
+                let value = f(i);
+                // SAFETY: the chunked atomic index hands each i to exactly
+                // one participant, so this is the only write to slot i, and
+                // the caller does not read slots until the latch drains.
+                unsafe { (*results[i].0.get()).write(value) };
+            }
+        }));
+        if let Err(payload) = outcome {
+            abort.store(true, Ordering::Relaxed);
+            latch.record_panic(payload);
+        }
+    };
+
+    {
+        // The guard's Drop waits for every helper to finish before `work`,
+        // `results`, `next`, `abort` or `latch` can leave scope — even if
+        // something on the caller path unwinds first.
+        let _wait = WaitGuard(&latch);
+        let task: &(dyn Fn() + Sync) = &work;
+        // SAFETY: the lifetime is erased so the borrow can cross into the
+        // pool's queue; the pointer is only dereferenced by helpers that
+        // count down `latch` afterwards, and `_wait` blocks this scope's
+        // exit until the count reaches zero, so the referent outlives all
+        // uses.
+        let task: &'static (dyn Fn() + Sync) = unsafe { std::mem::transmute(task) };
+        let job = Job {
+            task: task as *const (dyn Fn() + Sync),
+            latch: &latch as *const Latch,
+        };
+        Pool::global().submit(job, helpers);
+        work();
+    }
+
+    if let Some(payload) = latch.take_panic() {
+        resume_unwind(payload);
+    }
+
+    // SAFETY: every index was claimed exactly once and no panic occurred,
+    // so all n slots are initialized. `Slot<R>` is `repr(transparent)`
+    // over `UnsafeCell<MaybeUninit<R>>`, which has the layout of `R`.
+    let mut raw = ManuallyDrop::new(results);
+    unsafe { Vec::from_raw_parts(raw.as_mut_ptr() as *mut R, raw.len(), raw.capacity()) }
+}
+
+thread_local! {
+    static IN_PAR: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII marker for "this thread is inside a parallel region".
+struct RegionGuard {
+    was: bool,
+}
+
+impl RegionGuard {
+    fn enter() -> Self {
+        let was = IN_PAR.with(|flag| flag.replace(true));
+        RegionGuard { was }
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        let was = self.was;
+        IN_PAR.with(|flag| flag.set(was));
+    }
+}
+
+/// One result slot, written exactly once by whichever participant claims
+/// its index.
+#[repr(transparent)]
+struct Slot<R>(UnsafeCell<MaybeUninit<R>>);
+
+impl<R> Slot<R> {
+    fn new() -> Self {
+        Slot(UnsafeCell::new(MaybeUninit::uninit()))
+    }
+}
+
+// SAFETY: concurrent access is disjoint by construction (one writer per
+// index, no readers until the latch drains); R crosses threads, hence
+// the R: Send bound.
+unsafe impl<R: Send> Sync for Slot<R> {}
+
+/// Countdown latch with a slot for the first panic payload.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut rem = self.remaining.lock().unwrap();
+        *rem -= 1;
+        if *rem == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut rem = self.remaining.lock().unwrap();
+        while *rem > 0 {
+            rem = self.done.wait(rem).unwrap();
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().unwrap().take()
+    }
+}
+
+/// Blocks on drop until the latch drains; keeps borrowed job state alive
+/// for as long as any helper might touch it.
+struct WaitGuard<'a>(&'a Latch);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+/// A unit of work queued to the pool: a type-erased borrow of the
+/// caller's closure plus the latch it must count down.
+struct Job {
+    task: *const (dyn Fn() + Sync),
+    latch: *const Latch,
+}
+
+// SAFETY: both pointers target stack data of a caller that is blocked (via
+// WaitGuard) until the latch — which this job counts down after its last
+// use of `task` — reaches zero. The referents are Sync.
+unsafe impl Send for Job {}
+
+/// The process-wide persistent worker pool.
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    spawned: Mutex<usize>,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            spawned: Mutex::new(0),
+        })
+    }
+
+    /// Grows the pool to at least `target` workers (capped); returns the
+    /// number of workers actually available.
+    fn ensure_workers(&'static self, target: usize) -> usize {
+        let mut count = self.spawned.lock().unwrap();
+        while *count < target.min(MAX_THREADS - 1) {
+            let spawned = thread::Builder::new()
+                .name(format!("rfkit-par-{}", *count))
+                .spawn(move || self.worker_main());
+            if spawned.is_err() {
+                break;
+            }
+            *count += 1;
+        }
+        (*count).min(target)
+    }
+
+    fn submit(&self, job: Job, copies: usize) {
+        let mut queue = self.queue.lock().unwrap();
+        for _ in 0..copies {
+            queue.push_back(job.clone());
+        }
+        drop(queue);
+        self.available.notify_all();
+    }
+
+    fn worker_main(&self) {
+        IN_PAR.with(|flag| flag.set(true));
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().unwrap();
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    queue = self.available.wait(queue).unwrap();
+                }
+            };
+            // SAFETY: the submitting caller is latched until count_down,
+            // so both referents are alive for the duration of this block.
+            unsafe {
+                let task = &*job.task;
+                // Backstop only: tasks built by par_collect already catch
+                // their own unwinds.
+                let _ = catch_unwind(AssertUnwindSafe(task));
+                (*job.latch).count_down();
+            }
+        }
+    }
+}
+
+impl Clone for Job {
+    fn clone(&self) -> Self {
+        Job {
+            task: self.task,
+            latch: self.latch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg4() -> ParConfig {
+        ParConfig::exact(4)
+    }
+
+    #[test]
+    fn matches_serial_on_adversarial_sizes() {
+        // 0, 1, below the default threshold, at it, and far above the
+        // thread count.
+        for n in [0usize, 1, 15, 16, 17, 64, 1000, 4097] {
+            let items: Vec<u64> = (0..n as u64).collect();
+            let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+            let parallel = par_map_cfg(&cfg4(), &items, |x| x * x + 1);
+            assert_eq!(parallel, serial, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn preserves_input_ordering() {
+        let items: Vec<usize> = (0..5000).collect();
+        let out = par_map_indexed_cfg(&cfg4(), &items, |i, &x| {
+            assert_eq!(i, x);
+            i * 3
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn par_collect_without_input_slice() {
+        let out = par_collect(257, &cfg4(), |i| i as f64 * 0.5);
+        assert_eq!(out.len(), 257);
+        assert_eq!(out[200], 100.0);
+    }
+
+    #[test]
+    fn serial_threshold_short_circuits() {
+        // Threshold larger than n: must run on the caller thread.
+        let caller = thread::current().id();
+        let cfg = ParConfig {
+            threads: 4,
+            serial_threshold: 100,
+            chunk: 0,
+        };
+        let out = par_collect(50, &cfg, |i| {
+            assert_eq!(thread::current().id(), caller);
+            i
+        });
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_calls_run_serially_without_deadlock() {
+        let outer: Vec<usize> = (0..64).collect();
+        let out = par_map_cfg(&cfg4(), &outer, |&i| {
+            let inner: Vec<usize> = (0..32).collect();
+            par_map_cfg(&cfg4(), &inner, |&j| i * 100 + j)
+                .iter()
+                .sum::<usize>()
+        });
+        for (i, v) in out.iter().enumerate() {
+            let expected: usize = (0..32).map(|j| i * 100 + j).sum();
+            assert_eq!(*v, expected);
+        }
+    }
+
+    #[test]
+    fn propagates_worker_panics() {
+        let items: Vec<usize> = (0..512).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_cfg(&cfg4(), &items, |&x| {
+                if x == 300 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 300"), "payload: {msg}");
+        // The pool must still be usable afterwards.
+        let ok = par_map_cfg(&cfg4(), &items, |&x| x + 1);
+        assert_eq!(ok[0], 1);
+        assert_eq!(ok[511], 512);
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        for round in 0..200 {
+            let items: Vec<usize> = (0..97).collect();
+            let out = par_map_cfg(&cfg4(), &items, |&x| x + round);
+            assert_eq!(out[96], 96 + round);
+        }
+    }
+
+    #[test]
+    fn explicit_chunk_sizes_are_honored() {
+        for chunk in [1usize, 2, 7, 64, 10_000] {
+            let cfg = ParConfig {
+                threads: 4,
+                serial_threshold: 0,
+                chunk,
+            };
+            let out = par_collect(333, &cfg, |i| i * 2);
+            assert_eq!(out, (0..333).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn num_threads_reads_environment_dynamically() {
+        // This is the only test that touches the env var, so there is no
+        // cross-test race despite the parallel test harness.
+        std::env::set_var("RFKIT_THREADS", "3");
+        assert_eq!(num_threads(), 3);
+        std::env::set_var("RFKIT_THREADS", "not-a-number");
+        assert!(num_threads() >= 1);
+        std::env::remove_var("RFKIT_THREADS");
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn non_copy_results_are_moved_intact() {
+        let items: Vec<usize> = (0..300).collect();
+        let out = par_map_cfg(&cfg4(), &items, |&x| vec![x; 3]);
+        assert_eq!(out[299], vec![299, 299, 299]);
+        assert_eq!(out.len(), 300);
+    }
+}

@@ -377,10 +377,7 @@ mod tests {
     fn lossy_shunt_inductor_contributes_noise() {
         let l = Inductor::chip_0402(4.7e-9);
         let tp = l.two_port(1.5e9, Orientation::Shunt, T0_KELVIN);
-        let f = tp
-            .noise_params(50.0)
-            .unwrap()
-            .noise_factor(Complex::ZERO);
+        let f = tp.noise_params(50.0).unwrap().noise_factor(Complex::ZERO);
         assert!(f > 1.0, "a finite-Q inductor must add noise");
         assert!(f < 1.2, "but not much: F = {f}");
     }

@@ -17,13 +17,11 @@ pub enum ESeries {
     E96,
 }
 
-const E12_VALUES: [f64; 12] = [
-    1.0, 1.2, 1.5, 1.8, 2.2, 2.7, 3.3, 3.9, 4.7, 5.6, 6.8, 8.2,
-];
+const E12_VALUES: [f64; 12] = [1.0, 1.2, 1.5, 1.8, 2.2, 2.7, 3.3, 3.9, 4.7, 5.6, 6.8, 8.2];
 
 const E24_VALUES: [f64; 24] = [
-    1.0, 1.1, 1.2, 1.3, 1.5, 1.6, 1.8, 2.0, 2.2, 2.4, 2.7, 3.0, 3.3, 3.6, 3.9, 4.3, 4.7, 5.1,
-    5.6, 6.2, 6.8, 7.5, 8.2, 9.1,
+    1.0, 1.1, 1.2, 1.3, 1.5, 1.6, 1.8, 2.0, 2.2, 2.4, 2.7, 3.0, 3.3, 3.6, 3.9, 4.3, 4.7, 5.1, 5.6,
+    6.2, 6.8, 7.5, 8.2, 9.1,
 ];
 
 impl ESeries {

@@ -229,10 +229,7 @@ impl BandpassFilter {
         }
         // Even-order Chebyshev: evaluate transducer gain into the scaled
         // load termination.
-        let gamma_l = rfkit_net::gains::reflection_coefficient(
-            Complex::real(self.z_load),
-            self.z0,
-        );
+        let gamma_l = rfkit_net::gains::reflection_coefficient(Complex::real(self.z_load), self.z0);
         let gt = rfkit_net::gains::transducer_gain(&s, Complex::ZERO, gamma_l);
         rfkit_num::units::db_from_power_ratio(gt)
     }
@@ -259,14 +256,13 @@ mod tests {
     #[test]
     fn chebyshev_g_values_match_tables() {
         // 0.5 dB ripple, N = 3: g = [1.5963, 1.0967, 1.5963].
-        let g = prototype_g_values(
-            FilterFamily::Chebyshev { ripple_db: 0.5 },
-            3,
-        );
+        let g = prototype_g_values(FilterFamily::Chebyshev { ripple_db: 0.5 }, 3);
         for (got, want) in g.iter().zip([1.5963, 1.0967, 1.5963]) {
             assert!((got - want).abs() < 1e-3, "{got} vs {want}");
         }
-        assert!((prototype_load(FilterFamily::Chebyshev { ripple_db: 0.5 }, 3) - 1.0).abs() < 1e-12);
+        assert!(
+            (prototype_load(FilterFamily::Chebyshev { ripple_db: 0.5 }, 3) - 1.0).abs() < 1e-12
+        );
     }
 
     fn gnss_filter(order: usize) -> BandpassFilter {
@@ -303,7 +299,10 @@ mod tests {
         let r3 = f3.s21_db_ideal(0.8e9);
         let r5 = f5.s21_db_ideal(0.8e9);
         assert!(r3 < -15.0, "order 3 rejection {r3} dB");
-        assert!(r5 < r3 - 10.0, "order 5 must reject much more: {r5} vs {r3}");
+        assert!(
+            r5 < r3 - 10.0,
+            "order 5 must reject much more: {r5} vs {r3}"
+        );
     }
 
     #[test]
@@ -329,7 +328,10 @@ mod tests {
         // In the passband the Chebyshev stays within its 1 dB ripple.
         for f in [1.2e9, 1.4e9, 1.6e9] {
             let il = cheb.s21_db_ideal(f);
-            assert!(il > -1.05 && il <= 0.01, "ripple bound violated: {il} dB at {f}");
+            assert!(
+                il > -1.05 && il <= 0.01,
+                "ripple bound violated: {il} dB at {f}"
+            );
         }
         // Deep in the stopband the equal-ripple design out-rejects the
         // maximally-flat one (same ripple-band edges; the Chebyshev −3 dB
@@ -358,7 +360,11 @@ mod tests {
             .noise_params(50.0)
             .unwrap()
             .noise_factor(Complex::ZERO);
-        assert!((nf - 1.0 / ga).abs() < 1e-6 * nf, "F {nf} vs 1/GA {}", 1.0 / ga);
+        assert!(
+            (nf - 1.0 / ga).abs() < 1e-6 * nf,
+            "F {nf} vs 1/GA {}",
+            1.0 / ga
+        );
     }
 
     #[test]
@@ -371,7 +377,9 @@ mod tests {
         let s = tp.abcd.to_s(50.0).unwrap();
         let il = -rfkit_num::units::db_from_amplitude_ratio(s.s21().abs());
         let fbw = (1.7e9 - 1.1e9) / f.f0;
-        let g_sum: f64 = prototype_g_values(FilterFamily::Butterworth, 3).iter().sum();
+        let g_sum: f64 = prototype_g_values(FilterFamily::Butterworth, 3)
+            .iter()
+            .sum();
         // Effective Qu dominated by the inductors when Qc >> Ql.
         let expect = 4.34 * g_sum / (fbw * q);
         assert!(
@@ -389,9 +397,7 @@ mod tests {
         // Parasitic detuning costs extra loss beyond the pure-Q analysis.
         let f = gnss_filter(3);
         let il_of = |tp: NoisyAbcd| {
-            -rfkit_num::units::db_from_amplitude_ratio(
-                tp.abcd.to_s(50.0).unwrap().s21().abs(),
-            )
+            -rfkit_num::units::db_from_amplitude_ratio(tp.abcd.to_s(50.0).unwrap().s21().abs())
         };
         let catalog = il_of(f.noisy_two_port(f.f0, T0_KELVIN));
         let tuned = il_of(f.noisy_two_port_q(f.f0, 40.0, 400.0, T0_KELVIN));

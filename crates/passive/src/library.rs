@@ -86,7 +86,10 @@ impl ComponentLibrary {
 
     /// Worst-case low/high values of a part within tolerance.
     pub fn tolerance_bounds(&self, nominal: f64) -> (f64, f64) {
-        (nominal * (1.0 - self.tolerance), nominal * (1.0 + self.tolerance))
+        (
+            nominal * (1.0 - self.tolerance),
+            nominal * (1.0 + self.tolerance),
+        )
     }
 }
 

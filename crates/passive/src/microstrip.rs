@@ -122,8 +122,7 @@ impl Microstrip {
         let er = self.substrate.eps_r;
         let u = self.width / self.substrate.height;
         let a = 1.0
-            + (1.0 / 49.0)
-                * ((u.powi(4) + (u / 52.0).powi(2)) / (u.powi(4) + 0.432)).ln()
+            + (1.0 / 49.0) * ((u.powi(4) + (u / 52.0).powi(2)) / (u.powi(4) + 0.432)).ln()
             + (1.0 / 18.7) * (1.0 + (u / 18.1).powi(3)).ln();
         let b = 0.564 * ((er - 0.9) / (er + 3.0)).powf(0.053);
         (er + 1.0) / 2.0 + (er - 1.0) / 2.0 * (1.0 + 10.0 / u).powf(-a * b)
@@ -173,8 +172,9 @@ impl Microstrip {
         let rs = (PI * freq_hz * MU0 / self.substrate.conductivity).sqrt();
         // Wheeler-style correction for narrow strips: the effective width
         // exceeds the physical width by the fringing contribution.
-        let w_eff = self.width + 1.25 * self.substrate.thickness / PI
-            * (1.0 + (2.0 * self.substrate.height / self.substrate.thickness).ln());
+        let w_eff = self.width
+            + 1.25 * self.substrate.thickness / PI
+                * (1.0 + (2.0 * self.substrate.height / self.substrate.thickness).ln());
         rs / (self.z0_static() * w_eff)
     }
 
@@ -322,7 +322,8 @@ mod tests {
         let f = 1.5e9;
         let z0 = line.z0(f);
         let s = line.abcd(f).to_s(z0).unwrap();
-        let expected_loss = (-(line.alpha_conductor(f) + line.alpha_dielectric(f)) * line.length).exp();
+        let expected_loss =
+            (-(line.alpha_conductor(f) + line.alpha_dielectric(f)) * line.length).exp();
         assert!((s.s21().abs() - expected_loss).abs() < 1e-6);
         assert!(s.s11().abs() < 1e-9, "line referenced to its own Z0");
     }
@@ -340,7 +341,11 @@ mod tests {
             .unwrap()
             .noise_factor(Complex::ZERO);
         // GT ≈ GA for this nearly matched line.
-        assert!((nf - 1.0 / gt).abs() < 2e-3, "F = {nf}, 1/GT = {}", 1.0 / gt);
+        assert!(
+            (nf - 1.0 / gt).abs() < 2e-3,
+            "F = {nf}, 1/GT = {}",
+            1.0 / gt
+        );
     }
 
     #[test]

@@ -235,10 +235,7 @@ mod tests {
             for j in 0..3 {
                 let got = tee.s(i, j).unwrap();
                 let want = reference.s(i, j).unwrap();
-                assert!(
-                    (got - want).abs() < 1e-6,
-                    "S{i}{j}: {got} vs {want}"
-                );
+                assert!((got - want).abs() < 1e-6, "S{i}{j}: {got} vs {want}");
             }
         }
     }
@@ -296,7 +293,11 @@ mod tests {
         let split_db = mag_db(&s, 1, 0);
         assert!(split_db < -3.0 && split_db > -3.4, "split = {split_db} dB");
         // Output-to-output isolation is deep.
-        assert!(mag_db(&s, 2, 1) < -25.0, "isolation = {} dB", mag_db(&s, 2, 1));
+        assert!(
+            mag_db(&s, 2, 1) < -25.0,
+            "isolation = {} dB",
+            mag_db(&s, 2, 1)
+        );
     }
 
     #[test]
@@ -305,7 +306,10 @@ mod tests {
         let s_center = w.s_matrix(1.575e9);
         let s_off = w.s_matrix(3.0e9);
         assert!(s_off.s(0, 0).unwrap().abs() > s_center.s(0, 0).unwrap().abs());
-        assert!(mag_db(&s_off, 2, 1) > mag_db(&s_center, 2, 1), "isolation shrinks");
+        assert!(
+            mag_db(&s_off, 2, 1) > mag_db(&s_center, 2, 1),
+            "isolation shrinks"
+        );
     }
 
     #[test]

@@ -1,100 +1,129 @@
 //! Property-based tests on the passive models: passivity, reciprocity and
-//! dispersion invariants for any physical parameter draw.
+//! dispersion invariants for any physical parameter draw. Cases come from
+//! a fixed-seed `Rng64` stream (the workspace builds offline, so no
+//! proptest), which keeps every run reproducible.
 
-use proptest::prelude::*;
+use rfkit_num::rng::Rng64;
 use rfkit_num::Complex;
 use rfkit_passive::{
     Capacitor, Component, ESeries, Inductor, Microstrip, Orientation, Resistor, Substrate,
     TeeJunction, Wilkinson,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn components_have_nonnegative_resistance(
-        c_pf in 0.5..47.0f64,
-        l_nh in 1.0..33.0f64,
-        r_ohm in 5.0..500.0f64,
-        f_ghz in 0.1..6.0f64,
-    ) {
-        let f = f_ghz * 1e9;
-        prop_assert!(Capacitor::chip_0402(c_pf * 1e-12).esr(f) >= 0.0);
-        prop_assert!(Inductor::chip_0402(l_nh * 1e-9).esr(f) >= 0.0);
-        prop_assert!(Resistor::chip_0402(r_ohm).esr(f) >= 0.0);
+#[test]
+fn components_have_nonnegative_resistance() {
+    let mut rng = Rng64::new(0x9a55_0001);
+    for _ in 0..48 {
+        let c_pf = rng.uniform(0.5, 47.0);
+        let l_nh = rng.uniform(1.0, 33.0);
+        let r_ohm = rng.uniform(5.0, 500.0);
+        let f = rng.uniform(0.1, 6.0) * 1e9;
+        assert!(Capacitor::chip_0402(c_pf * 1e-12).esr(f) >= 0.0);
+        assert!(Inductor::chip_0402(l_nh * 1e-9).esr(f) >= 0.0);
+        assert!(Resistor::chip_0402(r_ohm).esr(f) >= 0.0);
     }
+}
 
-    #[test]
-    fn component_two_ports_are_passive(
-        c_pf in 0.5..47.0f64,
-        l_nh in 1.0..33.0f64,
-        f_ghz in 0.1..6.0f64,
-        shunt in proptest::bool::ANY,
-    ) {
-        let f = f_ghz * 1e9;
-        let orient = if shunt { Orientation::Shunt } else { Orientation::Series };
+#[test]
+fn component_two_ports_are_passive() {
+    let mut rng = Rng64::new(0x9a55_0002);
+    for _ in 0..48 {
+        let c_pf = rng.uniform(0.5, 47.0);
+        let l_nh = rng.uniform(1.0, 33.0);
+        let f = rng.uniform(0.1, 6.0) * 1e9;
+        let orient = if rng.chance(0.5) {
+            Orientation::Shunt
+        } else {
+            Orientation::Series
+        };
         for tp in [
             Capacitor::chip_0402(c_pf * 1e-12).two_port(f, orient, 290.0),
             Inductor::chip_0402(l_nh * 1e-9).two_port(f, orient, 290.0),
         ] {
             let s = tp.abcd.to_s(50.0).expect("has S form");
-            prop_assert!(s.is_passive(1e-6), "passive element must be passive");
-            prop_assert!(s.is_reciprocal(1e-9), "two-terminal element reciprocal");
+            assert!(s.is_passive(1e-6), "passive element must be passive");
+            assert!(s.is_reciprocal(1e-9), "two-terminal element reciprocal");
             // And its noise figure is its loss or less... at minimum F >= 1.
             let fnoise = tp.noise_params(50.0).unwrap().noise_factor(Complex::ZERO);
-            prop_assert!(fnoise >= 1.0 - 1e-9);
+            assert!(fnoise >= 1.0 - 1e-9);
         }
     }
+}
 
-    #[test]
-    fn capacitor_srf_moves_down_with_capacitance(
-        c1_pf in 1.0..20.0f64,
-        extra_pf in 1.0..20.0f64,
-    ) {
+#[test]
+fn capacitor_srf_moves_down_with_capacitance() {
+    let mut rng = Rng64::new(0x9a55_0003);
+    for _ in 0..48 {
+        let c1_pf = rng.uniform(1.0, 20.0);
+        let extra_pf = rng.uniform(1.0, 20.0);
         let small = Capacitor::chip_0402(c1_pf * 1e-12);
         let big = Capacitor::chip_0402((c1_pf + extra_pf) * 1e-12);
-        prop_assert!(big.self_resonance_hz() < small.self_resonance_hz());
+        assert!(big.self_resonance_hz() < small.self_resonance_hz());
     }
+}
 
-    #[test]
-    fn eseries_snap_within_half_step(value in 1e-12..1e-3f64) {
+#[test]
+fn eseries_snap_within_half_step() {
+    let mut rng = Rng64::new(0x9a55_0004);
+    for _ in 0..48 {
+        // Log-uniform over nine decades, as component values are.
+        let value = 10f64.powf(rng.uniform(-12.0, -3.0));
         for series in [ESeries::E12, ESeries::E24, ESeries::E96] {
             let snapped = series.snap(value);
             // E12 spacing is the widest: ratio ≤ 10^(1/12) → half-gap ≤ 10 %.
-            prop_assert!((snapped / value).ln().abs() < 0.11, "{series:?}: {value} → {snapped}");
+            assert!(
+                (snapped / value).ln().abs() < 0.11,
+                "{series:?}: {value} → {snapped}"
+            );
         }
     }
+}
 
-    #[test]
-    fn microstrip_physics_invariants(
-        w_mm in 0.2..4.0f64,
-        f_ghz in 0.2..10.0f64,
-        len_mm in 1.0..40.0f64,
-    ) {
+#[test]
+fn microstrip_physics_invariants() {
+    let mut rng = Rng64::new(0x9a55_0005);
+    for _ in 0..48 {
+        let w_mm = rng.uniform(0.2, 4.0);
+        let f = rng.uniform(0.2, 10.0) * 1e9;
+        let len_mm = rng.uniform(1.0, 40.0);
         let line = Microstrip::new(Substrate::ro4350b(), w_mm * 1e-3, len_mm * 1e-3);
-        let f = f_ghz * 1e9;
         let er = line.substrate.eps_r;
         let eps = line.eps_eff(f);
-        prop_assert!(eps > 1.0 && eps < er, "1 < εeff < εr: {eps}");
-        prop_assert!(eps >= line.eps_eff_static() - 1e-9, "dispersion only raises εeff");
-        prop_assert!(line.z0(f) > 5.0 && line.z0(f) < 250.0);
-        prop_assert!(line.alpha_conductor(f) > 0.0);
-        prop_assert!(line.alpha_dielectric(f) > 0.0);
+        assert!(eps > 1.0 && eps < er, "1 < εeff < εr: {eps}");
+        assert!(
+            eps >= line.eps_eff_static() - 1e-9,
+            "dispersion only raises εeff"
+        );
+        assert!(line.z0(f) > 5.0 && line.z0(f) < 250.0);
+        assert!(line.alpha_conductor(f) > 0.0);
+        assert!(line.alpha_dielectric(f) > 0.0);
         // The line two-port is passive and reciprocal.
         let s = line.abcd(f).to_s(50.0).expect("has S form");
-        prop_assert!(s.is_passive(1e-6));
-        prop_assert!(s.is_reciprocal(1e-9));
+        assert!(s.is_passive(1e-6));
+        assert!(s.is_reciprocal(1e-9));
     }
+}
 
-    #[test]
-    fn synthesis_analysis_roundtrip(z0 in 25.0..120.0f64) {
+#[test]
+fn synthesis_analysis_roundtrip() {
+    let mut rng = Rng64::new(0x9a55_0006);
+    for _ in 0..48 {
+        let z0 = rng.uniform(25.0, 120.0);
         let line = Microstrip::for_impedance(Substrate::ro4350b(), z0, 1e-3);
-        prop_assert!((line.z0_static() - z0).abs() < 0.2, "{} vs {}", line.z0_static(), z0);
+        assert!(
+            (line.z0_static() - z0).abs() < 0.2,
+            "{} vs {}",
+            line.z0_static(),
+            z0
+        );
     }
+}
 
-    #[test]
-    fn splitters_conserve_or_dissipate_power(f_ghz in 0.5..4.0f64) {
-        let f = f_ghz * 1e9;
+#[test]
+fn splitters_conserve_or_dissipate_power() {
+    let mut rng = Rng64::new(0x9a55_0007);
+    for _ in 0..48 {
+        let f = rng.uniform(0.5, 4.0) * 1e9;
         let tee = TeeJunction::microstrip(&Substrate::ro4350b()).s_matrix(f, 50.0);
         let wil = Wilkinson::design(1.575e9, 50.0, Substrate::ro4350b()).s_matrix(f);
         for np in [tee, wil] {
@@ -103,14 +132,18 @@ proptest! {
                 for other in 0..3 {
                     out_power += np.s(other, port).unwrap().norm_sqr();
                 }
-                prop_assert!(out_power <= 1.0 + 1e-6, "port {port} emits {out_power}");
+                assert!(out_power <= 1.0 + 1e-6, "port {port} emits {out_power}");
             }
         }
     }
+}
 
-    #[test]
-    fn tee_reciprocal_at_any_frequency(f_ghz in 0.3..6.0f64) {
-        let tee = TeeJunction::microstrip(&Substrate::fr4()).s_matrix(f_ghz * 1e9, 50.0);
-        prop_assert!(tee.is_reciprocal(1e-8));
+#[test]
+fn tee_reciprocal_at_any_frequency() {
+    let mut rng = Rng64::new(0x9a55_0008);
+    for _ in 0..48 {
+        let f = rng.uniform(0.3, 6.0) * 1e9;
+        let tee = TeeJunction::microstrip(&Substrate::fr4()).s_matrix(f, 50.0);
+        assert!(tee.is_reciprocal(1e-8));
     }
 }

@@ -105,7 +105,7 @@ pub fn best_nf_on_gain_circle(
             continue;
         }
         let f = np.noise_factor(gs);
-        if best.map_or(true, |(_, fb)| f < fb) {
+        if best.is_none_or(|(_, fb)| f < fb) {
             best = Some((gs, f));
         }
     }
@@ -138,12 +138,9 @@ mod tests {
             let f_target = np.fmin + target_excess;
             let circle = noise_circle(&np, f_target).expect("above Fmin");
             for k in 0..12 {
-                let gs = circle.point(k as f64 * 0.5236);
+                let gs = circle.point(k as f64 * std::f64::consts::FRAC_PI_6);
                 let f = np.noise_factor(gs);
-                assert!(
-                    (f - f_target).abs() < 1e-9,
-                    "F = {f} vs target {f_target}"
-                );
+                assert!((f - f_target).abs() < 1e-9, "F = {f} vs target {f_target}");
             }
         }
     }
@@ -180,7 +177,7 @@ mod tests {
             let target = mag * frac;
             let circle = available_gain_circle(&s, target).expect("realizable");
             for k in 0..12 {
-                let gs = circle.point(k as f64 * 0.5236);
+                let gs = circle.point(k as f64 * std::f64::consts::FRAC_PI_6);
                 if gs.abs() >= 1.0 {
                     continue;
                 }
@@ -218,8 +215,7 @@ mod tests {
         let np = noise();
         let mag = crate::gains::maximum_available_gain(&s).unwrap();
         let floor = 0.8 * mag;
-        let (gs_chart, f_chart) =
-            best_nf_on_gain_circle(&s, &np, floor, 720).expect("realizable");
+        let (gs_chart, f_chart) = best_nf_on_gain_circle(&s, &np, floor, 720).expect("realizable");
         // Direct scan: any Γs achieving >= floor gain should not beat the
         // chart point by more than grid error.
         let mut best_direct = f64::INFINITY;

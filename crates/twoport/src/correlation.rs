@@ -108,11 +108,11 @@ impl NoisyAbcd {
     pub fn from_passive_abcd(abcd: &Abcd, temp: f64) -> Result<Self, NetworkError> {
         if let Ok(y) = abcd.to_y() {
             let cy = re_part_scaled(&y.m, 4.0 * K_BOLTZMANN * temp);
-            return Ok(NoisyAbcd::from_y_correlation(&y, &cy)?);
+            return NoisyAbcd::from_y_correlation(&y, &cy);
         }
         if let Ok(z) = abcd.to_z() {
             let cz = re_part_scaled(&z.m, 4.0 * K_BOLTZMANN * temp);
-            return Ok(NoisyAbcd::from_z_correlation(&z, &cz)?);
+            return NoisyAbcd::from_z_correlation(&z, &cz);
         }
         // B == 0 and C == 0: a pure through/transformer, which is lossless.
         Ok(NoisyAbcd::noiseless(*abcd))
@@ -263,10 +263,7 @@ mod tests {
         let sh = NoisyAbcd::passive_shunt(y, T0_KELVIN);
         let s = sh.abcd.to_s(50.0).unwrap();
         let ga = available_gain(&s, Complex::ZERO);
-        let f = sh
-            .noise_params(50.0)
-            .unwrap()
-            .noise_factor(Complex::ZERO);
+        let f = sh.noise_params(50.0).unwrap().noise_factor(Complex::ZERO);
         assert!((f - 1.0 / ga).abs() < 1e-9, "F = {f}, 1/GA = {}", 1.0 / ga);
     }
 
@@ -295,10 +292,7 @@ mod tests {
     fn cascade_of_pads_matches_friis() {
         let pad = NoisyAbcd::from_passive_abcd(&pad_6db(), T0_KELVIN).unwrap();
         let two = pad.cascade(&pad);
-        let f_total = two
-            .noise_params(50.0)
-            .unwrap()
-            .noise_factor(Complex::ZERO);
+        let f_total = two.noise_params(50.0).unwrap().noise_factor(Complex::ZERO);
         // Friis with matched stages: G = 1/4, F = 4 each.
         let expect = friis(&[
             CascadeStage {
@@ -320,15 +314,15 @@ mod tests {
 
     #[test]
     fn noise_params_roundtrip_through_ca() {
-        let np = NoiseParams::new(
-            1.25,
-            9.0,
-            Complex::from_polar(0.4, 0.9),
-            50.0,
-        );
+        let np = NoiseParams::new(1.25, 9.0, Complex::from_polar(0.4, 0.9), 50.0);
         let noisy = NoisyAbcd::from_noise_params(Abcd::through(), &np);
         let back = noisy.noise_params(50.0).unwrap();
-        assert!((back.fmin - np.fmin).abs() < 1e-9, "fmin {} vs {}", back.fmin, np.fmin);
+        assert!(
+            (back.fmin - np.fmin).abs() < 1e-9,
+            "fmin {} vs {}",
+            back.fmin,
+            np.fmin
+        );
         assert!((back.rn - np.rn).abs() < 1e-9);
         assert!((back.gamma_opt - np.gamma_opt).abs() < 1e-9);
     }

@@ -16,10 +16,7 @@ use crate::params::{Abcd, NetworkError, SParams};
 /// case for a physical two-port, whose chain determinant is ±1-ish for
 /// reciprocal networks).
 pub fn invert_abcd(a: &Abcd) -> Result<Abcd, NetworkError> {
-    let inv = a
-        .m
-        .inverse()
-        .ok_or(NetworkError::NotInvertible("ABCD"))?;
+    let inv = a.m.inverse().ok_or(NetworkError::NotInvertible("ABCD"))?;
     Ok(Abcd { m: inv })
 }
 
@@ -32,11 +29,7 @@ pub fn invert_abcd(a: &Abcd) -> Result<Abcd, NetworkError> {
 ///
 /// Propagates conversion errors (a measurement with `S21 == 0` has no
 /// chain form) and singular-fixture errors.
-pub fn deembed(
-    measured: &SParams,
-    left: &Abcd,
-    right: &Abcd,
-) -> Result<SParams, NetworkError> {
+pub fn deembed(measured: &SParams, left: &Abcd, right: &Abcd) -> Result<SParams, NetworkError> {
     let a_meas = measured.to_abcd()?;
     let li = invert_abcd(left)?;
     let ri = invert_abcd(right)?;
@@ -132,7 +125,13 @@ mod tests {
 
     #[test]
     fn isolation_measurement_cannot_be_deembedded() {
-        let s = SParams::new(Complex::ZERO, Complex::ZERO, Complex::ZERO, Complex::ZERO, 50.0);
+        let s = SParams::new(
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::ZERO,
+            50.0,
+        );
         assert!(deembed_symmetric(&s, &launch()).is_err());
     }
 

@@ -217,7 +217,13 @@ mod tests {
 
     #[test]
     fn msg_of_unilateral_device_is_infinite() {
-        let s = SParams::new(Complex::ZERO, Complex::ZERO, Complex::real(3.0), Complex::ZERO, 50.0);
+        let s = SParams::new(
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::real(3.0),
+            Complex::ZERO,
+            50.0,
+        );
         assert!(maximum_stable_gain(&s).is_infinite());
     }
 

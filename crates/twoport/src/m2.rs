@@ -98,7 +98,12 @@ impl M2 {
         if d.abs() == 0.0 {
             return None;
         }
-        Some(M2::new(self.m22 / d, -self.m12 / d, -self.m21 / d, self.m11 / d))
+        Some(M2::new(
+            self.m22 / d,
+            -self.m12 / d,
+            -self.m21 / d,
+            self.m11 / d,
+        ))
     }
 
     /// Conjugate transpose.
@@ -228,7 +233,12 @@ mod tests {
     #[test]
     fn finite_detection() {
         assert!(sample().is_finite());
-        let bad = M2::new(cx(f64::NAN, 0.0), Complex::ZERO, Complex::ZERO, Complex::ONE);
+        let bad = M2::new(
+            cx(f64::NAN, 0.0),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::ONE,
+        );
         assert!(!bad.is_finite());
     }
 }

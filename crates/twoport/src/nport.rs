@@ -121,7 +121,10 @@ impl NPort {
     pub fn terminate(&self, k: usize, gamma: Complex) -> Result<NPort, NPortError> {
         let n = self.n_ports();
         if k >= n {
-            return Err(NPortError::PortOutOfRange { port: k, n_ports: n });
+            return Err(NPortError::PortOutOfRange {
+                port: k,
+                n_ports: n,
+            });
         }
         let den = Complex::ONE - self.s[(k, k)] * gamma;
         let keep: Vec<usize> = (0..n).filter(|&p| p != k).collect();
@@ -219,7 +222,10 @@ mod tests {
         let w = NPort::ideal_wilkinson(50.0);
         assert!(w.s(0, 0).unwrap().abs() < 1e-12);
         assert!(w.s(1, 2).unwrap().abs() < 1e-12, "output ports isolated");
-        assert!((w.s(1, 0).unwrap().norm_sqr() - 0.5).abs() < 1e-12, "3 dB split");
+        assert!(
+            (w.s(1, 0).unwrap().norm_sqr() - 0.5).abs() < 1e-12,
+            "3 dB split"
+        );
         // The isolation resistor makes it lossy for odd-mode signals,
         // so the matrix is NOT unitary.
         assert!(!w.is_lossless(1e-6));
@@ -273,7 +279,10 @@ mod tests {
             tee.terminate(3, Complex::ZERO),
             Err(NPortError::PortOutOfRange { .. })
         ));
-        assert!(matches!(tee.s(0, 5), Err(NPortError::PortOutOfRange { .. })));
+        assert!(matches!(
+            tee.s(0, 5),
+            Err(NPortError::PortOutOfRange { .. })
+        ));
         assert!(matches!(tee.to_two_port(), Err(NPortError::NotTwoPort(3))));
     }
 }

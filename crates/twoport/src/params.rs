@@ -604,7 +604,10 @@ mod tests {
         let pad = r_shunt.cascade(&r_series).cascade(&r_shunt);
         let s = pad.to_s(50.0).unwrap();
         assert!(s.s11().abs() < 1e-9, "pad must be matched");
-        assert!((s.s21().abs() - 0.5).abs() < 1e-9, "pad must have |S21| = 1/2");
+        assert!(
+            (s.s21().abs() - 0.5).abs() < 1e-9,
+            "pad must have |S21| = 1/2"
+        );
         let two = pad.cascade(&pad).to_s(50.0).unwrap();
         assert!((two.s21().abs() - 0.25).abs() < 1e-9);
     }
@@ -651,17 +654,29 @@ mod tests {
     #[test]
     fn degenerate_conversions_error() {
         // Isolation network: S21 = 0 has no ABCD form.
-        let s = SParams::new(Complex::ZERO, Complex::ZERO, Complex::ZERO, Complex::ZERO, 50.0);
+        let s = SParams::new(
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::ZERO,
+            50.0,
+        );
         assert!(matches!(
             s.to_abcd(),
             Err(NetworkError::DegenerateParameter("S21"))
         ));
         // Ideal series element: C = 0 has no Z form.
         let a = Abcd::series_impedance(cx(10.0, 0.0));
-        assert!(matches!(a.to_z(), Err(NetworkError::DegenerateParameter("C"))));
+        assert!(matches!(
+            a.to_z(),
+            Err(NetworkError::DegenerateParameter("C"))
+        ));
         // Ideal shunt element: B = 0 has no Y form.
         let a = Abcd::shunt_admittance(cx(0.1, 0.0));
-        assert!(matches!(a.to_y(), Err(NetworkError::DegenerateParameter("B"))));
+        assert!(matches!(
+            a.to_y(),
+            Err(NetworkError::DegenerateParameter("B"))
+        ));
     }
 
     #[test]
@@ -682,6 +697,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn sparams_new_rejects_bad_z0() {
-        SParams::new(Complex::ZERO, Complex::ZERO, Complex::ZERO, Complex::ZERO, 0.0);
+        SParams::new(
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::ZERO,
+            0.0,
+        );
     }
 }

@@ -181,7 +181,10 @@ mod tests {
         let s = stable_amp();
         let (c, r) = load_stability_circle(&s);
         assert!((c.abs() - r).abs() > 0.0);
-        assert!(c.abs() > r, "origin inside stability circle of stable device");
+        assert!(
+            c.abs() > r,
+            "origin inside stability circle of stable device"
+        );
     }
 
     #[test]

@@ -33,6 +33,31 @@ impl FrequencyResponse {
         FrequencyResponse { points: Vec::new() }
     }
 
+    /// Builds a response by evaluating `eval` at every frequency of an
+    /// increasing grid — in parallel through `rfkit-par`, with the points
+    /// assembled in grid order. Returns `None` if `eval` fails at any
+    /// frequency.
+    ///
+    /// This is the swept-analysis workhorse: each frequency point of a
+    /// network solve is independent, so dense sweeps scale with cores
+    /// while the assembled response is identical to the serial loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs` is not strictly increasing.
+    pub fn from_fn_par<F>(freqs: &[f64], eval: F) -> Option<FrequencyResponse>
+    where
+        F: Fn(f64) -> Option<(SParams, Option<NoiseParams>)> + Sync,
+    {
+        let evaluated = rfkit_par::par_map(freqs, |&f| eval(f));
+        let mut resp = FrequencyResponse::new();
+        for (&f, point) in freqs.iter().zip(evaluated) {
+            let (s, noise) = point?;
+            resp.push(f, s, noise);
+        }
+        Some(resp)
+    }
+
     /// Appends a point; frequencies must be pushed in increasing order.
     ///
     /// # Panics

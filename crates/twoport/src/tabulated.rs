@@ -115,7 +115,10 @@ impl TabulatedTwoPort {
         let noise = if noise_rows.len() >= 2 {
             let nf: Vec<f64> = noise_rows.iter().map(|(f, _)| *f).collect();
             Some(NoiseSplines {
-                fmin: CubicSpline::new(nf.clone(), noise_rows.iter().map(|(_, n)| n.fmin).collect())?,
+                fmin: CubicSpline::new(
+                    nf.clone(),
+                    noise_rows.iter().map(|(_, n)| n.fmin).collect(),
+                )?,
                 rn: CubicSpline::new(nf.clone(), noise_rows.iter().map(|(_, n)| n.rn).collect())?,
                 gopt: ComplexSpline::new(
                     &nf,
@@ -192,6 +195,7 @@ mod tests {
     use super::*;
     use crate::touchstone::{write_s2p, TouchstoneFormat};
 
+    #[allow(clippy::type_complexity)]
     fn synthetic_rows() -> (Vec<(f64, SParams)>, Vec<(f64, NoiseParams)>) {
         // A smooth frequency-dependent response.
         let s_rows: Vec<(f64, SParams)> = (0..13)

@@ -28,7 +28,11 @@ fn main() {
         n_rows.push((f, tp.noise_params(50.0).unwrap()));
     }
     let s2p_text = write_s2p(&s_rows, &n_rows, TouchstoneFormat::Ma);
-    println!("vendor file: {} S rows + {} noise rows", s_rows.len(), n_rows.len());
+    println!(
+        "vendor file: {} S rows + {} noise rows",
+        s_rows.len(),
+        n_rows.len()
+    );
 
     // ---- Step 1: load the file as an interpolated two-port.
     let tab = TabulatedTwoPort::from_touchstone(&s2p_text).expect("valid .s2p");
@@ -78,7 +82,7 @@ fn main() {
         }
         vec![worst_nf, -min_gain, 1.0 - min_k]
     };
-    let obj_ref: &dyn Fn(&[f64]) -> Vec<f64> = &objectives;
+    let obj_ref: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &objectives;
     let problem = GoalProblem::new(
         obj_ref,
         vec![0.7, -14.0, 0.0],
@@ -105,9 +109,7 @@ fn main() {
 
     // ---- Step 3: cross-check against the full model-based analysis.
     let (nf_tab, gain_tab, _) = evaluate(&r.x, 1.4e9).unwrap();
-    println!(
-        "\ncross-check at 1.4 GHz (tabulated path): NF {nf_tab:.3} dB, gain {gain_tab:.2} dB"
-    );
+    println!("\ncross-check at 1.4 GHz (tabulated path): NF {nf_tab:.3} dB, gain {gain_tab:.2} dB");
     println!("(the tabulated and model paths agree because the table was generated");
     println!(" by the model — with a real vendor file this is your design reality)");
 }

@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example design_gnss_lna`
 
-use lna::{
-    design_lna, measure, Amplifier, BuildConfig, BuiltAmplifier, DesignConfig, DesignGoals,
-};
+use lna::{design_lna, measure, Amplifier, BuildConfig, BuiltAmplifier, DesignConfig, DesignGoals};
 use rfkit_device::Phemt;
 use rfkit_num::linspace;
 
@@ -52,8 +50,7 @@ fn main() {
         let mut worst_nf_dev: f64 = 0.0;
         for (point, nf_meas) in session.response.iter().zip(&session.nf_db) {
             let m = amp.metrics(point.freq_hz).expect("design feasible");
-            let gain_meas =
-                10.0 * point.s.s21().norm_sqr().log10();
+            let gain_meas = 10.0 * point.s.s21().norm_sqr().log10();
             worst_gain_dev = worst_gain_dev.max((gain_meas - m.gain_db).abs());
             worst_nf_dev = worst_nf_dev.max((nf_meas - m.nf_db).abs());
         }

@@ -20,12 +20,7 @@ fn main() {
     let noise = MeasurementNoise::default();
     let data = ExtractionData {
         dc: golden.measure_dc(&vgs_grid, &vds_grid, &noise),
-        sparams: golden.measure_sparams(
-            bias_vgs,
-            3.0,
-            &GoldenDevice::standard_freq_grid(),
-            &noise,
-        ),
+        sparams: golden.measure_sparams(bias_vgs, 3.0, &GoldenDevice::standard_freq_grid(), &noise),
         bias_vgs,
         bias_vds: 3.0,
     };
@@ -39,13 +34,11 @@ fn main() {
     let cfg = ThreeStepConfig::default();
     let result = three_step(&Angelov, &data, &cfg);
     println!("\nthree-step identification of the Angelov model:");
-    for (name, (truth, fit)) in Angelov.param_names().iter().zip(
-        golden
-            .device
-            .dc_params
-            .iter()
-            .zip(&result.dc_params),
-    ) {
+    for (name, (truth, fit)) in Angelov
+        .param_names()
+        .iter()
+        .zip(golden.device.dc_params.iter().zip(&result.dc_params))
+    {
         println!("  {name:>8}: truth {truth:>9.4}, extracted {fit:>9.4}");
     }
     println!(

@@ -59,6 +59,9 @@ fn main() {
     println!("\ntwo-tone sweep at 60 mA:");
     println!("{:>10} {:>12} {:>12}", "Pin dBm", "P1 dBm", "PIM3 dBm");
     for r in &sweep.rows {
-        println!("{:>10.1} {:>12.2} {:>12.2}", r.pin_dbm, r.p_fund_dbm, r.p_im3_dbm);
+        println!(
+            "{:>10.1} {:>12.2} {:>12.2}",
+            r.pin_dbm, r.p_fund_dbm, r.p_im3_dbm
+        );
     }
 }

@@ -29,7 +29,10 @@ fn main() {
         np.gamma_opt.arg().to_degrees()
     );
     let mag = maximum_available_gain(&s).expect("unconditionally stable");
-    println!("maximum available gain = {:.2} dB", db_from_power_ratio(mag));
+    println!(
+        "maximum available gain = {:.2} dB",
+        db_from_power_ratio(mag)
+    );
 
     println!("\nnoise circles (source plane):");
     for excess_db in [0.1, 0.25, 0.5, 1.0] {

@@ -17,14 +17,16 @@ fn main() {
     let objectives = move |x: &[f64]| -> Vec<f64> {
         let f = band_obj(x);
         let vars = DesignVariables::from_vec(x);
-        let violation =
-            (f[2] + 10.0).max(0.0) + (f[3] + 10.0).max(0.0) + (f[4] + 0.005).max(0.0);
+        let violation = (f[2] + 10.0).max(0.0) + (f[3] + 10.0).max(0.0) + (f[4] + 0.005).max(0.0);
         vec![f[0], vars.vds * vars.ids * 1e3, violation]
     };
-    let obj_ref: &dyn Fn(&[f64]) -> Vec<f64> = &objectives;
+    let obj_ref: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &objectives;
     let bounds = DesignVariables::bounds();
 
-    println!("{:>16} {:>12} {:>12}", "power cap (mW)", "NF (dB)", "P (mW)");
+    println!(
+        "{:>16} {:>12} {:>12}",
+        "power cap (mW)", "NF (dB)", "P (mW)"
+    );
     for (k, cap_mw) in [40.0, 60.0, 90.0, 130.0, 200.0, 320.0].iter().enumerate() {
         let problem = GoalProblem::new(
             obj_ref,

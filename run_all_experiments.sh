@@ -3,8 +3,11 @@
 # See DESIGN.md for the experiment index and EXPERIMENTS.md for the
 # recorded outcomes.
 set -euo pipefail
+./ci.sh   # preflight: fmt/clippy (best-effort), release build, full tests
 cargo build --release -p lna-bench
 mkdir -p results
+echo "== bench_parallel"
+./target/release/bench_parallel | tee results/BENCH_parallel.txt
 for bin in table1_model_comparison table2_param_recovery table3_final_design \
            table4_performance table5_tsplitter table6_yield table7_prefilter \
            table8_constellations \

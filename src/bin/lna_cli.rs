@@ -135,7 +135,10 @@ fn cmd_design(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|(k, v)| vec![k, v])
         .collect();
     println!("{}", format_table(&["metric", "value"], &rows));
-    println!("attainment = {:.3} in {} evaluations", design.attainment, design.evaluations);
+    println!(
+        "attainment = {:.3} in {} evaluations",
+        design.attainment, design.evaluations
+    );
     Ok(())
 }
 
@@ -169,12 +172,7 @@ fn cmd_extract(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let data = ExtractionData {
         dc: golden.measure_dc(&vgs_grid, &vds_grid, &noise),
-        sparams: golden.measure_sparams(
-            bias_vgs,
-            3.0,
-            &GoldenDevice::standard_freq_grid(),
-            &noise,
-        ),
+        sparams: golden.measure_sparams(bias_vgs, 3.0, &GoldenDevice::standard_freq_grid(), &noise),
         bias_vgs,
         bias_vds: 3.0,
     };
@@ -211,7 +209,10 @@ fn cmd_measure(flags: &HashMap<String, String>) -> Result<(), String> {
     match flags.get("out") {
         Some(path) => {
             std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
-            println!("wrote {} frequency points to {path}", session.response.len());
+            println!(
+                "wrote {} frequency points to {path}",
+                session.response.len()
+            );
         }
         None => print!("{text}"),
     }
@@ -240,13 +241,12 @@ fn cmd_thermal(flags: &HashMap<String, String>) -> Result<(), String> {
     let design = run_design(flags)?;
     let device = Phemt::atf54143_like();
     let temps = [-40.0, -20.0, 0.0, 25.0, 45.0, 65.0, 85.0];
-    let sweep = lna::band_sweep_over_temperature(
-        &device,
-        design.snapped,
-        &BandSpec::gnss(),
-        &temps,
+    let sweep =
+        lna::band_sweep_over_temperature(&device, design.snapped, &BandSpec::gnss(), &temps);
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "T (degC)", "worst NF (dB)", "min gain (dB)"
     );
-    println!("{:>10} {:>14} {:>14}", "T (degC)", "worst NF (dB)", "min gain (dB)");
     for (t, nf, g) in sweep {
         println!("{t:>10.1} {nf:>14.3} {g:>14.2}");
     }
@@ -262,10 +262,17 @@ fn cmd_im3(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let built = BuiltAmplifier::build(&design.snapped, &cfg);
     let pins: Vec<f64> = (0..13).map(|k| -45.0 + 2.5 * k as f64).collect();
-    let sweep = lna::measure_im3(&device, &built, &pins).ok_or("built unit has unreachable bias")?;
-    println!("{:>10} {:>14} {:>14}", "Pin (dBm)", "P_fund (dBm)", "P_IM3 (dBm)");
+    let sweep =
+        lna::measure_im3(&device, &built, &pins).ok_or("built unit has unreachable bias")?;
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "Pin (dBm)", "P_fund (dBm)", "P_IM3 (dBm)"
+    );
     for r in &sweep.rows {
-        println!("{:>10.1} {:>14.2} {:>14.2}", r.pin_dbm, r.p_fund_dbm, r.p_im3_dbm);
+        println!(
+            "{:>10.1} {:>14.2} {:>14.2}",
+            r.pin_dbm, r.p_fund_dbm, r.p_im3_dbm
+        );
     }
     println!(
         "OIP3 = {:.1} dBm, IIP3 = {:.1} dBm",

@@ -77,7 +77,13 @@ fn biased_fet_netlist_matches_analytic_bias_and_gain() {
         .vsource("vdd", "gnd", 3.0)
         .vsource("vg", "gnd", target_vgs)
         .inductor("vdd", "drain", 10e-9) // bias choke: DC short
-        .fet("vg", "drain", "gnd", Box::new(Angelov), device.dc_params.clone());
+        .fet(
+            "vg",
+            "drain",
+            "gnd",
+            Box::new(Angelov),
+            device.dc_params.clone(),
+        );
     let sol = rfkit_circuit::solve_dc(&dc_net).unwrap();
     let ids = sol.fet_currents[0];
     assert!((ids - 0.05).abs() < 1e-4, "netlist bias: {ids}");
@@ -85,5 +91,8 @@ fn biased_fet_netlist_matches_analytic_bias_and_gain() {
     let op = device.operating_point(target_vgs, 3.0);
     assert!((op.ids - ids).abs() < 1e-6);
     let s = device.noisy_two_port(1.575e9, &op).abcd.to_s(50.0).unwrap();
-    assert!(s.s21().abs() > 3.0, "the solved bias yields a live amplifier");
+    assert!(
+        s.s21().abs() > 3.0,
+        "the solved bias yields a live amplifier"
+    );
 }

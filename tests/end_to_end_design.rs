@@ -13,12 +13,7 @@ fn characterize(noise: MeasurementNoise) -> (GoldenDevice, ExtractionData) {
     let bias_vgs = golden.device.bias_for_current(3.0, 0.06).unwrap();
     let data = ExtractionData {
         dc: golden.measure_dc(&vgs_grid, &vds_grid, &noise),
-        sparams: golden.measure_sparams(
-            bias_vgs,
-            3.0,
-            &GoldenDevice::standard_freq_grid(),
-            &noise,
-        ),
+        sparams: golden.measure_sparams(bias_vgs, 3.0, &GoldenDevice::standard_freq_grid(), &noise),
         bias_vgs,
         bias_vds: 3.0,
     };
@@ -39,15 +34,9 @@ fn extracted_model_predicts_unseen_bias_points() {
     let result = three_step(&Angelov, &data, &cfg);
     for ids in [0.02, 0.03, 0.05] {
         let vgs_true = golden.device.bias_for_current(3.0, ids).unwrap();
-        let vgs_fit = rfkit_device::dc::vgs_for_current(
-            &Angelov,
-            &result.dc_params,
-            3.0,
-            ids,
-            -2.0,
-            1.0,
-        )
-        .expect("extracted model must reach the bias");
+        let vgs_fit =
+            rfkit_device::dc::vgs_for_current(&Angelov, &result.dc_params, 3.0, ids, -2.0, 1.0)
+                .expect("extracted model must reach the bias");
         assert!(
             (vgs_fit - vgs_true).abs() < 0.03,
             "bias prediction at {ids} A: {vgs_fit} vs {vgs_true}"

@@ -54,9 +54,27 @@ fn same_seed_same_board_different_seed_different_board() {
         seed: 2,
         ..Default::default()
     };
-    let m_a1 = measure(&device, &BuiltAmplifier::build(&vars, &cfg_a), &freqs, &cfg_a).unwrap();
-    let m_a2 = measure(&device, &BuiltAmplifier::build(&vars, &cfg_a), &freqs, &cfg_a).unwrap();
-    let m_b = measure(&device, &BuiltAmplifier::build(&vars, &cfg_b), &freqs, &cfg_b).unwrap();
+    let m_a1 = measure(
+        &device,
+        &BuiltAmplifier::build(&vars, &cfg_a),
+        &freqs,
+        &cfg_a,
+    )
+    .unwrap();
+    let m_a2 = measure(
+        &device,
+        &BuiltAmplifier::build(&vars, &cfg_a),
+        &freqs,
+        &cfg_a,
+    )
+    .unwrap();
+    let m_b = measure(
+        &device,
+        &BuiltAmplifier::build(&vars, &cfg_b),
+        &freqs,
+        &cfg_b,
+    )
+    .unwrap();
     let s21 = |m: &lna::MeasurementSession| m.response.iter().next().unwrap().s.s21();
     assert_eq!(s21(&m_a1), s21(&m_a2), "one seed = one physical board");
     assert_ne!(s21(&m_a1), s21(&m_b), "different seed = different board");
@@ -86,7 +104,17 @@ fn unit_to_unit_spread_is_tolerance_scale() {
         };
         let built = BuiltAmplifier::build(&vars, &cfg);
         let session = measure(&device, &built, &[1.4e9], &cfg).expect("alive");
-        gains.push(10.0 * session.response.iter().next().unwrap().s.s21().norm_sqr().log10());
+        gains.push(
+            10.0 * session
+                .response
+                .iter()
+                .next()
+                .unwrap()
+                .s
+                .s21()
+                .norm_sqr()
+                .log10(),
+        );
     }
     let spread = rfkit_num::stats::max(&gains) - rfkit_num::stats::min(&gains);
     assert!(spread > 0.01, "units must differ: spread {spread} dB");

@@ -1,92 +1,106 @@
 //! System-level property tests: invariants that must hold for *any*
 //! design vector the optimizer might visit.
+//!
+//! Implemented as plain seeded-loop tests (no proptest — the offline
+//! build environment cannot fetch external crates): each property draws
+//! design vectors uniformly from the optimizer box with the workspace
+//! PRNG and checks the invariant on every sample.
 
 use lna::{Amplifier, BandMetrics, BandSpec, DesignVariables};
-use proptest::prelude::*;
 use rfkit_device::Phemt;
+use rfkit_num::rng::Rng64;
 
-fn design_strategy() -> impl Strategy<Value = DesignVariables> {
+const CASES: usize = 40;
+
+/// Uniform sample from the optimizer's design box.
+fn sample_design(rng: &mut Rng64) -> DesignVariables {
     let b = DesignVariables::bounds();
-    let ranges: Vec<_> = b
+    let x: Vec<f64> = b
         .lo()
         .iter()
         .zip(b.hi())
-        .map(|(&l, &h)| l..=h)
+        .map(|(&l, &h)| rng.uniform(l, h))
         .collect();
-    (
-        ranges[0].clone(),
-        ranges[1].clone(),
-        ranges[2].clone(),
-        ranges[3].clone(),
-        ranges[4].clone(),
-        ranges[5].clone(),
-        ranges[6].clone(),
-    )
-        .prop_map(|(vds, ids_ma, l1, ls, l2, c2, r)| {
-            DesignVariables::from_vec(&[vds, ids_ma, l1, ls, l2, c2, r])
-        })
+    DesignVariables::from_vec(&x)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn any_in_box_design_evaluates_sanely(vars in design_strategy()) {
-        let device = Phemt::atf54143_like();
+#[test]
+fn any_in_box_design_evaluates_sanely() {
+    let device = Phemt::atf54143_like();
+    let mut rng = Rng64::new(0x5157_e001);
+    for case in 0..CASES {
+        let vars = sample_design(&mut rng);
         let amp = Amplifier::new(&device, vars);
         match amp.metrics(1.4e9) {
             None => {
                 // Only an unreachable bias may fail inside the box.
-                prop_assert!(device.bias_for_current(vars.vds, vars.ids).is_none());
+                assert!(
+                    device.bias_for_current(vars.vds, vars.ids).is_none(),
+                    "case {case}: evaluation failed with reachable bias: {vars:?}"
+                );
             }
             Some(m) => {
-                prop_assert!(m.nf_db.is_finite() && m.nf_db > 0.0, "NF {}", m.nf_db);
-                prop_assert!(m.gain_db.is_finite());
-                prop_assert!(m.gain_db < 40.0, "no free gain: {}", m.gain_db);
-                prop_assert!(m.s11_db <= 0.0 + 1e-9, "passive input reflection");
-                prop_assert!(m.k.is_finite() || m.k.is_infinite());
+                assert!(
+                    m.nf_db.is_finite() && m.nf_db > 0.0,
+                    "case {case}: NF {}",
+                    m.nf_db
+                );
+                assert!(m.gain_db.is_finite(), "case {case}");
+                assert!(m.gain_db < 40.0, "case {case}: no free gain: {}", m.gain_db);
+                assert!(m.s11_db <= 1e-9, "case {case}: passive input reflection");
+                assert!(m.k.is_finite() || m.k.is_infinite(), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn band_worst_case_dominates_every_point(vars in design_strategy()) {
-        let device = Phemt::atf54143_like();
+#[test]
+fn band_worst_case_dominates_every_point() {
+    let device = Phemt::atf54143_like();
+    let band = BandSpec::gnss();
+    let mut rng = Rng64::new(0x5157_e002);
+    for case in 0..CASES {
+        let vars = sample_design(&mut rng);
         let amp = Amplifier::new(&device, vars);
-        let band = BandSpec::gnss();
         if let Some(bm) = BandMetrics::evaluate(&amp, &band) {
             for f in band.grid() {
                 let m = amp.metrics(f).expect("band eval implies point eval");
-                prop_assert!(bm.worst_nf_db >= m.nf_db - 1e-9);
-                prop_assert!(bm.min_gain_db <= m.gain_db + 1e-9);
-                prop_assert!(bm.worst_s11_db >= m.s11_db - 1e-9);
+                assert!(bm.worst_nf_db >= m.nf_db - 1e-9, "case {case} at {f} Hz");
+                assert!(bm.min_gain_db <= m.gain_db + 1e-9, "case {case} at {f} Hz");
+                assert!(bm.worst_s11_db >= m.s11_db - 1e-9, "case {case} at {f} Hz");
             }
         }
     }
+}
 
-    #[test]
-    fn to_vec_from_vec_roundtrip(vars in design_strategy()) {
+#[test]
+fn to_vec_from_vec_roundtrip() {
+    let mut rng = Rng64::new(0x5157_e003);
+    for case in 0..CASES {
+        let vars = sample_design(&mut rng);
         let back = DesignVariables::from_vec(&vars.to_vec());
-        prop_assert!((back.vds - vars.vds).abs() < 1e-12);
-        prop_assert!((back.ids - vars.ids).abs() < 1e-15);
-        prop_assert!((back.l1 - vars.l1).abs() < 1e-21);
-        prop_assert!((back.c2 - vars.c2).abs() < 1e-24);
-        prop_assert!((back.r_bias - vars.r_bias).abs() < 1e-12);
+        assert!((back.vds - vars.vds).abs() < 1e-12, "case {case}");
+        assert!((back.ids - vars.ids).abs() < 1e-15, "case {case}");
+        assert!((back.l1 - vars.l1).abs() < 1e-21, "case {case}");
+        assert!((back.c2 - vars.c2).abs() < 1e-24, "case {case}");
+        assert!((back.r_bias - vars.r_bias).abs() < 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn snapping_stays_in_bounds(vars in design_strategy()) {
+#[test]
+fn snapping_stays_in_bounds() {
+    let b = DesignVariables::bounds();
+    let mut rng = Rng64::new(0x5157_e004);
+    for case in 0..CASES {
+        let vars = sample_design(&mut rng);
         let snapped = lna::snap_to_catalog(vars);
         // Catalog values may poke just past the continuous box (E24 grid),
         // but never far: within one E24 step of it.
-        let b = DesignVariables::bounds();
-        for (v, (&lo, &hi)) in snapped
-            .to_vec()
-            .iter()
-            .zip(b.lo().iter().zip(b.hi()))
-        {
-            prop_assert!(*v > lo * 0.85 - 1e-9 && *v < hi * 1.15 + 1e-9,
-                "snapped {v} vs [{lo}, {hi}]");
+        for (v, (&lo, &hi)) in snapped.to_vec().iter().zip(b.lo().iter().zip(b.hi())) {
+            assert!(
+                *v > lo * 0.85 - 1e-9 && *v < hi * 1.15 + 1e-9,
+                "case {case}: snapped {v} vs [{lo}, {hi}]"
+            );
         }
     }
 }
