@@ -20,11 +20,24 @@ else
   echo "   (clippy unavailable; skipping)"
 fi
 
+echo "== rfkit-analyze --deny warnings"
+# Workspace lint engine: NaN-safe ordering, determinism, unsafe confinement.
+# Any non-suppressed warning or error fails the gate; suppressions are
+# per-line `// rfkit-allow(<lint>)` comments and show up in review diffs.
+cargo run --release -q -p rfkit-analyze -- --deny warnings || fail=1
+
 echo "== cargo build --release"
 cargo build --release || fail=1
 
 echo "== cargo test -q"
 cargo test -q --workspace --release || fail=1
+
+echo "== cargo test --features numsan (numeric sanitizer armed)"
+# Re-runs the numeric core and the end-to-end design tests with runtime
+# NaN-creation checks compiled in. Catches silent NaN laundering that the
+# default build (sanitizer compiled out, zero overhead) cannot see.
+cargo test -q --release -p rfkit-num --features numsan || fail=1
+cargo test -q --release -p gnss-lna --features numsan || fail=1
 
 if [ "$fail" -ne 0 ]; then
   echo "ci.sh: FAILED"

@@ -1,0 +1,58 @@
+//! The lint registry. Each lint lives in its own module and exposes
+//! `NAME`, `DESCRIPTION`, and `check(&SourceFile, &mut Vec<Finding>)`.
+
+pub mod float_eq;
+pub mod nan_unsafe_sort;
+pub mod nondeterminism;
+pub mod todo_markers;
+pub mod unsafe_outside_par;
+pub mod unwrap_in_lib;
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// A registered lint: its name, one-line description, and entry point.
+pub struct Lint {
+    /// Kebab-case lint name, used in diagnostics and `rfkit-allow(...)`.
+    pub name: &'static str,
+    /// One-line description for `--list-lints`.
+    pub description: &'static str,
+    /// The check function.
+    pub check: fn(&SourceFile, &mut Vec<Finding>),
+}
+
+/// Every lint the engine runs, in a fixed order.
+pub fn all() -> Vec<Lint> {
+    vec![
+        Lint {
+            name: float_eq::NAME,
+            description: float_eq::DESCRIPTION,
+            check: float_eq::check,
+        },
+        Lint {
+            name: nan_unsafe_sort::NAME,
+            description: nan_unsafe_sort::DESCRIPTION,
+            check: nan_unsafe_sort::check,
+        },
+        Lint {
+            name: unwrap_in_lib::NAME,
+            description: unwrap_in_lib::DESCRIPTION,
+            check: unwrap_in_lib::check,
+        },
+        Lint {
+            name: nondeterminism::NAME,
+            description: nondeterminism::DESCRIPTION,
+            check: nondeterminism::check,
+        },
+        Lint {
+            name: unsafe_outside_par::NAME,
+            description: unsafe_outside_par::DESCRIPTION,
+            check: unsafe_outside_par::check,
+        },
+        Lint {
+            name: todo_markers::NAME,
+            description: todo_markers::DESCRIPTION,
+            check: todo_markers::check,
+        },
+    ]
+}

@@ -1,0 +1,111 @@
+//! `todo-markers`: unfinished-work markers left in the tree. Comment
+//! markers (the classic four all-caps words) and the `todo!` /
+//! `unimplemented!` macros both mean a code path the paper's results
+//! must not depend on; CI surfaces them so they cannot linger silently.
+
+use crate::report::{Finding, Severity};
+use crate::source::SourceFile;
+use crate::tokenizer::Tok;
+
+/// Lint name.
+pub const NAME: &str = "todo-markers";
+/// One-line description.
+pub const DESCRIPTION: &str =
+    "unfinished-work markers in comments, and todo!/unimplemented! macros";
+
+/// The marker words, matched case-sensitively as whole words.
+const MARKERS: [&str; 4] = ["TODO", "FIXME", "XXX", "HACK"];
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    for t in &file.toks {
+        if t.is_comment() {
+            check_comment(file, t, out);
+        }
+    }
+    let code: Vec<&Tok> = file.toks.iter().filter(|t| !t.is_comment()).collect();
+    for (i, t) in code.iter().enumerate() {
+        let is_marker_macro = (t.is_ident("todo") || t.is_ident("unimplemented"))
+            && code.get(i + 1).is_some_and(|n| n.is_punct("!"));
+        if is_marker_macro {
+            out.push(Finding {
+                lint: NAME,
+                severity: Severity::Warning,
+                file: file.rel.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}!` macro: this code path is unfinished and will panic if reached",
+                    t.text
+                ),
+                suppressed: false,
+            });
+        }
+    }
+}
+
+/// Scans one comment token for marker words, word-by-word so `XXXX` or
+/// `HACKy` never match.
+fn check_comment(file: &SourceFile, t: &Tok, out: &mut Vec<Finding>) {
+    for (line_off, line_text) in t.text.split('\n').enumerate() {
+        for word in line_text.split(|c: char| !c.is_alphanumeric() && c != '_') {
+            if let Some(marker) = MARKERS.iter().find(|m| word == **m) {
+                out.push(Finding {
+                    lint: NAME,
+                    severity: Severity::Warning,
+                    file: file.rel.clone(),
+                    line: t.line + line_off as u32,
+                    col: t.col,
+                    message: format!(
+                        "comment contains unfinished-work marker `{marker}`; finish the \
+                         work or file it in ROADMAP.md"
+                    ),
+                    suppressed: false,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_comment_markers_with_correct_lines() {
+        let src = "// TODO: finish\nfn f() {}\n/* line one\n FIXME here */\n";
+        let hits = run(src);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].line, 1);
+        assert_eq!(hits[1].line, 4);
+        assert!(hits[1].message.contains("FIXME"));
+    }
+
+    #[test]
+    fn flags_marker_macros() {
+        let hits = run("fn f() { todo!() }\nfn g() { unimplemented!(\"later\") }\n");
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].message.contains("todo!"));
+    }
+
+    #[test]
+    fn whole_word_matching_only() {
+        let hits = run("// XXXX is a placeholder id, HACKy is an adjective, hack is lowercase\n");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn quiet_on_markers_inside_strings() {
+        // A lint engine that reports marker words from string literals
+        // would flag its own message table.
+        let hits = run("fn f() -> &'static str { \"TODO\" }\n");
+        assert!(hits.is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! `unsafe-outside-par`: the workspace confines `unsafe` to `rfkit-par`
+//! (scoped-thread lifetime erasure), and every other library crate
+//! carries `#![forbid(unsafe_code)]`. Any `unsafe` token elsewhere is an
+//! error. Inside `crates/par`, each `unsafe` must carry a `SAFETY`
+//! comment within the five lines above it, and the file must open with
+//! an `UNSAFE AUDIT` header summarising the invariants.
+
+use crate::report::{Finding, Severity};
+use crate::source::{FileKind, SourceFile};
+
+/// Lint name.
+pub const NAME: &str = "unsafe-outside-par";
+/// One-line description.
+pub const DESCRIPTION: &str =
+    "unsafe code outside crates/par is an error; inside par it must carry \
+     SAFETY comments and an UNSAFE AUDIT header";
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let mut par_has_unsafe = false;
+    for (i, t) in file.toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if file.crate_name != "par" {
+            out.push(Finding {
+                lint: NAME,
+                severity: Severity::Error,
+                file: file.rel.clone(),
+                line: t.line,
+                col: t.col,
+                message: "`unsafe` outside crates/par; every other crate is \
+                          #![forbid(unsafe_code)] — move the code behind a safe \
+                          rfkit-par API"
+                    .to_string(),
+                suppressed: false,
+            });
+            continue;
+        }
+        par_has_unsafe = true;
+        let has_safety_comment = file.toks[..i].iter().any(|c| {
+            c.is_comment() && c.text.contains("SAFETY") && c.line + 5 >= t.line && c.line <= t.line
+        });
+        if !has_safety_comment {
+            out.push(Finding {
+                lint: NAME,
+                severity: Severity::Warning,
+                file: file.rel.clone(),
+                line: t.line,
+                col: t.col,
+                message: "`unsafe` without a SAFETY comment in the five lines above it; \
+                          state the invariant that makes this sound"
+                    .to_string(),
+                suppressed: false,
+            });
+        }
+    }
+    if par_has_unsafe && file.kind == FileKind::Lib {
+        let has_header = file
+            .toks
+            .iter()
+            .any(|c| c.is_comment() && c.text.contains("UNSAFE AUDIT"));
+        if !has_header {
+            out.push(Finding {
+                lint: NAME,
+                severity: Severity::Warning,
+                file: file.rel.clone(),
+                line: 1,
+                col: 1,
+                message: "file uses `unsafe` but has no `UNSAFE AUDIT` header comment \
+                          summarising the soundness argument"
+                    .to_string(),
+                suppressed: false,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(rel, src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unsafe_outside_par_is_error() {
+        let hits = run(
+            "crates/num/src/matrix.rs",
+            "pub fn f(p: *const f64) -> f64 { unsafe { *p } }",
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn par_unsafe_needs_safety_comment_and_header() {
+        let src = "\
+pub fn f(p: *const f64) -> f64 {
+    unsafe { *p }
+}
+";
+        let hits = run("crates/par/src/lib.rs", src);
+        // One for the missing SAFETY comment, one for the missing header.
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn quiet_when_audited() {
+        let src = "\
+// UNSAFE AUDIT: raw pointer reads are bounded by the caller's slice.
+pub fn f(p: *const f64) -> f64 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { *p }
+}
+";
+        let hits = run("crates/par/src/lib.rs", src);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn safety_comment_too_far_above_does_not_count() {
+        let src = "\
+// UNSAFE AUDIT: see below.
+// SAFETY: stale comment, nowhere near the block.
+pub fn f(p: *const f64) -> f64 {
+    let a = 1;
+    let b = a + 1;
+    let c = b + 1;
+    let d = c + 1;
+    let _ = d;
+    unsafe { *p }
+}
+";
+        let hits = run("crates/par/src/lib.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("SAFETY"));
+    }
+}

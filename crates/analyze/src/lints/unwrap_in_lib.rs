@@ -1,0 +1,121 @@
+//! `unwrap-in-lib`: panicking escape hatches in library code. A bare
+//! `.unwrap()` turns any edge case into a process abort with no context;
+//! library code should return `Result` or, when an invariant genuinely
+//! holds, say so with `.expect("why")`. `.expect(...)` and `panic!` are
+//! reported at `Info` severity — they carry a documented invariant and
+//! are acceptable, but the report should still surface where they live.
+
+use crate::report::{Finding, Severity};
+use crate::source::{FileKind, SourceFile};
+use crate::tokenizer::Tok;
+
+/// Lint name.
+pub const NAME: &str = "unwrap-in-lib";
+/// One-line description.
+pub const DESCRIPTION: &str =
+    ".unwrap() in library code (warning); .expect()/panic! surfaced at info";
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind != FileKind::Lib {
+        return;
+    }
+    let code: Vec<&Tok> = file.toks.iter().filter(|t| !t.is_comment()).collect();
+    for (i, t) in code.iter().enumerate() {
+        if file.in_test_region(t.line) {
+            continue;
+        }
+        let method_call = |name: &str| {
+            t.is_punct(".")
+                && code.get(i + 1).is_some_and(|n| n.is_ident(name))
+                && code.get(i + 2).is_some_and(|n| n.is_punct("("))
+        };
+        if method_call("unwrap") {
+            out.push(Finding {
+                lint: NAME,
+                severity: Severity::Warning,
+                file: file.rel.clone(),
+                line: t.line,
+                col: t.col,
+                message: "`.unwrap()` in library code aborts with no context; return a \
+                          Result or document the invariant with `.expect(\"...\")`"
+                    .to_string(),
+                suppressed: false,
+            });
+        } else if method_call("expect") {
+            out.push(Finding {
+                lint: NAME,
+                severity: Severity::Info,
+                file: file.rel.clone(),
+                line: t.line,
+                col: t.col,
+                message: "`.expect(...)` in library code; fine when the invariant holds, \
+                          listed for audit"
+                    .to_string(),
+                suppressed: false,
+            });
+        } else if t.is_ident("panic") && code.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+            out.push(Finding {
+                lint: NAME,
+                severity: Severity::Info,
+                file: file.rel.clone(),
+                line: t.line,
+                col: t.col,
+                message: "`panic!` in library code; fine for unreachable states, listed \
+                          for audit"
+                    .to_string(),
+                suppressed: false,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(rel, src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_is_warning_expect_and_panic_are_info() {
+        let src = "\
+pub fn f(o: Option<u32>) -> u32 {
+    let a = o.unwrap();
+    let b = o.expect(\"set by caller\");
+    if a != b { panic!(\"unreachable\"); }
+    a
+}
+";
+        let hits = run("crates/x/src/lib.rs", src);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].severity, Severity::Warning);
+        assert_eq!(hits[1].severity, Severity::Info);
+        assert_eq!(hits[2].severity, Severity::Info);
+    }
+
+    #[test]
+    fn quiet_in_tests_and_bins() {
+        let src = "fn main() { Some(1).unwrap(); }";
+        assert!(run("crates/x/src/bin/tool.rs", src).is_empty());
+        assert!(run("crates/x/tests/t.rs", src).is_empty());
+        let in_test_mod = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+";
+        assert!(run("crates/x/src/lib.rs", in_test_mod).is_empty());
+    }
+
+    #[test]
+    fn quiet_on_unwrap_or_variants() {
+        let src = "pub fn f(o: Option<u32>) -> u32 { o.unwrap_or(0) + o.unwrap_or_else(|| 1) }";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Command-line driver for the rfkit workspace lint engine.
+//!
+//! ```text
+//! rfkit-analyze [--root DIR] [--deny errors|warnings|info]
+//!               [--json PATH] [--quiet] [--list-lints]
+//! ```
+//!
+//! Prints `severity[lint] file:line:col: message` per finding, writes a
+//! JSON report (default `<root>/results/ANALYZE.json`), and exits 1 when
+//! any non-suppressed finding is at or above the deny level.
+
+use rfkit_analyze::report::{to_json, Severity};
+use rfkit_analyze::{analyze_tree, lints};
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("rfkit-analyze: {err}");
+    eprintln!(
+        "usage: rfkit-analyze [--root DIR] [--deny errors|warnings|info] \
+         [--json PATH] [--quiet] [--list-lints]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = Severity::Error;
+    let mut json_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = v.into(),
+                None => return usage("--root needs a directory"),
+            },
+            "--deny" => match args.next().as_deref() {
+                Some("errors" | "error") => deny = Severity::Error,
+                Some("warnings" | "warning") => deny = Severity::Warning,
+                Some("info") => deny = Severity::Info,
+                _ => return usage("--deny takes errors|warnings|info"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(v.into()),
+                None => return usage("--json needs a path"),
+            },
+            "--quiet" => quiet = true,
+            "--list-lints" => {
+                for l in lints::all() {
+                    println!("{:<20} {}", l.name, l.description);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                return usage("workspace lint engine");
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let (findings, files) = match analyze_tree(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!(
+                "rfkit-analyze: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if files == 0 {
+        // A lint gate that scanned nothing must not pass: a typo'd
+        // --root would otherwise green-light CI silently.
+        eprintln!(
+            "rfkit-analyze: no .rs files found under {}; wrong --root?",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    if !quiet {
+        for f in findings.iter().filter(|f| !f.suppressed) {
+            println!("{f}");
+        }
+    }
+
+    let json = to_json(&findings, files);
+    let json_path = json_path.unwrap_or_else(|| root.join("results").join("ANALYZE.json"));
+    if let Some(dir) = json_path.parent() {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("rfkit-analyze: cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = fs::write(&json_path, json) {
+        eprintln!("rfkit-analyze: cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+
+    let count = |sev: Severity| {
+        findings
+            .iter()
+            .filter(|f| !f.suppressed && f.severity == sev)
+            .count()
+    };
+    let suppressed = findings.iter().filter(|f| f.suppressed).count();
+    println!(
+        "rfkit-analyze: {files} files, {} errors, {} warnings, {} info, \
+         {suppressed} suppressed -> {}",
+        count(Severity::Error),
+        count(Severity::Warning),
+        count(Severity::Info),
+        json_path.display()
+    );
+
+    let denied = findings.iter().any(|f| !f.suppressed && f.severity >= deny);
+    if denied {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,428 @@
+//! A hand-rolled Rust lexer, sufficient for token-pattern lints.
+//!
+//! No `syn`, no `proc-macro2`: the workspace's zero-external-crate
+//! invariant applies to its tooling too. The lexer understands comments
+//! (kept in the stream — suppressions, SAFETY audits and marker lints
+//! read them), string/char/raw-string literals, lifetimes, numeric
+//! literals with float classification, and multi-character operators.
+//! It does not build an AST; every lint in this crate is a pattern over
+//! the token stream, which is exactly as deep as file:line diagnostics
+//! need.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Integer literal, including hex/octal/binary forms.
+    Int,
+    /// Float literal (`1.0`, `1e-3`, `2f64`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// …` comment (doc comments included).
+    LineComment,
+    /// `/* … */` comment, possibly spanning lines.
+    BlockComment,
+    /// Operator or delimiter, stored verbatim (`==`, `::`, `{`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Verbatim source text (comments include their markers).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punct token with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const OPS: [&str; 25] = [
+    "..=", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "#!", "!",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one character, maintaining line/col bookkeeping.
+    fn bump(&mut self, out: &mut String) {
+        let c = self.chars[self.pos];
+        out.push(c);
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+    }
+
+    fn bump_while(&mut self, out: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if pred(c) {
+                self.bump(out);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a token stream. Unrecognized bytes become single-char
+/// `Punct` tokens; the lexer never fails, because a lint engine must keep
+/// going to report everything it can.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        if c.is_whitespace() {
+            let mut sink = String::new();
+            lx.bump(&mut sink);
+            continue;
+        }
+        let (line, col) = (lx.line, lx.col);
+        let mut text = String::new();
+        let kind = if c == '/' && lx.peek(1) == Some('/') {
+            lx.bump_while(&mut text, |c| c != '\n');
+            TokKind::LineComment
+        } else if c == '/' && lx.peek(1) == Some('*') {
+            lex_block_comment(&mut lx, &mut text);
+            TokKind::BlockComment
+        } else if c == '"' {
+            lex_string(&mut lx, &mut text);
+            TokKind::Str
+        } else if is_raw_string_start(&lx) {
+            lex_raw_string(&mut lx, &mut text);
+            TokKind::Str
+        } else if c == 'b' && lx.peek(1) == Some('"') {
+            lx.bump(&mut text); // b
+            lex_string(&mut lx, &mut text);
+            TokKind::Str
+        } else if c == 'b' && lx.peek(1) == Some('\'') {
+            lx.bump(&mut text); // b
+            lex_char(&mut lx, &mut text);
+            TokKind::Char
+        } else if c == '\'' {
+            lex_lifetime_or_char(&mut lx, &mut text)
+        } else if is_ident_start(c) {
+            lx.bump_while(&mut text, is_ident_continue);
+            TokKind::Ident
+        } else if c.is_ascii_digit() {
+            lex_number(&mut lx, &mut text)
+        } else {
+            lex_punct(&mut lx, &mut text);
+            TokKind::Punct
+        };
+        toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+fn is_raw_string_start(lx: &Lexer) -> bool {
+    // r"…", r#"…"#, br"…", br#"…"#
+    let (c0, c1, c2) = (lx.peek(0), lx.peek(1), lx.peek(2));
+    match (c0, c1) {
+        (Some('r'), Some('"') | Some('#')) => c1 == Some('"') || c2 == Some('"') || c2 == Some('#'),
+        (Some('b'), Some('r')) => matches!(c2, Some('"') | Some('#')),
+        _ => false,
+    }
+}
+
+fn lex_block_comment(lx: &mut Lexer, text: &mut String) {
+    lx.bump(text); // '/'
+    lx.bump(text); // '*'
+    let mut depth = 1usize;
+    while depth > 0 && lx.peek(0).is_some() {
+        if lx.peek(0) == Some('/') && lx.peek(1) == Some('*') {
+            lx.bump(text);
+            lx.bump(text);
+            depth += 1;
+        } else if lx.peek(0) == Some('*') && lx.peek(1) == Some('/') {
+            lx.bump(text);
+            lx.bump(text);
+            depth -= 1;
+        } else {
+            lx.bump(text);
+        }
+    }
+}
+
+fn lex_string(lx: &mut Lexer, text: &mut String) {
+    lx.bump(text); // opening quote
+    while let Some(c) = lx.peek(0) {
+        if c == '\\' {
+            lx.bump(text);
+            if lx.peek(0).is_some() {
+                lx.bump(text);
+            }
+        } else if c == '"' {
+            lx.bump(text);
+            break;
+        } else {
+            lx.bump(text);
+        }
+    }
+}
+
+fn lex_raw_string(lx: &mut Lexer, text: &mut String) {
+    if lx.peek(0) == Some('b') {
+        lx.bump(text);
+    }
+    lx.bump(text); // 'r'
+    let mut hashes = 0usize;
+    while lx.peek(0) == Some('#') {
+        lx.bump(text);
+        hashes += 1;
+    }
+    if lx.peek(0) == Some('"') {
+        lx.bump(text);
+    }
+    // Scan for `"` followed by `hashes` hash marks.
+    'outer: while lx.peek(0).is_some() {
+        if lx.peek(0) == Some('"') {
+            for k in 0..hashes {
+                if lx.peek(1 + k) != Some('#') {
+                    lx.bump(text);
+                    continue 'outer;
+                }
+            }
+            for _ in 0..=hashes {
+                lx.bump(text);
+            }
+            return;
+        }
+        lx.bump(text);
+    }
+}
+
+fn lex_char(lx: &mut Lexer, text: &mut String) {
+    lx.bump(text); // opening '
+    if lx.peek(0) == Some('\\') {
+        lx.bump(text);
+        if lx.peek(0).is_some() {
+            lx.bump(text);
+        }
+        // \u{…}
+        while lx.peek(0).is_some_and(|c| c != '\'') {
+            lx.bump(text);
+        }
+    } else if lx.peek(0).is_some() {
+        lx.bump(text);
+    }
+    if lx.peek(0) == Some('\'') {
+        lx.bump(text);
+    }
+}
+
+fn lex_lifetime_or_char(lx: &mut Lexer, text: &mut String) -> TokKind {
+    // 'a / 'static are lifetimes: ident chars after the quote with no
+    // closing quote right after a single char.
+    let c1 = lx.peek(1);
+    let c2 = lx.peek(2);
+    if c1.is_some_and(is_ident_start) && c2 != Some('\'') {
+        lx.bump(text); // '
+        lx.bump_while(text, is_ident_continue);
+        TokKind::Lifetime
+    } else {
+        lex_char(lx, text);
+        TokKind::Char
+    }
+}
+
+fn lex_number(lx: &mut Lexer, text: &mut String) -> TokKind {
+    let mut is_float = false;
+    if lx.peek(0) == Some('0') && matches!(lx.peek(1), Some('x') | Some('o') | Some('b')) {
+        lx.bump(text);
+        lx.bump(text);
+        lx.bump_while(text, |c| c.is_ascii_hexdigit() || c == '_');
+        return TokKind::Int;
+    }
+    lx.bump_while(text, |c| c.is_ascii_digit() || c == '_');
+    if lx.peek(0) == Some('.') {
+        match lx.peek(1) {
+            // `1..n` is a range, `1.method()` a call: the dot is not ours.
+            Some('.') => {}
+            Some(c) if is_ident_start(c) => {}
+            Some(c) if c.is_ascii_digit() => {
+                is_float = true;
+                lx.bump(text);
+                lx.bump_while(text, |c| c.is_ascii_digit() || c == '_');
+            }
+            // Trailing-dot float (`1.`).
+            _ => {
+                is_float = true;
+                lx.bump(text);
+            }
+        }
+    }
+    if matches!(lx.peek(0), Some('e') | Some('E')) {
+        let next = lx.peek(1);
+        let exp_digit = |c: Option<char>| c.is_some_and(|c| c.is_ascii_digit());
+        if exp_digit(next) || (matches!(next, Some('+') | Some('-')) && exp_digit(lx.peek(2))) {
+            is_float = true;
+            lx.bump(text);
+            if matches!(lx.peek(0), Some('+') | Some('-')) {
+                lx.bump(text);
+            }
+            lx.bump_while(text, |c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Type suffix (`f64`, `u32`, …).
+    let suffix_start = text.len();
+    lx.bump_while(text, is_ident_continue);
+    let suffix = &text[suffix_start..];
+    if suffix.starts_with("f32") || suffix.starts_with("f64") {
+        is_float = true;
+    }
+    if is_float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+fn lex_punct(lx: &mut Lexer, text: &mut String) {
+    for op in OPS {
+        let matches_op = op.chars().enumerate().all(|(k, oc)| lx.peek(k) == Some(oc));
+        if matches_op {
+            for _ in 0..op.chars().count() {
+                lx.bump(text);
+            }
+            return;
+        }
+    }
+    lx.bump(text);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn classifies_floats_and_ints() {
+        let ts = kinds("let x = 1.5e-3 + 2 + 0xff + 3f64 + 4.;");
+        let floats: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(floats, ["1.5e-3", "3f64", "4."]);
+        let ints: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Int)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(ints, ["2", "0xff"]);
+    }
+
+    #[test]
+    fn range_and_method_dots_are_not_floats() {
+        let ts = kinds("for i in 0..n { v[i].max(1) }");
+        assert!(ts.iter().all(|(k, _)| *k != TokKind::Float));
+        assert!(ts.iter().any(|(k, s)| *k == TokKind::Punct && s == ".."));
+    }
+
+    #[test]
+    fn comments_strings_and_lifetimes() {
+        let ts = kinds("// line\n/* block */ \"st//r\" 'x' 'a: &'a str");
+        assert_eq!(ts[0], (TokKind::LineComment, "// line".into()));
+        assert_eq!(ts[1], (TokKind::BlockComment, "/* block */".into()));
+        assert_eq!(ts[2], (TokKind::Str, "\"st//r\"".into()));
+        assert_eq!(ts[3], (TokKind::Char, "'x'".into()));
+        assert_eq!(ts[4].0, TokKind::Lifetime);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let ts = kinds(r####"r#"a "quoted" b"# x"####);
+        assert_eq!(ts[0].0, TokKind::Str);
+        assert!(ts[1].1 == "x");
+    }
+
+    #[test]
+    fn multi_char_operators_lex_greedily() {
+        let ts = kinds("a == b != c && d ..= e :: f");
+        let ops: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(ops, ["==", "!=", "&&", "..=", "::"]);
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let ts = tokenize("a\n  b\n");
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ts = kinds("/* a /* b */ c */ x");
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].0, TokKind::BlockComment);
+        assert!(ts[1].1 == "x");
+    }
+}

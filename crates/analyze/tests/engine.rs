@@ -1,0 +1,94 @@
+//! End-to-end test: build a miniature workspace on disk, run the full
+//! tree walk, and check that every lint fires where it should, stays
+//! quiet where it should, and that suppressions work.
+
+use rfkit_analyze::analyze_tree;
+use rfkit_analyze::report::Severity;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn write(root: &Path, rel: &str, src: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().unwrap()).unwrap();
+    fs::write(path, src).unwrap();
+}
+
+#[test]
+fn tree_walk_finds_and_attributes_violations() {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fake_ws");
+    let _ = fs::remove_dir_all(&root);
+
+    // A numeric crate with one violation of each flavour.
+    write(
+        &root,
+        "crates/num/src/lib.rs",
+        "\
+use std::collections::HashMap;
+pub fn zero(x: f64) -> bool { x == 0.0 }
+pub fn sort(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }
+pub fn get(o: Option<u32>) -> u32 { o.unwrap() }
+pub fn raw(p: *const f64) -> f64 { unsafe { *p } }
+pub type Map = HashMap<u32, u32>;
+// Suppressed on purpose:
+pub fn zero2(x: f64) -> bool { x == 0.0 } // rfkit-allow(float-eq)
+",
+    );
+    // A clean file in a non-numeric crate: HashMap is fine there.
+    write(
+        &root,
+        "crates/bench/src/lib.rs",
+        "use std::collections::HashMap;\npub type Map = HashMap<u32, u32>;\n",
+    );
+    // Tests may unwrap freely.
+    write(
+        &root,
+        "crates/num/tests/t.rs",
+        "#[test]\nfn t() { Some(1).unwrap(); }\n",
+    );
+    // par may use unsafe, but only with the audit trappings.
+    write(
+        &root,
+        "crates/par/src/lib.rs",
+        "\
+// UNSAFE AUDIT: test fixture.
+pub fn raw(p: *const f64) -> f64 {
+    // SAFETY: caller contract.
+    unsafe { *p }
+}
+",
+    );
+
+    let (findings, files) = analyze_tree(&root).unwrap();
+    assert_eq!(files, 4);
+
+    let active: Vec<_> = findings.iter().filter(|f| !f.suppressed).collect();
+    let by_lint = |name: &str| active.iter().filter(|f| f.lint == name).count();
+
+    assert_eq!(by_lint("float-eq"), 1, "{active:?}");
+    assert_eq!(by_lint("nan-unsafe-sort"), 1);
+    // Two: the bare `o.unwrap()` and the comparator's `.unwrap()` (lints
+    // overlap on that line by design — both diagnoses are useful).
+    assert_eq!(by_lint("unwrap-in-lib"), 2);
+    // HashMap appears twice in the numeric crate (use line and alias
+    // target) and zero times chargeable in bench.
+    assert_eq!(by_lint("nondeterminism"), 2);
+    assert_eq!(by_lint("unsafe-outside-par"), 1);
+    let unsafe_hit = active
+        .iter()
+        .find(|f| f.lint == "unsafe-outside-par")
+        .unwrap();
+    assert_eq!(unsafe_hit.severity, Severity::Error);
+    assert!(unsafe_hit.file.ends_with("crates/num/src/lib.rs"));
+
+    // The suppressed float-eq finding is present but marked.
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.lint == "float-eq" && f.suppressed)
+            .count(),
+        1
+    );
+
+    // Everything is attributed to a workspace-relative path with a line.
+    assert!(findings.iter().all(|f| f.line >= 1 && !f.file.is_empty()));
+}

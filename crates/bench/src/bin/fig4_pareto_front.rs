@@ -150,7 +150,7 @@ fn main() {
         .map(|i| (i.objectives[0], -i.objectives[1]))
         .filter(|(nf, _)| *nf < 2.0)
         .collect();
-    nsga_points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    nsga_points.sort_by(|a, b| rfkit_num::total_cmp_f64(&a.0, &b.0));
     // Thin to ~12 representative points for the printout.
     let step = (nsga_points.len() / 12).max(1);
     let thinned: Vec<(f64, f64)> = nsga_points.iter().step_by(step).copied().collect();

@@ -1,6 +1,8 @@
 //! Shared helpers for the experiment binaries that regenerate every table
 //! and figure of the paper (see DESIGN.md for the experiment index).
 
+#![forbid(unsafe_code)]
+
 use lna::{BandSpec, DesignConfig, DesignGoals, LnaDesign};
 use rfkit_device::{GoldenDevice, MeasurementNoise, Phemt};
 use rfkit_extract::ExtractionData;

@@ -9,7 +9,7 @@
 use crate::netlist::{Circuit, Element};
 use rfkit_device::dc::{gds as fet_gds, gm as fet_gm};
 use rfkit_num::RMatrix;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of a DC solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,7 +66,9 @@ impl std::error::Error for DcError {}
 pub fn solve_dc(circuit: &Circuit) -> Result<DcSolution, DcError> {
     let n = circuit.n_nodes();
     // Assign extra unknowns (branch currents) to V sources and inductors.
-    let mut branch_of: HashMap<usize, usize> = HashMap::new();
+    // Keyed by element index in a sorted map so any future traversal is
+    // element-ordered; MNA stamping must never depend on a hasher seed.
+    let mut branch_of: BTreeMap<usize, usize> = BTreeMap::new();
     let mut n_branches = 0;
     for (k, e) in circuit.elements.iter().enumerate() {
         if matches!(e, Element::VSource { .. } | Element::Inductor { .. }) {
@@ -129,7 +131,7 @@ fn assemble(
     circuit: &Circuit,
     x: &[f64],
     n: usize,
-    branch_of: &HashMap<usize, usize>,
+    branch_of: &BTreeMap<usize, usize>,
     dim: usize,
 ) -> (RMatrix, Vec<f64>) {
     let v = |node: Option<usize>| -> f64 { node.map_or(0.0, |k| x[k]) };

@@ -8,7 +8,7 @@
 //! AC analyzer ([`crate::ac`]).
 
 use rfkit_device::DcModel;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Index of a circuit node; ground is `None` throughout the stamps.
 pub type NodeId = usize;
@@ -89,7 +89,10 @@ pub struct Port {
 /// A circuit under construction / analysis.
 #[derive(Default)]
 pub struct Circuit {
-    node_names: HashMap<String, NodeId>,
+    // BTreeMap, not HashMap: node ids are assigned in insertion order
+    // regardless, but a sorted map keeps every traversal deterministic so
+    // matrix stamping order can never depend on a hasher seed.
+    node_names: BTreeMap<String, NodeId>,
     n_nodes: usize,
     /// Elements in insertion order.
     pub(crate) elements: Vec<Element>,

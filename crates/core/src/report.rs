@@ -50,7 +50,7 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// Formats engineering values with a unit prefix (n, p, m, …).
 pub fn eng(value: f64, unit: &str) -> String {
     let a = value.abs();
-    let (scaled, prefix) = if a == 0.0 {
+    let (scaled, prefix) = if rfkit_num::is_exact_zero(a) {
         (value, "")
     } else if a >= 1e9 {
         (value / 1e9, "G")

@@ -39,7 +39,7 @@ pub fn compare_models(data: &ExtractionData, config: &ThreeStepConfig) -> Vec<Mo
             }
         })
         .collect();
-    reports.sort_by(|a, b| a.dc_rmse.partial_cmp(&b.dc_rmse).expect("finite RMSE"));
+    reports.sort_by(|a, b| rfkit_num::total_cmp_f64(&a.dc_rmse, &b.dc_rmse));
     reports
 }
 

@@ -100,7 +100,10 @@ impl Complex {
     #[inline]
     pub fn recip(self) -> Self {
         let d = self.norm_sqr();
-        Complex::new(self.re / d, -self.im / d)
+        let out = Complex::new(self.re / d, -self.im / d);
+        #[cfg(feature = "numsan")]
+        crate::numsan::check_complex(out, "Complex::recip", &[self], file!(), line!());
+        out
     }
 
     /// Scales by a real factor.
@@ -118,20 +121,26 @@ impl Complex {
     /// Principal natural logarithm, with branch cut on the negative real axis.
     #[inline]
     pub fn ln(self) -> Self {
-        Complex::new(self.abs().ln(), self.arg())
+        let out = Complex::new(self.abs().ln(), self.arg());
+        #[cfg(feature = "numsan")]
+        crate::numsan::check_complex(out, "Complex::ln", &[self], file!(), line!());
+        out
     }
 
     /// Principal square root. The result lies in the right half-plane
     /// (`Re ≥ 0`), which is the root RF work wants for propagation constants.
     pub fn sqrt(self) -> Self {
-        if self.re == 0.0 && self.im == 0.0 {
+        if self.is_exact_zero() {
             return Complex::ZERO;
         }
         let r = self.abs();
         // Stable half-angle formulation.
         let re = ((r + self.re) * 0.5).sqrt();
         let im = ((r - self.re) * 0.5).sqrt();
-        Complex::new(re, if self.im >= 0.0 { im } else { -im })
+        let out = Complex::new(re, if self.im >= 0.0 { im } else { -im });
+        #[cfg(feature = "numsan")]
+        crate::numsan::check_complex(out, "Complex::sqrt", &[self], file!(), line!());
+        out
     }
 
     /// Raises to an integer power by repeated squaring.
@@ -156,7 +165,7 @@ impl Complex {
 
     /// Raises to a real power via the principal logarithm.
     pub fn powf(self, p: f64) -> Self {
-        if self == Complex::ZERO {
+        if self.is_exact_zero() {
             return Complex::ZERO;
         }
         (self.ln() * Complex::real(p)).exp()
@@ -208,6 +217,13 @@ impl Complex {
     #[inline]
     pub fn is_nan(self) -> bool {
         self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// `true` iff both components are exactly ±0.0 (bit-level test; never
+    /// true when a component is NaN). See [`crate::is_exact_zero`].
+    #[inline]
+    pub fn is_exact_zero(self) -> bool {
+        crate::is_exact_zero(self.re) && crate::is_exact_zero(self.im)
     }
 
     /// `true` if both components are finite.
@@ -265,7 +281,7 @@ impl Div for Complex {
     #[inline]
     fn div(self, rhs: Complex) -> Complex {
         // Smith's algorithm for improved robustness against overflow.
-        if rhs.re.abs() >= rhs.im.abs() {
+        let out = if rhs.re.abs() >= rhs.im.abs() {
             let r = rhs.im / rhs.re;
             let d = rhs.re + rhs.im * r;
             Complex::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
@@ -273,7 +289,10 @@ impl Div for Complex {
             let r = rhs.re / rhs.im;
             let d = rhs.re * r + rhs.im;
             Complex::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
-        }
+        };
+        #[cfg(feature = "numsan")]
+        crate::numsan::check_complex(out, "Complex::div", &[self, rhs], file!(), line!());
+        out
     }
 }
 

@@ -121,7 +121,10 @@ impl LinearInterp {
         let seg = segment(&self.x, t);
         let (x0, x1) = (self.x[seg], self.x[seg + 1]);
         let (y0, y1) = (self.y[seg], self.y[seg + 1]);
-        y0 + (y1 - y0) * (t - x0) / (x1 - x0)
+        let out = y0 + (y1 - y0) * (t - x0) / (x1 - x0);
+        #[cfg(feature = "numsan")]
+        crate::numsan::check_finite_f64(out, "LinearInterp::eval", &[t, y0, y1], file!(), line!());
+        out
     }
 }
 
@@ -229,9 +232,18 @@ impl CubicSpline {
         let h = self.x[seg + 1] - self.x[seg];
         let a = (self.x[seg + 1] - t) / h;
         let b = (t - self.x[seg]) / h;
-        a * self.y[seg]
+        let out = a * self.y[seg]
             + b * self.y[seg + 1]
-            + ((a * a * a - a) * self.ypp[seg] + (b * b * b - b) * self.ypp[seg + 1]) * h * h / 6.0
+            + ((a * a * a - a) * self.ypp[seg] + (b * b * b - b) * self.ypp[seg + 1]) * h * h / 6.0;
+        #[cfg(feature = "numsan")]
+        crate::numsan::check_finite_f64(
+            out,
+            "CubicSpline::eval",
+            &[t, self.y[seg], self.y[seg + 1]],
+            file!(),
+            line!(),
+        );
+        out
     }
 
     fn slope_at_knot(&self, i0: usize, i1: usize, at_left: bool) -> f64 {
@@ -246,9 +258,14 @@ impl CubicSpline {
 }
 
 /// Finds the segment index `i` such that `x[i] <= t <= x[i+1]` (clamped).
+///
+/// `total_cmp` gives NaN a defined position (after +∞), so a NaN query
+/// deterministically selects the last segment instead of panicking; the
+/// NaN then propagates through the arithmetic where the `numsan`
+/// sanitizer can attribute it.
 fn segment(x: &[f64], t: f64) -> usize {
     let n = x.len();
-    match x.binary_search_by(|v| v.partial_cmp(&t).expect("NaN in interpolation table")) {
+    match x.binary_search_by(|v| crate::total_cmp_f64(v, &t)) {
         Ok(i) => i.min(n - 2),
         Err(i) => i.saturating_sub(1).min(n - 2),
     }

@@ -26,12 +26,15 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod complex;
 pub mod diff;
 pub mod fft;
 pub mod interp;
 mod matrix;
+#[cfg(feature = "numsan")]
+pub mod numsan;
 mod poly;
 pub mod rng;
 pub mod stats;
@@ -40,6 +43,48 @@ pub mod units;
 pub use complex::Complex;
 pub use matrix::{CMatrix, Lu, Matrix, MatrixError, RMatrix, Scalar};
 pub use poly::{line_intersection, Polynomial};
+
+/// Total-order comparator for `f64`, for use as a sort/search comparator.
+///
+/// Wraps [`f64::total_cmp`]: every pair of values — including NaNs and
+/// signed zeros — has a defined, deterministic ordering (−NaN < −∞ < … <
+/// −0.0 < +0.0 < … < +∞ < +NaN), so `sort_by(total_cmp_f64)` can never
+/// panic or produce an ordering that depends on input permutation the way
+/// `partial_cmp().unwrap()` does. This is the comparator the
+/// `nan-unsafe-sort` lint in `rfkit-analyze` asks for.
+///
+/// # Examples
+///
+/// ```
+/// let mut v = vec![3.0, f64::NAN, 1.0];
+/// v.sort_by(rfkit_num::total_cmp_f64);
+/// assert_eq!(v[0], 1.0);
+/// assert_eq!(v[1], 3.0);
+/// assert!(v[2].is_nan()); // NaN sorts last, deterministically
+/// ```
+#[inline]
+pub fn total_cmp_f64(a: &f64, b: &f64) -> std::cmp::Ordering {
+    a.total_cmp(b)
+}
+
+/// True iff `x` is exactly `+0.0` or `-0.0`, tested at the bit level.
+///
+/// Use this instead of `x == 0.0` for intentional exact-zero guards
+/// (singular pivots, open-circuit branches): it states the intent, never
+/// matches NaN, and keeps the `float-eq` lint quiet without a suppression.
+///
+/// # Examples
+///
+/// ```
+/// assert!(rfkit_num::is_exact_zero(0.0));
+/// assert!(rfkit_num::is_exact_zero(-0.0));
+/// assert!(!rfkit_num::is_exact_zero(f64::MIN_POSITIVE));
+/// assert!(!rfkit_num::is_exact_zero(f64::NAN));
+/// ```
+#[inline]
+pub fn is_exact_zero(x: f64) -> bool {
+    x.abs().to_bits() == 0
+}
 
 /// Linearly spaced grid of `n` points from `start` to `stop` inclusive.
 ///
@@ -109,5 +154,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn logspace_rejects_zero() {
         logspace(0.0, 1.0, 3);
+    }
+
+    #[test]
+    fn total_cmp_orders_nan_and_zeros_deterministically() {
+        let mut v = [f64::NAN, 1.0, -f64::INFINITY, 0.0, -0.0, -1.0];
+        v.sort_by(total_cmp_f64);
+        assert_eq!(v[0], -f64::INFINITY);
+        assert_eq!(v[1], -1.0);
+        assert!(v[2].is_sign_negative() && is_exact_zero(v[2])); // -0.0 before +0.0
+        assert!(v[3].is_sign_positive() && is_exact_zero(v[3]));
+        assert_eq!(v[4], 1.0);
+        assert!(v[5].is_nan());
+    }
+
+    #[test]
+    fn exact_zero_is_bitwise() {
+        assert!(is_exact_zero(0.0));
+        assert!(is_exact_zero(-0.0));
+        assert!(!is_exact_zero(5e-324)); // smallest subnormal
+        assert!(!is_exact_zero(f64::NAN));
+        assert!(!is_exact_zero(f64::INFINITY));
     }
 }

@@ -7,6 +7,7 @@
 //! pivoting, determinants, inverses and multi-RHS solves.
 
 use crate::complex::Complex;
+use crate::is_exact_zero;
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
@@ -309,7 +310,7 @@ impl<T: Scalar> Matrix<T> {
             for j in 0..n {
                 big = big.max(lu[(i, j)].modulus());
             }
-            if big == 0.0 {
+            if is_exact_zero(big) {
                 return Err(MatrixError::Singular);
             }
             scale[i] = 1.0 / big;
@@ -325,7 +326,7 @@ impl<T: Scalar> Matrix<T> {
                     pivot_row = i;
                 }
             }
-            if lu[(pivot_row, k)].modulus() == 0.0 {
+            if is_exact_zero(lu[(pivot_row, k)].modulus()) {
                 return Err(MatrixError::Singular);
             }
             if pivot_row != k {
@@ -346,6 +347,12 @@ impl<T: Scalar> Matrix<T> {
                     lu[(i, j)] = lu[(i, j)] - factor * lu[(k, j)];
                 }
             }
+        }
+        #[cfg(feature = "numsan")]
+        if self.as_slice().iter().all(|v| !v.modulus().is_nan())
+            && lu.as_slice().iter().any(|v| v.modulus().is_nan())
+        {
+            crate::numsan::fail("Matrix::lu", "NaN", &[], file!(), line!());
         }
         Ok(Lu { lu, perm, sign })
     }
@@ -553,6 +560,13 @@ impl<T: Scalar> Lu<T> {
                 acc = acc - self.lu[(i, j)] * x[j];
             }
             x[i] = acc / self.lu[(i, i)];
+        }
+        #[cfg(feature = "numsan")]
+        if self.lu.as_slice().iter().all(|v| !v.modulus().is_nan())
+            && b.iter().all(|v| !v.modulus().is_nan())
+            && x.iter().any(|v| v.modulus().is_nan())
+        {
+            crate::numsan::fail("Lu::solve", "NaN", &[], file!(), line!());
         }
         x
     }

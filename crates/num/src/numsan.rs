@@ -1,0 +1,125 @@
+//! Runtime numeric sanitizer (enabled by the `numsan` cargo feature).
+//!
+//! A NaN born deep inside a matrix factorization or a complex division
+//! poisons everything downstream silently — by the time an optimizer or a
+//! yield Monte-Carlo notices, the origin is long gone. With `numsan`
+//! enabled, the instrumented operations in this crate (LU factorization
+//! and solves, complex `/`, `recip`, `ln`, `sqrt`, interpolation
+//! evaluation) detect the *creation* of a NaN — a NaN output from non-NaN
+//! inputs — and panic at that operation with origin context
+//! (`operation`, the offending inputs, `file:line`).
+//!
+//! Policy: NaN creation is always flagged; infinities are not, because
+//! IEEE-intended infinities are legitimate in RF formulas (open circuits,
+//! `1/0` reflection denominators, `ln(0)` in dB conversions). The
+//! stricter [`check_finite_f64`] is available for call sites where an
+//! infinity is also always a bug (e.g. interpolation inside a finite
+//! table).
+//!
+//! In default builds (feature off) this module does not exist and the
+//! call sites compile to nothing: zero cost.
+//!
+//! Run the suite under the sanitizer with:
+//!
+//! ```text
+//! cargo test -p rfkit-num --features numsan
+//! ```
+
+use crate::Complex;
+
+/// Panics if `result` is NaN while every input was non-NaN: the calling
+/// operation is the one that created the NaN.
+#[inline]
+pub fn check_f64(result: f64, op: &str, inputs: &[f64], file: &str, line: u32) {
+    if result.is_nan() && inputs.iter().all(|x| !x.is_nan()) {
+        fail(op, "NaN", inputs, file, line);
+    }
+}
+
+/// Strict variant: panics if `result` is NaN *or* ±∞ while every input
+/// was finite. For operations where an infinity can only mean a bug.
+#[inline]
+pub fn check_finite_f64(result: f64, op: &str, inputs: &[f64], file: &str, line: u32) {
+    if !result.is_finite() && inputs.iter().all(|x| x.is_finite()) {
+        fail(
+            op,
+            if result.is_nan() { "NaN" } else { "Inf" },
+            inputs,
+            file,
+            line,
+        );
+    }
+}
+
+/// Complex-valued [`check_f64`]: flags a NaN in either component of
+/// `result` when no input component was NaN.
+#[inline]
+pub fn check_complex(result: Complex, op: &str, inputs: &[Complex], file: &str, line: u32) {
+    if (result.re.is_nan() || result.im.is_nan())
+        && inputs.iter().all(|z| !z.re.is_nan() && !z.im.is_nan())
+    {
+        let flat: Vec<f64> = inputs.iter().flat_map(|z| [z.re, z.im]).collect();
+        fail(op, "NaN", &flat, file, line);
+    }
+}
+
+/// Reports a sanitizer hit and panics. Public so instrumented code in
+/// this crate (e.g. the generic matrix solver) can report directly.
+#[cold]
+pub fn fail(op: &str, what: &str, inputs: &[f64], file: &str, line: u32) -> ! {
+    panic!("numsan: {op} produced {what} from clean inputs {inputs:?} at {file}:{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_results_pass() {
+        check_f64(1.5, "test-op", &[1.0, 0.5], "here.rs", 1);
+        check_finite_f64(2.0, "test-op", &[4.0], "here.rs", 2);
+        check_complex(Complex::ONE, "test-op", &[Complex::I], "here.rs", 3);
+    }
+
+    #[test]
+    fn nan_from_nan_inputs_is_not_a_creation() {
+        // The NaN already existed upstream; this op just propagated it.
+        check_f64(f64::NAN, "test-op", &[f64::NAN, 1.0], "here.rs", 1);
+        check_complex(
+            Complex::new(f64::NAN, 0.0),
+            "test-op",
+            &[Complex::new(0.0, f64::NAN)],
+            "here.rs",
+            2,
+        );
+    }
+
+    #[test]
+    fn infinity_is_allowed_by_default() {
+        check_f64(f64::INFINITY, "test-op", &[1.0, 0.0], "here.rs", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "numsan: test-op produced NaN")]
+    fn nan_creation_panics_with_origin() {
+        check_f64(f64::NAN, "test-op", &[0.0, 0.0], "origin.rs", 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "produced Inf")]
+    fn strict_check_rejects_infinity() {
+        check_finite_f64(f64::INFINITY, "test-op", &[1.0], "origin.rs", 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "numsan")]
+    fn complex_nan_creation_panics() {
+        check_complex(
+            Complex::new(0.0, f64::NAN),
+            "test-op",
+            &[Complex::ZERO],
+            "origin.rs",
+            9,
+        );
+    }
+}

@@ -43,13 +43,15 @@ pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// `p`-th percentile (0..=100) by linear interpolation between order
-/// statistics. Returns NaN for an empty slice.
+/// statistics. Returns NaN for an empty slice. NaN inputs sort after +∞
+/// (total order), so they deterministically influence only the top
+/// percentiles instead of panicking.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return f64::NAN;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(crate::total_cmp_f64);
     let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

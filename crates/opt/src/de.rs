@@ -167,7 +167,7 @@ pub fn differential_evolution(
     let (best_idx, &best_val) = values
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN objective"))
+        .min_by(|a, b| rfkit_num::total_cmp_f64(a.1, b.1))
         .expect("non-empty population");
     OptResult {
         x: population[best_idx].clone(),

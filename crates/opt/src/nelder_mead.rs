@@ -103,7 +103,7 @@ pub fn nelder_mead(
     while evals + 2 <= config.max_evals {
         // Order the simplex.
         let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN objective"));
+        order.sort_by(|&a, &b| rfkit_num::total_cmp_f64(&values[a], &values[b]));
         let best = order[0];
         let worst = order[n];
         let second_worst = order[n - 1];
@@ -195,7 +195,7 @@ pub fn nelder_mead(
     let (best_idx, &best_val) = values
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN objective"))
+        .min_by(|a, b| rfkit_num::total_cmp_f64(a.1, b.1))
         .expect("non-empty simplex");
     OptResult {
         x: simplex[best_idx].clone(),

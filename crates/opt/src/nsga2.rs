@@ -183,7 +183,7 @@ pub fn nsga2(
             } else {
                 let d = crowding_distance(&objs, front);
                 let mut order: Vec<usize> = (0..front.len()).collect();
-                order.sort_by(|&a, &b| d[b].partial_cmp(&d[a]).expect("no NaN crowding"));
+                order.sort_by(|&a, &b| rfkit_num::total_cmp_f64(&d[b], &d[a]));
                 for &k in &order {
                     if next.len() == pop_size {
                         break;

@@ -81,9 +81,7 @@ pub fn crowding_distance(points: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
     for obj in 0..n_obj {
         let mut order: Vec<usize> = (0..m).collect();
         order.sort_by(|&a, &b| {
-            points[front[a]][obj]
-                .partial_cmp(&points[front[b]][obj])
-                .expect("no NaN objectives")
+            rfkit_num::total_cmp_f64(&points[front[a]][obj], &points[front[b]][obj])
         });
         let lo = points[front[order[0]]][obj];
         let hi = points[front[order[m - 1]]][obj];
@@ -122,9 +120,7 @@ pub fn hypervolume_2d(front: &[Vec<f64>], reference: [f64; 2]) -> f64 {
     // Sort by first objective ascending; sweep accumulating rectangles of
     // the non-dominated staircase.
     pts.sort_by(|a, b| {
-        (a[0], a[1])
-            .partial_cmp(&(b[0], b[1]))
-            .expect("no NaN objectives")
+        rfkit_num::total_cmp_f64(&a[0], &b[0]).then_with(|| rfkit_num::total_cmp_f64(&a[1], &b[1]))
     });
     let mut volume = 0.0;
     let mut best_y = reference[1];

@@ -170,7 +170,10 @@ impl<F: Fn(&[f64]) -> f64> CountingObjective<F> {
     pub fn eval(&self, x: &[f64]) -> f64 {
         let v = (self.f)(x);
         let n = self.count.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut state = self.state.lock().unwrap();
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if v < state.1 {
             state.1 = v;
             state.0.push((n, v));
@@ -185,12 +188,19 @@ impl<F: Fn(&[f64]) -> f64> CountingObjective<F> {
 
     /// Improvement trace as `(evaluations, best_value)` pairs.
     pub fn trace(&self) -> Vec<(usize, f64)> {
-        self.state.lock().unwrap().0.clone()
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .0
+            .clone()
     }
 
     /// Best value seen.
     pub fn best(&self) -> f64 {
-        self.state.lock().unwrap().1
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .1
     }
 }
 

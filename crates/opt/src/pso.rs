@@ -77,7 +77,7 @@ pub fn particle_swarm(
     let g_best_idx = p_best_val
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN objective"))
+        .min_by(|a, b| rfkit_num::total_cmp_f64(a.1, b.1))
         .map(|(i, _)| i)
         .expect("non-empty swarm");
     let mut g_best = p_best[g_best_idx].clone();

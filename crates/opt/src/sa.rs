@@ -71,7 +71,7 @@ pub fn simulated_annealing(
             evals += 1;
             diffs.push((f(&probe) - current_val).abs());
         }
-        diffs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN objective"));
+        diffs.sort_by(rfkit_num::total_cmp_f64);
         diffs
             .get(diffs.len() / 2)
             .copied()

@@ -25,6 +25,33 @@ fn zdt1(x: &[f64]) -> Vec<f64> {
     vec![f1, f2]
 }
 
+/// DC operating point of a self-biased FET stage. Exercises the netlist
+/// node interning and the MNA branch-current assignment, both of which
+/// must stamp in a deterministic order (sorted maps, never a hasher).
+fn dc_operating_point() -> Vec<f64> {
+    use rfkit_circuit::{solve_dc, Circuit};
+    use rfkit_device::dc::{Angelov, DcModel};
+    let mut c = Circuit::new();
+    c.vsource("vdd", "gnd", 5.0)
+        .resistor("vdd", "drain", 50.0)
+        .inductor("drain", "out", 10e-9)
+        .resistor("out", "gnd", 500.0)
+        .resistor("g", "gnd", 10000.0)
+        .resistor("s", "gnd", 10.0)
+        .capacitor("s", "gnd", 1e-9)
+        .fet(
+            "g",
+            "drain",
+            "s",
+            Box::new(Angelov),
+            Angelov.default_params(),
+        );
+    let sol = solve_dc(&c).expect("bias point converges");
+    let mut out = sol.voltages;
+    out.extend(sol.fet_currents);
+    out
+}
+
 #[test]
 fn fixed_seed_output_identical_at_1_and_4_threads() {
     let run_all = || {
@@ -56,13 +83,14 @@ fn fixed_seed_output_identical_at_1_and_4_threads() {
                 ..Default::default()
             },
         );
-        (de, pso, moo)
+        let dc = dc_operating_point();
+        (de, pso, moo, dc)
     };
 
     std::env::set_var("RFKIT_THREADS", "1");
-    let (de_1, pso_1, moo_1) = run_all();
+    let (de_1, pso_1, moo_1, dc_1) = run_all();
     std::env::set_var("RFKIT_THREADS", "4");
-    let (de_4, pso_4, moo_4) = run_all();
+    let (de_4, pso_4, moo_4, dc_4) = run_all();
     std::env::remove_var("RFKIT_THREADS");
 
     // Bit-identical, not approximately equal.
@@ -81,4 +109,9 @@ fn fixed_seed_output_identical_at_1_and_4_threads() {
         "NSGA-II front differs across thread counts"
     );
     assert_eq!(moo_1.evaluations, moo_4.evaluations);
+
+    assert_eq!(
+        dc_1, dc_4,
+        "DC operating point differs across thread counts"
+    );
 }

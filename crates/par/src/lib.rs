@@ -40,13 +40,30 @@
 
 #![warn(missing_docs)]
 
+// UNSAFE AUDIT: rfkit-par is the only workspace crate allowed to contain
+// `unsafe` (enforced by the `unsafe-outside-par` lint in rfkit-analyze;
+// every other library crate carries `#![forbid(unsafe_code)]`). The crate
+// uses unsafe for exactly three things, each with a SAFETY comment at the
+// site, which the analyzer also checks for:
+//   1. writing each result slot exactly once from whichever worker claims
+//      its index (`Slot<R>`: disjoint writes, no reads until the latch
+//      drains, then a layout-compatible Vec reinterpretation);
+//   2. erasing the lifetime of the caller's borrowed closure so it can
+//      cross into the pool queue (the caller blocks on a latch until every
+//      helper is done with it);
+//   3. the `Send`/`Sync` impls that state those two invariants to the
+//      compiler.
+// Audit checklist: any new unsafe block must (a) keep all writes disjoint,
+// (b) never extend a borrow beyond the latch it is guarded by, and
+// (c) carry a SAFETY comment within the five lines above it.
+
 use std::any::Any;
 use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, OnceLock, PoisonError};
 use std::thread;
 
 /// Hard ceiling on pool size; `RFKIT_THREADS` is clamped to this.
@@ -314,7 +331,10 @@ impl Latch {
     }
 
     fn count_down(&self) {
-        let mut rem = self.remaining.lock().unwrap();
+        let mut rem = self
+            .remaining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         *rem -= 1;
         if *rem == 0 {
             self.done.notify_all();
@@ -322,21 +342,27 @@ impl Latch {
     }
 
     fn wait(&self) {
-        let mut rem = self.remaining.lock().unwrap();
+        let mut rem = self
+            .remaining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         while *rem > 0 {
-            rem = self.done.wait(rem).unwrap();
+            rem = self.done.wait(rem).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn record_panic(&self, payload: Box<dyn Any + Send>) {
-        let mut slot = self.panic.lock().unwrap();
+        let mut slot = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
         if slot.is_none() {
             *slot = Some(payload);
         }
     }
 
     fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
-        self.panic.lock().unwrap().take()
+        self.panic
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
     }
 }
 
@@ -382,7 +408,7 @@ impl Pool {
     /// Grows the pool to at least `target` workers (capped); returns the
     /// number of workers actually available.
     fn ensure_workers(&'static self, target: usize) -> usize {
-        let mut count = self.spawned.lock().unwrap();
+        let mut count = self.spawned.lock().unwrap_or_else(PoisonError::into_inner);
         while *count < target.min(MAX_THREADS - 1) {
             let spawned = thread::Builder::new()
                 .name(format!("rfkit-par-{}", *count))
@@ -396,7 +422,7 @@ impl Pool {
     }
 
     fn submit(&self, job: Job, copies: usize) {
-        let mut queue = self.queue.lock().unwrap();
+        let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
         for _ in 0..copies {
             queue.push_back(job.clone());
         }
@@ -408,12 +434,15 @@ impl Pool {
         IN_PAR.with(|flag| flag.set(true));
         loop {
             let job = {
-                let mut queue = self.queue.lock().unwrap();
+                let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
                 loop {
                     if let Some(job) = queue.pop_front() {
                         break job;
                     }
-                    queue = self.available.wait(queue).unwrap();
+                    queue = self
+                        .available
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             };
             // SAFETY: the submitting caller is latched until count_down,

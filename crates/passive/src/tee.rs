@@ -147,7 +147,7 @@ impl TeeJunction {
         // Nodes: 0,1,2 = ports; 3 = junction center.
         let mut net = NodeNetwork::new(4);
         let z_arm = Complex::new(self.arm_resistance, w * self.arm_inductance);
-        let y_arm = if z_arm.abs() == 0.0 {
+        let y_arm = if rfkit_num::is_exact_zero(z_arm.abs()) {
             // Ideal arms: a huge but finite conductance (10 µΩ) keeps the
             // matrix well conditioned while being numerically
             // indistinguishable from a short at RF impedance levels.

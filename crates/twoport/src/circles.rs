@@ -57,7 +57,7 @@ pub fn noise_circle(np: &NoiseParams, f_target: f64) -> Option<PlaneCircle> {
 /// `radius = sqrt(1 − 2K·ga·|S12S21| + ga²|S12S21|²) / |1 + ga(|S11|² − |Δ|²)|`.
 pub fn available_gain_circle(s: &SParams, ga_target: f64) -> Option<PlaneCircle> {
     let s21_sq = s.s21().norm_sqr();
-    if s21_sq == 0.0 || ga_target <= 0.0 {
+    if rfkit_num::is_exact_zero(s21_sq) || ga_target <= 0.0 {
         return None;
     }
     let ga = ga_target / s21_sq;

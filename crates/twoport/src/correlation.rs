@@ -185,7 +185,8 @@ impl NoisyAbcd {
             return Err(NetworkError::InvalidReference(z0));
         }
         let kt0 = K_BOLTZMANN * T0_KELVIN;
-        if self.ca.m11.abs() == 0.0 && self.ca.m22.abs() == 0.0 && self.ca.m12.abs() == 0.0 {
+        if self.ca.m11.is_exact_zero() && self.ca.m22.is_exact_zero() && self.ca.m12.is_exact_zero()
+        {
             return Ok(NoiseParams::noiseless(z0));
         }
         let cvv = self.ca.m11.re.max(4.0 * kt0 * RN_FLOOR_OHM);

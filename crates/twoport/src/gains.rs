@@ -75,7 +75,7 @@ pub fn operating_gain(s: &SParams, gamma_l: Complex) -> f64 {
 /// unilateral device.
 pub fn maximum_stable_gain(s: &SParams) -> f64 {
     let s12 = s.s12().abs();
-    if s12 == 0.0 {
+    if rfkit_num::is_exact_zero(s12) {
         f64::INFINITY
     } else {
         s.s21().abs() / s12
@@ -115,7 +115,7 @@ pub fn simultaneous_conjugate_match(s: &SParams) -> Option<(Complex, Complex)> {
 /// Solves `Γ = (B ± sqrt(B² − 4|C|²)) / 2C`, picking the root with `|Γ| < 1`.
 fn solve_match(b: f64, c: Complex) -> Option<Complex> {
     let c_mag = c.abs();
-    if c_mag == 0.0 {
+    if rfkit_num::is_exact_zero(c_mag) {
         return Some(Complex::ZERO);
     }
     let disc = b * b - 4.0 * c_mag * c_mag;

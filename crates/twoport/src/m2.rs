@@ -95,7 +95,7 @@ impl M2 {
     /// Returns `None` when the determinant magnitude underflows to zero.
     pub fn inverse(&self) -> Option<M2> {
         let d = self.det();
-        if d.abs() == 0.0 {
+        if rfkit_num::is_exact_zero(d.abs()) {
             return None;
         }
         Some(M2::new(

@@ -166,7 +166,7 @@ impl SParams {
         let s12 = self.s12();
         let s21 = self.s21();
         let s22 = self.s22();
-        if s21.abs() == 0.0 {
+        if rfkit_num::is_exact_zero(s21.abs()) {
             return Err(NetworkError::DegenerateParameter("S21"));
         }
         let z0 = Complex::real(self.z0);
@@ -261,7 +261,7 @@ impl YParams {
     /// Returns [`NetworkError::DegenerateParameter`] when `Y21 == 0`.
     pub fn to_abcd(&self) -> Result<Abcd, NetworkError> {
         let y21 = self.y21();
-        if y21.abs() == 0.0 {
+        if rfkit_num::is_exact_zero(y21.abs()) {
             return Err(NetworkError::DegenerateParameter("Y21"));
         }
         let a = -self.y22() / y21;
@@ -347,7 +347,7 @@ impl ZParams {
     /// Returns [`NetworkError::DegenerateParameter`] when `Z21 == 0`.
     pub fn to_abcd(&self) -> Result<Abcd, NetworkError> {
         let z21 = self.z21();
-        if z21.abs() == 0.0 {
+        if rfkit_num::is_exact_zero(z21.abs()) {
             return Err(NetworkError::DegenerateParameter("Z21"));
         }
         let a = self.z11() / z21;
@@ -447,7 +447,7 @@ impl Abcd {
         let z0c = Complex::real(z0);
         let (a, b, c, d) = (self.a(), self.b(), self.c(), self.d());
         let den = a + b / z0c + c * z0c + d;
-        if den.abs() == 0.0 {
+        if rfkit_num::is_exact_zero(den.abs()) {
             return Err(NetworkError::DegenerateParameter("A + B/z0 + C z0 + D"));
         }
         let s11 = (a + b / z0c - c * z0c - d) / den;
@@ -468,7 +468,7 @@ impl Abcd {
     /// (e.g. an ideal series element has no Z form).
     pub fn to_z(&self) -> Result<ZParams, NetworkError> {
         let c = self.c();
-        if c.abs() == 0.0 {
+        if rfkit_num::is_exact_zero(c.abs()) {
             return Err(NetworkError::DegenerateParameter("C"));
         }
         Ok(ZParams {
@@ -489,7 +489,7 @@ impl Abcd {
     /// (e.g. an ideal shunt element has no Y form).
     pub fn to_y(&self) -> Result<YParams, NetworkError> {
         let b = self.b();
-        if b.abs() == 0.0 {
+        if rfkit_num::is_exact_zero(b.abs()) {
             return Err(NetworkError::DegenerateParameter("B"));
         }
         Ok(YParams {

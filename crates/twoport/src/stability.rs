@@ -15,7 +15,7 @@ use rfkit_num::Complex;
 pub fn rollett_k(s: &SParams) -> f64 {
     let num = 1.0 - s.s11().norm_sqr() - s.s22().norm_sqr() + s.delta().norm_sqr();
     let den = 2.0 * (s.s12() * s.s21()).abs();
-    if den == 0.0 {
+    if rfkit_num::is_exact_zero(den) {
         f64::INFINITY
     } else {
         num / den
@@ -29,7 +29,7 @@ pub fn rollett_k(s: &SParams) -> f64 {
 pub fn mu_load(s: &SParams) -> f64 {
     let num = 1.0 - s.s11().norm_sqr();
     let den = (s.s22() - s.delta() * s.s11().conj()).abs() + (s.s12() * s.s21()).abs();
-    if den == 0.0 {
+    if rfkit_num::is_exact_zero(den) {
         f64::INFINITY
     } else {
         num / den
@@ -41,7 +41,7 @@ pub fn mu_load(s: &SParams) -> f64 {
 pub fn mu_source(s: &SParams) -> f64 {
     let num = 1.0 - s.s22().norm_sqr();
     let den = (s.s11() - s.delta() * s.s22().conj()).abs() + (s.s12() * s.s21()).abs();
-    if den == 0.0 {
+    if rfkit_num::is_exact_zero(den) {
         f64::INFINITY
     } else {
         num / den

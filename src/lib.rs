@@ -8,6 +8,8 @@
 //! runnable walkthroughs and `crates/bench` for the per-table/figure
 //! experiment binaries.
 
+#![forbid(unsafe_code)]
+
 pub use lna;
 pub use rfkit_circuit;
 pub use rfkit_device;
