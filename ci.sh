@@ -39,6 +39,17 @@ echo "== cargo test --features numsan (numeric sanitizer armed)"
 cargo test -q --release -p rfkit-num --features numsan || fail=1
 cargo test -q --release -p gnss-lna --features numsan || fail=1
 
+echo "== traced end-to-end design run (RFKIT_TRACE=1)"
+# Arms the observability layer for the full design example, then checks
+# the emitted JSONL parses and contains the expected top-level spans —
+# the tracing pipeline itself is under test here, not the numerics.
+rm -f results/TRACE_ci.jsonl
+RFKIT_TRACE=1 RFKIT_TRACE_OUT=results/TRACE_ci.jsonl \
+  cargo run --release -q --example design_gnss_lna >/dev/null || fail=1
+cargo run --release -q -p rfkit-obs --bin rfkit-trace -- --json \
+  --expect design.total --expect design.optimize --expect opt.improved_goal \
+  results/TRACE_ci.jsonl >/dev/null || fail=1
+
 if [ "$fail" -ne 0 ]; then
   echo "ci.sh: FAILED"
   exit 1

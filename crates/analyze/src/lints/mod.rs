@@ -4,6 +4,7 @@
 pub mod float_eq;
 pub mod nan_unsafe_sort;
 pub mod nondeterminism;
+pub mod obs_span_leak;
 pub mod todo_markers;
 pub mod unsafe_outside_par;
 pub mod unwrap_in_lib;
@@ -48,6 +49,11 @@ pub fn all() -> Vec<Lint> {
             name: unsafe_outside_par::NAME,
             description: unsafe_outside_par::DESCRIPTION,
             check: unsafe_outside_par::check,
+        },
+        Lint {
+            name: obs_span_leak::NAME,
+            description: obs_span_leak::DESCRIPTION,
+            check: obs_span_leak::check,
         },
         Lint {
             name: todo_markers::NAME,

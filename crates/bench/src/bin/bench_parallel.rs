@@ -59,7 +59,19 @@ fn main() {
     let band = BandSpec::gnss();
     let bounds = DesignVariables::bounds();
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    println!("machine: {cores} core(s); RFKIT_THREADS swept over {THREAD_COUNTS:?}\n");
+    println!("machine: {cores} core(s); RFKIT_THREADS swept over {THREAD_COUNTS:?}");
+    let oversubscribed: Vec<usize> = THREAD_COUNTS
+        .iter()
+        .copied()
+        .filter(|&t| t > cores)
+        .collect();
+    if !oversubscribed.is_empty() {
+        println!(
+            "warning: thread counts {oversubscribed:?} exceed available_parallelism ({cores}); \
+             those runs are oversubscribed and their speedups are bounded by ~{cores}x"
+        );
+    }
+    println!();
 
     // 1. DE population evaluation on the real band-attainment objective.
     let objectives = band_objectives(&device, &band);
@@ -137,6 +149,7 @@ fn main() {
     std::fs::create_dir_all("results").expect("results dir");
     std::fs::write("results/BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("\nwrote results/BENCH_parallel.json");
+    rfkit_obs::flush();
     if cores == 1 {
         println!("note: single-core machine — parallel speedups are bounded at ~1x here;");
         println!("the same harness demonstrates scaling on multi-core hardware.");

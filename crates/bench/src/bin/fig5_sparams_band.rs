@@ -29,6 +29,7 @@ fn main() {
 
     let amp = Amplifier::new(&device, vars);
     let freqs_ghz: Vec<f64> = freqs.iter().map(|f| f / 1e9).collect();
+    let _sweep_span = rfkit_obs::span("bench.fig5.band_sweep");
     for (name, pick) in [("S11", 0usize), ("S21", 1), ("S22", 2)] {
         let design_db: Vec<f64> = freqs
             .iter()
@@ -62,4 +63,6 @@ fn main() {
             &[design_db, meas_db],
         );
     }
+    drop(_sweep_span);
+    rfkit_obs::flush();
 }

@@ -27,10 +27,12 @@ fn main() {
     let session = measure(&device, &built, &freqs, &cfg).expect("board alive");
 
     let amp = Amplifier::new(&device, vars);
+    let sweep_span = rfkit_obs::span("bench.fig6.band_sweep");
     let design_nf: Vec<f64> = freqs
         .iter()
         .map(|&f| amp.metrics(f).expect("design feasible").nf_db)
         .collect();
+    drop(sweep_span);
     let freqs_ghz: Vec<f64> = freqs.iter().map(|f| f / 1e9).collect();
     println!("\nNF at 50 ohm source (dB):");
     print_series(
@@ -49,4 +51,5 @@ fn main() {
         stats::mean(&gaps),
         stats::max(&gaps)
     );
+    rfkit_obs::flush();
 }

@@ -9,6 +9,7 @@ use rfkit_extract::ExtractionData;
 
 /// Builds the standard characterization data set of the golden device.
 pub fn golden_dataset(noise: MeasurementNoise) -> ExtractionData {
+    let _span = rfkit_obs::span("bench.golden_dataset");
     let g = GoldenDevice::default();
     let (vgs_grid, vds_grid) = GoldenDevice::standard_iv_grid();
     let bias_vgs = g
@@ -26,6 +27,7 @@ pub fn golden_dataset(noise: MeasurementNoise) -> ExtractionData {
 /// Runs the paper's reference design flow (used by several figures so they
 /// all describe the same amplifier).
 pub fn reference_design(device: &Phemt) -> LnaDesign {
+    let _span = rfkit_obs::span("bench.reference_design");
     lna::design_lna(
         device,
         &DesignGoals::default(),
@@ -113,10 +115,13 @@ pub mod timing {
 
     /// Renders the records as the `results/BENCH_parallel.json` document.
     /// Hand-rolled JSON (no serde offline): numbers via `{:e}` so the
-    /// round-trip is lossless enough for trend tracking.
+    /// round-trip is lossless enough for trend tracking. `cores` is the
+    /// machine's `available_parallelism` at bench time; it appears under
+    /// both keys so older trend-tracking scripts keep working.
     pub fn to_json(records: &[BenchRecord], cores: usize) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"cores\": {cores},\n"));
+        out.push_str(&format!("  \"available_parallelism\": {cores},\n"));
         out.push_str("  \"benches\": [\n");
         for (i, r) in records.iter().enumerate() {
             out.push_str("    {\n");

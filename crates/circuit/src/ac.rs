@@ -11,6 +11,9 @@ use rfkit_net::{NPort, SParams, YParams};
 use rfkit_num::units::angular;
 use rfkit_num::{CMatrix, Complex};
 
+// Per-frequency solve timing (runtime-gated, write-only; see rfkit-obs).
+static OBS_AC_SOLVE_US: rfkit_obs::Hist = rfkit_obs::Hist::new("circuit.ac.solve_us");
+
 /// A Y-matrix provider evaluated per frequency for one stamped two-port.
 type YProvider<'a> = &'a dyn Fn(f64) -> YParams;
 
@@ -74,6 +77,7 @@ pub fn s_matrix(circuit: &Circuit, freq_hz: f64, stamps: &AcStamps<'_>) -> Resul
         return Err(AcError::NoPorts);
     }
     assert!(freq_hz > 0.0, "frequency must be positive");
+    let watch = rfkit_obs::stopwatch();
     let n = circuit.n_nodes();
     let w = angular(freq_hz);
     let mut y = CMatrix::zeros(n, n);
@@ -157,6 +161,9 @@ pub fn s_matrix(circuit: &Circuit, freq_hz: f64, stamps: &AcStamps<'_>) -> Resul
         .inverse()
         .map_err(|_| AcError::Singular(freq_hz))?;
     let s = (&id - &yz).matmul(&den).expect("dimensions chain");
+    if let Some(us) = watch.elapsed_us() {
+        OBS_AC_SOLVE_US.record(us);
+    }
     Ok(NPort::new(s, z0))
 }
 

@@ -11,6 +11,10 @@ use rfkit_device::dc::{gds as fet_gds, gm as fet_gm};
 use rfkit_num::RMatrix;
 use std::collections::BTreeMap;
 
+// Solver telemetry (runtime-gated, write-only; see rfkit-obs).
+static OBS_DC_SOLVES: rfkit_obs::Counter = rfkit_obs::Counter::new("circuit.dc.solves");
+static OBS_DC_ITERS: rfkit_obs::Hist = rfkit_obs::Hist::new("circuit.dc.iters");
+
 /// Result of a DC solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DcSolution {
@@ -123,6 +127,7 @@ pub fn solve_dc(circuit: &Circuit) -> Result<DcSolution, DcError> {
     if norm < 1e-6 {
         return Ok(finish(circuit, x, 200));
     }
+    rfkit_obs::event("circuit.dc.no_convergence", &[("residual", norm)]);
     Err(DcError::NoConvergence { residual: norm })
 }
 
@@ -226,6 +231,10 @@ fn assemble(
 }
 
 fn finish(circuit: &Circuit, x: Vec<f64>, iterations: usize) -> DcSolution {
+    if rfkit_obs::enabled() {
+        OBS_DC_SOLVES.add(1);
+        OBS_DC_ITERS.record(iterations as u64);
+    }
     let v = |node: Option<usize>| -> f64 { node.map_or(0.0, |k| x[k]) };
     let fet_currents = circuit
         .elements

@@ -19,6 +19,9 @@ use rfkit_num::fft::fft;
 use rfkit_num::units::dbm_from_watts;
 use rfkit_num::{CMatrix, Complex};
 
+// Per-solve timing (runtime-gated, write-only; see rfkit-obs).
+static OBS_HB_SOLVE_US: rfkit_obs::Hist = rfkit_obs::Hist::new("circuit.hb.solve_us");
+
 /// The harmonic-balance testbench.
 pub struct HbTestbench<'a> {
     /// The device under test.
@@ -127,6 +130,19 @@ impl std::error::Error for HbError {}
 ///
 /// See [`HbError`].
 pub fn solve(
+    bench: &HbTestbench<'_>,
+    a_gate: f64,
+    config: &HbConfig,
+) -> Result<HbSolution, HbError> {
+    let watch = rfkit_obs::stopwatch();
+    let result = solve_inner(bench, a_gate, config);
+    if let Some(us) = watch.elapsed_us() {
+        OBS_HB_SOLVE_US.record(us);
+    }
+    result
+}
+
+fn solve_inner(
     bench: &HbTestbench<'_>,
     a_gate: f64,
     config: &HbConfig,

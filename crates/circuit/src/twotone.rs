@@ -22,6 +22,9 @@ use rfkit_num::fft::amplitude_spectrum;
 use rfkit_num::units::{dbm_from_watts, watts_from_dbm};
 use rfkit_num::{line_intersection, Polynomial};
 
+// Sweep-progress telemetry (runtime-gated, write-only; see rfkit-obs).
+static OBS_TWOTONE_POINTS: rfkit_obs::Counter = rfkit_obs::Counter::new("circuit.twotone.points");
+
 /// The two-tone test setup.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TwoToneSpec {
@@ -130,7 +133,14 @@ pub struct Ip3Sweep {
 /// Runs a two-tone power sweep with the given evaluator and extrapolates
 /// IP3 from the small-signal (lowest-power) portion of the sweep.
 pub fn ip3_sweep(pin_dbm: &[f64], mut eval: impl FnMut(f64) -> TwoToneResult) -> Ip3Sweep {
-    let rows: Vec<TwoToneResult> = pin_dbm.iter().map(|&p| eval(p)).collect();
+    let rows: Vec<TwoToneResult> = pin_dbm
+        .iter()
+        .map(|&p| {
+            OBS_TWOTONE_POINTS.add(1);
+            eval(p)
+        })
+        .collect();
+    rfkit_obs::event("circuit.twotone.sweep", &[("points", rows.len() as f64)]);
     // Fit the 1:1 and 3:1 slopes on the lowest third of the sweep where
     // both stay well below compression.
     let n_fit = (rows.len() / 3).max(2).min(rows.len());

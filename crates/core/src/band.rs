@@ -87,6 +87,8 @@ impl BandMetrics {
     /// evaluation), the nested call runs serially, and dense grids in
     /// standalone sweeps fan out.
     pub fn evaluate(amp: &Amplifier<'_>, band: &BandSpec) -> Option<BandMetrics> {
+        static OBS_BAND_EVALS: rfkit_obs::Counter = rfkit_obs::Counter::new("band.evaluations");
+        OBS_BAND_EVALS.add(1);
         let in_band = band.grid();
         let stability = BandSpec::stability_grid();
         let mut freqs = in_band.clone();

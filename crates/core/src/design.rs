@@ -144,6 +144,7 @@ impl Default for DesignConfig {
 /// Panics if the optimizer returns an infeasible design even after the
 /// full budget (does not occur for the golden device with sane goals).
 pub fn design_lna(device: &Phemt, goals: &DesignGoals, config: &DesignConfig) -> LnaDesign {
+    let _span = rfkit_obs::span("design.total");
     let objectives = band_objectives(device, &config.band);
     let objective_ref: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &objectives;
     let goal_vec = vec![
@@ -164,10 +165,13 @@ pub fn design_lna(device: &Phemt, goals: &DesignGoals, config: &DesignConfig) ->
         global_fraction: 0.7,
         ..Default::default()
     };
-    let result = if config.improved {
-        improved_goal_attainment(&problem, &cfg)
-    } else {
-        standard_goal_attainment(&problem, &problem.bounds.center(), &cfg)
+    let result = {
+        let _span = rfkit_obs::span("design.optimize");
+        if config.improved {
+            improved_goal_attainment(&problem, &cfg)
+        } else {
+            standard_goal_attainment(&problem, &problem.bounds.center(), &cfg)
+        }
     };
 
     let continuous = DesignVariables::from_vec(&result.x);
@@ -175,10 +179,25 @@ pub fn design_lna(device: &Phemt, goals: &DesignGoals, config: &DesignConfig) ->
     let continuous_metrics =
         BandMetrics::evaluate(&amp, &config.band).expect("optimizer returned feasible design");
 
-    let snapped = repair_snapped(device, &config.band, &problem, snap_to_catalog(continuous));
+    let snapped = {
+        let _span = rfkit_obs::span("design.snap_repair");
+        repair_snapped(device, &config.band, &problem, snap_to_catalog(continuous))
+    };
     let snapped_amp = Amplifier::new(device, snapped);
     let snapped_metrics =
         BandMetrics::evaluate(&snapped_amp, &config.band).expect("snapped design feasible");
+
+    if rfkit_obs::enabled() {
+        rfkit_obs::event(
+            "design.result",
+            &[
+                ("attainment", result.attainment),
+                ("evals", result.evaluations as f64),
+                ("nf_db", snapped_metrics.worst_nf_db),
+                ("gain_db", snapped_metrics.min_gain_db),
+            ],
+        );
+    }
 
     LnaDesign {
         continuous,

@@ -101,6 +101,7 @@ pub fn three_step(
     data: &ExtractionData,
     config: &ThreeStepConfig,
 ) -> ExtractionResult {
+    let _span = rfkit_obs::span("extract.three_step");
     // ---- Step 1: global DC fit. ----
     let dc_bounds = model.param_bounds();
     let de1 = DeConfig {
@@ -108,7 +109,10 @@ pub fn three_step(
         seed: config.seed,
         ..Default::default()
     };
-    let step1 = differential_evolution(|p| dc_loss(model, p, &data.dc, I_FLOOR), &dc_bounds, &de1);
+    let step1 = {
+        let _span = rfkit_obs::span("extract.step1_dc");
+        differential_evolution(|p| dc_loss(model, p, &data.dc, I_FLOOR), &dc_bounds, &de1)
+    };
     let dc_params = step1.x.clone();
 
     // ---- Step 2: global small-signal fit, gm/gds seeded from step 1. ----
@@ -120,11 +124,14 @@ pub fn three_step(
         seed: config.seed.wrapping_add(1),
         ..Default::default()
     };
-    let step2 = differential_evolution(
-        |v| sparam_loss(&ss_from_vec(v), &data.sparams),
-        &ss_box,
-        &de2,
-    );
+    let step2 = {
+        let _span = rfkit_obs::span("extract.step2_ss");
+        differential_evolution(
+            |v| sparam_loss(&ss_from_vec(v), &data.sparams),
+            &ss_box,
+            &de2,
+        )
+    };
 
     // ---- Step 3: joint LM refinement with gm/gds tied to the DC model. ----
     // Parameter vector: DC params ++ the 13 shell entries (no gm/gds).
@@ -140,6 +147,7 @@ pub fn three_step(
     // Weight the (dimensionless, ~1 %-scale) DC residuals so both domains
     // contribute comparably.
     let dc_weight = 1.0;
+    let _span3 = rfkit_obs::span("extract.step3_joint");
     let lm = levenberg_marquardt(
         |x| {
             evals3.set(evals3.get() + 1);
@@ -158,6 +166,7 @@ pub fn three_step(
             ..Default::default()
         },
     );
+    drop(_span3);
     let (dc_final, ss_final) = joint.unpack(&lm.x);
 
     let e1 = step1.evaluations;
@@ -174,6 +183,18 @@ pub fn three_step(
             combined_error(model, &dc_final, &ss_final, data),
         ),
     ];
+    if rfkit_obs::enabled() {
+        for (step, &(evals, err)) in checkpoints.iter().enumerate() {
+            rfkit_obs::event(
+                "extract.checkpoint",
+                &[
+                    ("step", (step + 1) as f64),
+                    ("evals", evals as f64),
+                    ("error", err),
+                ],
+            );
+        }
+    }
 
     ExtractionResult {
         dc_rmse: dc_rmse(model, &dc_final, &data.dc, I_FLOOR),
@@ -199,6 +220,7 @@ pub fn three_step_with_extrinsics(
     extrinsics: &rfkit_device::Extrinsic,
     config: &ThreeStepConfig,
 ) -> ExtractionResult {
+    let _span = rfkit_obs::span("extract.three_step_ext");
     // Run the normal flow but with the shell portion of the small-signal
     // box narrowed. Reuse three_step by temporarily monkey-patching is not
     // possible; instead duplicate the step structure with modified bounds.
@@ -208,7 +230,10 @@ pub fn three_step_with_extrinsics(
         seed: config.seed,
         ..Default::default()
     };
-    let step1 = differential_evolution(|p| dc_loss(model, p, &data.dc, I_FLOOR), &dc_bounds, &de1);
+    let step1 = {
+        let _span = rfkit_obs::span("extract.step1_dc");
+        differential_evolution(|p| dc_loss(model, p, &data.dc, I_FLOOR), &dc_bounds, &de1)
+    };
     let dc_params = step1.x.clone();
 
     let gm_seed = dc_gm(model, &dc_params, data.bias_vgs, data.bias_vds);
@@ -236,11 +261,14 @@ pub fn three_step_with_extrinsics(
         seed: config.seed.wrapping_add(1),
         ..Default::default()
     };
-    let step2 = differential_evolution(
-        |v| sparam_loss(&ss_from_vec(v), &data.sparams),
-        &ss_box,
-        &de2,
-    );
+    let step2 = {
+        let _span = rfkit_obs::span("extract.step2_ss");
+        differential_evolution(
+            |v| sparam_loss(&ss_from_vec(v), &data.sparams),
+            &ss_box,
+            &de2,
+        )
+    };
 
     let joint = JointVector {
         model,
@@ -251,6 +279,7 @@ pub fn three_step_with_extrinsics(
     let x0 = joint.pack(&dc_params, &step2.x);
     let joint_bounds = joint.bounds(&dc_bounds, &ss_box);
     let evals3 = std::cell::Cell::new(0usize);
+    let _span3 = rfkit_obs::span("extract.step3_joint");
     let lm = levenberg_marquardt(
         |x| {
             evals3.set(evals3.get() + 1);
@@ -266,6 +295,7 @@ pub fn three_step_with_extrinsics(
             ..Default::default()
         },
     );
+    drop(_span3);
     let (dc_final, ss_final) = joint.unpack(&lm.x);
     let e1 = step1.evaluations;
     let e2 = step2.evaluations;
@@ -280,6 +310,18 @@ pub fn three_step_with_extrinsics(
             combined_error(model, &dc_final, &ss_final, data),
         ),
     ];
+    if rfkit_obs::enabled() {
+        for (step, &(evals, err)) in checkpoints.iter().enumerate() {
+            rfkit_obs::event(
+                "extract.checkpoint",
+                &[
+                    ("step", (step + 1) as f64),
+                    ("evals", evals as f64),
+                    ("error", err),
+                ],
+            );
+        }
+    }
     ExtractionResult {
         dc_rmse: dc_rmse(model, &dc_final, &data.dc, I_FLOOR),
         sparam_rmse: sparam_rmse(&ss_final, &data.sparams),

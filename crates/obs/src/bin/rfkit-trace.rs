@@ -1,0 +1,93 @@
+//! Summarize a rfkit-obs JSONL trace.
+//!
+//! ```text
+//! rfkit-trace [--json] [--top N] [--expect SPAN]... <trace.jsonl>
+//! ```
+//!
+//! Prints top spans by self-time, counter totals, histogram
+//! percentiles and a per-optimizer convergence table; `--json` emits
+//! the same aggregates as one JSON object. Each `--expect NAME`
+//! asserts that a span with that name is present (exit 1 otherwise) —
+//! CI uses this to prove an armed run actually traced the pipeline.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rfkit_obs::summary;
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("rfkit-trace: {err}");
+    eprintln!("usage: rfkit-trace [--json] [--top N] [--expect SPAN]... <trace.jsonl>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut top = 15usize;
+    let mut expect: Vec<String> = Vec::new();
+    let mut input: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--top" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top = n,
+                None => return usage("--top needs a number"),
+            },
+            "--expect" => match args.next() {
+                Some(v) => expect.push(v),
+                None => return usage("--expect needs a span name"),
+            },
+            "--help" | "-h" => return usage("trace summarizer"),
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown argument `{other}`"))
+            }
+            other => {
+                if input.is_some() {
+                    return usage("exactly one trace file expected");
+                }
+                input = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let Some(path) = input else {
+        return usage("missing trace file");
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rfkit-trace: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let s = match summary::summarize(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rfkit-trace: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    if s.records == 0 {
+        eprintln!("rfkit-trace: {} contains no trace records", path.display());
+        return ExitCode::from(2);
+    }
+
+    if json {
+        println!("{}", summary::render_json(&s));
+    } else {
+        print!("{}", summary::render_human(&s, top));
+    }
+
+    let missing: Vec<&String> = expect
+        .iter()
+        .filter(|name| !s.spans.iter().any(|a| &a.name == *name))
+        .collect();
+    if !missing.is_empty() {
+        for name in &missing {
+            eprintln!("rfkit-trace: expected span `{name}` not found in trace");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,223 @@
+//! Atomic counters and fixed-bucket (log2) histograms with a global
+//! registry, dumped to the sink by [`flush`](crate::flush).
+//!
+//! Both types are designed to live in `static` items inside
+//! instrumented crates:
+//!
+//! ```
+//! static EVALS: rfkit_obs::Counter = rfkit_obs::Counter::new("opt.evals.demo");
+//! static ITERS: rfkit_obs::Hist = rfkit_obs::Hist::new("demo.iters");
+//! EVALS.add(3);
+//! ITERS.record(17);
+//! ```
+//!
+//! Registration is lazy: the first armed `add`/`record` pushes the
+//! static into the registry, so flushing only reports metrics that
+//! were actually touched.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::sink;
+
+/// Number of log2 buckets: value 0, then one bucket per power of two
+/// up to `u64::MAX` (index = 64 - leading_zeros).
+pub const BUCKETS: usize = 65;
+
+struct Registry {
+    counters: Mutex<Vec<&'static Counter>>,
+    hists: Mutex<Vec<&'static Hist>>,
+}
+
+static REGISTRY: Registry = Registry {
+    counters: Mutex::new(Vec::new()),
+    hists: Mutex::new(Vec::new()),
+};
+
+/// A monotonically increasing counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Create an unregistered counter (const, for statics).
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Increment by `n`. No-op unless telemetry is armed.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.register();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (0 until armed and touched).
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn register(&'static self) {
+        if !self.registered.load(Ordering::Relaxed)
+            && !self.registered.swap(true, Ordering::Relaxed)
+        {
+            REGISTRY
+                .counters
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(self);
+        }
+    }
+}
+
+/// A histogram over `u64` samples with log2 buckets (65 fixed buckets,
+/// so recording is allocation-free and lock-free).
+pub struct Hist {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+    registered: AtomicBool,
+}
+
+/// Bucket index for a sample: 0 holds the value 0, bucket `i` holds
+/// `2^(i-1) ..= 2^i - 1`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (saturates at `u64::MAX`).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Hist {
+    /// Create an unregistered histogram (const, for statics).
+    pub const fn new(name: &'static str) -> Self {
+        Hist {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Record one sample. No-op unless telemetry is armed.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.register();
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wrapping on overflow, telemetry-only).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of non-empty buckets as `(inclusive_upper, count)`.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        (0..BUCKETS)
+            .filter_map(|i| {
+                let c = self.buckets[i].load(Ordering::Relaxed);
+                (c > 0).then_some((bucket_upper(i), c))
+            })
+            .collect()
+    }
+
+    fn register(&'static self) {
+        if !self.registered.load(Ordering::Relaxed)
+            && !self.registered.swap(true, Ordering::Relaxed)
+        {
+            REGISTRY
+                .hists
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(self);
+        }
+    }
+}
+
+/// Emit every registered counter and histogram to the sink.
+pub(crate) fn flush_registry() {
+    let counters: Vec<&'static Counter> = REGISTRY
+        .counters
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    for c in counters {
+        sink::emit_counter(c.name, c.value());
+    }
+    let hists: Vec<&'static Hist> = REGISTRY
+        .hists
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    for h in hists {
+        sink::emit_hist(h.name, h.count(), h.sum(), &h.snapshot());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_upper_matches_index() {
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(3), 7);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // Every value lands in the bucket whose upper bound contains it.
+        for v in [0u64, 1, 2, 3, 5, 1000, 1 << 40] {
+            assert!(v <= bucket_upper(bucket_index(v)));
+        }
+    }
+
+    #[test]
+    fn disarmed_metrics_stay_zero() {
+        // A counter that is never armed must never register or count.
+        static LOCAL: Counter = Counter::new("test.disarmed");
+        if !crate::enabled() {
+            LOCAL.add(5);
+            assert_eq!(LOCAL.value(), 0);
+        }
+    }
+}

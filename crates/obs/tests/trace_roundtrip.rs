@@ -1,0 +1,110 @@
+//! End-to-end: arm tracing into a temp file, emit spans/events/
+//! metrics, flush, and summarize the file back.
+//!
+//! Trace arming is process-global, so this file holds exactly ONE
+//! test (the same single-test-per-file pattern as the determinism
+//! test in crates/opt).
+
+use rfkit_obs::{summary, Counter, Hist, TraceConfig};
+
+static TASKS: Counter = Counter::new("test.tasks");
+static ITERS: Hist = Hist::new("test.iters");
+
+#[test]
+fn armed_trace_round_trips_through_summarizer() {
+    let path =
+        std::env::temp_dir().join(format!("rfkit_obs_roundtrip_{}.jsonl", std::process::id()));
+    rfkit_obs::init(&TraceConfig {
+        trace: true,
+        log: false,
+        out: Some(path.clone()),
+    });
+    assert!(rfkit_obs::enabled());
+    assert_eq!(rfkit_obs::trace_path().as_deref(), Some(path.as_path()));
+
+    {
+        let _outer = rfkit_obs::span("test.outer");
+        {
+            let _inner = rfkit_obs::span("test.inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        rfkit_obs::event("test.gen", &[("gen", 0.0), ("best", 5.0)]);
+        rfkit_obs::event("test.gen", &[("gen", 1.0), ("best", 2.5)]);
+        rfkit_obs::event("test.nan", &[("bad", f64::NAN)]);
+        TASKS.add(7);
+        TASKS.add(3);
+        for v in [1u64, 3, 9, 120] {
+            ITERS.record(v);
+        }
+    }
+    rfkit_obs::flush();
+
+    let text = std::fs::read_to_string(&path).expect("trace file readable");
+    let s = summary::summarize(&text).expect("trace parses");
+    let _ = std::fs::remove_file(&path);
+
+    // meta + 2 spans + 3 events + 1 counter + 1 hist = 8 records.
+    assert_eq!(s.records, 8, "unexpected record count in:\n{text}");
+    assert!(s.meta.contains_key("pid"));
+
+    let outer = s
+        .spans
+        .iter()
+        .find(|a| a.name == "test.outer")
+        .expect("outer span recorded");
+    let inner = s
+        .spans
+        .iter()
+        .find(|a| a.name == "test.inner")
+        .expect("inner span recorded");
+    assert_eq!(outer.count, 1);
+    assert_eq!(inner.count, 1);
+    // The inner span slept ~2ms; self-time accounting must attribute
+    // that to the inner span, not the outer one.
+    assert!(inner.self_us >= 1_000, "inner self {}us", inner.self_us);
+    assert!(
+        outer.total_us >= inner.total_us,
+        "outer {}us < inner {}us",
+        outer.total_us,
+        inner.total_us
+    );
+    assert!(
+        outer.self_us <= outer.total_us - inner.total_us + 1_000,
+        "outer self {}us should exclude inner {}us",
+        outer.self_us,
+        inner.total_us
+    );
+
+    assert_eq!(s.counters.get("test.tasks"), Some(&10));
+    let hist = s.hists.get("test.iters").expect("hist recorded");
+    assert_eq!(hist.count, 4);
+    assert_eq!(hist.sum, 133);
+    assert_eq!(hist.percentile(1.0), 127); // 120 lands in the 64..=127 bucket
+
+    let gen = s
+        .series
+        .iter()
+        .find(|sa| sa.name == "test.gen")
+        .expect("event series");
+    assert_eq!(gen.points, 2);
+    assert_eq!(gen.first.get("best"), Some(&5.0));
+    assert_eq!(gen.last.get("best"), Some(&2.5));
+    // NaN fields serialise as null and simply drop out of the series.
+    let nan = s
+        .series
+        .iter()
+        .find(|sa| sa.name == "test.nan")
+        .expect("nan event present");
+    assert!(nan.last.is_empty());
+
+    // The human and JSON renderers both cover the same data.
+    let human = summary::render_human(&s, 10);
+    assert!(human.contains("test.outer"));
+    let parsed = rfkit_obs::json::parse(&summary::render_json(&s)).expect("json output parses");
+    assert_eq!(
+        parsed
+            .get("records")
+            .and_then(rfkit_obs::json::Json::as_f64),
+        Some(8.0)
+    );
+}

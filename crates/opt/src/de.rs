@@ -91,6 +91,7 @@ pub fn differential_evolution(
     let mut rng = Rng64::new(config.seed);
     let mut evals = 0usize;
 
+    let pop_target = pop_size;
     let population_init: Vec<Vec<f64>> = (0..pop_size.min(config.max_evals.max(4)))
         .map(|_| bounds.sample(&mut rng))
         .collect();
@@ -98,10 +99,14 @@ pub fn differential_evolution(
     let mut values: Vec<f64> = par_map(&population, |x| f(x));
     evals += population.len();
     let pop_size = population.len();
+    if pop_size < pop_target {
+        rfkit_obs::event("opt.de.truncated", &[("evals", evals as f64)]);
+    }
 
     let mut best_prev = f64::INFINITY;
     let mut stall = 0usize;
     let mut converged = false;
+    let mut generation = 0u64;
 
     loop {
         let remaining = config.max_evals.saturating_sub(evals);
@@ -147,7 +152,24 @@ pub fn differential_evolution(
                 values[i] = v;
             }
         }
+        generation += 1;
+        if rfkit_obs::enabled() {
+            // Telemetry reads the post-acceptance population; it never
+            // feeds back into the search.
+            let best = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let worst = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            rfkit_obs::event(
+                "opt.de.gen",
+                &[
+                    ("gen", generation as f64),
+                    ("best", best),
+                    ("spread", worst - best),
+                    ("evals", evals as f64),
+                ],
+            );
+        }
         if batch < pop_size {
+            rfkit_obs::event("opt.de.truncated", &[("evals", evals as f64)]);
             break; // budget exhausted mid-generation
         }
 

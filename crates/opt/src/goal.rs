@@ -140,6 +140,7 @@ pub fn standard_goal_attainment(
     start: &[f64],
     config: &GoalConfig,
 ) -> GoalResult {
+    let _span = rfkit_obs::span("opt.standard_goal");
     let n = problem.bounds.dim();
     assert_eq!(start.len(), n, "start dimension mismatch");
     let evals = AtomicUsize::new(0);
@@ -183,11 +184,16 @@ pub fn standard_goal_attainment(
     let f = (problem.objectives)(&x);
     evals.fetch_add(1, Ordering::Relaxed);
     let attainment = problem.attainment(&f);
+    let evaluations = evals.load(Ordering::Relaxed);
+    rfkit_obs::event(
+        "opt.goal.standard",
+        &[("gamma", attainment), ("evals", evaluations as f64)],
+    );
     GoalResult {
         x,
         attainment,
         objectives: f,
-        evaluations: evals.load(Ordering::Relaxed),
+        evaluations,
     }
 }
 
@@ -198,6 +204,7 @@ pub fn standard_goal_attainment(
 /// seeded from `config.seed + k`, so the result is identical at any thread
 /// count); the winner is picked in restart order.
 pub fn improved_goal_attainment(problem: &GoalProblem<'_>, config: &GoalConfig) -> GoalResult {
+    let _span = rfkit_obs::span("opt.improved_goal");
     let evals = AtomicUsize::new(0);
     let gamma = |x: &[f64]| -> f64 {
         evals.fetch_add(1, Ordering::Relaxed);
@@ -231,7 +238,12 @@ pub fn improved_goal_attainment(problem: &GoalProblem<'_>, config: &GoalConfig) 
             max_evals: polish_budget.max(1),
             ..Default::default()
         };
-        pattern_search(|x| gamma(x), &candidate, &problem.bounds, &ps_cfg)
+        let polished = pattern_search(|x| gamma(x), &candidate, &problem.bounds, &ps_cfg);
+        rfkit_obs::event(
+            "opt.goal.start",
+            &[("start", k as f64), ("gamma", polished.value)],
+        );
+        polished
     });
 
     let mut best_x: Option<Vec<f64>> = None;
@@ -246,11 +258,17 @@ pub fn improved_goal_attainment(problem: &GoalProblem<'_>, config: &GoalConfig) 
     let x = best_x.expect("at least one start ran");
     let objectives = (problem.objectives)(&x);
     evals.fetch_add(1, Ordering::Relaxed);
+    let attainment = problem.attainment(&objectives);
+    let evaluations = evals.load(Ordering::Relaxed);
+    rfkit_obs::event(
+        "opt.goal.improved",
+        &[("gamma", attainment), ("evals", evaluations as f64)],
+    );
     GoalResult {
-        attainment: problem.attainment(&objectives),
+        attainment,
         x,
         objectives,
-        evaluations: evals.load(Ordering::Relaxed),
+        evaluations,
     }
 }
 
@@ -267,6 +285,7 @@ pub fn trace_front(
     bounds: &Bounds,
     config: &GoalConfig,
 ) -> Vec<GoalResult> {
+    let _span = rfkit_obs::span("opt.trace_front");
     let sweep_cfg = ParConfig {
         serial_threshold: 0,
         ..ParConfig::default()

@@ -81,8 +81,10 @@ pub fn levenberg_marquardt(
     let mut current_cost = cost(&r);
     let mut lambda = config.lambda0;
     let mut converged = false;
+    let mut iteration = 0u64;
 
     while evals + n < config.max_evals {
+        iteration += 1;
         // Forward-difference Jacobian (m×n).
         let mut jac = RMatrix::zeros(m, n);
         for j in 0..n {
@@ -152,6 +154,15 @@ pub fn levenberg_marquardt(
                 break;
             }
         }
+        rfkit_obs::event(
+            "opt.lm.iter",
+            &[
+                ("iter", iteration as f64),
+                ("cost", current_cost),
+                ("lambda", lambda),
+                ("evals", evals as f64),
+            ],
+        );
         if converged || !improved {
             converged = converged || !improved && current_cost.is_finite();
             break;

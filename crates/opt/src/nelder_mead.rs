@@ -100,7 +100,9 @@ pub fn nelder_mead(
     };
 
     let mut converged = false;
+    let mut iteration = 0u64;
     while evals + 2 <= config.max_evals {
+        iteration += 1;
         // Order the simplex.
         let mut order: Vec<usize> = (0..=n).collect();
         order.sort_by(|&a, &b| rfkit_num::total_cmp_f64(&values[a], &values[b]));
@@ -120,6 +122,19 @@ pub fn nelder_mead(
                     .fold(0.0, f64::max)
             })
             .fold(0.0, f64::max);
+        // Throttled telemetry: one event every 32 iterations.
+        if iteration.is_multiple_of(32) {
+            rfkit_obs::event(
+                "opt.nm.iter",
+                &[
+                    ("iter", iteration as f64),
+                    ("best", values[best]),
+                    ("f_spread", f_spread),
+                    ("x_spread", x_spread),
+                    ("evals", evals as f64),
+                ],
+            );
+        }
         if f_spread.abs() <= config.f_tol && x_spread <= config.x_tol {
             converged = true;
             break;

@@ -30,6 +30,11 @@ pub struct Nsga2Config {
     pub mutation_prob: f64,
     /// Polynomial-mutation distribution index.
     pub eta_mutation: f64,
+    /// Maximum objective evaluations; 0 means unlimited (the run is
+    /// bounded by `generations` alone). When the budget runs out
+    /// mid-generation the offspring batch is truncated and the run
+    /// returns cleanly after one final environmental selection.
+    pub max_evals: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -43,6 +48,7 @@ impl Default for Nsga2Config {
             eta_crossover: 15.0,
             mutation_prob: 0.0,
             eta_mutation: 20.0,
+            max_evals: 0,
             seed: 0x45a2,
         }
     }
@@ -97,16 +103,53 @@ pub fn nsga2(
     let mut rng = Rng64::new(config.seed);
     let mut evals = 0usize;
 
-    let init_xs: Vec<Vec<f64>> = (0..pop_size).map(|_| bounds.sample(&mut rng)).collect();
+    // Budget-capped initialisation; identical to the unbounded path
+    // whenever `max_evals` covers at least one full population.
+    let init_n = if config.max_evals == 0 {
+        pop_size
+    } else {
+        pop_size.min(config.max_evals.max(2))
+    };
+    let init_xs: Vec<Vec<f64>> = (0..init_n).map(|_| bounds.sample(&mut rng)).collect();
     let init_objs = par_map(&init_xs, |x| objectives(x));
     evals += init_xs.len();
+    if init_n < pop_size {
+        rfkit_obs::event("opt.nsga2.truncated", &[("evals", evals as f64)]);
+    }
     let mut pop: Vec<Individual> = init_xs
         .into_iter()
         .zip(init_objs)
         .map(|(x, objectives)| Individual { x, objectives })
         .collect();
 
-    for _gen in 0..config.generations {
+    // Telemetry-only hypervolume reference for 2-objective runs, fixed
+    // from the initial population so per-generation values are comparable.
+    let hv_ref: Option<[f64; 2]> =
+        if rfkit_obs::enabled() && pop.first().is_some_and(|i| i.objectives.len() == 2) {
+            let mut m = [f64::NEG_INFINITY; 2];
+            for ind in &pop {
+                for (k, slot) in m.iter_mut().enumerate() {
+                    *slot = slot.max(ind.objectives[k]);
+                }
+            }
+            Some([
+                m[0] + 0.1 * m[0].abs() + 1e-9,
+                m[1] + 0.1 * m[1].abs() + 1e-9,
+            ])
+        } else {
+            None
+        };
+
+    for generation in 0..config.generations {
+        let remaining = if config.max_evals == 0 {
+            usize::MAX
+        } else {
+            config.max_evals.saturating_sub(evals)
+        };
+        if remaining == 0 {
+            break;
+        }
+        let batch = pop_size.min(remaining);
         // Rank + crowding of the current population.
         let objs: Vec<Vec<f64>> = pop.iter().map(|i| i.objectives.clone()).collect();
         let fronts = nondominated_sort(&objs);
@@ -129,9 +172,11 @@ pub fn nsga2(
             }
         };
 
-        // Offspring variation: serial, all RNG draws happen here.
-        let mut child_xs: Vec<Vec<f64>> = Vec::with_capacity(pop_size);
-        while child_xs.len() < pop_size {
+        // Offspring variation: serial, all RNG draws happen here. The
+        // batch equals `pop_size` until the eval budget runs short, so
+        // the RNG sequence is unchanged for ample budgets.
+        let mut child_xs: Vec<Vec<f64>> = Vec::with_capacity(batch);
+        while child_xs.len() < batch {
             let p1 = tournament(&mut rng);
             let p2 = tournament(&mut rng);
             let (mut c1, mut c2) = sbx_crossover(
@@ -157,7 +202,7 @@ pub fn nsga2(
                 &mut rng,
             );
             for c in [c1, c2] {
-                if child_xs.len() < pop_size {
+                if child_xs.len() < batch {
                     child_xs.push(c);
                 }
             }
@@ -195,7 +240,26 @@ pub fn nsga2(
                 break;
             }
         }
+        if rfkit_obs::enabled() {
+            // Telemetry over the merged population's first front; never
+            // read back by the search.
+            let first = fronts.first().map(Vec::as_slice).unwrap_or(&[]);
+            let mut fields = vec![
+                ("gen", (generation + 1) as f64),
+                ("front_size", first.len() as f64),
+                ("evals", evals as f64),
+            ];
+            if let Some(reference) = hv_ref {
+                let pts: Vec<Vec<f64>> = first.iter().map(|&i| pop[i].objectives.clone()).collect();
+                fields.push(("hv", crate::pareto::hypervolume_2d(&pts, reference)));
+            }
+            rfkit_obs::event("opt.nsga2.gen", &fields);
+        }
         pop = next;
+        if batch < pop_size {
+            rfkit_obs::event("opt.nsga2.truncated", &[("evals", evals as f64)]);
+            break; // budget exhausted mid-generation
+        }
     }
 
     let objs: Vec<Vec<f64>> = pop.iter().map(|i| i.objectives.clone()).collect();

@@ -72,8 +72,22 @@ pub fn particle_swarm(
         .map(|_| (0..n).map(|d| rng.uniform(-0.2, 0.2) * span[d]).collect())
         .collect();
     let mut p_best = pos.clone();
-    let mut p_best_val: Vec<f64> = par_map(&pos, |x| f(x));
-    evals += swarm_size;
+    // Budget-capped initial evaluation: particles beyond the budget keep
+    // an infinite personal best (they never win the global-best scan).
+    // When `max_evals >= swarm_size` this is the full swarm and the RNG /
+    // evaluation sequence is unchanged.
+    let init_batch = swarm_size.min(config.max_evals.max(1));
+    let mut p_best_val: Vec<f64> = vec![f64::INFINITY; swarm_size];
+    for (i, v) in par_map(&pos[..init_batch], |x| f(x))
+        .into_iter()
+        .enumerate()
+    {
+        p_best_val[i] = v;
+    }
+    evals += init_batch;
+    if init_batch < swarm_size {
+        rfkit_obs::event("opt.pso.truncated", &[("evals", evals as f64)]);
+    }
     let g_best_idx = p_best_val
         .iter()
         .enumerate()
@@ -82,6 +96,7 @@ pub fn particle_swarm(
         .expect("non-empty swarm");
     let mut g_best = p_best[g_best_idx].clone();
     let mut g_best_val = p_best_val[g_best_idx];
+    let mut iteration = 0u64;
 
     loop {
         let remaining = config.max_evals.saturating_sub(evals);
@@ -124,7 +139,17 @@ pub fn particle_swarm(
                 g_best = p_best[i].clone();
             }
         }
+        iteration += 1;
+        rfkit_obs::event(
+            "opt.pso.iter",
+            &[
+                ("iter", iteration as f64),
+                ("best", g_best_val),
+                ("evals", evals as f64),
+            ],
+        );
         if batch < swarm_size {
+            rfkit_obs::event("opt.pso.truncated", &[("evals", evals as f64)]);
             break; // budget exhausted mid-iteration
         }
     }

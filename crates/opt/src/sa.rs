@@ -106,6 +106,13 @@ pub fn simulated_annealing(
             }
         }
         temp *= config.cooling;
+        // Throttled telemetry: one event every 256 evaluations.
+        if evals.is_multiple_of(256) {
+            rfkit_obs::event(
+                "opt.sa.iter",
+                &[("evals", evals as f64), ("best", best_val), ("temp", temp)],
+            );
+        }
     }
 
     OptResult {

@@ -54,6 +54,20 @@ fn dc_operating_point() -> Vec<f64> {
 
 #[test]
 fn fixed_seed_output_identical_at_1_and_4_threads() {
+    // Arm tracing for the whole comparison: telemetry is write-only with
+    // respect to the numerics, so the bit-identical contract must hold
+    // with the sink recording (this is the strongest form of the
+    // determinism guarantee the observability layer promises).
+    let trace = std::env::temp_dir().join(format!(
+        "rfkit_determinism_trace_{}.jsonl",
+        std::process::id()
+    ));
+    rfkit_obs::init(&rfkit_obs::TraceConfig {
+        trace: true,
+        log: false,
+        out: Some(trace.clone()),
+    });
+
     let run_all = || {
         let b = Bounds::uniform(3, -5.12, 5.12);
         let de = differential_evolution(
@@ -114,4 +128,9 @@ fn fixed_seed_output_identical_at_1_and_4_threads() {
         dc_1, dc_4,
         "DC operating point differs across thread counts"
     );
+
+    rfkit_obs::flush();
+    let meta = std::fs::metadata(&trace).expect("armed run wrote a trace");
+    assert!(meta.len() > 0, "trace file is empty despite armed run");
+    let _ = std::fs::remove_file(&trace);
 }

@@ -69,6 +69,15 @@ use std::thread;
 /// Hard ceiling on pool size; `RFKIT_THREADS` is clamped to this.
 const MAX_THREADS: usize = 64;
 
+// Pool telemetry (rfkit-obs, runtime-gated, write-only: never read back
+// by the engine, so it cannot perturb scheduling or results).
+static OBS_TASKS: rfkit_obs::Counter = rfkit_obs::Counter::new("par.tasks");
+static OBS_BATCHES: rfkit_obs::Counter = rfkit_obs::Counter::new("par.batches");
+static OBS_SERIAL_FALLBACK: rfkit_obs::Counter = rfkit_obs::Counter::new("par.serial_fallback");
+static OBS_ITEMS_PER_PARTICIPANT: rfkit_obs::Hist =
+    rfkit_obs::Hist::new("par.items_per_participant");
+static OBS_QUEUE_WAIT_US: rfkit_obs::Hist = rfkit_obs::Hist::new("par.queue_wait_us");
+
 /// Tuning knobs for a parallel map call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParConfig {
@@ -196,6 +205,10 @@ where
         cfg.threads.min(MAX_THREADS)
     };
     if n <= cfg.serial_threshold || threads <= 1 || in_parallel_region() {
+        if rfkit_obs::enabled() {
+            OBS_SERIAL_FALLBACK.add(1);
+            OBS_TASKS.add(n as u64);
+        }
         return (0..n).map(f).collect();
     }
 
@@ -211,8 +224,21 @@ where
     let wanted_helpers = (threads - 1).min(total_chunks.saturating_sub(1));
     let helpers = Pool::global().ensure_workers(wanted_helpers);
     if helpers == 0 {
+        if rfkit_obs::enabled() {
+            OBS_SERIAL_FALLBACK.add(1);
+            OBS_TASKS.add(n as u64);
+        }
         return (0..n).map(f).collect();
     }
+
+    // Telemetry is gated once per batch; queue wait is measured from just
+    // before submit to each participant's first successful claim.
+    let armed = rfkit_obs::enabled();
+    if armed {
+        OBS_BATCHES.add(1);
+        OBS_TASKS.add(n as u64);
+    }
+    let submit_us = if armed { rfkit_obs::now_us() } else { 0 };
 
     let results: Vec<Slot<R>> = (0..n).map(|_| Slot::new()).collect();
     let next = AtomicUsize::new(0);
@@ -221,6 +247,8 @@ where
 
     let work = || {
         let _region = RegionGuard::enter();
+        let mut my_items = 0u64;
+        let mut first_claim = true;
         let outcome = catch_unwind(AssertUnwindSafe(|| loop {
             if abort.load(Ordering::Relaxed) {
                 break;
@@ -229,8 +257,13 @@ where
             if start >= n {
                 break;
             }
+            if armed && first_claim {
+                first_claim = false;
+                OBS_QUEUE_WAIT_US.record(rfkit_obs::now_us().saturating_sub(submit_us));
+            }
             #[allow(clippy::needless_range_loop)] // i is the work-item id, not just an index
             for i in start..(start + chunk).min(n) {
+                my_items += 1;
                 let value = f(i);
                 // SAFETY: the chunked atomic index hands each i to exactly
                 // one participant, so this is the only write to slot i, and
@@ -238,6 +271,9 @@ where
                 unsafe { (*results[i].0.get()).write(value) };
             }
         }));
+        if armed && my_items > 0 {
+            OBS_ITEMS_PER_PARTICIPANT.record(my_items);
+        }
         if let Err(payload) = outcome {
             abort.store(true, Ordering::Relaxed);
             latch.record_panic(payload);

@@ -50,6 +50,10 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`")),
     };
+    rfkit_obs::flush();
+    if let Some(path) = rfkit_obs::trace_path() {
+        eprintln!("trace written to {}", path.display());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
