@@ -50,6 +50,23 @@ cargo run --release -q -p rfkit-obs --bin rfkit-trace -- --json \
   --expect design.total --expect design.optimize --expect opt.improved_goal \
   results/TRACE_ci.jsonl >/dev/null || fail=1
 
+echo "== bench_ac smoke (tiny grid, traced)"
+# Runs the compiled-AC benchmark on a tiny grid with tracing armed. This
+# proves three things cheaply: the fast path stays bit-identical to the
+# legacy path (bench_ac asserts it per grid point before timing), the
+# assembly histogram and memo-cache counters actually fire in an armed
+# run, and results/BENCH_ac.json is written. Timings on the tiny grid
+# are irrelevant; the full sweep is `bench_ac` with default arguments.
+rm -f results/TRACE_bench_ac.jsonl results/BENCH_ac_smoke.json
+RFKIT_TRACE=1 RFKIT_TRACE_OUT=results/TRACE_bench_ac.jsonl \
+  cargo run --release -q -p lna-bench --bin bench_ac -- \
+  --points 16 --reps 2 --out results/BENCH_ac_smoke.json \
+  >/dev/null || fail=1
+cargo run --release -q -p rfkit-obs --bin rfkit-trace -- --json \
+  --expect circuit.ac.assemble_us --expect design.cache.hit \
+  --expect design.cache.miss \
+  results/TRACE_bench_ac.jsonl >/dev/null || fail=1
+
 if [ "$fail" -ne 0 ]; then
   echo "ci.sh: FAILED"
   exit 1

@@ -8,7 +8,7 @@
 //! best of three batches. Run with `cargo bench -p lna-bench`.
 
 use lna::{band_objectives, Amplifier, BandSpec, DesignVariables};
-use rfkit_circuit::{solve_dc, two_port_s, AcStamps, Circuit};
+use rfkit_circuit::{solve_dc, two_port_s, AcStamps, AcWorkspace, Circuit, StampPlan};
 use rfkit_device::dc::{Angelov, DcModel as _};
 use rfkit_device::Phemt;
 use rfkit_net::{Abcd, NoisyAbcd};
@@ -75,6 +75,15 @@ fn main() {
         .port("out", 50.0);
     bench_kernel("mna_ladder_two_port_s", 20_000, || {
         black_box(two_port_s(&ladder, 1.5e9, &AcStamps::none()).expect("solves"));
+    });
+    let ladder_plan = StampPlan::compile(&ladder).expect("ladder compiles");
+    let mut ladder_ws = AcWorkspace::new();
+    bench_kernel("mna_ladder_plan_two_port_s", 20_000, || {
+        black_box(
+            ladder_plan
+                .two_port_s(1.5e9, &AcStamps::none(), &mut ladder_ws)
+                .expect("solves"),
+        );
     });
     bench_kernel("dc_newton_biased_fet", 2_000, || {
         let mut net = Circuit::new();

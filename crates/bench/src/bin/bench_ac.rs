@@ -1,0 +1,352 @@
+//! BENCH_ac: compiled AC fast path vs the legacy per-call MNA solve.
+//!
+//! Three sweep workloads over the GNSS band — the reference-design
+//! netlist as pure RLC assembly/solve, the small output-match network
+//! the design example verifies, and the reference netlist with the
+//! linearized-pHEMT two-port stamps applied — each timed through the
+//! legacy `two_port_s` path (allocates every matrix every call) and the
+//! compiled path (`StampPlan::compile` once + `AcWorkspace` reuse,
+//! compile time included in the timed region). Before any timing the
+//! two paths are asserted **bit-identical** on every grid point.
+//!
+//! The run also exercises the snapped-design memo cache (guaranteed hits
+//! *and* capacity evictions), so a traced invocation carries
+//! `design.cache.hit` / `design.cache.miss` counters and
+//! `circuit.ac.assemble_us` histogram entries for the CI `--expect`
+//! stage. Results go to `results/BENCH_ac.json`.
+//!
+//! Usage: `bench_ac [--points N] [--reps N] [--out PATH]` (defaults
+//! 801 / 5 / `results/BENCH_ac.json`; CI runs a tiny grid and writes to
+//! a scratch path so the committed full-sweep artifact survives).
+
+use lna::{cached_band_objectives, snap_to_catalog, BandSpec, DesignCache, DesignVariables};
+use lna_bench::timing::time_best_of;
+use rfkit_circuit::{two_port_s, AcStamps, AcWorkspace, Circuit, StampPlan};
+use rfkit_device::smallsignal::NoiseTemperatures;
+use rfkit_device::Phemt;
+use rfkit_num::linspace;
+use rfkit_num::rng::Rng64;
+use std::hint::black_box;
+
+/// The reference-design schematic as a netlist: input match, bias feed
+/// and output match around the (separately stamped) device position.
+fn reference_design_circuit() -> Circuit {
+    let mut c = Circuit::new();
+    c.inductor("in", "gate", 6.8e-9)
+        .resistor("gate", "gnd", 10_000.0)
+        .resistor("drain", "nb", 30.0)
+        .inductor("nb", "gnd", 10e-9)
+        .vsource("vdd", "gnd", 3.0)
+        .resistor("vdd", "nb", 15.0)
+        .capacitor("drain", "out", 2.2e-12)
+        .inductor("out", "gnd", 10e-9)
+        .capacitor("out", "gnd", 1.0e-12)
+        .port("in", 50.0)
+        .port("out", 50.0);
+    c
+}
+
+/// Command-line grid size / repetition count / output path with defaults.
+fn parse_args() -> (usize, usize, String) {
+    let (mut points, mut reps) = (801usize, 5usize);
+    let mut out = String::from("results/BENCH_ac.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            out = args.next().unwrap_or_default();
+            if out.is_empty() {
+                eprintln!("bench_ac: `--out` needs a path");
+                std::process::exit(2);
+            }
+            continue;
+        }
+        let slot = match a.as_str() {
+            "--points" => &mut points,
+            "--reps" => &mut reps,
+            other => {
+                eprintln!(
+                    "bench_ac: unknown argument `{other}` (use --points N / --reps N / --out PATH)"
+                );
+                std::process::exit(2);
+            }
+        };
+        let value = args.next().unwrap_or_default();
+        *slot = value.parse().ok().filter(|&v| v > 0).unwrap_or_else(|| {
+            eprintln!("bench_ac: `{a}` needs a positive integer, got `{value}`");
+            std::process::exit(2);
+        });
+    }
+    (points.max(2), reps, out)
+}
+
+struct SweepResult {
+    name: &'static str,
+    legacy_s: f64,
+    fast_s: f64,
+    points: usize,
+}
+
+impl SweepResult {
+    fn speedup(&self) -> f64 {
+        self.legacy_s / self.fast_s
+    }
+    fn legacy_us_per_point(&self) -> f64 {
+        self.legacy_s / self.points as f64 * 1e6
+    }
+    fn fast_us_per_point(&self) -> f64 {
+        self.fast_s / self.points as f64 * 1e6
+    }
+}
+
+/// Asserts bit-identity across the whole grid, then times the legacy and
+/// compiled sweeps. Returns the timings plus the workspace counters of
+/// the (untimed) equivalence sweep as the no-allocation evidence.
+fn bench_sweep(
+    name: &'static str,
+    c: &Circuit,
+    stamps: &AcStamps<'_>,
+    grid: &[f64],
+    reps: usize,
+) -> (SweepResult, u64, u64) {
+    let plan = StampPlan::compile(c).expect("reference netlist compiles");
+    let mut ws = AcWorkspace::new();
+    for &f in grid {
+        let legacy = two_port_s(c, f, stamps).expect("legacy solves");
+        let fast = plan.two_port_s(f, stamps, &mut ws).expect("fast solves");
+        assert_eq!(legacy, fast, "{name}: paths diverged at {f} Hz");
+    }
+    let (warmups, reuses) = (ws.warmup_count(), ws.reuse_count());
+
+    let legacy_s = time_best_of(reps, || {
+        for &f in grid {
+            black_box(two_port_s(c, f, stamps).expect("legacy solves"));
+        }
+    });
+    // Compile + workspace construction inside the timed region: the fast
+    // path must win including its one-time setup, not just steady-state.
+    let fast_s = time_best_of(reps, || {
+        let plan = StampPlan::compile(c).expect("compiles");
+        let mut ws = AcWorkspace::new();
+        for &f in grid {
+            black_box(plan.two_port_s(f, stamps, &mut ws).expect("fast solves"));
+        }
+    });
+    let r = SweepResult {
+        name,
+        legacy_s,
+        fast_s,
+        points: grid.len(),
+    };
+    println!(
+        "{:>24}: legacy {:>9.1} us/pt | fast {:>9.1} us/pt | speedup {:.2}x",
+        r.name,
+        r.legacy_us_per_point(),
+        r.fast_us_per_point(),
+        r.speedup()
+    );
+    (r, warmups, reuses)
+}
+
+struct CacheStats {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    hit_rate: f64,
+}
+
+/// Runs the memo cache against snapped optimizer-style candidates:
+/// duplicated candidates guarantee hits, a deliberately small second
+/// cache guarantees capacity evictions. Both counters therefore appear
+/// in a traced run.
+fn exercise_cache(device: &Phemt) -> CacheStats {
+    let band = BandSpec::new(1.1e9, 1.7e9, 3);
+    let mut rng = Rng64::new(0xbe_c4c4e);
+    let mut xs: Vec<Vec<f64>> = (0..6)
+        .map(|_| {
+            let vars = DesignVariables {
+                vds: rng.uniform(2.0, 4.0),
+                ids: rng.uniform(0.02, 0.08),
+                l1: rng.uniform(3e-9, 12e-9),
+                ls_deg: rng.uniform(0.1e-9, 0.8e-9),
+                l2: rng.uniform(5e-9, 15e-9),
+                c2: rng.uniform(1e-12, 4e-12),
+                r_bias: rng.uniform(15.0, 60.0),
+            };
+            snap_to_catalog(vars).to_vec()
+        })
+        .collect();
+    let dup = xs.clone();
+    xs.extend(dup); // every candidate evaluated twice -> >=6 hits
+
+    let cache = DesignCache::new(64);
+    let obj = cached_band_objectives(device, &band, &cache);
+    for x in &xs {
+        black_box(obj(x));
+    }
+
+    // Capacity-2 cache over 6 distinct designs: forced evictions.
+    let tiny = DesignCache::new(2);
+    let tiny_obj = cached_band_objectives(device, &band, &tiny);
+    for x in xs.iter().take(6) {
+        black_box(tiny_obj(x));
+    }
+
+    CacheStats {
+        hits: cache.hits(),
+        misses: cache.misses(),
+        evictions: tiny.evictions(),
+        hit_rate: cache.hit_rate(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    cores: usize,
+    points: usize,
+    reps: usize,
+    sweeps: &[SweepResult],
+    warmups: u64,
+    reuses: u64,
+    cache: &CacheStats,
+    timing_noisy: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"points\": {points},\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str(&format!("  \"timing_noisy\": {timing_noisy},\n"));
+    out.push_str("  \"sweeps\": [\n");
+    for (i, s) in sweeps.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", s.name));
+        out.push_str(&format!("      \"legacy_s\": {:e},\n", s.legacy_s));
+        out.push_str(&format!("      \"fast_s\": {:e},\n", s.fast_s));
+        out.push_str(&format!(
+            "      \"legacy_per_point_us\": {:.3},\n",
+            s.legacy_us_per_point()
+        ));
+        out.push_str(&format!(
+            "      \"fast_per_point_us\": {:.3},\n",
+            s.fast_us_per_point()
+        ));
+        out.push_str(&format!("      \"speedup\": {:.3}\n", s.speedup()));
+        out.push_str(if i + 1 == sweeps.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"workspace\": {\n");
+    out.push_str(&format!("    \"warmups\": {warmups},\n"));
+    out.push_str(&format!("    \"reuses\": {reuses}\n"));
+    out.push_str("  },\n");
+    out.push_str("  \"cache\": {\n");
+    out.push_str(&format!("    \"hits\": {},\n", cache.hits));
+    out.push_str(&format!("    \"misses\": {},\n", cache.misses));
+    out.push_str(&format!("    \"evictions\": {},\n", cache.evictions));
+    out.push_str(&format!("    \"hit_rate\": {:.3}\n", cache.hit_rate));
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let (points, reps, out_path) = parse_args();
+    lna_bench::header(
+        "BENCH_ac",
+        "compiled AC fast path: stamp plans + workspaces vs legacy solve",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("machine: {cores} core(s); grid {points} points, best of {reps}\n");
+
+    let mut c = reference_design_circuit();
+    let (gate, drain) = (c.node("gate"), c.node("drain"));
+    let grid = linspace(1.1e9, 1.7e9, points);
+
+    // Workload 1: pure RLC assembly + solve (the cost the fast path owns).
+    let (rlc, warmups, reuses) =
+        bench_sweep("rlc_assembly_solve", &c, &AcStamps::none(), &grid, reps);
+    assert_eq!(
+        (warmups, reuses),
+        (1, grid.len() as u64 - 1),
+        "sweep should warm the workspace exactly once"
+    );
+
+    // Workload 2: the output-match verification network — the exact
+    // sub-circuit `examples/design_gnss_lna.rs` sweeps after a design run.
+    let out_match = {
+        let mut m = Circuit::new();
+        m.inductor("in", "out", 10e-9)
+            .capacitor("out", "gnd", 2.2e-12)
+            .port("in", 50.0)
+            .port("out", 50.0);
+        m
+    };
+    let (match_sweep, _, _) = bench_sweep(
+        "output_match_solve",
+        &out_match,
+        &AcStamps::none(),
+        &grid,
+        reps,
+    );
+
+    // Workload 3: the reference netlist with the linearized device stamped in —
+    // the per-point device linearization is shared cost on both paths, so
+    // the measured speedup brackets what real band sweeps see.
+    let device = Phemt::atf54143_like();
+    let op = device.operating_point(
+        device.bias_for_current(3.0, 0.06).expect("reachable bias"),
+        3.0,
+    );
+    let ss = device.small_signal(&op);
+    let y_of = move |f: f64| {
+        ss.noisy_two_port(f, &NoiseTemperatures::default())
+            .abcd
+            .to_y()
+            .expect("device Y form")
+    };
+    let stamps = AcStamps::none().two_port(gate, drain, &y_of);
+    let (stamped, _, _) = bench_sweep("phemt_stamped_solve", &c, &stamps, &grid, reps);
+
+    // Timing-noise estimate: re-measure the cheapest workload and compare.
+    let recheck = time_best_of(reps, || {
+        for &f in &grid {
+            black_box(two_port_s(&c, f, &AcStamps::none()).expect("legacy solves"));
+        }
+    });
+    let spread = (recheck - rlc.legacy_s).abs() / rlc.legacy_s.max(f64::MIN_POSITIVE);
+    let timing_noisy = cores == 1 || spread > 0.25;
+
+    println!();
+    let cache = exercise_cache(&device);
+    println!(
+        "memo cache: {} hits / {} misses (hit rate {:.2}), {} evictions in capacity-2 run",
+        cache.hits, cache.misses, cache.hit_rate, cache.evictions
+    );
+
+    let json = to_json(
+        cores,
+        points,
+        reps,
+        &[rlc, match_sweep, stamped],
+        warmups,
+        reuses,
+        &cache,
+        timing_noisy,
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+    if timing_noisy {
+        println!(
+            "note: timings are noisy on this machine ({cores} core(s), rerun spread {:.0}%) — \
+             treat speedups as indicative, not exact",
+            spread * 100.0
+        );
+    }
+    rfkit_obs::flush();
+}

@@ -12,7 +12,49 @@ use rfkit_num::units::angular;
 use rfkit_num::{CMatrix, Complex};
 
 // Per-frequency solve timing (runtime-gated, write-only; see rfkit-obs).
-static OBS_AC_SOLVE_US: rfkit_obs::Hist = rfkit_obs::Hist::new("circuit.ac.solve_us");
+// Shared with the compiled fast path in `plan` so both record under one name.
+pub(crate) static OBS_AC_SOLVE_US: rfkit_obs::Hist = rfkit_obs::Hist::new("circuit.ac.solve_us");
+
+/// An AC short for DC voltage sources (both analysis paths must stamp the
+/// exact same conductance to stay bit-identical).
+pub(crate) const SHORT_SIEMENS: f64 = 1e7;
+
+/// Stamps a two-terminal admittance between nodes `a` and `b` (`None` =
+/// ground): `+adm` on the diagonals, `-adm` on the off-diagonals.
+pub(crate) fn stamp_admittance(y: &mut CMatrix, a: Option<usize>, b: Option<usize>, adm: Complex) {
+    if let Some(i) = a {
+        y[(i, i)] += adm;
+    }
+    if let Some(j) = b {
+        y[(j, j)] += adm;
+    }
+    if let (Some(i), Some(j)) = (a, b) {
+        y[(i, j)] -= adm;
+        y[(j, i)] -= adm;
+    }
+}
+
+/// Applies every extra stamped two-port in `stamps` at `freq_hz`. Shared
+/// between the legacy path and the compiled fast path.
+pub(crate) fn apply_two_port_stamps(y: &mut CMatrix, stamps: &AcStamps<'_>, freq_hz: f64) {
+    for (a, b, y_of) in &stamps.stamps {
+        let yp = y_of(freq_hz);
+        let mut add = |i: Option<usize>, j: Option<usize>, v: Complex| match (i, j) {
+            (Some(i), Some(j)) => y[(i, j)] += v,
+            (Some(i), None) | (None, Some(i)) => {
+                // Grounded side: the admittance to ground is already in the
+                // diagonal terms of the other node; a grounded port of the
+                // two-port simply drops its off-diagonals.
+                let _ = i;
+            }
+            (None, None) => {}
+        };
+        add(*a, *a, yp.y11());
+        add(*a, *b, yp.y12());
+        add(*b, *a, yp.y21());
+        add(*b, *b, yp.y22());
+    }
+}
 
 /// A Y-matrix provider evaluated per frequency for one stamped two-port.
 type YProvider<'a> = &'a dyn Fn(f64) -> YParams;
@@ -50,6 +92,10 @@ pub enum AcError {
     NoPorts,
     /// The reduced system is singular at the given frequency.
     Singular(f64),
+    /// AC analysis requires `freq_hz > 0` (capacitor/inductor admittances
+    /// degenerate at DC); an optimizer probing a degenerate band edge gets
+    /// an `Err`, not a panic.
+    NonPositiveFrequency(f64),
 }
 
 impl std::fmt::Display for AcError {
@@ -57,6 +103,12 @@ impl std::fmt::Display for AcError {
         match self {
             AcError::NoPorts => write!(f, "circuit declares no ports"),
             AcError::Singular(freq) => write!(f, "singular AC system at {freq} Hz"),
+            AcError::NonPositiveFrequency(freq) => {
+                write!(
+                    f,
+                    "AC analysis requires a positive frequency, got {freq} Hz"
+                )
+            }
         }
     }
 }
@@ -76,41 +128,27 @@ pub fn s_matrix(circuit: &Circuit, freq_hz: f64, stamps: &AcStamps<'_>) -> Resul
     if circuit.ports().is_empty() {
         return Err(AcError::NoPorts);
     }
-    assert!(freq_hz > 0.0, "frequency must be positive");
+    if freq_hz <= 0.0 {
+        return Err(AcError::NonPositiveFrequency(freq_hz));
+    }
     let watch = rfkit_obs::stopwatch();
     let n = circuit.n_nodes();
     let w = angular(freq_hz);
     let mut y = CMatrix::zeros(n, n);
-    let stamp = |a: Option<usize>, b: Option<usize>, adm: Complex, y: &mut CMatrix| {
-        if let Some(i) = a {
-            y[(i, i)] += adm;
-        }
-        if let Some(j) = b {
-            y[(j, j)] += adm;
-        }
-        if let (Some(i), Some(j)) = (a, b) {
-            y[(i, j)] -= adm;
-            y[(j, i)] -= adm;
-        }
-    };
-
-    // An AC short for DC voltage sources.
-    const SHORT_SIEMENS: f64 = 1e7;
-
     for e in &circuit.elements {
         match e {
             Element::Resistor { a, b, ohms } => {
-                stamp(*a, *b, Complex::real(1.0 / ohms), &mut y);
+                stamp_admittance(&mut y, *a, *b, Complex::real(1.0 / ohms));
             }
             Element::Capacitor { a, b, farads } => {
-                stamp(*a, *b, Complex::imag(w * farads), &mut y);
+                stamp_admittance(&mut y, *a, *b, Complex::imag(w * farads));
             }
             Element::Inductor { a, b, henries } => {
-                stamp(*a, *b, Complex::imag(-1.0 / (w * henries)), &mut y);
+                stamp_admittance(&mut y, *a, *b, Complex::imag(-1.0 / (w * henries)));
             }
             Element::VSource { plus, minus, .. } => {
                 // AC ground between its terminals.
-                stamp(*plus, *minus, Complex::real(SHORT_SIEMENS), &mut y);
+                stamp_admittance(&mut y, *plus, *minus, Complex::real(SHORT_SIEMENS));
             }
             Element::ISource { .. } => {
                 // AC open.
@@ -120,23 +158,7 @@ pub fn s_matrix(circuit: &Circuit, freq_hz: f64, stamps: &AcStamps<'_>) -> Resul
             }
         }
     }
-    for (a, b, y_of) in &stamps.stamps {
-        let yp = y_of(freq_hz);
-        let mut add = |i: Option<usize>, j: Option<usize>, v: Complex| match (i, j) {
-            (Some(i), Some(j)) => y[(i, j)] += v,
-            (Some(i), None) | (None, Some(i)) => {
-                // Grounded side: the admittance to ground is already in the
-                // diagonal terms of the other node; a grounded port of the
-                // two-port simply drops its off-diagonals.
-                let _ = i;
-            }
-            (None, None) => {}
-        };
-        add(*a, *a, yp.y11());
-        add(*a, *b, yp.y12());
-        add(*b, *a, yp.y21());
-        add(*b, *b, yp.y22());
-    }
+    apply_two_port_stamps(&mut y, stamps, freq_hz);
 
     // Reduce to port nodes and convert to S.
     let port_nodes: Vec<usize> = circuit.ports().iter().map(|p| p.node).collect();
@@ -304,6 +326,24 @@ mod tests {
             s_ref.s21()
         );
         assert!((s.s11() - s_ref.s11()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_positive_frequency_is_an_error() {
+        // Regression: this used to be an assert!-panic, which crashed
+        // optimizers probing a degenerate band edge.
+        let mut c = Circuit::new();
+        c.resistor("in", "out", 50.0)
+            .port("in", 50.0)
+            .port("out", 50.0);
+        assert_eq!(
+            s_matrix(&c, 0.0, &AcStamps::none()).unwrap_err(),
+            AcError::NonPositiveFrequency(0.0)
+        );
+        assert_eq!(
+            two_port_s(&c, -1e9, &AcStamps::none()).unwrap_err(),
+            AcError::NonPositiveFrequency(-1e9)
+        );
     }
 
     #[test]

@@ -37,12 +37,14 @@ pub mod ac;
 pub mod dc;
 pub mod hb;
 mod netlist;
+pub mod plan;
 pub mod twotone;
 
 pub use ac::{s_matrix, two_port_s, AcError, AcStamps};
 pub use dc::{solve_dc, DcError, DcSolution};
 pub use hb::{compression_sweep, HbConfig, HbError, HbSolution, HbTestbench};
 pub use netlist::{Circuit, Element, NodeId, Port};
+pub use plan::{AcWorkspace, StampPlan};
 pub use twotone::{
     ip3_sweep, p1db, power_series, single_tone, time_domain, Ip3Sweep, TwoToneResult, TwoToneSpec,
 };

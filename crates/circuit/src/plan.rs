@@ -1,0 +1,401 @@
+//! Compiled AC fast path: per-topology stamp plans and reusable solve
+//! workspaces.
+//!
+//! [`s_matrix`](crate::ac::s_matrix) re-walks the netlist, recomputes the
+//! port/internal index partition and allocates every intermediate matrix at
+//! *every* frequency point. For a band sweep over one topology that work is
+//! identical at each point except for the frequency-scaled stamps, so this
+//! module compiles the netlist once into a [`StampPlan`]:
+//!
+//! * node count, port nodes and the internal-node partition are resolved at
+//!   compile time;
+//! * the frequency-independent part **G** (resistors, V-source AC shorts)
+//!   is pre-stamped into a matrix that is *copied* per frequency;
+//! * the frequency-scaled part **B(ω)** (capacitors, inductors) is kept as
+//!   a compact slot list applied in place on top of the copy.
+//!
+//! Per frequency the plan copies G, applies B(ω) and the external device
+//! stamps, and solves entirely inside an [`AcWorkspace`] — in-place LU via
+//! [`LuWorkspace`], multi-RHS solves for both the Schur complement and the
+//! S conversion, zero matrix allocations after the first (warm-up) point.
+//!
+//! The fast path is **bit-identical** to the legacy path. Two facts make
+//! that possible: the stamp kernels, LU/substitution kernels and
+//! elementwise/matmul kernels are literally shared code (see
+//! [`ac`](crate::ac) and `rfkit_num::matrix`), and splitting assembly into
+//! G then B(ω) cannot change any sum because resistor/V-source admittances
+//! are purely real while capacitor/inductor admittances are purely
+//! imaginary — complex addition is componentwise, so each matrix entry's
+//! real and imaginary parts still accumulate in element order within their
+//! component. The equivalence suite in `tests/fastpath_equivalence.rs`
+//! asserts `assert_eq!` (exact bits) between both paths.
+
+use crate::ac::{apply_two_port_stamps, stamp_admittance, AcError, AcStamps};
+use crate::ac::{OBS_AC_SOLVE_US, SHORT_SIEMENS};
+use crate::netlist::{Circuit, Element};
+use rfkit_net::{NPort, SParams};
+use rfkit_num::units::angular;
+use rfkit_num::{CMatrix, Complex, LuWorkspace};
+
+// Per-frequency assembly timing for the fast path (G copy + B(ω) + device
+// stamps), a sub-phase of `circuit.ac.solve_us`.
+static OBS_AC_ASSEMBLE_US: rfkit_obs::Hist = rfkit_obs::Hist::new("circuit.ac.assemble_us");
+
+/// One frequency-scaled stamp slot: the element value with its admittance
+/// law, `jωC` or `-j/(ωL)`.
+#[derive(Debug, Clone, Copy)]
+enum BLaw {
+    /// Capacitance in farads: admittance `jωC`.
+    Cap(f64),
+    /// Inductance in henries: admittance `-j/(ωL)`.
+    Ind(f64),
+}
+
+/// A compiled reactive stamp: resolved node pair plus admittance law.
+#[derive(Debug, Clone, Copy)]
+struct BStamp {
+    a: Option<usize>,
+    b: Option<usize>,
+    law: BLaw,
+}
+
+/// A netlist compiled for repeated AC solves over one topology.
+///
+/// Compile once with [`StampPlan::compile`], then call
+/// [`StampPlan::s_matrix`] / [`StampPlan::two_port_s`] per frequency with a
+/// reusable [`AcWorkspace`]. Results are bit-identical to
+/// [`crate::ac::s_matrix`] / [`crate::ac::two_port_s`].
+#[derive(Debug, Clone)]
+pub struct StampPlan {
+    /// Total node count (matrix dimension before reduction).
+    n: usize,
+    /// Port node indices in declaration order.
+    port_nodes: Vec<usize>,
+    /// Non-port node indices, ascending (eliminated by Schur complement).
+    internal: Vec<usize>,
+    /// Reference impedance shared by all ports.
+    z0: f64,
+    /// Frequency-independent admittance part (R stamps, V-source shorts),
+    /// pre-accumulated in element order.
+    g: CMatrix,
+    /// Frequency-scaled stamp slots (C and L interleaved in element order,
+    /// preserving the legacy accumulation order within the imaginary
+    /// component).
+    b_stamps: Vec<BStamp>,
+}
+
+impl StampPlan {
+    /// Compiles the netlist: resolves the port/internal partition, stamps G
+    /// and collects the reactive slot list.
+    ///
+    /// # Errors
+    ///
+    /// [`AcError::NoPorts`] when the circuit declares no ports.
+    pub fn compile(circuit: &Circuit) -> Result<StampPlan, AcError> {
+        if circuit.ports().is_empty() {
+            return Err(AcError::NoPorts);
+        }
+        let n = circuit.n_nodes();
+        let port_nodes: Vec<usize> = circuit.ports().iter().map(|p| p.node).collect();
+        let z0 = circuit.ports()[0].z0;
+        let internal: Vec<usize> = (0..n).filter(|i| !port_nodes.contains(i)).collect();
+        let mut g = CMatrix::zeros(n, n);
+        let mut b_stamps = Vec::new();
+        for e in &circuit.elements {
+            match e {
+                Element::Resistor { a, b, ohms } => {
+                    stamp_admittance(&mut g, *a, *b, Complex::real(1.0 / ohms));
+                }
+                Element::Capacitor { a, b, farads } => {
+                    b_stamps.push(BStamp {
+                        a: *a,
+                        b: *b,
+                        law: BLaw::Cap(*farads),
+                    });
+                }
+                Element::Inductor { a, b, henries } => {
+                    b_stamps.push(BStamp {
+                        a: *a,
+                        b: *b,
+                        law: BLaw::Ind(*henries),
+                    });
+                }
+                Element::VSource { plus, minus, .. } => {
+                    // AC ground between its terminals.
+                    stamp_admittance(&mut g, *plus, *minus, Complex::real(SHORT_SIEMENS));
+                }
+                Element::ISource { .. } => {
+                    // AC open.
+                }
+                Element::Fet { .. } => {
+                    // Linearization supplied externally via `stamps`.
+                }
+            }
+        }
+        Ok(StampPlan {
+            n,
+            port_nodes,
+            internal,
+            z0,
+            g,
+            b_stamps,
+        })
+    }
+
+    /// Number of declared ports.
+    pub fn n_ports(&self) -> usize {
+        self.port_nodes.len()
+    }
+
+    /// Shared port reference impedance.
+    pub fn z0(&self) -> f64 {
+        self.z0
+    }
+
+    /// Computes the N-port S-matrix at `freq_hz` through the compiled plan.
+    ///
+    /// Allocates only the returned [`NPort`]; every intermediate lives in
+    /// `ws`. Bit-identical to [`crate::ac::s_matrix`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AcError`].
+    pub fn s_matrix(
+        &self,
+        freq_hz: f64,
+        stamps: &AcStamps<'_>,
+        ws: &mut AcWorkspace,
+    ) -> Result<NPort, AcError> {
+        self.solve_into(freq_hz, stamps, ws)?;
+        Ok(NPort::new(ws.smat.clone(), self.z0))
+    }
+
+    /// Computes 2-port S-parameters at `freq_hz` through the compiled plan,
+    /// with **zero** heap allocations after workspace warm-up ([`SParams`]
+    /// is `Copy`). Bit-identical to [`crate::ac::two_port_s`].
+    ///
+    /// # Errors
+    ///
+    /// [`AcError::NoPorts`] also covers the wrong port count here.
+    pub fn two_port_s(
+        &self,
+        freq_hz: f64,
+        stamps: &AcStamps<'_>,
+        ws: &mut AcWorkspace,
+    ) -> Result<SParams, AcError> {
+        if self.port_nodes.len() != 2 {
+            return Err(AcError::NoPorts);
+        }
+        self.solve_into(freq_hz, stamps, ws)?;
+        Ok(SParams::new(
+            ws.smat[(0, 0)],
+            ws.smat[(0, 1)],
+            ws.smat[(1, 0)],
+            ws.smat[(1, 1)],
+            self.z0,
+        ))
+    }
+
+    /// Assembles and solves at `freq_hz`, leaving the S-matrix in
+    /// `ws.smat`.
+    fn solve_into(
+        &self,
+        freq_hz: f64,
+        stamps: &AcStamps<'_>,
+        ws: &mut AcWorkspace,
+    ) -> Result<(), AcError> {
+        if freq_hz <= 0.0 {
+            return Err(AcError::NonPositiveFrequency(freq_hz));
+        }
+        let watch = rfkit_obs::stopwatch();
+        ws.track_dims(self.n, self.port_nodes.len());
+
+        // Assembly: copy G, apply B(ω) in place, then the device stamps.
+        let assemble_watch = rfkit_obs::stopwatch();
+        let w = angular(freq_hz);
+        ws.y.copy_from(&self.g);
+        for s in &self.b_stamps {
+            let adm = match s.law {
+                BLaw::Cap(farads) => Complex::imag(w * farads),
+                BLaw::Ind(henries) => Complex::imag(-1.0 / (w * henries)),
+            };
+            stamp_admittance(&mut ws.y, s.a, s.b, adm);
+        }
+        apply_two_port_stamps(&mut ws.y, stamps, freq_hz);
+        if let Some(us) = assemble_watch.elapsed_us() {
+            OBS_AC_ASSEMBLE_US.record(us);
+        }
+
+        // Schur-complement reduction to the port nodes.
+        if self.internal.is_empty() {
+            ws.yred
+                .gather_from(&ws.y, &self.port_nodes, &self.port_nodes);
+        } else {
+            ws.ypp
+                .gather_from(&ws.y, &self.port_nodes, &self.port_nodes);
+            ws.ypi.gather_from(&ws.y, &self.port_nodes, &self.internal);
+            ws.yip.gather_from(&ws.y, &self.internal, &self.port_nodes);
+            ws.yii.gather_from(&ws.y, &self.internal, &self.internal);
+            ws.yii
+                .lu_into(&mut ws.lu)
+                .map_err(|_| AcError::Singular(freq_hz))?;
+            ws.lu
+                .solve_matrix_into(&ws.yip, &mut ws.solved, &mut ws.x)
+                .map_err(|_| AcError::Singular(freq_hz))?;
+            ws.ypi
+                .matmul_into(&ws.solved, &mut ws.prod)
+                .expect("dimensions chain");
+            ws.ypp.sub_into(&ws.prod, &mut ws.yred);
+        }
+
+        // S conversion: S = (I - z0·Y)(I + z0·Y)⁻¹, inverse realized as a
+        // multi-RHS solve against the identity in workspace storage (same
+        // column-by-column arithmetic as `Matrix::inverse`).
+        let m = self.port_nodes.len();
+        if ws.id.rows() != m {
+            // The identity RHS is constant per dimension; rebuild only on
+            // a warm-up, not per frequency.
+            ws.id.reset_identity(m);
+        }
+        ws.yred.scaled_into(Complex::real(self.z0), &mut ws.yz);
+        ws.id.add_into(&ws.yz, &mut ws.apb);
+        ws.apb
+            .lu_into(&mut ws.lu)
+            .map_err(|_| AcError::Singular(freq_hz))?;
+        ws.lu
+            .solve_matrix_into(&ws.id, &mut ws.den, &mut ws.x)
+            .map_err(|_| AcError::Singular(freq_hz))?;
+        ws.id.sub_into(&ws.yz, &mut ws.amb);
+        ws.amb
+            .matmul_into(&ws.den, &mut ws.smat)
+            .expect("dimensions chain");
+        if let Some(us) = watch.elapsed_us() {
+            OBS_AC_SOLVE_US.record(us);
+        }
+        Ok(())
+    }
+}
+
+/// Reusable scratch storage for [`StampPlan`] solves.
+///
+/// All intermediate matrices, the LU workspace and the column scratch
+/// buffers live here, so a band sweep re-solving one plan performs zero
+/// matrix allocations after the first frequency point. The warm-up/reuse
+/// counters act as an allocation proxy: a sweep of `k` points over one
+/// topology must report `warmup_count() == 1` and `reuse_count() == k - 1`.
+///
+/// A workspace may be shared across plans of different sizes; changing
+/// dimensions just triggers another warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct AcWorkspace {
+    y: CMatrix,
+    ypp: CMatrix,
+    ypi: CMatrix,
+    yip: CMatrix,
+    yii: CMatrix,
+    solved: CMatrix,
+    prod: CMatrix,
+    yred: CMatrix,
+    id: CMatrix,
+    yz: CMatrix,
+    apb: CMatrix,
+    amb: CMatrix,
+    den: CMatrix,
+    smat: CMatrix,
+    lu: LuWorkspace<Complex>,
+    x: Vec<Complex>,
+    dims: (usize, usize),
+    warmups: u64,
+    reuses: u64,
+}
+
+impl AcWorkspace {
+    /// Creates an empty workspace; buffers grow on the first solve.
+    pub fn new() -> Self {
+        AcWorkspace::default()
+    }
+
+    /// Number of solves that had to size buffers (first use or a dimension
+    /// change). A single-topology sweep warms up exactly once.
+    pub fn warmup_count(&self) -> u64 {
+        self.warmups
+    }
+
+    /// Number of solves that reused existing buffer sizes (the
+    /// allocation-free fast case).
+    pub fn reuse_count(&self) -> u64 {
+        self.reuses
+    }
+
+    fn track_dims(&mut self, n: usize, m: usize) {
+        if self.dims == (n, m) {
+            self.reuses += 1;
+        } else {
+            self.dims = (n, m);
+            self.warmups += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ac::{s_matrix, two_port_s};
+
+    fn ladder() -> Circuit {
+        let mut c = Circuit::new();
+        c.inductor("in", "mid", 6.8e-9)
+            .capacitor("mid", "gnd", 1.2e-12)
+            .resistor("mid", "out", 12.0)
+            .inductor("out", "gnd", 10e-9)
+            .port("in", 50.0)
+            .port("out", 50.0);
+        c
+    }
+
+    #[test]
+    fn plan_matches_legacy_bitwise_on_ladder() {
+        let c = ladder();
+        let plan = StampPlan::compile(&c).unwrap();
+        let mut ws = AcWorkspace::new();
+        for f in [0.3e9, 1.1e9, 1.575e9, 1.7e9, 4.2e9] {
+            let legacy = two_port_s(&c, f, &AcStamps::none()).unwrap();
+            let fast = plan.two_port_s(f, &AcStamps::none(), &mut ws).unwrap();
+            assert_eq!(legacy, fast);
+            let legacy_np = s_matrix(&c, f, &AcStamps::none()).unwrap();
+            let fast_np = plan.s_matrix(f, &AcStamps::none(), &mut ws).unwrap();
+            assert_eq!(legacy_np, fast_np);
+        }
+    }
+
+    #[test]
+    fn workspace_counts_one_warmup_per_topology() {
+        let c = ladder();
+        let plan = StampPlan::compile(&c).unwrap();
+        let mut ws = AcWorkspace::new();
+        for i in 1..=32 {
+            let f = 1.0e9 + 0.025e9 * i as f64;
+            plan.two_port_s(f, &AcStamps::none(), &mut ws).unwrap();
+        }
+        assert_eq!(ws.warmup_count(), 1);
+        assert_eq!(ws.reuse_count(), 31);
+    }
+
+    #[test]
+    fn plan_error_parity_with_legacy() {
+        let mut no_ports = Circuit::new();
+        no_ports.resistor("a", "b", 10.0);
+        assert_eq!(
+            StampPlan::compile(&no_ports).unwrap_err(),
+            s_matrix(&no_ports, 1e9, &AcStamps::none()).unwrap_err()
+        );
+        let c = ladder();
+        let plan = StampPlan::compile(&c).unwrap();
+        let mut ws = AcWorkspace::new();
+        assert_eq!(
+            plan.two_port_s(0.0, &AcStamps::none(), &mut ws)
+                .unwrap_err(),
+            two_port_s(&c, 0.0, &AcStamps::none()).unwrap_err()
+        );
+    }
+}

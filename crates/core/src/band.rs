@@ -9,6 +9,7 @@
 use crate::amplifier::{Amplifier, PointMetrics};
 use rfkit_num::linspace;
 use rfkit_par::par_map;
+use std::sync::OnceLock;
 
 /// GPS L1 / Galileo E1 / BeiDou B1C center frequency (Hz).
 pub const GPS_L1_HZ: f64 = 1.57542e9;
@@ -19,35 +20,96 @@ pub const GPS_L5_HZ: f64 = 1.17645e9;
 /// GLONASS G1 center frequency (Hz).
 pub const GLONASS_G1_HZ: f64 = 1.602e9;
 
+/// The wider out-of-band stability-check grid (0.2–6 GHz).
+const STABILITY_GRID: [f64; 8] = [0.2e9, 0.5e9, 1.0e9, 1.4e9, 1.8e9, 2.5e9, 4.0e9, 6.0e9];
+
+/// Cached evaluation grids of a [`BandSpec`], computed once per spec.
+#[derive(Debug, Clone)]
+struct Grids {
+    /// The in-band linspace grid.
+    in_band: Vec<f64>,
+    /// In-band grid followed by the stability grid — the buffer
+    /// [`BandMetrics::evaluate`] sweeps.
+    combined: Vec<f64>,
+}
+
 /// A frequency band with an evaluation grid.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The band edges and point count are fixed at construction; the
+/// evaluation grids are computed lazily once and then borrowed, so the
+/// hot path ([`BandMetrics::evaluate`], called for every optimizer
+/// candidate) never reallocates frequency buffers.
+#[derive(Debug, Clone)]
 pub struct BandSpec {
-    /// Lower band edge (Hz).
-    pub f_lo: f64,
-    /// Upper band edge (Hz).
-    pub f_hi: f64,
-    /// Number of in-band evaluation points.
-    pub n_points: usize,
+    f_lo: f64,
+    f_hi: f64,
+    n_points: usize,
+    grids: OnceLock<Grids>,
+}
+
+impl PartialEq for BandSpec {
+    fn eq(&self, other: &Self) -> bool {
+        // The grid cache is derived state; only the defining parameters
+        // participate in equality.
+        self.f_lo == other.f_lo && self.f_hi == other.f_hi && self.n_points == other.n_points
+    }
 }
 
 impl BandSpec {
-    /// The multi-constellation GNSS band of the paper: 1.1–1.7 GHz.
-    pub fn gnss() -> Self {
+    /// A band from `f_lo` to `f_hi` Hz with `n_points` in-band evaluation
+    /// points.
+    pub fn new(f_lo: f64, f_hi: f64, n_points: usize) -> Self {
         BandSpec {
-            f_lo: 1.1e9,
-            f_hi: 1.7e9,
-            n_points: 7,
+            f_lo,
+            f_hi,
+            n_points,
+            grids: OnceLock::new(),
         }
     }
 
-    /// A wider grid for out-of-band stability checks (0.2–6 GHz).
-    pub fn stability_grid() -> Vec<f64> {
-        vec![0.2e9, 0.5e9, 1.0e9, 1.4e9, 1.8e9, 2.5e9, 4.0e9, 6.0e9]
+    /// The multi-constellation GNSS band of the paper: 1.1–1.7 GHz.
+    pub fn gnss() -> Self {
+        BandSpec::new(1.1e9, 1.7e9, 7)
     }
 
-    /// The in-band evaluation grid.
-    pub fn grid(&self) -> Vec<f64> {
-        linspace(self.f_lo, self.f_hi, self.n_points)
+    /// Lower band edge (Hz).
+    pub fn f_lo(&self) -> f64 {
+        self.f_lo
+    }
+
+    /// Upper band edge (Hz).
+    pub fn f_hi(&self) -> f64 {
+        self.f_hi
+    }
+
+    /// Number of in-band evaluation points.
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// A wider grid for out-of-band stability checks (0.2–6 GHz).
+    pub fn stability_grid() -> &'static [f64] {
+        &STABILITY_GRID
+    }
+
+    /// The in-band evaluation grid (computed once, then borrowed).
+    pub fn grid(&self) -> &[f64] {
+        &self.grids().in_band
+    }
+
+    /// The in-band grid followed by the stability grid — the combined
+    /// buffer band evaluation sweeps (computed once, then borrowed).
+    pub fn combined_grid(&self) -> &[f64] {
+        &self.grids().combined
+    }
+
+    fn grids(&self) -> &Grids {
+        self.grids.get_or_init(|| {
+            let in_band = linspace(self.f_lo, self.f_hi, self.n_points);
+            let mut combined = in_band.clone();
+            combined.extend_from_slice(&STABILITY_GRID);
+            Grids { in_band, combined }
+        })
     }
 
     /// Band center (Hz).
@@ -89,17 +151,17 @@ impl BandMetrics {
     pub fn evaluate(amp: &Amplifier<'_>, band: &BandSpec) -> Option<BandMetrics> {
         static OBS_BAND_EVALS: rfkit_obs::Counter = rfkit_obs::Counter::new("band.evaluations");
         OBS_BAND_EVALS.add(1);
-        let in_band = band.grid();
-        let stability = BandSpec::stability_grid();
-        let mut freqs = in_band.clone();
-        freqs.extend_from_slice(&stability);
-        let points: Vec<Option<PointMetrics>> = par_map(&freqs, |&f| amp.metrics(f));
+        // The combined in-band + stability buffer is cached on the spec;
+        // evaluation allocates no frequency grids.
+        let n_in_band = band.n_points();
+        let freqs = band.combined_grid();
+        let points: Vec<Option<PointMetrics>> = par_map(freqs, |&f| amp.metrics(f));
 
         let mut worst_nf = f64::NEG_INFINITY;
         let mut min_gain = f64::INFINITY;
         let mut worst_s11 = f64::NEG_INFINITY;
         let mut worst_s22 = f64::NEG_INFINITY;
-        for m in &points[..in_band.len()] {
+        for m in &points[..n_in_band] {
             let m = m.as_ref()?;
             worst_nf = worst_nf.max(m.nf_db);
             min_gain = min_gain.min(m.gain_db);
@@ -108,7 +170,7 @@ impl BandMetrics {
         }
         let mut min_mu = f64::INFINITY;
         let mut min_k = f64::INFINITY;
-        for m in &points[in_band.len()..] {
+        for m in &points[n_in_band..] {
             let m = m.as_ref()?;
             min_mu = min_mu.min(m.mu);
             min_k = min_k.min(m.k);
@@ -154,10 +216,26 @@ mod tests {
     fn gnss_band_covers_all_constellations() {
         let b = BandSpec::gnss();
         for f in [GPS_L1_HZ, GPS_L2_HZ, GPS_L5_HZ, GLONASS_G1_HZ] {
-            assert!(f >= b.f_lo && f <= b.f_hi, "{f} outside band");
+            assert!(f >= b.f_lo() && f <= b.f_hi(), "{f} outside band");
         }
         assert_eq!(b.grid().len(), 7);
         assert!((b.center() - 1.4e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn grids_are_cached_and_consistent() {
+        let b = BandSpec::new(1.1e9, 1.7e9, 5);
+        // Repeated calls borrow the same buffer (compute-once, no realloc).
+        assert!(std::ptr::eq(b.grid(), b.grid()));
+        assert!(std::ptr::eq(b.combined_grid(), b.combined_grid()));
+        // Combined = in-band grid followed by the stability grid.
+        let combined = b.combined_grid();
+        assert_eq!(&combined[..5], b.grid());
+        assert_eq!(&combined[5..], BandSpec::stability_grid());
+        // The in-band grid still matches a fresh linspace.
+        assert_eq!(b.grid(), linspace(1.1e9, 1.7e9, 5).as_slice());
+        // Equality ignores the lazily-populated cache.
+        assert_eq!(b, BandSpec::new(1.1e9, 1.7e9, 5));
     }
 
     #[test]

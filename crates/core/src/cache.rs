@@ -1,0 +1,257 @@
+//! Memoization of band evaluations at snapped design points.
+//!
+//! E24 snapping and snap-repair quantize optimizer candidates onto a
+//! coarse lattice, so different search iterates frequently collide on the
+//! *same* quantized [`DesignVariables`] — and a full
+//! [`BandMetrics::evaluate`] (15 frequency points through the noisy-ABCD
+//! cascade) is pure in those variables. [`DesignCache`] keys a bounded
+//! map on the exact bit patterns of the seven design variables and skips
+//! the whole band evaluation on a hit.
+//!
+//! ## Determinism rules
+//!
+//! The cache preserves the repo's 1-vs-4-thread bit-identical contract
+//! because it can only substitute a value for itself:
+//!
+//! * keys are the `f64::to_bits` of the variables — no rounding, no
+//!   tolerance, so a hit means *exactly* the same inputs;
+//! * the cached value is a pure function of the key (device and band are
+//!   fixed per cache), so whichever thread populates an entry first, every
+//!   later reader observes the value it would have computed itself;
+//! * eviction pops the smallest key of the `BTreeMap` — a deterministic
+//!   order — and at worst turns a would-be hit into a recomputation of the
+//!   identical value.
+//!
+//! Interior state lives behind a poison-tolerant [`Mutex`]; evaluation
+//! runs *outside* the lock so parallel workers never serialize on the
+//! expensive part.
+
+use crate::amplifier::{Amplifier, DesignVariables};
+use crate::band::{BandMetrics, BandSpec};
+use rfkit_device::Phemt;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+// Hit/miss/eviction telemetry (runtime-gated, write-only; see rfkit-obs).
+static OBS_CACHE_HIT: rfkit_obs::Counter = rfkit_obs::Counter::new("design.cache.hit");
+static OBS_CACHE_MISS: rfkit_obs::Counter = rfkit_obs::Counter::new("design.cache.miss");
+
+/// Default entry capacity: generous for a 6k-evaluation design run while
+/// bounding memory to a few hundred kilobytes.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Exact-bits key: the seven design variables as `u64` bit patterns.
+type Key = [u64; 7];
+
+/// A bounded, thread-safe, deterministic memo cache for
+/// [`BandMetrics::evaluate`] results at quantized design points.
+#[derive(Debug, Default)]
+pub struct DesignCache {
+    capacity: usize,
+    map: Mutex<BTreeMap<Key, Option<BandMetrics>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl DesignCache {
+    /// Creates a cache bounded to `capacity` entries (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        DesignCache {
+            capacity: capacity.max(1),
+            map: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a cache with [`DEFAULT_CACHE_CAPACITY`].
+    pub fn with_default_capacity() -> Self {
+        DesignCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+
+    fn key(vars: &DesignVariables) -> Key {
+        [
+            vars.vds.to_bits(),
+            vars.ids.to_bits(),
+            vars.l1.to_bits(),
+            vars.ls_deg.to_bits(),
+            vars.l2.to_bits(),
+            vars.c2.to_bits(),
+            vars.r_bias.to_bits(),
+        ]
+    }
+
+    /// Band metrics at `vars`, served from the cache when the exact bit
+    /// pattern was evaluated before. Infeasible results (`None`) are
+    /// cached too — a repeatedly probed infeasible corner is as expensive
+    /// as a feasible one.
+    pub fn evaluate(
+        &self,
+        device: &Phemt,
+        vars: DesignVariables,
+        band: &BandSpec,
+    ) -> Option<BandMetrics> {
+        let key = Self::key(&vars);
+        if let Some(&value) = self
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            OBS_CACHE_HIT.add(1);
+            return value;
+        }
+        // Compute outside the lock: the value is a pure function of the
+        // key, so concurrent workers at most duplicate work, never diverge.
+        let amp = Amplifier::new(device, vars);
+        let value = BandMetrics::evaluate(&amp, band);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        OBS_CACHE_MISS.add(1);
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        if !map.contains_key(&key) {
+            while map.len() >= self.capacity {
+                map.pop_first();
+                let evicted = self.evictions.fetch_add(1, Ordering::Relaxed) + 1;
+                if rfkit_obs::enabled() {
+                    rfkit_obs::event(
+                        "design.cache.evict",
+                        &[
+                            ("evictions", evicted as f64),
+                            ("capacity", self.capacity as f64),
+                        ],
+                    );
+                }
+            }
+            map.insert(key, value);
+        }
+        value
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (full evaluations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits();
+        let total = hits + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars() -> DesignVariables {
+        DesignVariables {
+            vds: 3.0,
+            ids: 0.050,
+            l1: 6.8e-9,
+            ls_deg: 0.4e-9,
+            l2: 10e-9,
+            c2: 2.2e-12,
+            r_bias: 30.0,
+        }
+    }
+
+    #[test]
+    fn hit_returns_bit_identical_metrics() {
+        let d = Phemt::atf54143_like();
+        let band = BandSpec::gnss();
+        let cache = DesignCache::new(16);
+        let first = cache.evaluate(&d, vars(), &band);
+        let second = cache.evaluate(&d, vars(), &band);
+        let amp = Amplifier::new(&d, vars());
+        let fresh = BandMetrics::evaluate(&amp, &band);
+        assert_eq!(first, fresh);
+        assert_eq!(second, fresh);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn infeasible_results_are_cached() {
+        let d = Phemt::atf54143_like();
+        let band = BandSpec::gnss();
+        let cache = DesignCache::new(16);
+        let mut bad = vars();
+        bad.ids = 3.0;
+        assert_eq!(cache.evaluate(&d, bad, &band), None);
+        assert_eq!(cache.evaluate(&d, bad, &band), None);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_deterministically() {
+        let d = Phemt::atf54143_like();
+        let band = BandSpec::gnss();
+        let cache = DesignCache::new(2);
+        let mut v = vars();
+        for i in 0..4 {
+            v.r_bias = 30.0 + i as f64;
+            cache.evaluate(&d, v, &band);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.misses(), 4);
+        // A re-query of an evicted key recomputes the identical value.
+        v.r_bias = 30.0;
+        let amp = Amplifier::new(&d, v);
+        assert_eq!(
+            cache.evaluate(&d, v, &band),
+            BandMetrics::evaluate(&amp, &band)
+        );
+    }
+
+    #[test]
+    fn distinct_bits_never_collide() {
+        let d = Phemt::atf54143_like();
+        let band = BandSpec::gnss();
+        let cache = DesignCache::new(16);
+        let a = cache.evaluate(&d, vars(), &band).expect("feasible");
+        let mut v = vars();
+        v.l1 = f64::from_bits(v.l1.to_bits() + 1); // 1 ulp away
+        let b = cache.evaluate(&d, v, &band).expect("feasible");
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+        // The two keys are different entries even though the values are
+        // numerically indistinguishable for all practical purposes.
+        assert_eq!(cache.len(), 2);
+        let _ = (a, b);
+    }
+}

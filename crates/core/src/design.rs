@@ -11,6 +11,7 @@
 
 use crate::amplifier::{Amplifier, DesignVariables};
 use crate::band::{BandMetrics, BandSpec};
+use crate::cache::DesignCache;
 use rfkit_device::Phemt;
 use rfkit_opt::{improved_goal_attainment, standard_goal_attainment, GoalConfig, GoalProblem};
 use rfkit_passive::ESeries;
@@ -49,6 +50,22 @@ impl Default for DesignGoals {
 /// Penalty objective value for designs with unreachable bias.
 const INFEASIBLE: f64 = 1e3;
 
+/// Maps a band evaluation to the 5-component objective vector (shared by
+/// the direct and memoized objective builders so both produce identical
+/// values).
+fn band_objective_vec(metrics: Option<BandMetrics>) -> Vec<f64> {
+    match metrics {
+        Some(m) => vec![
+            m.worst_nf_db,
+            -m.min_gain_db,
+            m.worst_s11_db,
+            m.worst_s22_db,
+            1.0 - m.min_mu,
+        ],
+        None => vec![INFEASIBLE; 5],
+    }
+}
+
 /// Builds the 5-component objective vector
 /// `[worst NF, −min gain, worst |S11|, worst |S22|, 1 − min μ]` (all dB
 /// except the last) used by every optimizer in the comparison.
@@ -59,16 +76,23 @@ pub fn band_objectives<'a>(
     move |x: &[f64]| {
         let vars = DesignVariables::from_vec(x);
         let amp = Amplifier::new(device, vars);
-        match BandMetrics::evaluate(&amp, band) {
-            Some(m) => vec![
-                m.worst_nf_db,
-                -m.min_gain_db,
-                m.worst_s11_db,
-                m.worst_s22_db,
-                1.0 - m.min_mu,
-            ],
-            None => vec![INFEASIBLE; 5],
-        }
+        band_objective_vec(BandMetrics::evaluate(&amp, band))
+    }
+}
+
+/// Like [`band_objectives`], but memoized through a [`DesignCache`]:
+/// candidates that collide on the exact same variable bits (as snapping
+/// and repair make them do) skip the band evaluation. Values are
+/// bit-identical to [`band_objectives`] — the cache can only substitute a
+/// result for itself.
+pub fn cached_band_objectives<'a>(
+    device: &'a Phemt,
+    band: &'a BandSpec,
+    cache: &'a DesignCache,
+) -> impl Fn(&[f64]) -> Vec<f64> + 'a {
+    move |x: &[f64]| {
+        let vars = DesignVariables::from_vec(x);
+        band_objective_vec(cache.evaluate(device, vars, band))
     }
 }
 
@@ -85,7 +109,7 @@ pub fn spot_objectives<'a>(device: &'a Phemt, f0_hz: f64) -> impl Fn(&[f64]) -> 
             None => return vec![INFEASIBLE; 3],
         };
         let mut min_mu = f64::INFINITY;
-        for f in BandSpec::stability_grid() {
+        for &f in BandSpec::stability_grid() {
             match amp.metrics(f) {
                 Some(m) => min_mu = min_mu.min(m.mu),
                 None => return vec![INFEASIBLE; 3],
@@ -145,7 +169,12 @@ impl Default for DesignConfig {
 /// full budget (does not occur for the golden device with sane goals).
 pub fn design_lna(device: &Phemt, goals: &DesignGoals, config: &DesignConfig) -> LnaDesign {
     let _span = rfkit_obs::span("design.total");
-    let objectives = band_objectives(device, &config.band);
+    // Memoize band evaluations: snap/repair quantize candidates onto a
+    // coarse lattice, so the pattern-search polish and re-verification
+    // revisit identical points. The cache is local to this run, so
+    // repeated designs with different devices/goals never cross-talk.
+    let cache = DesignCache::with_default_capacity();
+    let objectives = cached_band_objectives(device, &config.band, &cache);
     let objective_ref: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &objectives;
     let goal_vec = vec![
         goals.nf_db,
@@ -175,17 +204,17 @@ pub fn design_lna(device: &Phemt, goals: &DesignGoals, config: &DesignConfig) ->
     };
 
     let continuous = DesignVariables::from_vec(&result.x);
-    let amp = Amplifier::new(device, continuous);
-    let continuous_metrics =
-        BandMetrics::evaluate(&amp, &config.band).expect("optimizer returned feasible design");
+    let continuous_metrics = cache
+        .evaluate(device, continuous, &config.band)
+        .expect("optimizer returned feasible design");
 
     let snapped = {
         let _span = rfkit_obs::span("design.snap_repair");
         repair_snapped(device, &config.band, &problem, snap_to_catalog(continuous))
     };
-    let snapped_amp = Amplifier::new(device, snapped);
-    let snapped_metrics =
-        BandMetrics::evaluate(&snapped_amp, &config.band).expect("snapped design feasible");
+    let snapped_metrics = cache
+        .evaluate(device, snapped, &config.band)
+        .expect("snapped design feasible");
 
     if rfkit_obs::enabled() {
         rfkit_obs::event(
@@ -195,6 +224,7 @@ pub fn design_lna(device: &Phemt, goals: &DesignGoals, config: &DesignConfig) ->
                 ("evals", result.evaluations as f64),
                 ("nf_db", snapped_metrics.worst_nf_db),
                 ("gain_db", snapped_metrics.min_gain_db),
+                ("cache_hit_rate", cache.hit_rate()),
             ],
         );
     }

@@ -29,6 +29,7 @@
 
 mod amplifier;
 pub mod band;
+pub mod cache;
 pub mod design;
 pub mod measure;
 pub mod report;
@@ -37,9 +38,10 @@ pub mod yield_analysis;
 
 pub use amplifier::{Amplifier, DesignVariables, PointMetrics};
 pub use band::{BandMetrics, BandSpec};
+pub use cache::{DesignCache, DEFAULT_CACHE_CAPACITY};
 pub use design::{
-    band_objectives, design_lna, snap_to_catalog, spot_objectives, DesignConfig, DesignGoals,
-    LnaDesign,
+    band_objectives, cached_band_objectives, design_lna, snap_to_catalog, spot_objectives,
+    DesignConfig, DesignGoals, LnaDesign,
 };
 pub use measure::{
     gain_gap_db, measure, measure_im3, BuildConfig, BuiltAmplifier, MeasurementSession,

@@ -113,7 +113,7 @@ pub fn band_sweep_over_temperature(
             let cond = ThermalCondition::at(t);
             let mut worst_nf = f64::NEG_INFINITY;
             let mut min_gain = f64::INFINITY;
-            for f in band.grid() {
+            for &f in band.grid() {
                 let m = metrics_at_temperature(device, vars, f, &cond)?;
                 worst_nf = worst_nf.max(m.nf_db);
                 min_gain = min_gain.min(m.gain_db);

@@ -41,7 +41,7 @@ pub mod stats;
 pub mod units;
 
 pub use complex::Complex;
-pub use matrix::{CMatrix, Lu, Matrix, MatrixError, RMatrix, Scalar};
+pub use matrix::{CMatrix, Lu, LuWorkspace, Matrix, MatrixError, RMatrix, Scalar};
 pub use poly::{line_intersection, Polynomial};
 
 /// Total-order comparator for `f64`, for use as a sort/search comparator.

@@ -67,6 +67,10 @@ pub trait Scalar:
     const ONE: Self;
     /// Magnitude used for pivot selection.
     fn modulus(self) -> f64;
+    /// Squared magnitude — the cheap pivot metric: comparing `|z|²·s²`
+    /// picks the same pivot as comparing `|z|·s` (squaring is monotone on
+    /// non-negatives) without any square root per candidate.
+    fn modulus_sq(self) -> f64;
     /// Conjugate (identity for reals).
     fn conj(self) -> Self;
     /// Embeds a real number.
@@ -79,6 +83,10 @@ impl Scalar for f64 {
     #[inline]
     fn modulus(self) -> f64 {
         self.abs()
+    }
+    #[inline]
+    fn modulus_sq(self) -> f64 {
+        self * self
     }
     #[inline]
     fn conj(self) -> f64 {
@@ -96,6 +104,10 @@ impl Scalar for Complex {
     #[inline]
     fn modulus(self) -> f64 {
         self.abs()
+    }
+    #[inline]
+    fn modulus_sq(self) -> f64 {
+        self.norm_sqr()
     }
     #[inline]
     fn conj(self) -> Complex {
@@ -298,56 +310,10 @@ impl<T: Scalar> Matrix<T> {
         if !self.is_square() {
             return Err(MatrixError::NotSquare);
         }
-        let n = self.rows;
         let mut lu = self.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1i32;
-        // Scale factors for implicit scaled pivoting keep badly scaled MNA
-        // matrices (ohms next to farads) well conditioned.
-        let mut scale = vec![0.0f64; n];
-        for i in 0..n {
-            let mut big = 0.0f64;
-            for j in 0..n {
-                big = big.max(lu[(i, j)].modulus());
-            }
-            if is_exact_zero(big) {
-                return Err(MatrixError::Singular);
-            }
-            scale[i] = 1.0 / big;
-        }
-        for k in 0..n {
-            // Find pivot.
-            let mut pivot_row = k;
-            let mut best = 0.0;
-            for i in k..n {
-                let m = lu[(i, k)].modulus() * scale[i];
-                if m > best {
-                    best = m;
-                    pivot_row = i;
-                }
-            }
-            if is_exact_zero(lu[(pivot_row, k)].modulus()) {
-                return Err(MatrixError::Singular);
-            }
-            if pivot_row != k {
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(pivot_row, j)];
-                    lu[(pivot_row, j)] = tmp;
-                }
-                perm.swap(k, pivot_row);
-                scale.swap(k, pivot_row);
-                sign = -sign;
-            }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                for j in (k + 1)..n {
-                    lu[(i, j)] = lu[(i, j)] - factor * lu[(k, j)];
-                }
-            }
-        }
+        let mut perm = Vec::new();
+        let mut scale = Vec::new();
+        let sign = lu_factor_in_place(&mut lu, &mut perm, &mut scale)?;
         #[cfg(feature = "numsan")]
         if self.as_slice().iter().all(|v| !v.modulus().is_nan())
             && lu.as_slice().iter().any(|v| v.modulus().is_nan())
@@ -355,6 +321,32 @@ impl<T: Scalar> Matrix<T> {
             crate::numsan::fail("Matrix::lu", "NaN", &[], file!(), line!());
         }
         Ok(Lu { lu, perm, sign })
+    }
+
+    /// Factors `self` into a reusable [`LuWorkspace`], refactoring in the
+    /// workspace's existing storage so repeated calls at the same dimension
+    /// allocate nothing.
+    ///
+    /// The factorization (and everything solved through it) is bit-identical
+    /// to [`Matrix::lu`]. On `Err` the workspace contents are unspecified and
+    /// must be refilled by a successful call before solving.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Matrix::lu`].
+    pub fn lu_into(&self, ws: &mut LuWorkspace<T>) -> Result<(), MatrixError> {
+        if !self.is_square() {
+            return Err(MatrixError::NotSquare);
+        }
+        ws.lu.copy_from(self);
+        ws.sign = lu_factor_in_place(&mut ws.lu, &mut ws.perm, &mut ws.scale)?;
+        #[cfg(feature = "numsan")]
+        if self.as_slice().iter().all(|v| !v.modulus().is_nan())
+            && ws.lu.as_slice().iter().any(|v| v.modulus().is_nan())
+        {
+            crate::numsan::fail("Matrix::lu_into", "NaN", &[], file!(), line!());
+        }
+        Ok(())
     }
 
     /// Solves `A x = b` for a single right-hand side.
@@ -457,6 +449,252 @@ impl<T: Scalar> Matrix<T> {
             self[(row_idx[i], col_idx[j])]
         })
     }
+
+    // --- In-place variants for allocation-free hot loops -----------------
+    //
+    // Each method below produces bit-identical results to its allocating
+    // counterpart (same kernels, same evaluation order) but writes into
+    // caller-owned storage, reusing the existing heap allocation whenever
+    // capacity allows. They exist for the AC fast path, where a band sweep
+    // calls them thousands of times at fixed dimensions.
+
+    /// Reshapes to `rows × cols` and zero-fills, reusing the allocation.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, T::ZERO);
+    }
+
+    /// Reshapes to the `n × n` identity, reusing the allocation. In-place
+    /// variant of [`Matrix::identity`].
+    pub fn reset_identity(&mut self, n: usize) {
+        self.reset(n, n);
+        for i in 0..n {
+            self[(i, i)] = T::ONE;
+        }
+    }
+
+    /// Becomes a copy of `src`, reusing the allocation.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// In-place variant of [`Matrix::submatrix`]: gathers the rows/columns
+    /// of `src` listed in `row_idx`/`col_idx` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_from(&mut self, src: &Self, row_idx: &[usize], col_idx: &[usize]) {
+        self.rows = row_idx.len();
+        self.cols = col_idx.len();
+        self.data.clear();
+        for &r in row_idx {
+            let src_row = &src.data[r * src.cols..(r + 1) * src.cols];
+            self.data.extend(col_idx.iter().map(|&c| src_row[c]));
+        }
+    }
+
+    /// In-place variant of [`Matrix::scaled`]: `out = self · k` entry-wise.
+    pub fn scaled_into(&self, k: T, out: &mut Self) {
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.extend(self.data.iter().map(|&x| x * k));
+    }
+
+    /// In-place elementwise sum: `out = self + rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ (like `&a + &b`).
+    pub fn add_into(&self, rhs: &Self, out: &mut Self) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data
+            .extend(self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b));
+    }
+
+    /// In-place elementwise difference: `out = self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ (like `&a - &b`).
+    pub fn sub_into(&self, rhs: &Self, out: &mut Self) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data
+            .extend(self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b));
+    }
+
+    /// In-place variant of [`Matrix::matmul`]: `out = self · rhs`, same
+    /// zero-skip kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] when inner dimensions
+    /// differ.
+    pub fn matmul_into(&self, rhs: &Self, out: &mut Self) -> Result<(), MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        out.reset(self.rows, rhs.cols);
+        let rc = rhs.cols;
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rc..(i + 1) * rc];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == T::ZERO {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rc..(k + 1) * rc];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o = *o + aik * r;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shared factorization kernel: factors `lu` in place with implicit scaled
+/// partial pivoting, fills `perm`/`scale` (cleared first, allocations
+/// reused) and returns the permutation sign. Scale factors keep badly
+/// scaled MNA matrices (ohms next to farads) well conditioned.
+///
+/// Pivot selection compares **squared** magnitudes against squared row
+/// scales — the same argmax as the textbook `|z|·s` metric (squaring is
+/// monotone on non-negatives) without a square root per candidate, which
+/// dominates small-matrix factorization cost. When any row's squared
+/// magnitude leaves the representable range (entries beyond ~1e±154,
+/// far outside circuit values), the whole factorization falls back to
+/// the overflow-proof `modulus()` metric.
+fn lu_factor_in_place<T: Scalar>(
+    lu: &mut Matrix<T>,
+    perm: &mut Vec<usize>,
+    scale: &mut Vec<f64>,
+) -> Result<i32, MatrixError> {
+    debug_assert_eq!(lu.rows, lu.cols, "factorization kernel needs square input");
+    let n = lu.rows;
+    perm.clear();
+    perm.extend(0..n);
+    scale.clear();
+    scale.resize(n, 0.0);
+    for i in 0..n {
+        let row = &lu.data[i * n..(i + 1) * n];
+        let mut big2 = 0.0f64;
+        for &v in row {
+            big2 = big2.max(v.modulus_sq());
+        }
+        let squared_range_ok =
+            big2.is_finite() && (!is_exact_zero(big2) || row.iter().all(|&v| v == T::ZERO));
+        if !squared_range_ok {
+            // Extreme magnitudes: redo every scale with the robust metric.
+            for (row, s) in lu.data.chunks_exact(n).zip(scale.iter_mut()) {
+                let mut big = 0.0f64;
+                for &v in row {
+                    big = big.max(v.modulus());
+                }
+                if is_exact_zero(big) {
+                    return Err(MatrixError::Singular);
+                }
+                *s = 1.0 / big;
+            }
+            return factor_core(&mut lu.data, n, perm, scale, T::modulus);
+        }
+        if is_exact_zero(big2) {
+            return Err(MatrixError::Singular);
+        }
+        scale[i] = 1.0 / big2;
+    }
+    factor_core(&mut lu.data, n, perm, scale, T::modulus_sq)
+}
+
+/// Elimination core shared by both pivot metrics. `scale[i]` must be the
+/// reciprocal of row `i`'s maximum under the same `metric`.
+fn factor_core<T: Scalar>(
+    data: &mut [T],
+    n: usize,
+    perm: &mut [usize],
+    scale: &mut [f64],
+    metric: impl Fn(T) -> f64,
+) -> Result<i32, MatrixError> {
+    let mut sign = 1i32;
+    for k in 0..n {
+        // Find pivot.
+        let mut pivot_row = k;
+        let mut best = 0.0;
+        for i in k..n {
+            let m = metric(data[i * n + k]) * scale[i];
+            if m > best {
+                best = m;
+                pivot_row = i;
+            }
+        }
+        if data[pivot_row * n + k] == T::ZERO {
+            return Err(MatrixError::Singular);
+        }
+        if pivot_row != k {
+            let (head, tail) = data.split_at_mut(pivot_row * n);
+            head[k * n..(k + 1) * n].swap_with_slice(&mut tail[..n]);
+            perm.swap(k, pivot_row);
+            scale.swap(k, pivot_row);
+            sign = -sign;
+        }
+        // Eliminate below the pivot, row by row over contiguous slices.
+        let pivot = data[k * n + k];
+        let (head, below) = data.split_at_mut((k + 1) * n);
+        let row_k = &head[k * n + k + 1..(k + 1) * n];
+        for row_i in below.chunks_exact_mut(n) {
+            let factor = row_i[k] / pivot;
+            row_i[k] = factor;
+            for (x, &u) in row_i[k + 1..].iter_mut().zip(row_k) {
+                *x = *x - factor * u;
+            }
+        }
+    }
+    Ok(sign)
+}
+
+/// Forward/back substitution against a factored matrix. `x` arrives
+/// already permuted and leaves holding the solution.
+fn lu_substitute_in_place<T: Scalar>(lu: &Matrix<T>, x: &mut [T]) {
+    let n = lu.rows;
+    for i in 1..n {
+        let row = &lu.data[i * n..i * n + i];
+        let mut acc = x[i];
+        for (&l, &xj) in row.iter().zip(x.iter()) {
+            acc = acc - l * xj;
+        }
+        x[i] = acc;
+    }
+    for i in (0..n).rev() {
+        let row = &lu.data[i * n..(i + 1) * n];
+        let mut acc = x[i];
+        for (&l, &xj) in row[i + 1..].iter().zip(x[i + 1..].iter()) {
+            acc = acc - l * xj;
+        }
+        x[i] = acc / row[i];
+    }
+}
+
+impl<T: Scalar> Default for Matrix<T> {
+    /// The empty `0 × 0` matrix — a placeholder for workspace buffers that
+    /// are sized on first use via [`Matrix::reset`] / [`Matrix::copy_from`].
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
 }
 
 impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
@@ -541,26 +779,12 @@ impl<T: Scalar> Lu<T> {
     /// # Panics
     ///
     /// Panics if `b.len()` differs from the factored dimension.
-    #[allow(clippy::needless_range_loop)] // triangular substitution reads clearer indexed
     pub fn solve(&self, b: &[T]) -> Vec<T> {
         let n = self.lu.rows;
         assert_eq!(b.len(), n, "rhs length mismatch");
         // Apply permutation then forward/back substitution.
         let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
-        for i in 1..n {
-            let mut acc = x[i];
-            for j in 0..i {
-                acc = acc - self.lu[(i, j)] * x[j];
-            }
-            x[i] = acc;
-        }
-        for i in (0..n).rev() {
-            let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc = acc - self.lu[(i, j)] * x[j];
-            }
-            x[i] = acc / self.lu[(i, i)];
-        }
+        lu_substitute_in_place(&self.lu, &mut x);
         #[cfg(feature = "numsan")]
         if self.lu.as_slice().iter().all(|v| !v.modulus().is_nan())
             && b.iter().all(|v| !v.modulus().is_nan())
@@ -569,6 +793,120 @@ impl<T: Scalar> Lu<T> {
             crate::numsan::fail("Lu::solve", "NaN", &[], file!(), line!());
         }
         x
+    }
+}
+
+/// Reusable LU factorization workspace for [`Matrix::lu_into`].
+///
+/// Where [`Matrix::lu`] allocates a fresh [`Lu`] per factorization, this
+/// workspace refactors into the same storage every call and solves into
+/// caller-owned buffers, so a hot loop (e.g. one AC solve per frequency
+/// point) performs zero heap allocations after the first factorization at
+/// a given dimension. All results are bit-identical to the allocating
+/// paths: the factor and substitution kernels are shared.
+#[derive(Debug, Clone)]
+pub struct LuWorkspace<T: Scalar> {
+    lu: Matrix<T>,
+    perm: Vec<usize>,
+    scale: Vec<f64>,
+    sign: i32,
+}
+
+impl<T: Scalar> LuWorkspace<T> {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        LuWorkspace {
+            lu: Matrix::zeros(0, 0),
+            perm: Vec::new(),
+            scale: Vec::new(),
+            sign: 1,
+        }
+    }
+
+    /// Dimension of the currently stored factorization.
+    pub fn dim(&self) -> usize {
+        self.lu.rows
+    }
+
+    /// Permutation sign of the stored factorization (for determinants).
+    pub fn sign(&self) -> i32 {
+        self.sign
+    }
+
+    /// Solves `A x = b` into `x`, reusing its allocation. Bit-identical to
+    /// [`Lu::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factored dimension.
+    pub fn solve_into(&self, b: &[T], x: &mut Vec<T>) {
+        let n = self.lu.rows;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
+        lu_substitute_in_place(&self.lu, x);
+        #[cfg(feature = "numsan")]
+        if self.lu.as_slice().iter().all(|v| !v.modulus().is_nan())
+            && b.iter().all(|v| !v.modulus().is_nan())
+            && x.iter().any(|v| v.modulus().is_nan())
+        {
+            crate::numsan::fail("LuWorkspace::solve_into", "NaN", &[], file!(), line!());
+        }
+    }
+
+    /// Multi-RHS solve `A X = B` into `out`, with `x` as a reusable column
+    /// scratch buffer. Bit-identical to [`Matrix::solve_matrix`] (and,
+    /// with an identity `B`, to [`Matrix::inverse`]): each column is
+    /// gathered through the row permutation and substituted in place —
+    /// the same values the legacy per-column copy produced, without the
+    /// staging pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] when `b.rows()` differs
+    /// from the factored dimension.
+    pub fn solve_matrix_into(
+        &self,
+        b: &Matrix<T>,
+        out: &mut Matrix<T>,
+        x: &mut Vec<T>,
+    ) -> Result<(), MatrixError> {
+        let n = self.lu.rows;
+        if b.rows != n {
+            return Err(MatrixError::DimensionMismatch {
+                left: (n, n),
+                right: (b.rows, b.cols),
+            });
+        }
+        out.reset(b.rows, b.cols);
+        for j in 0..b.cols {
+            x.clear();
+            x.extend(self.perm.iter().map(|&p| b.data[p * b.cols + j]));
+            lu_substitute_in_place(&self.lu, x);
+            for (i, &v) in x.iter().enumerate() {
+                out.data[i * out.cols + j] = v;
+            }
+        }
+        #[cfg(feature = "numsan")]
+        if self.lu.as_slice().iter().all(|v| !v.modulus().is_nan())
+            && b.as_slice().iter().all(|v| !v.modulus().is_nan())
+            && out.as_slice().iter().any(|v| v.modulus().is_nan())
+        {
+            crate::numsan::fail(
+                "LuWorkspace::solve_matrix_into",
+                "NaN",
+                &[],
+                file!(),
+                line!(),
+            );
+        }
+        Ok(())
+    }
+}
+
+impl<T: Scalar> Default for LuWorkspace<T> {
+    fn default() -> Self {
+        LuWorkspace::new()
     }
 }
 
@@ -736,5 +1074,111 @@ mod tests {
     fn frobenius_norm() {
         let a = CMatrix::from_rows(&[&[cx(3.0, 4.0)]]);
         assert!((a.frobenius_norm() - 5.0).abs() < 1e-14);
+    }
+
+    /// A complex 3×3 with mixed magnitudes that forces pivoting.
+    fn pivoting_complex() -> CMatrix {
+        CMatrix::from_rows(&[
+            &[cx(1e-9, 2e-9), cx(1.0, -0.5), cx(0.0, 3.0)],
+            &[cx(2.0, 1.0), cx(1e-6, 0.0), cx(-1.0, 0.25)],
+            &[cx(0.5, -2.0), cx(4.0, 4.0), cx(1e3, -1e2)],
+        ])
+    }
+
+    #[test]
+    fn lu_into_bit_identical_to_lu() {
+        let a = pivoting_complex();
+        let lu = a.lu().unwrap();
+        let mut ws = LuWorkspace::new();
+        a.lu_into(&mut ws).unwrap();
+        assert_eq!(ws.lu, lu.lu);
+        assert_eq!(ws.perm, lu.perm);
+        assert_eq!(ws.sign(), lu.sign);
+        let b = vec![cx(1.0, -2.0), cx(0.5, 0.25), cx(-3.0, 1.0)];
+        let mut x_ws = Vec::new();
+        ws.solve_into(&b, &mut x_ws);
+        assert_eq!(lu.solve(&b), x_ws);
+    }
+
+    #[test]
+    fn solve_matrix_into_bit_identical_and_reuses_buffers() {
+        let a = pivoting_complex();
+        let b = CMatrix::from_fn(3, 2, |i, j| cx(i as f64 + 0.5, j as f64 - 1.0));
+        let legacy = a.solve_matrix(&b).unwrap();
+        let mut ws = LuWorkspace::new();
+        let mut out = CMatrix::zeros(0, 0);
+        let mut x = Vec::new();
+        a.lu_into(&mut ws).unwrap();
+        ws.solve_matrix_into(&b, &mut out, &mut x).unwrap();
+        assert_eq!(legacy, out);
+        // A second factor+solve round at the same dimension must not grow
+        // any buffer: capacities are the allocation proxy.
+        let caps = (out.data.capacity(), ws.lu.data.capacity(), x.capacity());
+        a.lu_into(&mut ws).unwrap();
+        ws.solve_matrix_into(&b, &mut out, &mut x).unwrap();
+        assert_eq!(
+            caps,
+            (out.data.capacity(), ws.lu.data.capacity(), x.capacity())
+        );
+        assert_eq!(legacy, out);
+    }
+
+    #[test]
+    fn workspace_inverse_bit_identical() {
+        let a = pivoting_complex();
+        let inv = a.inverse().unwrap();
+        let mut ws = LuWorkspace::new();
+        a.lu_into(&mut ws).unwrap();
+        let mut id = CMatrix::zeros(0, 0);
+        id.reset_identity(3);
+        let mut out = CMatrix::zeros(0, 0);
+        let mut x = Vec::new();
+        ws.solve_matrix_into(&id, &mut out, &mut x).unwrap();
+        assert_eq!(inv, out);
+    }
+
+    #[test]
+    fn lu_into_error_parity() {
+        let singular = RMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let mut ws = LuWorkspace::new();
+        assert_eq!(singular.lu_into(&mut ws), Err(MatrixError::Singular));
+        let rect = RMatrix::zeros(2, 3);
+        assert_eq!(rect.lu_into(&mut ws), Err(MatrixError::NotSquare));
+        assert_eq!(rect.lu().unwrap_err(), MatrixError::NotSquare);
+    }
+
+    #[test]
+    fn in_place_helpers_match_allocating_ops() {
+        let a = pivoting_complex();
+        let b = CMatrix::from_fn(3, 3, |i, j| cx(j as f64 - 1.0, i as f64 * 0.5));
+        let mut out = CMatrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        a.add_into(&b, &mut out);
+        assert_eq!(out, &a + &b);
+        a.sub_into(&b, &mut out);
+        assert_eq!(out, &a - &b);
+        a.scaled_into(cx(0.3, -0.7), &mut out);
+        assert_eq!(out, a.scaled(cx(0.3, -0.7)));
+        out.gather_from(&a, &[0, 2], &[1]);
+        assert_eq!(out, a.submatrix(&[0, 2], &[1]));
+        out.reset_identity(3);
+        assert_eq!(out, CMatrix::identity(3));
+        out.copy_from(&a);
+        assert_eq!(out, a);
+        let rect = CMatrix::zeros(2, 3);
+        assert!(matches!(
+            rect.matmul_into(&rect.clone(), &mut out),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_zero_fills_previous_contents() {
+        let mut m = RMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.reset(2, 2);
+        assert_eq!(m, RMatrix::zeros(2, 2));
+        m.reset(1, 3);
+        assert_eq!(m, RMatrix::zeros(1, 3));
     }
 }

@@ -1,14 +1,15 @@
 //! Summarize a rfkit-obs JSONL trace.
 //!
 //! ```text
-//! rfkit-trace [--json] [--top N] [--expect SPAN]... <trace.jsonl>
+//! rfkit-trace [--json] [--top N] [--expect NAME]... <trace.jsonl>
 //! ```
 //!
 //! Prints top spans by self-time, counter totals, histogram
 //! percentiles and a per-optimizer convergence table; `--json` emits
 //! the same aggregates as one JSON object. Each `--expect NAME`
-//! asserts that a span with that name is present (exit 1 otherwise) —
-//! CI uses this to prove an armed run actually traced the pipeline.
+//! asserts that a span, counter or histogram with that name is present
+//! (exit 1 otherwise) — CI uses this to prove an armed run actually
+//! traced the pipeline.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,7 +18,7 @@ use rfkit_obs::summary;
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("rfkit-trace: {err}");
-    eprintln!("usage: rfkit-trace [--json] [--top N] [--expect SPAN]... <trace.jsonl>");
+    eprintln!("usage: rfkit-trace [--json] [--top N] [--expect NAME]... <trace.jsonl>");
     ExitCode::from(2)
 }
 
@@ -36,7 +37,7 @@ fn main() -> ExitCode {
             },
             "--expect" => match args.next() {
                 Some(v) => expect.push(v),
-                None => return usage("--expect needs a span name"),
+                None => return usage("--expect needs a metric name"),
             },
             "--help" | "-h" => return usage("trace summarizer"),
             other if other.starts_with('-') => {
@@ -79,13 +80,19 @@ fn main() -> ExitCode {
         print!("{}", summary::render_human(&s, top));
     }
 
+    // An expectation is satisfied by any instrument kind: span, counter
+    // or histogram. Bench and CI runs mix all three.
     let missing: Vec<&String> = expect
         .iter()
-        .filter(|name| !s.spans.iter().any(|a| &a.name == *name))
+        .filter(|name| {
+            !s.spans.iter().any(|a| &a.name == *name)
+                && !s.counters.contains_key(*name)
+                && !s.hists.contains_key(*name)
+        })
         .collect();
     if !missing.is_empty() {
         for name in &missing {
-            eprintln!("rfkit-trace: expected span `{name}` not found in trace");
+            eprintln!("rfkit-trace: expected span/counter/hist `{name}` not found in trace");
         }
         return ExitCode::FAILURE;
     }

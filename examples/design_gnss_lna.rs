@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example design_gnss_lna`
 
 use lna::{design_lna, measure, Amplifier, BuildConfig, BuiltAmplifier, DesignConfig, DesignGoals};
-use rfkit_circuit::{solve_dc, two_port_s, AcStamps, Circuit};
+use rfkit_circuit::{solve_dc, AcStamps, AcWorkspace, Circuit, StampPlan};
 use rfkit_device::dc::{Angelov, DcModel};
 use rfkit_device::Phemt;
 use rfkit_num::linspace;
@@ -67,8 +67,14 @@ fn main() {
         .capacitor("out", "gnd", vars.c2)
         .port("in", 50.0)
         .port("out", 50.0);
+    // Compiled fast path: stamp-plan the netlist once, then sweep with a
+    // reused workspace (bit-identical to the legacy per-call solve).
+    let match_plan = StampPlan::compile(&out_match).expect("passive match compiles");
+    let mut match_ws = AcWorkspace::new();
     for f in [1.2e9, 1.4e9, 1.6e9] {
-        let s = two_port_s(&out_match, f, &AcStamps::none()).expect("passive match solves");
+        let s = match_plan
+            .two_port_s(f, &AcStamps::none(), &mut match_ws)
+            .expect("passive match solves");
         println!(
             "output match @ {:.1} GHz: |S21| = {:.3} dB",
             f / 1e9,

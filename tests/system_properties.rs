@@ -63,7 +63,7 @@ fn band_worst_case_dominates_every_point() {
         let vars = sample_design(&mut rng);
         let amp = Amplifier::new(&device, vars);
         if let Some(bm) = BandMetrics::evaluate(&amp, &band) {
-            for f in band.grid() {
+            for &f in band.grid() {
                 let m = amp.metrics(f).expect("band eval implies point eval");
                 assert!(bm.worst_nf_db >= m.nf_db - 1e-9, "case {case} at {f} Hz");
                 assert!(bm.min_gain_db <= m.gain_db + 1e-9, "case {case} at {f} Hz");
