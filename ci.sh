@@ -39,6 +39,28 @@ echo "== cargo test --features numsan (numeric sanitizer armed)"
 cargo test -q --release -p rfkit-num --features numsan || fail=1
 cargo test -q --release -p gnss-lna --features numsan || fail=1
 
+echo "== cargo test --features rfkit-faults (fault injection armed)"
+# Re-runs the solver and degradation crates with the deterministic
+# fault-injection hooks compiled in. This is the only configuration in
+# which the recovery-path tests (fallback ladder, degraded sweeps, cache
+# exclusion) exist; the default build compiles the hooks out entirely.
+cargo test -q --release -p rfkit-robust --features rfkit-faults || fail=1
+cargo test -q --release -p rfkit-circuit --features rfkit-faults || fail=1
+cargo test -q --release -p lna --features rfkit-faults || fail=1
+
+echo "== traced fault-injection smoke (RFKIT_TRACE=1, faults armed)"
+# Arms a fault plan end to end and checks the retry/fallback/degradation
+# counters actually reach the trace: the robustness telemetry is under
+# test here, not the numerics.
+rm -f results/TRACE_faults.jsonl
+RFKIT_TRACE=1 RFKIT_TRACE_OUT=results/TRACE_faults.jsonl \
+  cargo run --release -q --features rfkit-faults --example robust_faults \
+  >/dev/null || fail=1
+cargo run --release -q -p rfkit-obs --bin rfkit-trace -- --json \
+  --expect dc.retry.attempts --expect dc.fallback.stage \
+  --expect band.points.failed --expect faults.injected \
+  results/TRACE_faults.jsonl >/dev/null || fail=1
+
 echo "== traced end-to-end design run (RFKIT_TRACE=1)"
 # Arms the observability layer for the full design example, then checks
 # the emitted JSONL parses and contains the expected top-level spans —

@@ -5,6 +5,7 @@ pub mod float_eq;
 pub mod nan_unsafe_sort;
 pub mod nondeterminism;
 pub mod obs_span_leak;
+pub mod swallowed_error;
 pub mod todo_markers;
 pub mod unsafe_outside_par;
 pub mod unwrap_in_lib;
@@ -54,6 +55,11 @@ pub fn all() -> Vec<Lint> {
             name: obs_span_leak::NAME,
             description: obs_span_leak::DESCRIPTION,
             check: obs_span_leak::check,
+        },
+        Lint {
+            name: swallowed_error::NAME,
+            description: swallowed_error::DESCRIPTION,
+            check: swallowed_error::check,
         },
         Lint {
             name: todo_markers::NAME,

@@ -18,8 +18,8 @@ pub const DESCRIPTION: &str =
 
 /// Crates whose results feed the paper's figures and tables; these must
 /// be bit-for-bit reproducible.
-const NUMERIC_CRATES: [&str; 8] = [
-    "num", "twoport", "passive", "device", "circuit", "opt", "extract", "core",
+const NUMERIC_CRATES: [&str; 9] = [
+    "num", "twoport", "passive", "device", "circuit", "opt", "extract", "core", "robust",
 ];
 
 /// Offending type names, with the sanctioned replacement.

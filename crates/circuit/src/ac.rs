@@ -131,6 +131,12 @@ pub fn s_matrix(circuit: &Circuit, freq_hz: f64, stamps: &AcStamps<'_>) -> Resul
     if freq_hz <= 0.0 {
         return Err(AcError::NonPositiveFrequency(freq_hz));
     }
+    // Deterministic fault hook, keyed by the frequency's bit pattern so an
+    // armed plan fails the legacy and compiled paths identically at the
+    // same grid points. Compiles out without `rfkit-faults`.
+    if rfkit_robust::faults::inject("ac.solve", freq_hz.to_bits()).is_some() {
+        return Err(AcError::Singular(freq_hz));
+    }
     let watch = rfkit_obs::stopwatch();
     let n = circuit.n_nodes();
     let w = angular(freq_hz);

@@ -1,19 +1,54 @@
-//! DC operating-point analysis by Newton–Raphson on the MNA equations.
+//! DC operating-point analysis by Newton–Raphson on the MNA equations,
+//! hardened by a deterministic fallback ladder.
 //!
 //! Unknowns are the node voltages plus one branch current per voltage
 //! source and per inductor (inductors are DC shorts). The nonlinear FET is
 //! handled with the usual companion model: at each iteration it is replaced
 //! by `gm`, `gds` conductances plus an equivalent current source, which is
 //! exactly a Newton step on the nodal equations.
+//!
+//! ## Fallback ladder
+//!
+//! [`solve_dc_robust`] escalates through four independent rungs until one
+//! converges (see `rfkit-robust` and DESIGN.md § Robustness):
+//!
+//! 1. **plain Newton** — full steps; cheapest, converges on mildly
+//!    nonlinear bias networks;
+//! 2. **damped Newton** — backtracking line search, the workhorse;
+//! 3. **gmin-stepping** — an artificial conductance from every node to
+//!    ground starts at 1e-2 S and relaxes in decades, dragging the
+//!    solution along a continuation path (SPICE2 lineage);
+//! 4. **source-stepping** — every independent source ramps from a small
+//!    fraction to 100 %, again continuing from level to level.
+//!
+//! Every rung restarts from the zero iterate, so the reported solution is
+//! a pure function of (circuit, policy, first rung that succeeds) and the
+//! whole ladder is bit-reproducible. Budgets are iteration-denominated
+//! ([`RetryPolicy`]); failures carry provenance ([`SolveError`]).
 
 use crate::netlist::{Circuit, Element};
 use rfkit_device::dc::{gds as fet_gds, gm as fet_gm};
 use rfkit_num::RMatrix;
+use rfkit_robust::faults::{self, FaultKind};
+pub use rfkit_robust::{RetryPolicy, SolveError, SolveStage};
 use std::collections::BTreeMap;
 
 // Solver telemetry (runtime-gated, write-only; see rfkit-obs).
 static OBS_DC_SOLVES: rfkit_obs::Counter = rfkit_obs::Counter::new("circuit.dc.solves");
 static OBS_DC_ITERS: rfkit_obs::Hist = rfkit_obs::Hist::new("circuit.dc.iters");
+static OBS_DC_RETRIES: rfkit_obs::Counter = rfkit_obs::Counter::new("dc.retry.attempts");
+static OBS_DC_STAGE: rfkit_obs::Hist = rfkit_obs::Hist::new("dc.fallback.stage");
+
+/// Residual norm at which the iteration is converged.
+const CONVERGED_NORM: f64 = 1e-12;
+/// Looser acceptance when a rung exhausts its budget close to a root
+/// (matches the historical solver's behavior on stiff FET bias points).
+const NEAR_CONVERGED_NORM: f64 = 1e-6;
+/// Step size below which the iteration has stopped moving.
+const STAGNATION_STEP: f64 = 1e-14;
+/// A stalled iterate only counts as converged below this residual;
+/// stalling far from a root is reported as stagnation, not success.
+const STAGNATION_NORM: f64 = 1e-9;
 
 /// Result of a DC solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,8 +57,12 @@ pub struct DcSolution {
     pub voltages: Vec<f64>,
     /// Drain current of each FET, in element order.
     pub fet_currents: Vec<f64>,
-    /// Newton iterations used.
+    /// Newton iterations used, summed over every ladder rung attempted.
     pub iterations: usize,
+    /// The fallback-ladder rung that produced the solution.
+    pub stage: SolveStage,
+    /// Ladder rungs attempted (1 = first try succeeded).
+    pub attempts: usize,
 }
 
 impl DcSolution {
@@ -33,7 +72,8 @@ impl DcSolution {
     }
 }
 
-/// Error from the DC solver.
+/// Error from the DC solver (legacy coarse taxonomy; [`solve_dc_robust`]
+/// reports the structured [`SolveError`] instead).
 #[derive(Debug, Clone, PartialEq)]
 pub enum DcError {
     /// Newton iteration failed to converge.
@@ -61,13 +101,36 @@ impl std::fmt::Display for DcError {
 
 impl std::error::Error for DcError {}
 
-/// Solves the DC operating point of `circuit`.
+/// Solves the DC operating point of `circuit` with the default
+/// [`RetryPolicy`] (full fallback ladder).
 ///
 /// # Errors
 ///
 /// Returns [`DcError::Singular`] for ill-formed topologies and
-/// [`DcError::NoConvergence`] when Newton fails within 200 iterations.
+/// [`DcError::NoConvergence`] when every ladder rung fails. Callers who
+/// need stage/iteration/residual provenance should use
+/// [`solve_dc_robust`].
 pub fn solve_dc(circuit: &Circuit) -> Result<DcSolution, DcError> {
+    solve_dc_robust(circuit, &RetryPolicy::default()).map_err(|e| match e {
+        SolveError::SingularSystem { .. } => DcError::Singular,
+        SolveError::NonConvergence { residual, .. }
+        | SolveError::BudgetExhausted { residual, .. } => DcError::NoConvergence { residual },
+    })
+}
+
+/// Solves the DC operating point, escalating through the fallback ladder
+/// under `policy` and reporting structured provenance on failure.
+///
+/// # Errors
+///
+/// * [`SolveError::SingularSystem`] — the linearized MNA matrix was
+///   singular in every rung attempted;
+/// * [`SolveError::NonConvergence`] — budgets ran out or the residual
+///   went non-finite in every rung attempted;
+/// * [`SolveError::BudgetExhausted`] — the cross-stage iteration ceiling
+///   ([`RetryPolicy::max_total_iters`]) expired mid-ladder (reported
+///   immediately; remaining rungs are not attempted).
+pub fn solve_dc_robust(circuit: &Circuit, policy: &RetryPolicy) -> Result<DcSolution, SolveError> {
     let n = circuit.n_nodes();
     // Assign extra unknowns (branch currents) to V sources and inductors.
     // Keyed by element index in a sorted map so any future traversal is
@@ -86,59 +149,289 @@ pub fn solve_dc(circuit: &Circuit) -> Result<DcSolution, DcError> {
             voltages: Vec::new(),
             fet_currents: Vec::new(),
             iterations: 0,
+            stage: SolveStage::PlainNewton,
+            attempts: 1,
         });
     }
 
-    let mut x = vec![0.0; dim];
-    // Damped Newton iteration.
-    for iteration in 1..=200 {
-        let (jac, residual) = assemble(circuit, &x, n, &branch_of, dim);
-        let norm: f64 = residual.iter().map(|r| r * r).sum::<f64>().sqrt();
-        if norm < 1e-12 {
-            return Ok(finish(circuit, x, iteration));
+    let sys = System {
+        circuit,
+        n,
+        branch_of: &branch_of,
+        dim,
+    };
+    let rungs = &SolveStage::LADDER[..policy.max_attempts.clamp(1, SolveStage::LADDER.len())];
+    let mut used = 0usize;
+    let mut last_err: Option<SolveError> = None;
+    for (attempt, &stage) in rungs.iter().enumerate() {
+        if attempt > 0 {
+            OBS_DC_RETRIES.add(1);
+        }
+        match run_stage(&sys, stage, policy, &mut used) {
+            Ok(x) => {
+                if rfkit_obs::enabled() {
+                    OBS_DC_STAGE.record(stage.index() as u64);
+                }
+                return Ok(finish(circuit, x, used, stage, attempt + 1));
+            }
+            // The iteration ceiling is cross-stage: once it expires there
+            // is no budget left for later rungs either.
+            Err(e @ SolveError::BudgetExhausted { .. }) => {
+                emit_failure(&e);
+                return Err(e);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let err = last_err.expect("ladder has at least one rung");
+    emit_failure(&err);
+    Err(err)
+}
+
+fn emit_failure(err: &SolveError) {
+    if rfkit_obs::enabled() {
+        rfkit_obs::event(
+            "circuit.dc.no_convergence",
+            &[
+                ("residual", err.residual().unwrap_or(f64::NAN)),
+                ("stage", err.stage().index() as f64),
+                ("iterations", err.iterations() as f64),
+            ],
+        );
+    }
+}
+
+/// The MNA system being solved: circuit plus unknown layout.
+struct System<'a> {
+    circuit: &'a Circuit,
+    n: usize,
+    branch_of: &'a BTreeMap<usize, usize>,
+    dim: usize,
+}
+
+/// Runs one ladder rung from the zero iterate; returns the solved
+/// unknown vector.
+fn run_stage(
+    sys: &System<'_>,
+    stage: SolveStage,
+    policy: &RetryPolicy,
+    used: &mut usize,
+) -> Result<Vec<f64>, SolveError> {
+    let mut x = vec![0.0; sys.dim];
+    match stage {
+        SolveStage::PlainNewton => {
+            newton_run(
+                sys,
+                &mut x,
+                stage,
+                "dc.newton.plain",
+                false,
+                0.0,
+                1.0,
+                policy.plain_iters,
+                used,
+                policy,
+            )?;
+        }
+        SolveStage::DampedNewton => {
+            newton_run(
+                sys,
+                &mut x,
+                stage,
+                "dc.newton.damped",
+                true,
+                0.0,
+                1.0,
+                policy.damped_iters,
+                used,
+                policy,
+            )?;
+        }
+        SolveStage::GminStepping => {
+            // Continuation in the artificial node conductance: 1e-2 S down
+            // in double decades, then one exact solve with the extra gmin
+            // removed (the baseline 1e-15 S of `assemble` always remains,
+            // so the final system is identical to the direct rungs').
+            let mut gmin = 1e-2;
+            for _ in 0..policy.gmin_steps {
+                newton_run(
+                    sys,
+                    &mut x,
+                    stage,
+                    "dc.gmin",
+                    true,
+                    gmin,
+                    1.0,
+                    policy.homotopy_iters,
+                    used,
+                    policy,
+                )?;
+                gmin *= 1e-2;
+            }
+            newton_run(
+                sys,
+                &mut x,
+                stage,
+                "dc.gmin",
+                true,
+                0.0,
+                1.0,
+                policy.homotopy_iters,
+                used,
+                policy,
+            )?;
+        }
+        SolveStage::SourceStepping => {
+            // Continuation in the source scale: ramp every V/I source to
+            // 100 % in equal fractions; the final level is exactly 1.0.
+            let levels = policy.source_steps.max(1);
+            for s in 1..=levels {
+                let alpha = s as f64 / levels as f64;
+                newton_run(
+                    sys,
+                    &mut x,
+                    stage,
+                    "dc.source",
+                    true,
+                    0.0,
+                    alpha,
+                    policy.homotopy_iters,
+                    used,
+                    policy,
+                )?;
+            }
+        }
+    }
+    Ok(x)
+}
+
+/// The Newton iteration shared by every rung. Iterates `x` in place until
+/// the residual converges; `damped` enables the backtracking line search.
+/// `gmin_extra` and `src_scale` are the homotopy knobs (0.0 / 1.0 for the
+/// direct rungs). Returns `Ok(())` with `x` at the solution.
+#[allow(clippy::too_many_arguments)]
+fn newton_run(
+    sys: &System<'_>,
+    x: &mut Vec<f64>,
+    stage: SolveStage,
+    site: &'static str,
+    damped: bool,
+    gmin_extra: f64,
+    src_scale: f64,
+    max_iters: usize,
+    used: &mut usize,
+    policy: &RetryPolicy,
+) -> Result<(), SolveError> {
+    let norm_of = |r: &[f64]| -> f64 { r.iter().map(|v| v * v).sum::<f64>().sqrt() };
+    for iteration in 1..=max_iters {
+        *used += 1;
+        let (jac, residual) = assemble(sys, x, gmin_extra, src_scale);
+        let mut norm = norm_of(&residual);
+        // Deterministic fault hook: keyed by the in-rung iteration number,
+        // so an armed plan fires at the same logical place at any thread
+        // count. Compiles to nothing without `rfkit-faults`.
+        match faults::inject(site, iteration as u64) {
+            Some(FaultKind::SingularLu) => {
+                return Err(SolveError::SingularSystem {
+                    stage,
+                    iterations: *used,
+                });
+            }
+            Some(FaultKind::NanResidual) => norm = f64::NAN,
+            Some(FaultKind::Stagnate) | Some(FaultKind::PointFailure) => {
+                return Err(SolveError::NonConvergence {
+                    stage,
+                    iterations: *used,
+                    residual: norm,
+                });
+            }
+            None => {}
+        }
+        if !norm.is_finite() {
+            return Err(SolveError::NonConvergence {
+                stage,
+                iterations: *used,
+                residual: norm,
+            });
+        }
+        if norm < CONVERGED_NORM {
+            return Ok(());
+        }
+        if *used >= policy.max_total_iters {
+            return Err(SolveError::BudgetExhausted {
+                stage,
+                iterations: *used,
+                residual: norm,
+            });
         }
         let rhs: Vec<f64> = residual.iter().map(|r| -r).collect();
-        let delta = jac.solve(&rhs).map_err(|_| DcError::Singular)?;
+        let delta = jac.solve(&rhs).map_err(|_| SolveError::SingularSystem {
+            stage,
+            iterations: *used,
+        })?;
         let max_step = delta.iter().fold(0.0f64, |m, d| m.max(d.abs()));
-        if max_step < 1e-14 {
-            return Ok(finish(circuit, x, iteration));
-        }
-        // Backtracking line search: take the full Newton step when it
-        // reduces the residual (always, for linear circuits); halve it
-        // otherwise so the FET equations cannot overshoot.
-        let mut damp = 1.0;
-        for _ in 0..30 {
-            let trial: Vec<f64> = x
-                .iter()
-                .zip(&delta)
-                .map(|(xi, di)| xi + damp * di)
-                .collect();
-            let (_, r_trial) = assemble(circuit, &trial, n, &branch_of, dim);
-            let norm_trial: f64 = r_trial.iter().map(|r| r * r).sum::<f64>().sqrt();
-            if norm_trial < norm || damp < 1e-6 {
-                x = trial;
-                break;
+        if max_step < STAGNATION_STEP {
+            // The step collapsed. Near a root that is convergence; far
+            // from one it is stagnation and the rung must report it
+            // rather than hand back a bogus "solution".
+            if norm < STAGNATION_NORM {
+                return Ok(());
             }
-            damp *= 0.5;
+            return Err(SolveError::NonConvergence {
+                stage,
+                iterations: *used,
+                residual: norm,
+            });
+        }
+        if damped {
+            // Backtracking line search: take the full Newton step when it
+            // reduces the residual (always, for linear circuits); halve it
+            // otherwise so the FET equations cannot overshoot.
+            let mut damp = 1.0;
+            for _ in 0..30 {
+                let trial: Vec<f64> = x
+                    .iter()
+                    .zip(&delta)
+                    .map(|(xi, di)| xi + damp * di)
+                    .collect();
+                let (_, r_trial) = assemble(sys, &trial, gmin_extra, src_scale);
+                if norm_of(&r_trial) < norm || damp < 1e-6 {
+                    *x = trial;
+                    break;
+                }
+                damp *= 0.5;
+            }
+        } else {
+            for (xi, di) in x.iter_mut().zip(&delta) {
+                *xi += di;
+            }
         }
     }
-    let (_, residual) = assemble(circuit, &x, n, &branch_of, dim);
-    let norm: f64 = residual.iter().map(|r| r * r).sum::<f64>().sqrt();
-    if norm < 1e-6 {
-        return Ok(finish(circuit, x, 200));
+    // Budget spent: accept a near-converged iterate, else report.
+    let (_, residual) = assemble(sys, x, gmin_extra, src_scale);
+    let norm = norm_of(&residual);
+    if norm < NEAR_CONVERGED_NORM {
+        return Ok(());
     }
-    rfkit_obs::event("circuit.dc.no_convergence", &[("residual", norm)]);
-    Err(DcError::NoConvergence { residual: norm })
+    Err(SolveError::NonConvergence {
+        stage,
+        iterations: *used,
+        residual: norm,
+    })
 }
 
 /// Builds the Jacobian and residual of the MNA system at iterate `x`.
-fn assemble(
-    circuit: &Circuit,
-    x: &[f64],
-    n: usize,
-    branch_of: &BTreeMap<usize, usize>,
-    dim: usize,
-) -> (RMatrix, Vec<f64>) {
+/// `gmin_extra` adds an artificial conductance from every node to ground
+/// (gmin-stepping); `src_scale` scales every independent source
+/// (source-stepping). The direct rungs use `0.0` / `1.0`, which makes the
+/// system identical to the historical single-loop solver's.
+fn assemble(sys: &System<'_>, x: &[f64], gmin_extra: f64, src_scale: f64) -> (RMatrix, Vec<f64>) {
+    let System {
+        circuit,
+        n,
+        branch_of,
+        dim,
+    } = *sys;
     let v = |node: Option<usize>| -> f64 { node.map_or(0.0, |k| x[k]) };
     let mut jac = RMatrix::zeros(dim, dim);
     let mut res = vec![0.0; dim];
@@ -187,13 +480,13 @@ fn assemble(
                 add_res(*minus, -i_v, &mut res);
                 stamp_j(*plus, Some(br), 1.0, &mut jac);
                 stamp_j(*minus, Some(br), -1.0, &mut jac);
-                res[br] += v(*plus) - v(*minus) - volts;
+                res[br] += v(*plus) - v(*minus) - volts * src_scale;
                 stamp_j(Some(br), *plus, 1.0, &mut jac);
                 stamp_j(Some(br), *minus, -1.0, &mut jac);
             }
             Element::ISource { from, to, amps } => {
-                add_res(*from, *amps, &mut res);
-                add_res(*to, -*amps, &mut res);
+                add_res(*from, *amps * src_scale, &mut res);
+                add_res(*to, -*amps * src_scale, &mut res);
             }
             Element::Fet {
                 gate,
@@ -222,15 +515,24 @@ fn assemble(
     }
     // A tiny conductance from every node to ground keeps purely capacitive
     // nodes from floating at DC (small enough not to disturb mA-level
-    // solutions beyond double precision).
+    // solutions beyond double precision). Gmin-stepping piles its
+    // artificial conductance on top and relaxes it back to exactly this
+    // baseline.
+    let gmin = 1e-15 + gmin_extra;
     for k in 0..n {
-        jac[(k, k)] += 1e-15;
-        res[k] += 1e-15 * x[k];
+        jac[(k, k)] += gmin;
+        res[k] += gmin * x[k];
     }
     (jac, res)
 }
 
-fn finish(circuit: &Circuit, x: Vec<f64>, iterations: usize) -> DcSolution {
+fn finish(
+    circuit: &Circuit,
+    x: Vec<f64>,
+    iterations: usize,
+    stage: SolveStage,
+    attempts: usize,
+) -> DcSolution {
     if rfkit_obs::enabled() {
         OBS_DC_SOLVES.add(1);
         OBS_DC_ITERS.record(iterations as u64);
@@ -258,6 +560,8 @@ fn finish(circuit: &Circuit, x: Vec<f64>, iterations: usize) -> DcSolution {
         voltages: x[..circuit.n_nodes()].to_vec(),
         fet_currents,
         iterations,
+        stage,
+        attempts,
     }
 }
 
@@ -276,6 +580,9 @@ mod tests {
         let mid = c.node("mid").unwrap();
         let sol = solve_dc(&c).unwrap();
         assert!((sol.voltages[mid] - 5.0).abs() < 1e-9);
+        // A linear circuit is plain-Newton territory: first rung, done.
+        assert_eq!(sol.stage, SolveStage::PlainNewton);
+        assert_eq!(sol.attempts, 1);
     }
 
     #[test]
@@ -381,6 +688,7 @@ mod tests {
         let c = Circuit::new();
         let sol = solve_dc(&c).unwrap();
         assert!(sol.voltages.is_empty());
+        assert_eq!(sol.iterations, 0);
     }
 
     #[test]
@@ -389,5 +697,78 @@ mod tests {
         let mut c = Circuit::new();
         c.vsource("a", "gnd", 1.0).vsource("a", "gnd", 2.0);
         assert!(matches!(solve_dc(&c), Err(DcError::Singular)));
+        // The structured error shows the whole ladder was exhausted: the
+        // source loop is inconsistent at every gmin and source scale.
+        let err = solve_dc_robust(&c, &RetryPolicy::default()).unwrap_err();
+        assert_eq!(err.stage(), SolveStage::SourceStepping);
+        assert!(matches!(err, SolveError::SingularSystem { .. }));
+        assert!(err.iterations() >= 4, "every rung touched the system");
+    }
+
+    #[test]
+    fn restricted_ladder_still_solves_easy_circuits() {
+        let mut c = Circuit::new();
+        c.vsource("vin", "gnd", 10.0)
+            .resistor("vin", "mid", 1000.0)
+            .resistor("mid", "gnd", 1000.0);
+        let sol = solve_dc_robust(&c, &RetryPolicy::first_stages(1)).unwrap();
+        let mid = c.node("mid").unwrap();
+        assert!((sol.voltages[mid] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn robust_and_legacy_agree_on_a_bias_network() {
+        let mut c = Circuit::new();
+        c.vsource("vdd", "gnd", 5.0)
+            .resistor("vdd", "drain", 50.0)
+            .resistor("g", "gnd", 10000.0)
+            .resistor("s", "gnd", 10.0)
+            .fet(
+                "g",
+                "drain",
+                "s",
+                Box::new(Angelov),
+                Angelov.default_params(),
+            );
+        let a = solve_dc(&c).unwrap();
+        let b = solve_dc_robust(&c, &RetryPolicy::default()).unwrap();
+        // `solve_dc` is a thin wrapper: bit-identical, not just close.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_total_budget_reports_exhaustion() {
+        // A FET bias network needs a handful of Newton iterations; a
+        // 2-iteration global ceiling must trip BudgetExhausted (with
+        // provenance), not mislabel it as plain non-convergence.
+        let mut c = Circuit::new();
+        c.vsource("vdd", "gnd", 5.0)
+            .resistor("vdd", "drain", 50.0)
+            .resistor("g", "gnd", 10000.0)
+            .resistor("s", "gnd", 10.0)
+            .fet(
+                "g",
+                "drain",
+                "s",
+                Box::new(Angelov),
+                Angelov.default_params(),
+            );
+        let policy = RetryPolicy {
+            max_total_iters: 2,
+            ..Default::default()
+        };
+        let err = solve_dc_robust(&c, &policy).unwrap_err();
+        match err {
+            SolveError::BudgetExhausted {
+                stage,
+                iterations,
+                residual,
+            } => {
+                assert_eq!(stage, SolveStage::PlainNewton);
+                assert_eq!(iterations, 2);
+                assert!(residual.is_finite() && residual > 0.0);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
     }
 }

@@ -60,7 +60,7 @@ impl Default for HbConfig {
 }
 
 /// Result of a harmonic-balance solve.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HbSolution {
     /// Drain-source voltage Fourier coefficients `V[k]`, `k = 0..=H`
     /// (peak-amplitude convention for `k ≥ 1`).
@@ -226,6 +226,13 @@ fn solve_from(
     let mut iterations = 0;
     while norm(&r) > config.tol && iterations < config.max_iter {
         iterations += 1;
+        // Fault hook, keyed by iteration number so armed plans fire at the
+        // same logical step regardless of thread count or call order.
+        match rfkit_robust::faults::inject("hb.newton", iterations as u64) {
+            Some(rfkit_robust::faults::FaultKind::SingularLu) => return Err(HbError::Singular),
+            Some(_) => return Err(HbError::NoConvergence { residual: f64::NAN }),
+            None => {}
+        }
         // Numeric Jacobian (dim is small: ~15 for 7 harmonics).
         let mut jac = CMatrix::zeros(dim, dim);
         for j in 0..dim {

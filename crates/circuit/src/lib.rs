@@ -41,7 +41,7 @@ pub mod plan;
 pub mod twotone;
 
 pub use ac::{s_matrix, two_port_s, AcError, AcStamps};
-pub use dc::{solve_dc, DcError, DcSolution};
+pub use dc::{solve_dc, solve_dc_robust, DcError, DcSolution};
 pub use hb::{compression_sweep, HbConfig, HbError, HbSolution, HbTestbench};
 pub use netlist::{Circuit, Element, NodeId, Port};
 pub use plan::{AcWorkspace, StampPlan};

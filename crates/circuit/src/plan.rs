@@ -207,6 +207,12 @@ impl StampPlan {
         if freq_hz <= 0.0 {
             return Err(AcError::NonPositiveFrequency(freq_hz));
         }
+        // Same fault hook (site and key) as the legacy `s_matrix` path:
+        // an armed plan must fail both paths at the same grid points or
+        // the fast-path equivalence contract would appear broken.
+        if rfkit_robust::faults::inject("ac.solve", freq_hz.to_bits()).is_some() {
+            return Err(AcError::Singular(freq_hz));
+        }
         let watch = rfkit_obs::stopwatch();
         ws.track_dims(self.n, self.port_nodes.len());
 

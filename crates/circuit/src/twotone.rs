@@ -24,6 +24,8 @@ use rfkit_num::{line_intersection, Polynomial};
 
 // Sweep-progress telemetry (runtime-gated, write-only; see rfkit-obs).
 static OBS_TWOTONE_POINTS: rfkit_obs::Counter = rfkit_obs::Counter::new("circuit.twotone.points");
+static OBS_TWOTONE_FAILED: rfkit_obs::Counter =
+    rfkit_obs::Counter::new("circuit.twotone.points.failed");
 
 /// The two-tone test setup.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,6 +139,19 @@ pub fn ip3_sweep(pin_dbm: &[f64], mut eval: impl FnMut(f64) -> TwoToneResult) ->
         .iter()
         .map(|&p| {
             OBS_TWOTONE_POINTS.add(1);
+            // Fault hook, keyed by the power level's bit pattern (data-
+            // derived, thread-count independent). A failed point keeps its
+            // slot with NaN powers so `rows` stays aligned with `pin_dbm`;
+            // the finiteness guard below then refuses to extrapolate IP3
+            // from a poisoned fit window.
+            if rfkit_robust::faults::inject("twotone.point", p.to_bits()).is_some() {
+                OBS_TWOTONE_FAILED.add(1);
+                return TwoToneResult {
+                    pin_dbm: p,
+                    p_fund_dbm: f64::NAN,
+                    p_im3_dbm: f64::NAN,
+                };
+            }
             eval(p)
         })
         .collect();

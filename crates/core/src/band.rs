@@ -9,7 +9,11 @@
 use crate::amplifier::{Amplifier, PointMetrics};
 use rfkit_num::linspace;
 use rfkit_par::par_map;
+use rfkit_robust::{faults, DegradePolicy, PointDiagnostic};
 use std::sync::OnceLock;
+
+// Per-point failure telemetry (runtime-gated, write-only; see rfkit-obs).
+static OBS_BAND_POINTS_FAILED: rfkit_obs::Counter = rfkit_obs::Counter::new("band.points.failed");
 
 /// GPS L1 / Galileo E1 / BeiDou B1C center frequency (Hz).
 pub const GPS_L1_HZ: f64 = 1.57542e9;
@@ -137,9 +141,80 @@ pub struct BandMetrics {
     pub min_k: f64,
 }
 
+/// Outcome of a fault-isolated band evaluation
+/// ([`BandMetrics::evaluate_robust`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BandOutcome {
+    /// Every grid point evaluated.
+    Complete(BandMetrics),
+    /// Some points failed but stayed within the [`DegradePolicy`]; the
+    /// metrics reduce over the surviving points only and must be treated
+    /// as a flagged partial, never cached or compared bit-for-bit against
+    /// a complete sweep.
+    Degraded {
+        /// Worst case over the surviving points.
+        metrics: BandMetrics,
+        /// One entry per failed grid point, in grid order.
+        diagnostics: Vec<PointDiagnostic>,
+    },
+    /// The bias point is unreachable — a deterministic property of the
+    /// design variables, not a transient solver failure.
+    Infeasible,
+    /// Transient point failures exceeded the policy (or left a grid
+    /// segment empty); no metrics are trustworthy.
+    Failed {
+        /// One entry per failed grid point, in grid order.
+        diagnostics: Vec<PointDiagnostic>,
+    },
+}
+
+impl BandOutcome {
+    /// The metrics when the sweep produced any (complete or degraded).
+    pub fn metrics(&self) -> Option<&BandMetrics> {
+        match self {
+            BandOutcome::Complete(m) => Some(m),
+            BandOutcome::Degraded { metrics, .. } => Some(metrics),
+            BandOutcome::Infeasible | BandOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The per-point failure diagnostics (empty for complete/infeasible
+    /// outcomes).
+    pub fn diagnostics(&self) -> &[PointDiagnostic] {
+        match self {
+            BandOutcome::Degraded { diagnostics, .. } | BandOutcome::Failed { diagnostics } => {
+                diagnostics
+            }
+            BandOutcome::Complete(_) | BandOutcome::Infeasible => &[],
+        }
+    }
+
+    /// `true` for the outcomes that are pure functions of the design
+    /// (complete sweeps and deterministic infeasibility) and may therefore
+    /// be memoized. Degraded and failed sweeps reflect transient solver
+    /// trouble and must never enter a cache.
+    pub fn cacheable(&self) -> bool {
+        matches!(self, BandOutcome::Complete(_) | BandOutcome::Infeasible)
+    }
+}
+
 impl BandMetrics {
     /// Evaluates an amplifier over the band; `None` when any point fails
     /// (e.g. unreachable bias).
+    ///
+    /// This is the strict view of [`BandMetrics::evaluate_robust`]: any
+    /// point failure voids the sweep. Values are bit-identical to the
+    /// pre-robust implementation — the reduction visits the same points in
+    /// the same serial order.
+    pub fn evaluate(amp: &Amplifier<'_>, band: &BandSpec) -> Option<BandMetrics> {
+        match BandMetrics::evaluate_robust(amp, band, &DegradePolicy::strict()) {
+            BandOutcome::Complete(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Evaluates an amplifier over the band with per-point failure
+    /// isolation.
     ///
     /// The per-frequency evaluations (in-band grid plus out-of-band
     /// stability grid) go through `rfkit-par`: each point is a pure
@@ -148,21 +223,52 @@ impl BandMetrics {
     /// is itself called from a parallel region (e.g. optimizer population
     /// evaluation), the nested call runs serially, and dense grids in
     /// standalone sweeps fan out.
-    pub fn evaluate(amp: &Amplifier<'_>, band: &BandSpec) -> Option<BandMetrics> {
+    ///
+    /// A failed point records a [`PointDiagnostic`] instead of voiding the
+    /// whole sweep. When every point succeeds the result is
+    /// [`BandOutcome::Complete`]; when the bias point itself is
+    /// unreachable it is [`BandOutcome::Infeasible`]; otherwise the
+    /// failure fraction is graded against `policy` and the surviving
+    /// points reduce to a [`BandOutcome::Degraded`] partial — provided
+    /// both the in-band and stability segments keep at least one live
+    /// point — or the sweep is [`BandOutcome::Failed`].
+    pub fn evaluate_robust(
+        amp: &Amplifier<'_>,
+        band: &BandSpec,
+        policy: &DegradePolicy,
+    ) -> BandOutcome {
         static OBS_BAND_EVALS: rfkit_obs::Counter = rfkit_obs::Counter::new("band.evaluations");
         OBS_BAND_EVALS.add(1);
         // The combined in-band + stability buffer is cached on the spec;
         // evaluation allocates no frequency grids.
         let n_in_band = band.n_points();
         let freqs = band.combined_grid();
-        let points: Vec<Option<PointMetrics>> = par_map(freqs, |&f| amp.metrics(f));
+        // Fault hook, keyed by the frequency's bit pattern — data-derived,
+        // so an armed plan fires at the same grid points regardless of how
+        // rfkit-par chunks the sweep across threads.
+        let points: Vec<Option<PointMetrics>> = par_map(freqs, |&f| {
+            if faults::inject("band.point", f.to_bits()).is_some() {
+                return None;
+            }
+            amp.metrics(f)
+        });
 
+        let mut diagnostics = Vec::new();
         let mut worst_nf = f64::NEG_INFINITY;
         let mut min_gain = f64::INFINITY;
         let mut worst_s11 = f64::NEG_INFINITY;
         let mut worst_s22 = f64::NEG_INFINITY;
-        for m in &points[..n_in_band] {
-            let m = m.as_ref()?;
+        let mut in_band_live = 0usize;
+        for (i, m) in points[..n_in_band].iter().enumerate() {
+            let Some(m) = m.as_ref() else {
+                diagnostics.push(PointDiagnostic {
+                    index: i,
+                    at: freqs[i],
+                    detail: "in-band point failed to evaluate".to_string(),
+                });
+                continue;
+            };
+            in_band_live += 1;
             worst_nf = worst_nf.max(m.nf_db);
             min_gain = min_gain.min(m.gain_db);
             worst_s11 = worst_s11.max(m.s11_db);
@@ -170,19 +276,50 @@ impl BandMetrics {
         }
         let mut min_mu = f64::INFINITY;
         let mut min_k = f64::INFINITY;
-        for m in &points[n_in_band..] {
-            let m = m.as_ref()?;
+        let mut stability_live = 0usize;
+        for (i, m) in points[n_in_band..].iter().enumerate() {
+            let Some(m) = m.as_ref() else {
+                diagnostics.push(PointDiagnostic {
+                    index: n_in_band + i,
+                    at: freqs[n_in_band + i],
+                    detail: "stability-grid point failed to evaluate".to_string(),
+                });
+                continue;
+            };
+            stability_live += 1;
             min_mu = min_mu.min(m.mu);
             min_k = min_k.min(m.k);
         }
-        Some(BandMetrics {
+
+        if !diagnostics.is_empty() {
+            OBS_BAND_POINTS_FAILED.add(diagnostics.len() as u64);
+        }
+        if diagnostics.len() == freqs.len() && amp.operating_point().is_none() {
+            // Every point failed because the bias itself is unreachable: a
+            // deterministic property of the design, not solver trouble.
+            return BandOutcome::Infeasible;
+        }
+        let metrics = BandMetrics {
             worst_nf_db: worst_nf,
             min_gain_db: min_gain,
             worst_s11_db: worst_s11,
             worst_s22_db: worst_s22,
             min_mu,
             min_k,
-        })
+        };
+        if diagnostics.is_empty() {
+            return BandOutcome::Complete(metrics);
+        }
+        if in_band_live == 0
+            || stability_live == 0
+            || !policy.accepts(diagnostics.len(), freqs.len())
+        {
+            return BandOutcome::Failed { diagnostics };
+        }
+        BandOutcome::Degraded {
+            metrics,
+            diagnostics,
+        }
     }
 
     /// `true` when the design meets the usual hard constraints:
@@ -263,6 +400,32 @@ mod tests {
         vars.ids = 3.0;
         let amp = crate::amplifier::Amplifier::new(&d, vars);
         assert!(BandMetrics::evaluate(&amp, &BandSpec::gnss()).is_none());
+    }
+
+    #[test]
+    fn robust_outcome_classifies_complete_and_infeasible() {
+        let d = Phemt::atf54143_like();
+        let band = BandSpec::gnss();
+        let amp = crate::amplifier::Amplifier::new(&d, amp_vars());
+        let policy = rfkit_robust::DegradePolicy::strict();
+        // A healthy design is Complete and agrees bit-for-bit with the
+        // strict evaluator.
+        let outcome = BandMetrics::evaluate_robust(&amp, &band, &policy);
+        let strict = BandMetrics::evaluate(&amp, &band).expect("feasible");
+        assert_eq!(outcome, BandOutcome::Complete(strict));
+        assert!(outcome.cacheable());
+        assert!(outcome.diagnostics().is_empty());
+        assert_eq!(outcome.metrics(), Some(&strict));
+        // An unreachable bias is Infeasible — a property of the design,
+        // not a transient failure, so it is cacheable but carries no
+        // metrics.
+        let mut bad = amp_vars();
+        bad.ids = 3.0;
+        let dead = crate::amplifier::Amplifier::new(&d, bad);
+        let outcome = BandMetrics::evaluate_robust(&dead, &band, &policy);
+        assert_eq!(outcome, BandOutcome::Infeasible);
+        assert!(outcome.cacheable());
+        assert_eq!(outcome.metrics(), None);
     }
 
     #[test]

@@ -27,8 +27,9 @@
 //! expensive part.
 
 use crate::amplifier::{Amplifier, DesignVariables};
-use crate::band::{BandMetrics, BandSpec};
+use crate::band::{BandMetrics, BandOutcome, BandSpec};
 use rfkit_device::Phemt;
+use rfkit_robust::DegradePolicy;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -36,6 +37,8 @@ use std::sync::{Mutex, PoisonError};
 // Hit/miss/eviction telemetry (runtime-gated, write-only; see rfkit-obs).
 static OBS_CACHE_HIT: rfkit_obs::Counter = rfkit_obs::Counter::new("design.cache.hit");
 static OBS_CACHE_MISS: rfkit_obs::Counter = rfkit_obs::Counter::new("design.cache.miss");
+static OBS_CACHE_UNCACHEABLE: rfkit_obs::Counter =
+    rfkit_obs::Counter::new("design.cache.uncacheable");
 
 /// Default entry capacity: generous for a 6k-evaluation design run while
 /// bounding memory to a few hundred kilobytes.
@@ -53,6 +56,7 @@ pub struct DesignCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    uncacheable: AtomicU64,
 }
 
 impl DesignCache {
@@ -64,6 +68,7 @@ impl DesignCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            uncacheable: AtomicU64::new(0),
         }
     }
 
@@ -94,6 +99,29 @@ impl DesignCache {
         vars: DesignVariables,
         band: &BandSpec,
     ) -> Option<BandMetrics> {
+        match self.evaluate_with(device, vars, band, &DegradePolicy::strict()) {
+            BandOutcome::Complete(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Like [`DesignCache::evaluate`], but evaluates through
+    /// [`BandMetrics::evaluate_robust`] and returns the full
+    /// [`BandOutcome`].
+    ///
+    /// Only outcomes that are pure functions of the design — complete
+    /// sweeps and deterministic infeasibility — enter the cache. Degraded
+    /// and failed sweeps reflect transient solver trouble: memoizing one
+    /// would pin a corrupted partial to the design point and keep serving
+    /// it after the fault clears, so they are recomputed on every query
+    /// (and counted by [`DesignCache::uncacheable`]).
+    pub fn evaluate_with(
+        &self,
+        device: &Phemt,
+        vars: DesignVariables,
+        band: &BandSpec,
+        policy: &DegradePolicy,
+    ) -> BandOutcome {
         let key = Self::key(&vars);
         if let Some(&value) = self
             .map
@@ -103,14 +131,27 @@ impl DesignCache {
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
             OBS_CACHE_HIT.add(1);
-            return value;
+            return match value {
+                Some(m) => BandOutcome::Complete(m),
+                None => BandOutcome::Infeasible,
+            };
         }
         // Compute outside the lock: the value is a pure function of the
         // key, so concurrent workers at most duplicate work, never diverge.
         let amp = Amplifier::new(device, vars);
-        let value = BandMetrics::evaluate(&amp, band);
+        let outcome = BandMetrics::evaluate_robust(&amp, band, policy);
         self.misses.fetch_add(1, Ordering::Relaxed);
         OBS_CACHE_MISS.add(1);
+        let value = match &outcome {
+            BandOutcome::Complete(m) => Some(Some(*m)),
+            BandOutcome::Infeasible => Some(None),
+            BandOutcome::Degraded { .. } | BandOutcome::Failed { .. } => None,
+        };
+        let Some(value) = value else {
+            self.uncacheable.fetch_add(1, Ordering::Relaxed);
+            OBS_CACHE_UNCACHEABLE.add(1);
+            return outcome;
+        };
         let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
         if !map.contains_key(&key) {
             while map.len() >= self.capacity {
@@ -128,7 +169,7 @@ impl DesignCache {
             }
             map.insert(key, value);
         }
-        value
+        outcome
     }
 
     /// Cache hits so far.
@@ -144,6 +185,12 @@ impl DesignCache {
     /// Entries evicted by the capacity bound so far.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations whose outcome was degraded or failed and therefore
+    /// never entered the cache.
+    pub fn uncacheable(&self) -> u64 {
+        self.uncacheable.load(Ordering::Relaxed)
     }
 
     /// Current number of cached entries.
@@ -236,6 +283,38 @@ mod tests {
             cache.evaluate(&d, v, &band),
             BandMetrics::evaluate(&amp, &band)
         );
+    }
+
+    #[test]
+    fn robust_lookup_serves_hits_as_outcomes() {
+        let d = Phemt::atf54143_like();
+        let band = BandSpec::gnss();
+        let cache = DesignCache::new(16);
+        let policy = DegradePolicy::strict();
+        // Miss then hit: both Complete, bit-identical, and a feasible
+        // sweep is cached (nothing marked uncacheable).
+        let first = cache.evaluate_with(&d, vars(), &band, &policy);
+        let second = cache.evaluate_with(&d, vars(), &band, &policy);
+        assert!(matches!(first, BandOutcome::Complete(_)));
+        assert_eq!(first, second);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.uncacheable(), 0);
+        // An infeasible corner round-trips as Infeasible, also cached.
+        let mut bad = vars();
+        bad.ids = 3.0;
+        assert_eq!(
+            cache.evaluate_with(&d, bad, &band, &policy),
+            BandOutcome::Infeasible
+        );
+        assert_eq!(
+            cache.evaluate_with(&d, bad, &band, &policy),
+            BandOutcome::Infeasible
+        );
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 2);
+        // The strict evaluate() view agrees with the outcome view.
+        assert_eq!(cache.evaluate(&d, vars(), &band), first.metrics().copied());
     }
 
     #[test]

@@ -37,14 +37,17 @@ pub mod thermal;
 pub mod yield_analysis;
 
 pub use amplifier::{Amplifier, DesignVariables, PointMetrics};
-pub use band::{BandMetrics, BandSpec};
+pub use band::{BandMetrics, BandOutcome, BandSpec};
 pub use cache::{DesignCache, DEFAULT_CACHE_CAPACITY};
 pub use design::{
-    band_objectives, cached_band_objectives, design_lna, snap_to_catalog, spot_objectives,
-    DesignConfig, DesignGoals, LnaDesign,
+    band_objectives, cached_band_objectives, design_lna, robust_band_objectives, snap_to_catalog,
+    spot_objectives, DesignConfig, DesignGoals, LnaDesign,
 };
 pub use measure::{
     gain_gap_db, measure, measure_im3, BuildConfig, BuiltAmplifier, MeasurementSession,
 };
+pub use rfkit_robust::{DegradePolicy, PointDiagnostic, RetryPolicy, SolveError, SolveStage};
 pub use thermal::{band_sweep_over_temperature, metrics_at_temperature, ThermalCondition};
-pub use yield_analysis::{yield_analysis, YieldReport, YieldSpec};
+pub use yield_analysis::{
+    yield_analysis, yield_analysis_robust, YieldOutcome, YieldReport, YieldSpec,
+};

@@ -12,6 +12,10 @@ use crate::band::{BandMetrics, BandSpec};
 use crate::measure::{BuildConfig, BuiltAmplifier};
 use rfkit_device::Phemt;
 use rfkit_par::par_collect;
+use rfkit_robust::{faults, DegradePolicy, PointDiagnostic};
+
+// Per-unit failure telemetry (runtime-gated, write-only; see rfkit-obs).
+static OBS_YIELD_UNITS_FAILED: rfkit_obs::Counter = rfkit_obs::Counter::new("yield.units.failed");
 
 /// Pass/fail specification for one manufactured unit (worst case over the
 /// band).
@@ -81,6 +85,23 @@ impl YieldReport {
     }
 }
 
+/// Result of a fault-isolated yield run ([`yield_analysis_robust`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldOutcome {
+    /// The grading report, aggregated over the units that evaluated.
+    /// `report.units` counts only those units, so
+    /// [`YieldReport::yield_fraction`] stays meaningful on a partial.
+    pub report: YieldReport,
+    /// One entry per unit whose evaluation failed transiently (index =
+    /// unit number). These units are excluded from the report entirely —
+    /// they are neither passes nor dead boards.
+    pub diagnostics: Vec<PointDiagnostic>,
+    /// `true` when the failure fraction exceeded the [`DegradePolicy`]:
+    /// the report is a flagged partial and should not be trusted for
+    /// sign-off.
+    pub degraded: bool,
+}
+
 /// Manufactures `units` boards of `design` (seeds `0..units` offset by
 /// `seed_base`) and grades each against `spec` over `band`.
 ///
@@ -88,6 +109,10 @@ impl YieldReport {
 /// tolerance draw is seeded from `seed_base + unit` before dispatch, so
 /// the report is bit-identical at any thread count, and the grading
 /// reduction runs serially in unit order.
+///
+/// This is the lenient view of [`yield_analysis_robust`]: transient
+/// per-unit failures (only possible under fault injection) are excluded
+/// from the report without failing the run.
 pub fn yield_analysis(
     device: &Phemt,
     design: &DesignVariables,
@@ -97,18 +122,55 @@ pub fn yield_analysis(
     build: &BuildConfig,
     seed_base: u64,
 ) -> YieldReport {
+    yield_analysis_robust(
+        device,
+        design,
+        spec,
+        band,
+        units,
+        build,
+        seed_base,
+        &DegradePolicy::lenient(1.0),
+    )
+    .report
+}
+
+/// Like [`yield_analysis`], but with per-unit failure isolation: a unit
+/// whose evaluation fails transiently records a diagnostic and is
+/// excluded from the aggregation (it is *not* a dead board — a dead board
+/// is a deterministic property of its tolerance draw). The failure
+/// fraction is graded against `policy`; beyond it the report is returned
+/// anyway but flagged `degraded`.
+#[allow(clippy::too_many_arguments)]
+pub fn yield_analysis_robust(
+    device: &Phemt,
+    design: &DesignVariables,
+    spec: &YieldSpec,
+    band: &BandSpec,
+    units: usize,
+    build: &BuildConfig,
+    seed_base: u64,
+    policy: &DegradePolicy,
+) -> YieldOutcome {
     // Parallel phase: manufacture and measure each unit independently.
-    let measured: Vec<Option<BandMetrics>> = par_collect(units, &Default::default(), |unit| {
-        let cfg = BuildConfig {
-            seed: seed_base.wrapping_add(unit as u64),
-            ..*build
-        };
-        let built = BuiltAmplifier::build(design, &cfg);
-        let amp = Amplifier::new(device, built.actual_vars);
-        BandMetrics::evaluate(&amp, band)
-    });
+    // The fault hook is keyed by the unit index — data-derived, so an
+    // armed plan kills the same units at any thread count.
+    let measured: Vec<Result<Option<BandMetrics>, ()>> =
+        par_collect(units, &Default::default(), |unit| {
+            if faults::inject("yield.unit", unit as u64).is_some() {
+                return Err(());
+            }
+            let cfg = BuildConfig {
+                seed: seed_base.wrapping_add(unit as u64),
+                ..*build
+            };
+            let built = BuiltAmplifier::build(design, &cfg);
+            let amp = Amplifier::new(device, built.actual_vars);
+            Ok(BandMetrics::evaluate(&amp, band))
+        });
 
     // Serial reduction in unit order.
+    let mut diagnostics = Vec::new();
     let mut report = YieldReport {
         units,
         passing: 0,
@@ -116,7 +178,18 @@ pub fn yield_analysis(
         nf_db: Vec::with_capacity(units),
         gain_db: Vec::with_capacity(units),
     };
-    for metrics in measured {
+    for (unit, metrics) in measured.into_iter().enumerate() {
+        let metrics = match metrics {
+            Ok(m) => m,
+            Err(()) => {
+                diagnostics.push(PointDiagnostic {
+                    index: unit,
+                    at: unit as f64,
+                    detail: "unit evaluation failed transiently".to_string(),
+                });
+                continue;
+            }
+        };
         let Some(metrics) = metrics else {
             report.failures[4] += 1;
             continue;
@@ -144,7 +217,18 @@ pub fn yield_analysis(
             report.passing += 1;
         }
     }
-    report
+    if !diagnostics.is_empty() {
+        OBS_YIELD_UNITS_FAILED.add(diagnostics.len() as u64);
+    }
+    // Failed units are excluded from the denominator so the yield
+    // fraction reflects only what was actually graded.
+    report.units = units - diagnostics.len();
+    let degraded = !policy.accepts(diagnostics.len(), units);
+    YieldOutcome {
+        report,
+        diagnostics,
+        degraded,
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +328,37 @@ mod tests {
             "1 % parts must out-yield 10 % parts: {tight} vs {loose}"
         );
         assert!(tight > 0.5, "1 % parts near nominal spec: {tight}");
+    }
+
+    #[test]
+    fn robust_run_without_faults_matches_legacy() {
+        let device = Phemt::atf54143_like();
+        let spec = YieldSpec::default();
+        let legacy = yield_analysis(
+            &device,
+            &nominal(),
+            &spec,
+            &BandSpec::gnss(),
+            12,
+            &BuildConfig::default(),
+            5,
+        );
+        let robust = yield_analysis_robust(
+            &device,
+            &nominal(),
+            &spec,
+            &BandSpec::gnss(),
+            12,
+            &BuildConfig::default(),
+            5,
+            &DegradePolicy::strict(),
+        );
+        // With nothing armed, the robust path is the legacy path: same
+        // report bit-for-bit, no diagnostics, not degraded even under the
+        // strictest policy.
+        assert_eq!(robust.report, legacy);
+        assert!(robust.diagnostics.is_empty());
+        assert!(!robust.degraded);
     }
 
     #[test]

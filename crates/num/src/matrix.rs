@@ -15,7 +15,13 @@ use std::ops::{Add, Index, IndexMut, Mul, Sub};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MatrixError {
     /// The matrix (or the system) is singular to working precision.
-    Singular,
+    Singular {
+        /// Pivot index at which elimination broke down: the row whose
+        /// scale vanished during setup, or the column whose pivot was
+        /// exactly zero during elimination. Provenance for diagnostics —
+        /// it names the MNA unknown (node/branch) that is unconstrained.
+        pivot: usize,
+    },
     /// Operand dimensions do not agree.
     DimensionMismatch {
         /// Dimensions of the left/first operand as `(rows, cols)`.
@@ -30,7 +36,9 @@ pub enum MatrixError {
 impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MatrixError::Singular => write!(f, "matrix is singular to working precision"),
+            MatrixError::Singular { pivot } => {
+                write!(f, "matrix is singular to working precision (pivot {pivot})")
+            }
             MatrixError::DimensionMismatch { left, right } => write!(
                 f,
                 "dimension mismatch: {}x{} vs {}x{}",
@@ -421,7 +429,7 @@ impl<T: Scalar> Matrix<T> {
                 }
                 Ok(d)
             }
-            Err(MatrixError::Singular) => Ok(T::ZERO),
+            Err(MatrixError::Singular { .. }) => Ok(T::ZERO),
             Err(e) => Err(e),
         }
     }
@@ -601,20 +609,20 @@ fn lu_factor_in_place<T: Scalar>(
             big2.is_finite() && (!is_exact_zero(big2) || row.iter().all(|&v| v == T::ZERO));
         if !squared_range_ok {
             // Extreme magnitudes: redo every scale with the robust metric.
-            for (row, s) in lu.data.chunks_exact(n).zip(scale.iter_mut()) {
+            for (r, (row, s)) in lu.data.chunks_exact(n).zip(scale.iter_mut()).enumerate() {
                 let mut big = 0.0f64;
                 for &v in row {
                     big = big.max(v.modulus());
                 }
                 if is_exact_zero(big) {
-                    return Err(MatrixError::Singular);
+                    return Err(MatrixError::Singular { pivot: r });
                 }
                 *s = 1.0 / big;
             }
             return factor_core(&mut lu.data, n, perm, scale, T::modulus);
         }
         if is_exact_zero(big2) {
-            return Err(MatrixError::Singular);
+            return Err(MatrixError::Singular { pivot: i });
         }
         scale[i] = 1.0 / big2;
     }
@@ -643,7 +651,7 @@ fn factor_core<T: Scalar>(
             }
         }
         if data[pivot_row * n + k] == T::ZERO {
-            return Err(MatrixError::Singular);
+            return Err(MatrixError::Singular { pivot: k });
         }
         if pivot_row != k {
             let (head, tail) = data.split_at_mut(pivot_row * n);
@@ -972,10 +980,29 @@ mod tests {
     #[test]
     fn singular_detection() {
         let a = RMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert_eq!(a.solve(&[1.0, 1.0]), Err(MatrixError::Singular));
+        // Rank-1: elimination breaks down at the second pivot column, and
+        // the error says so.
+        assert_eq!(
+            a.solve(&[1.0, 1.0]),
+            Err(MatrixError::Singular { pivot: 1 })
+        );
         assert_eq!(a.det().unwrap(), 0.0);
+        // All-zero: the very first row has no scale.
         let z = RMatrix::zeros(2, 2);
-        assert_eq!(z.lu().unwrap_err(), MatrixError::Singular);
+        assert_eq!(z.lu().unwrap_err(), MatrixError::Singular { pivot: 0 });
+    }
+
+    #[test]
+    fn singular_pivot_provenance_names_the_broken_unknown() {
+        // A 3x3 with an all-zero *last* row: the scale scan reports row 2.
+        let a = RMatrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 0.0]]);
+        assert_eq!(a.lu().unwrap_err(), MatrixError::Singular { pivot: 2 });
+        // Duplicated columns 1 and 2: rows all have scale, elimination
+        // dies at pivot column 2.
+        let b = RMatrix::from_rows(&[&[1.0, 2.0, 2.0], &[0.0, 1.0, 1.0], &[0.0, 3.0, 3.0]]);
+        assert_eq!(b.lu().unwrap_err(), MatrixError::Singular { pivot: 2 });
+        let msg = b.lu().unwrap_err().to_string();
+        assert!(msg.contains("pivot 2"), "{msg}");
     }
 
     #[test]
@@ -1141,7 +1168,10 @@ mod tests {
     fn lu_into_error_parity() {
         let singular = RMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
         let mut ws = LuWorkspace::new();
-        assert_eq!(singular.lu_into(&mut ws), Err(MatrixError::Singular));
+        assert_eq!(
+            singular.lu_into(&mut ws),
+            Err(MatrixError::Singular { pivot: 1 })
+        );
         let rect = RMatrix::zeros(2, 3);
         assert_eq!(rect.lu_into(&mut ws), Err(MatrixError::NotSquare));
         assert_eq!(rect.lu().unwrap_err(), MatrixError::NotSquare);

@@ -29,6 +29,13 @@ use crate::problem::Bounds;
 use rfkit_par::{par_collect, par_map_cfg, ParConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Attainment value assigned to an objective vector with any non-finite
+/// component (a solver failure leaking NaN/∞ through an objective).
+/// Finite — so it still orders against other candidates — but larger than
+/// any value a real design produces, including the infeasibility
+/// penalties upstream objective builders emit.
+pub const NON_FINITE_PENALTY: f64 = 1e9;
+
 /// A multi-objective goal-attainment problem instance.
 pub struct GoalProblem<'a> {
     /// Vector objective `f(x)`; every component is minimized.
@@ -75,6 +82,14 @@ impl<'a> GoalProblem<'a> {
     /// enter as a large violation penalty).
     pub fn attainment(&self, f_values: &[f64]) -> f64 {
         assert_eq!(f_values.len(), self.goals.len(), "objective count mismatch");
+        // A NaN objective would otherwise vanish here: `f64::max` ignores
+        // NaN, so both the γ fold and the `(f - g).max(0.0)` violation
+        // term silently swallow it and a failed evaluation could grade as
+        // attained. Map any non-finite component to a finite penalty that
+        // dominates every legitimate value instead.
+        if f_values.iter().any(|v| !v.is_finite()) {
+            return NON_FINITE_PENALTY;
+        }
         let mut gamma = f64::NEG_INFINITY;
         let mut violation = 0.0;
         for ((&f, &g), &w) in f_values.iter().zip(&self.goals).zip(&self.weights) {
@@ -338,6 +353,27 @@ mod tests {
         assert_eq!(p.attainment(&[3.0, 2.0]), 2.0);
         // Over-attained goals give negative Γ.
         assert!(p.attainment(&[0.0, 0.0]) < 0.0);
+    }
+
+    #[test]
+    fn non_finite_objectives_are_penalized_not_swallowed() {
+        let obj = |_: &[f64]| vec![0.0];
+        let p = GoalProblem::new(
+            &obj,
+            vec![1.0, 2.0],
+            vec![1.0, 0.0],
+            Bounds::uniform(1, 0.0, 1.0),
+        );
+        // NaN in either a soft or a hard component must dominate every
+        // legitimate candidate — without the guard, `f64::max` would
+        // silently drop the NaN soft term and clamp the NaN violation
+        // term to zero, grading a broken evaluation as attained.
+        assert_eq!(p.attainment(&[f64::NAN, 0.0]), NON_FINITE_PENALTY);
+        assert_eq!(p.attainment(&[0.0, f64::NAN]), NON_FINITE_PENALTY);
+        assert_eq!(p.attainment(&[f64::INFINITY, 0.0]), NON_FINITE_PENALTY);
+        // An infeasibility-penalty-scale candidate (the 1e3 the objective
+        // builders emit) still orders below the non-finite penalty.
+        assert!(p.attainment(&[1e3, 2.0]) < NON_FINITE_PENALTY);
     }
 
     #[test]

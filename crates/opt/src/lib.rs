@@ -47,7 +47,7 @@ pub mod scalarize;
 pub use de::{differential_evolution, DeConfig};
 pub use goal::{
     auto_weights, improved_goal_attainment, standard_goal_attainment, trace_front, GoalConfig,
-    GoalProblem, GoalResult,
+    GoalProblem, GoalResult, NON_FINITE_PENALTY,
 };
 pub use lm::{levenberg_marquardt, LmConfig};
 pub use nelder_mead::{nelder_mead, NelderMeadConfig};

@@ -47,6 +47,11 @@ fn dc_operating_point() -> Vec<f64> {
             Angelov.default_params(),
         );
     let sol = solve_dc(&c).expect("bias point converges");
+    // The robust fallback ladder is the engine behind `solve_dc`; calling
+    // it directly with the default policy must agree bit-for-bit,
+    // including the stage/attempt provenance (first rung, first try).
+    let robust = rfkit_circuit::solve_dc_robust(&c, &Default::default()).expect("robust path");
+    assert_eq!(sol, robust, "legacy and robust DC paths diverged");
     let mut out = sol.voltages;
     out.extend(sol.fet_currents);
     out
