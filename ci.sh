@@ -72,13 +72,17 @@ cargo run --release -q -p rfkit-obs --bin rfkit-trace -- --json \
   --expect design.total --expect design.optimize --expect opt.improved_goal \
   results/TRACE_ci.jsonl >/dev/null || fail=1
 
-echo "== bench_ac smoke (tiny grid, traced)"
-# Runs the compiled-AC benchmark on a tiny grid with tracing armed. This
-# proves three things cheaply: the fast path stays bit-identical to the
-# legacy path (bench_ac asserts it per grid point before timing), the
-# assembly histogram and memo-cache counters actually fire in an armed
-# run, and results/BENCH_ac.json is written. Timings on the tiny grid
-# are irrelevant; the full sweep is `bench_ac` with default arguments.
+echo "== bench_ac perf smoke (tiny grid, traced)"
+# Runs the AC benchmark on a tiny grid with tracing armed. This proves
+# cheaply that: the fast path stays bit-identical to the legacy path and
+# the batch path stays inside SWEEP_TOL (bench_ac asserts both per grid
+# point before timing); the structure classifier actually picked the
+# bordered kernel for the 50+-node multi-stage workload and the shared
+# plan cache saw hits; the pivot-reuse engine refactored far fewer times
+# than it solved grid points (4 workloads x 16 points vs a bound of 8);
+# the memo-cache counters fire; and results/BENCH_ac.json is written.
+# Timings on the tiny grid are irrelevant; the full sweep is `bench_ac`
+# with default arguments.
 rm -f results/TRACE_bench_ac.jsonl results/BENCH_ac_smoke.json
 RFKIT_TRACE=1 RFKIT_TRACE_OUT=results/TRACE_bench_ac.jsonl \
   cargo run --release -q -p lna-bench --bin bench_ac -- \
@@ -87,6 +91,9 @@ RFKIT_TRACE=1 RFKIT_TRACE_OUT=results/TRACE_bench_ac.jsonl \
 cargo run --release -q -p rfkit-obs --bin rfkit-trace -- --json \
   --expect circuit.ac.assemble_us --expect design.cache.hit \
   --expect design.cache.miss \
+  --expect circuit.ac.sweep.points --expect circuit.ac.sweep.path.bordered \
+  --expect plan.cache.hit \
+  --expect-max circuit.ac.sweep.refactors:8 \
   results/TRACE_bench_ac.jsonl >/dev/null || fail=1
 
 if [ "$fail" -ne 0 ]; then

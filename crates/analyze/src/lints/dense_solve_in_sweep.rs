@@ -1,0 +1,225 @@
+//! `dense-solve-in-sweep`: O(n³) dense factorizations inside
+//! per-frequency loops. Library code that calls `.inverse()`, `.lu()`,
+//! `.lu_into()`, `.solve_matrix()` or `.solve_matrix_into()` directly in
+//! a loop over a frequency grid re-pays the full dense factorization at
+//! every point — exactly the cost the batched sweep engine
+//! (`StampPlan::sweep_batch`, pivot reuse + banded/bordered kernels)
+//! exists to amortize. Route grid sweeps through `sweep_batch` (or hoist
+//! the factorization out of the loop) instead.
+//!
+//! A loop is considered a frequency sweep when its header (`for … in … {`)
+//! mentions a grid-like identifier: anything containing `freq` or
+//! `grid`, or named `band`, `sweep`, `points` or `omega`. Per-point
+//! *solves with a pre-computed factorization* (`solve_into`,
+//! `solve_in_place`) are fine and not flagged.
+
+use crate::report::{Finding, Severity};
+use crate::source::{FileKind, SourceFile};
+use crate::tokenizer::{Tok, TokKind};
+
+/// Lint name.
+pub const NAME: &str = "dense-solve-in-sweep";
+/// One-line description.
+pub const DESCRIPTION: &str =
+    "dense inverse()/full-LU factorization inside a per-frequency loop (warning)";
+
+/// Dense-factorization entry points that should never sit in a sweep loop.
+const DENSE_CALLS: [&str; 5] = [
+    "inverse",
+    "lu",
+    "lu_into",
+    "solve_matrix",
+    "solve_matrix_into",
+];
+
+fn grid_like(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("freq")
+        || lower.contains("grid")
+        || lower == "band"
+        || lower == "sweep"
+        || lower == "points"
+        || lower == "omega"
+}
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind != FileKind::Lib {
+        return;
+    }
+    let code: Vec<&Tok> = file.toks.iter().filter(|t| !t.is_comment()).collect();
+    let mut reported = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("for") {
+            i += 1;
+            continue;
+        }
+        // Parse the loop header: `for <pat> in <expr> {`. An `impl T for
+        // U {` header has no `in` before its `{` and is skipped. The
+        // header scan is bounded so a stray `for` cannot run away.
+        let mut open = None;
+        let mut saw_in = false;
+        let mut sweepy = false;
+        for (j, t) in code.iter().enumerate().skip(i + 1).take(64) {
+            if t.is_punct("{") {
+                open = Some(j);
+                break;
+            }
+            if t.is_ident("in") {
+                saw_in = true;
+            } else if saw_in && grid_like(ident_text(t)) {
+                sweepy = true;
+            }
+        }
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        if !(saw_in && sweepy) {
+            i += 1;
+            continue;
+        }
+        // Find the matching close brace of the loop body.
+        let mut depth = 0usize;
+        let mut close = code.len();
+        for (j, t) in code.iter().enumerate().skip(open) {
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+        }
+        for j in open + 1..close {
+            let t = code[j];
+            if reported[j] || file.in_test_region(t.line) {
+                continue;
+            }
+            let called = DENSE_CALLS.iter().find(|name| {
+                t.is_punct(".")
+                    && code.get(j + 1).is_some_and(|n| n.is_ident(name))
+                    && code.get(j + 2).is_some_and(|n| n.is_punct("("))
+            });
+            if let Some(name) = called {
+                reported[j] = true;
+                out.push(Finding {
+                    lint: NAME,
+                    severity: Severity::Warning,
+                    file: file.rel.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`.{name}(...)` inside a per-frequency loop refactors the full dense \
+                         system at every grid point; use `StampPlan::sweep_batch` or hoist \
+                         the factorization out of the loop"
+                    ),
+                    suppressed: false,
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+fn ident_text(t: &Tok) -> &str {
+    if t.kind == TokKind::Ident {
+        &t.text
+    } else {
+        ""
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(rel, src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_dense_calls_in_freq_loops() {
+        let src = "\
+pub fn sweep(freqs: &[f64]) {
+    for f in freqs {
+        let y = assemble(*f);
+        let inv = y.inverse();
+        let mut ws = LuWorkspace::new();
+        ws.lu_into(&y);
+    }
+}
+";
+        let hits = run("crates/x/src/lib.rs", src);
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].message.contains("inverse"));
+        assert!(hits[1].message.contains("lu_into"));
+        assert!(hits.iter().all(|h| h.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn flags_in_nested_and_enumerated_grids() {
+        let src = "\
+pub fn sweep(grid: &[f64]) {
+    for (p, f) in grid.iter().enumerate() {
+        if p > 0 {
+            solver.solve_matrix(&rhs);
+        }
+    }
+}
+";
+        let hits = run("crates/x/src/lib.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn quiet_outside_sweep_loops_and_on_cheap_solves() {
+        // Non-grid loop: dense call allowed.
+        let over_rows = "\
+pub fn f(rows: &[Row]) {
+    for r in rows {
+        r.m.inverse();
+    }
+}
+";
+        assert!(run("crates/x/src/lib.rs", over_rows).is_empty());
+        // Grid loop, but only factorization *reuse*: allowed.
+        let reuse = "\
+pub fn f(freqs: &[f64], ws: &LuWorkspace) {
+    for f in freqs {
+        ws.solve_into(&rhs(*f), &mut x);
+        band.solve_in_place(&mut x);
+    }
+}
+";
+        assert!(run("crates/x/src/lib.rs", reuse).is_empty());
+        // `impl T for U` is not a loop header.
+        let impl_block = "\
+impl Solve for Grid {
+    fn go(&self) {
+        self.m.inverse();
+    }
+}
+";
+        assert!(run("crates/x/src/lib.rs", impl_block).is_empty());
+    }
+
+    #[test]
+    fn quiet_in_tests_and_bins() {
+        let src = "\
+fn main() {
+    for f in freqs {
+        y.inverse();
+    }
+}
+";
+        assert!(run("crates/x/src/bin/tool.rs", src).is_empty());
+        assert!(run("crates/x/tests/t.rs", src).is_empty());
+    }
+}

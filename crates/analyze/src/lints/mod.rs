@@ -1,6 +1,7 @@
 //! The lint registry. Each lint lives in its own module and exposes
 //! `NAME`, `DESCRIPTION`, and `check(&SourceFile, &mut Vec<Finding>)`.
 
+pub mod dense_solve_in_sweep;
 pub mod float_eq;
 pub mod nan_unsafe_sort;
 pub mod nondeterminism;
@@ -65,6 +66,11 @@ pub fn all() -> Vec<Lint> {
             name: todo_markers::NAME,
             description: todo_markers::DESCRIPTION,
             check: todo_markers::check,
+        },
+        Lint {
+            name: dense_solve_in_sweep::NAME,
+            description: dense_solve_in_sweep::DESCRIPTION,
+            check: dense_solve_in_sweep::check,
         },
     ]
 }

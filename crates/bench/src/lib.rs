@@ -91,6 +91,54 @@ pub mod timing {
         best
     }
 
+    /// Adaptive best-of timing: repeats `f` (after one warmup call) until
+    /// the best observed time stops improving by more than `tol`
+    /// (relative) over a window of `min_reps` consecutive repetitions, or
+    /// `max_reps` is reached. Returns `(best_s, reps_used, stable)`,
+    /// where `stable` is false only when the budget ran out before the
+    /// minimum settled — the caller should report that run as noisy
+    /// rather than silently trusting it.
+    ///
+    /// Min-of-reps is the right estimator for a deterministic workload:
+    /// every source of error (scheduler preemption, cache cold-start,
+    /// frequency ramp) only ever *adds* time, so the minimum converges to
+    /// the true cost from above and the stopping rule just needs the
+    /// minimum to stop moving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_reps == 0`, `max_reps < min_reps`, or `tol` is not
+    /// positive.
+    pub fn time_until_stable<F: FnMut()>(
+        min_reps: usize,
+        max_reps: usize,
+        tol: f64,
+        mut f: F,
+    ) -> (f64, usize, bool) {
+        assert!(min_reps > 0, "need at least one repetition");
+        assert!(max_reps >= min_reps, "max_reps must cover min_reps");
+        assert!(tol > 0.0, "tolerance must be positive");
+        f(); // warmup: populates caches and the thread pool
+        let mut best = f64::INFINITY;
+        let mut since_improved = 0usize;
+        for rep in 1..=max_reps {
+            let t = Instant::now();
+            f();
+            let dt = t.elapsed().as_secs_f64();
+            if dt < best * (1.0 - tol) {
+                best = best.min(dt);
+                since_improved = 0;
+            } else {
+                best = best.min(dt);
+                since_improved += 1;
+            }
+            if rep >= min_reps && since_improved >= min_reps {
+                return (best, rep, true);
+            }
+        }
+        (best, max_reps, false)
+    }
+
     /// One benchmark case: a workload timed serially and at several thread
     /// counts.
     #[derive(Debug, Clone, PartialEq)]
@@ -165,5 +213,23 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_series_panics() {
         print_series("x", &["y"], &[1.0, 2.0], &[vec![1.0]]);
+    }
+
+    #[test]
+    fn time_until_stable_settles_on_constant_workload() {
+        // A near-constant workload should settle quickly and report
+        // stable=true well before the budget runs out.
+        let (best, reps, stable) = timing::time_until_stable(3, 200, 0.10, || {
+            std::hint::black_box((0..20_000).fold(0u64, |a, b| a.wrapping_add(b)));
+        });
+        assert!(stable, "constant workload should stabilize");
+        assert!(best > 0.0);
+        assert!((3..=200).contains(&reps));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn time_until_stable_rejects_zero_min_reps() {
+        timing::time_until_stable(0, 10, 0.1, || {});
     }
 }

@@ -38,6 +38,7 @@ pub mod dc;
 pub mod hb;
 mod netlist;
 pub mod plan;
+pub mod sweep;
 pub mod twotone;
 
 pub use ac::{s_matrix, two_port_s, AcError, AcStamps};
@@ -45,6 +46,10 @@ pub use dc::{solve_dc, solve_dc_robust, DcError, DcSolution};
 pub use hb::{compression_sweep, HbConfig, HbError, HbSolution, HbTestbench};
 pub use netlist::{Circuit, Element, NodeId, Port};
 pub use plan::{AcWorkspace, StampPlan};
+pub use sweep::{
+    shared_plan, shared_plan_cache, PlanCache, SweepBatch, SweepStats, DEFAULT_PLAN_CACHE_CAPACITY,
+    SWEEP_TOL,
+};
 pub use twotone::{
     ip3_sweep, p1db, power_series, single_tone, time_domain, Ip3Sweep, TwoToneResult, TwoToneSpec,
 };

@@ -44,7 +44,7 @@ static OBS_AC_ASSEMBLE_US: rfkit_obs::Hist = rfkit_obs::Hist::new("circuit.ac.as
 /// One frequency-scaled stamp slot: the element value with its admittance
 /// law, `jωC` or `-j/(ωL)`.
 #[derive(Debug, Clone, Copy)]
-enum BLaw {
+pub(crate) enum BLaw {
     /// Capacitance in farads: admittance `jωC`.
     Cap(f64),
     /// Inductance in henries: admittance `-j/(ωL)`.
@@ -53,10 +53,10 @@ enum BLaw {
 
 /// A compiled reactive stamp: resolved node pair plus admittance law.
 #[derive(Debug, Clone, Copy)]
-struct BStamp {
-    a: Option<usize>,
-    b: Option<usize>,
-    law: BLaw,
+pub(crate) struct BStamp {
+    pub(crate) a: Option<usize>,
+    pub(crate) b: Option<usize>,
+    pub(crate) law: BLaw,
 }
 
 /// A netlist compiled for repeated AC solves over one topology.
@@ -68,20 +68,23 @@ struct BStamp {
 #[derive(Debug, Clone)]
 pub struct StampPlan {
     /// Total node count (matrix dimension before reduction).
-    n: usize,
+    pub(crate) n: usize,
     /// Port node indices in declaration order.
-    port_nodes: Vec<usize>,
+    pub(crate) port_nodes: Vec<usize>,
     /// Non-port node indices, ascending (eliminated by Schur complement).
-    internal: Vec<usize>,
+    pub(crate) internal: Vec<usize>,
     /// Reference impedance shared by all ports.
-    z0: f64,
+    pub(crate) z0: f64,
     /// Frequency-independent admittance part (R stamps, V-source shorts),
     /// pre-accumulated in element order.
-    g: CMatrix,
+    pub(crate) g: CMatrix,
     /// Frequency-scaled stamp slots (C and L interleaved in element order,
     /// preserving the legacy accumulation order within the imaginary
     /// component).
-    b_stamps: Vec<BStamp>,
+    pub(crate) b_stamps: Vec<BStamp>,
+    /// Structural classification of the internal block, computed once at
+    /// compile time and consumed by [`StampPlan::sweep_batch`].
+    pub(crate) structure: crate::sweep::PlanStructure,
 }
 
 impl StampPlan {
@@ -132,6 +135,7 @@ impl StampPlan {
                 }
             }
         }
+        let structure = crate::sweep::classify(&g, &b_stamps, &internal);
         Ok(StampPlan {
             n,
             port_nodes,
@@ -139,7 +143,17 @@ impl StampPlan {
             z0,
             g,
             b_stamps,
+            structure,
         })
+    }
+
+    /// Name of the structure-aware solve path the compile-time classifier
+    /// selected for the internal block: `"dense"`, `"banded"` or
+    /// `"bordered"`. [`StampPlan::sweep_batch`] may still downgrade to
+    /// dense at sweep time when external device stamps add coupling the
+    /// classified structure cannot hold.
+    pub fn solve_path_name(&self) -> &'static str {
+        self.structure.path_name()
     }
 
     /// Number of declared ports.
@@ -215,22 +229,7 @@ impl StampPlan {
         }
         let watch = rfkit_obs::stopwatch();
         ws.track_dims(self.n, self.port_nodes.len());
-
-        // Assembly: copy G, apply B(ω) in place, then the device stamps.
-        let assemble_watch = rfkit_obs::stopwatch();
-        let w = angular(freq_hz);
-        ws.y.copy_from(&self.g);
-        for s in &self.b_stamps {
-            let adm = match s.law {
-                BLaw::Cap(farads) => Complex::imag(w * farads),
-                BLaw::Ind(henries) => Complex::imag(-1.0 / (w * henries)),
-            };
-            stamp_admittance(&mut ws.y, s.a, s.b, adm);
-        }
-        apply_two_port_stamps(&mut ws.y, stamps, freq_hz);
-        if let Some(us) = assemble_watch.elapsed_us() {
-            OBS_AC_ASSEMBLE_US.record(us);
-        }
+        self.assemble_into(freq_hz, stamps, ws);
 
         // Schur-complement reduction to the port nodes.
         if self.internal.is_empty() {
@@ -254,9 +253,39 @@ impl StampPlan {
             ws.ypp.sub_into(&ws.prod, &mut ws.yred);
         }
 
-        // S conversion: S = (I - z0·Y)(I + z0·Y)⁻¹, inverse realized as a
-        // multi-RHS solve against the identity in workspace storage (same
-        // column-by-column arithmetic as `Matrix::inverse`).
+        self.s_convert(freq_hz, ws)?;
+        if let Some(us) = watch.elapsed_us() {
+            OBS_AC_SOLVE_US.record(us);
+        }
+        Ok(())
+    }
+
+    /// Assembles the full Y matrix at `freq_hz` into `ws.y`: copy G, apply
+    /// B(ω) in place, then the external device stamps. Shared between the
+    /// per-point path and the batched sweep so both produce identical
+    /// matrices.
+    pub(crate) fn assemble_into(&self, freq_hz: f64, stamps: &AcStamps<'_>, ws: &mut AcWorkspace) {
+        let assemble_watch = rfkit_obs::stopwatch();
+        let w = angular(freq_hz);
+        ws.y.copy_from(&self.g);
+        for s in &self.b_stamps {
+            let adm = match s.law {
+                BLaw::Cap(farads) => Complex::imag(w * farads),
+                BLaw::Ind(henries) => Complex::imag(-1.0 / (w * henries)),
+            };
+            stamp_admittance(&mut ws.y, s.a, s.b, adm);
+        }
+        apply_two_port_stamps(&mut ws.y, stamps, freq_hz);
+        if let Some(us) = assemble_watch.elapsed_us() {
+            OBS_AC_ASSEMBLE_US.record(us);
+        }
+    }
+
+    /// S conversion from `ws.yred`: S = (I - z0·Y)(I + z0·Y)⁻¹, inverse
+    /// realized as a multi-RHS solve against the identity in workspace
+    /// storage (same column-by-column arithmetic as `Matrix::inverse`).
+    /// Leaves the result in `ws.smat`.
+    pub(crate) fn s_convert(&self, freq_hz: f64, ws: &mut AcWorkspace) -> Result<(), AcError> {
         let m = self.port_nodes.len();
         if ws.id.rows() != m {
             // The identity RHS is constant per dimension; rebuild only on
@@ -275,9 +304,6 @@ impl StampPlan {
         ws.amb
             .matmul_into(&ws.den, &mut ws.smat)
             .expect("dimensions chain");
-        if let Some(us) = watch.elapsed_us() {
-            OBS_AC_SOLVE_US.record(us);
-        }
         Ok(())
     }
 }
@@ -294,22 +320,30 @@ impl StampPlan {
 /// dimensions just triggers another warm-up.
 #[derive(Debug, Clone, Default)]
 pub struct AcWorkspace {
-    y: CMatrix,
-    ypp: CMatrix,
-    ypi: CMatrix,
-    yip: CMatrix,
-    yii: CMatrix,
-    solved: CMatrix,
-    prod: CMatrix,
-    yred: CMatrix,
-    id: CMatrix,
-    yz: CMatrix,
-    apb: CMatrix,
-    amb: CMatrix,
-    den: CMatrix,
-    smat: CMatrix,
-    lu: LuWorkspace<Complex>,
-    x: Vec<Complex>,
+    pub(crate) y: CMatrix,
+    pub(crate) ypp: CMatrix,
+    pub(crate) ypi: CMatrix,
+    pub(crate) yip: CMatrix,
+    pub(crate) yii: CMatrix,
+    pub(crate) solved: CMatrix,
+    pub(crate) prod: CMatrix,
+    pub(crate) yred: CMatrix,
+    pub(crate) id: CMatrix,
+    pub(crate) yz: CMatrix,
+    pub(crate) apb: CMatrix,
+    pub(crate) amb: CMatrix,
+    pub(crate) den: CMatrix,
+    pub(crate) smat: CMatrix,
+    pub(crate) lu: LuWorkspace<Complex>,
+    pub(crate) x: Vec<Complex>,
+    // Batched-sweep state: the dense pivot-reuse factorization persists
+    // across grid points (`lu` is clobbered by the S conversion every
+    // point), and the structure-aware kernels keep their band/border
+    // storage here so a whole sweep allocates nothing after warm-up.
+    pub(crate) sweep_lu: LuWorkspace<Complex>,
+    pub(crate) banded: rfkit_num::BandedLu<Complex>,
+    pub(crate) bordered: rfkit_num::BorderedLu<Complex>,
+    pub(crate) col: Vec<Complex>,
     dims: (usize, usize),
     warmups: u64,
     reuses: u64,
@@ -333,7 +367,7 @@ impl AcWorkspace {
         self.reuses
     }
 
-    fn track_dims(&mut self, n: usize, m: usize) {
+    pub(crate) fn track_dims(&mut self, n: usize, m: usize) {
         if self.dims == (n, m) {
             self.reuses += 1;
         } else {

@@ -5,7 +5,9 @@
 //! netlists. `assert_eq!` on [`SParams`]/[`NPort`] compares exact floating
 //! bits, not tolerances.
 
-use rfkit_circuit::{s_matrix, two_port_s, AcError, AcStamps, AcWorkspace, Circuit, StampPlan};
+use rfkit_circuit::{
+    s_matrix, two_port_s, AcError, AcStamps, AcWorkspace, Circuit, StampPlan, SWEEP_TOL,
+};
 use rfkit_device::smallsignal::NoiseTemperatures;
 use rfkit_device::Phemt;
 use rfkit_num::linspace;
@@ -170,6 +172,152 @@ fn singular_and_degenerate_inputs_match_legacy() {
             two_port_s(&good, bad_f, &AcStamps::none()).unwrap_err(),
             AcError::NonPositiveFrequency(bad_f)
         );
+    }
+}
+
+/// Seeded random structured netlist: a chain of `sections` series/shunt
+/// RLC cells between the two ports (long tridiagonal internal block →
+/// the banded path), optionally tied into a shared supply rail through
+/// `hub_taps` resistors (one high-degree hub → the bordered path).
+/// Every chain node keeps a resistive shunt so pivots stay away from
+/// pure-LC resonance zeros.
+fn random_structured(rng: &mut Rng64, sections: usize, hub_taps: usize) -> Circuit {
+    assert!(sections >= 10, "need a chain long enough to classify");
+    let mut c = Circuit::new();
+    let name = |i: usize| format!("c{i}");
+    for i in 0..sections {
+        let (a, b) = (name(i), name(i + 1));
+        if rng.index(2) == 0 {
+            c.inductor(&a, &b, rng.uniform(1e-9, 8e-9));
+        } else {
+            c.resistor(&a, &b, rng.uniform(5.0, 80.0));
+        }
+        c.capacitor(&b, "gnd", rng.uniform(0.3e-12, 3e-12));
+        c.resistor(&b, "gnd", rng.uniform(500.0, 5_000.0));
+    }
+    if hub_taps > 0 {
+        // Taps spread evenly across the chain: clustered taps would let
+        // RCM absorb the rail into a small bandwidth (still correct, but
+        // classified banded); spread taps make the rail a genuine hub
+        // that only the bordered path handles efficiently.
+        c.vsource("rail", "gnd", 1.0);
+        for t in 0..hub_taps {
+            let k = 1 + t * (sections - 1) / hub_taps;
+            c.resistor(&name(k), "rail", rng.uniform(50.0, 500.0));
+        }
+    }
+    c.port("c0", 50.0).port(&name(sections), 50.0);
+    c
+}
+
+#[test]
+fn random_structured_netlists_match_dense_within_tol() {
+    // Cross-check the three solve paths on seeded random netlists: the
+    // legacy dense solve is the oracle; the classifier must pick the
+    // banded kernel for plain ladders and the bordered kernel for
+    // rail-tied ladders; every grid point must stay inside the
+    // documented `SWEEP_TOL` envelope with point-for-point Ok parity.
+    let mut rng = Rng64::new(0x5eed_0b0b);
+    let freqs = linspace(0.8e9, 2.2e9, 9);
+    for case in 0..12 {
+        let sections = 10 + rng.index(8);
+        let hub_taps = if case % 2 == 1 { 4 + rng.index(3) } else { 0 };
+        let expected = if hub_taps == 0 { "banded" } else { "bordered" };
+        let c = random_structured(&mut rng, sections, hub_taps);
+        let plan = StampPlan::compile(&c).unwrap();
+        assert_eq!(plan.solve_path_name(), expected, "case {case}");
+        let mut ws = AcWorkspace::new();
+        let batch = plan.sweep_batch(&freqs, &AcStamps::none(), &mut ws);
+        assert_eq!(batch.stats().path, expected, "case {case}");
+        for (p, &f) in freqs.iter().enumerate() {
+            match s_matrix(&c, f, &AcStamps::none()) {
+                Ok(l) => {
+                    assert!(batch.is_ok(p), "case {case}: spurious failure at {f} Hz");
+                    for i in 0..2 {
+                        for j in 0..2 {
+                            let d = (batch.s(p, i, j) - l.s(i, j).unwrap()).abs();
+                            assert!(d <= SWEEP_TOL, "case {case}: |ΔS{i}{j}| = {d:e} at {f} Hz");
+                        }
+                    }
+                }
+                Err(e) => {
+                    assert!(!batch.is_ok(p), "case {case}: missed failure at {f} Hz");
+                    assert!(
+                        batch.failures().iter().any(|(q, be)| *q == p && *be == e),
+                        "case {case}: error parity at {f} Hz"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn structured_paths_report_errors_point_for_point() {
+    // A floating capacitor pair makes the Schur block singular at every
+    // frequency. The banded kernel hits a zero pivot, falls back to the
+    // dense solve, and must surface the *same* error the legacy path
+    // reports — while healthy points of a mixed grid still solve.
+    let mut rng = Rng64::new(0xe44_0f0f);
+    let mut c = random_structured(&mut rng, 12, 0);
+    c.capacitor("float_a", "float_b", 1e-12);
+    let plan = StampPlan::compile(&c).unwrap();
+    let freqs = [1.1e9, 1.5e9];
+    let mut ws = AcWorkspace::new();
+    let batch = plan.sweep_batch(&freqs, &AcStamps::none(), &mut ws);
+    assert_eq!(batch.failures().len(), freqs.len());
+    for (p, &f) in freqs.iter().enumerate() {
+        let legacy = s_matrix(&c, f, &AcStamps::none()).unwrap_err();
+        assert_eq!(legacy, AcError::Singular(f));
+        assert!(batch
+            .failures()
+            .iter()
+            .any(|(q, e)| *q == p && *e == legacy));
+    }
+}
+
+#[cfg(feature = "rfkit-faults")]
+#[test]
+fn fault_injection_parity_across_solve_paths() {
+    // One injection site per solve path: dense, banded and bordered
+    // sweeps share the `ac.solve` site and frequency-bits key with the
+    // legacy path, so a targeted fault fails the same grid point on both
+    // sides while neighbours sail through.
+    use rfkit_robust::faults::{self, FaultKind, FaultPlan};
+    let mut rng = Rng64::new(0xfa017);
+    let cases = [
+        (reference_design_circuit(), "dense"),
+        (random_structured(&mut rng, 12, 0), "banded"),
+        (random_structured(&mut rng, 12, 4), "bordered"),
+    ];
+    let freqs = [1.1e9, 1.4e9, 1.7e9];
+    let f_bad: f64 = freqs[1];
+    for (c, path) in &cases {
+        let plan = StampPlan::compile(c).unwrap();
+        assert_eq!(plan.solve_path_name(), *path);
+        let mut ws = AcWorkspace::new();
+        let _g = faults::scoped(FaultPlan::new().fail_keys(
+            "ac.solve",
+            FaultKind::SingularLu,
+            &[f_bad.to_bits()],
+        ));
+        let batch = plan.sweep_batch(&freqs, &AcStamps::none(), &mut ws);
+        for (p, &f) in freqs.iter().enumerate() {
+            let legacy = s_matrix(c, f, &AcStamps::none());
+            if f == f_bad {
+                assert_eq!(legacy.unwrap_err(), AcError::Singular(f), "{path}");
+                assert!(
+                    batch
+                        .failures()
+                        .iter()
+                        .any(|(q, e)| *q == p && *e == AcError::Singular(f)),
+                    "{path}: batch missed the injected fault"
+                );
+            } else {
+                assert!(legacy.is_ok(), "{path}: healthy legacy point failed");
+                assert!(batch.is_ok(p), "{path}: healthy batch point failed");
+            }
+        }
     }
 }
 

@@ -165,6 +165,20 @@ impl DesignCache {
                             ("capacity", self.capacity as f64),
                         ],
                     );
+                    // Thrash warning: more entries evicted than ever hit
+                    // means the capacity is below the working set and the
+                    // cache is churning instead of memoizing. Resize it.
+                    let hits = self.hits.load(Ordering::Relaxed);
+                    if evicted > hits {
+                        rfkit_obs::event(
+                            "design.cache.thrash",
+                            &[
+                                ("evictions", evicted as f64),
+                                ("hits", hits as f64),
+                                ("capacity", self.capacity as f64),
+                            ],
+                        );
+                    }
                 }
             }
             map.insert(key, value);

@@ -34,6 +34,7 @@ pub mod design;
 pub mod measure;
 pub mod report;
 pub mod thermal;
+pub mod verify;
 pub mod yield_analysis;
 
 pub use amplifier::{Amplifier, DesignVariables, PointMetrics};
@@ -48,6 +49,7 @@ pub use measure::{
 };
 pub use rfkit_robust::{DegradePolicy, PointDiagnostic, RetryPolicy, SolveError, SolveStage};
 pub use thermal::{band_sweep_over_temperature, metrics_at_temperature, ThermalCondition};
+pub use verify::{cached_sweep, multistage_netlist, output_match_network, reference_netlist};
 pub use yield_analysis::{
     yield_analysis, yield_analysis_robust, YieldOutcome, YieldReport, YieldSpec,
 };

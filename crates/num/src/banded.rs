@@ -1,0 +1,518 @@
+//! Structure-aware LU kernels: banded factorization and bordered-block
+//! Schur solves.
+//!
+//! MNA matrices of ladder-style RF networks are nearly tridiagonal once
+//! the nodes are ordered along the signal path, and multi-stage
+//! amplifiers add only a handful of "hub" rows (shared bias rails,
+//! splitter junctions) that break the band. Dense LU treats both as a
+//! full `O(n³)` problem; the kernels here solve them in `O(n·b²)`:
+//!
+//! * [`BandedLu`] — LU of a matrix with lower/upper bandwidth `(bl, bu)`
+//!   in LAPACK-style band storage, factored **without pivoting** under an
+//!   explicit multiplier-growth guard. Row swaps would widen the band, so
+//!   instead of pivoting the factorization *rejects* any column whose
+//!   elimination multiplier exceeds [`GROWTH_LIMIT`] and the caller falls
+//!   back to dense pivoted LU. Diagonally-dominant-ish MNA matrices
+//!   essentially never trip the guard; pathological ones stay correct at
+//!   dense-path cost.
+//! * [`BorderedLu`] — block solve of `[[B, C], [D, E]]` where `B` is
+//!   banded and the border (`C`/`D`/`E`) has a small rank `k`: factor `B`
+//!   banded, form the `k×k` Schur complement `S = E − D·B⁻¹·C` and factor
+//!   it densely (with pivoting — it is tiny), then back-substitute. Cost
+//!   is `O(n·b² + n·b·k + k³)` per factorization.
+//!
+//! Neither kernel is bit-identical to dense pivoted LU (the elimination
+//! order differs); callers that advertise equivalence against the dense
+//! path own the documented tolerance contract (see
+//! `rfkit-circuit::sweep`). Both kernels are allocation-free after the
+//! first factorization at a given shape: all storage lives in the
+//! workspace structs and is reused across refactorizations.
+
+use crate::matrix::{LuWorkspace, Matrix, MatrixError, Scalar};
+
+/// Largest elimination multiplier the unpivoted banded factorization
+/// accepts. With partial pivoting every multiplier is ≤ 1; a fixed
+/// elimination order can exceed that, and bounded multipliers bound the
+/// element growth (and therefore the backward error) of the
+/// factorization.
+///
+/// The budget: one multiplier of magnitude `L` amplifies local roundoff
+/// by ~`L`, and `k` consecutive oversized multipliers along one band
+/// column compound to ~`Lᵏ`. At `L = 256`, even three consecutive
+/// guard-limit multipliers give `256³·ε ≈ 3e-9` relative error — inside
+/// the `1e-8` sweep tolerance contract — and reactive MNA matrices hit
+/// oversized multipliers only at isolated node resonances, not in runs.
+/// Anything beyond the guard falls back to fully pivoted dense LU.
+pub const GROWTH_LIMIT: f64 = 256.0;
+
+const GROWTH_LIMIT_SQ: f64 = GROWTH_LIMIT * GROWTH_LIMIT;
+
+/// Why a structure-aware factorization was rejected. Either way the
+/// caller should fall back to dense pivoted LU, which will separate a
+/// genuinely singular system from one that merely needs pivoting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandedError {
+    /// A pivot was exactly zero at the given elimination step.
+    ZeroPivot(usize),
+    /// An elimination multiplier exceeded [`GROWTH_LIMIT`] at the given
+    /// step; the fixed elimination order is not numerically safe here.
+    GrowthExceeded(usize),
+}
+
+impl std::fmt::Display for BandedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BandedError::ZeroPivot(k) => write!(f, "zero pivot at banded elimination step {k}"),
+            BandedError::GrowthExceeded(k) => {
+                write!(f, "multiplier growth beyond {GROWTH_LIMIT} at step {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BandedError {}
+
+/// Banded LU workspace: band storage plus the factored state.
+///
+/// Storage is row-major with `bl + bu + 1` slots per row; entry `(i, j)`
+/// lives at `row i, slot j - i + bl` for `|i - j|` inside the band.
+/// Loading, factoring and solving all reuse the same allocation across
+/// shape changes whenever capacity allows.
+#[derive(Debug, Clone, Default)]
+pub struct BandedLu<T: Scalar> {
+    n: usize,
+    bl: usize,
+    bu: usize,
+    data: Vec<T>,
+    factored: bool,
+}
+
+impl<T: Scalar> BandedLu<T> {
+    /// Creates an empty workspace; buffers grow on first load.
+    pub fn new() -> Self {
+        BandedLu {
+            n: 0,
+            bl: 0,
+            bu: 0,
+            data: Vec::new(),
+            factored: false,
+        }
+    }
+
+    /// Matrix dimension of the current load.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// `(lower, upper)` bandwidth of the current load.
+    pub fn bandwidths(&self) -> (usize, usize) {
+        (self.bl, self.bu)
+    }
+
+    #[inline]
+    fn width(&self) -> usize {
+        self.bl + self.bu + 1
+    }
+
+    #[inline]
+    fn slot(&self, i: usize, j: usize) -> usize {
+        i * self.width() + (j + self.bl - i)
+    }
+
+    /// Loads an `n × n` matrix with bandwidths `(bl, bu)` from `get(i, j)`
+    /// (called only inside the band), zeroing any stale contents. The
+    /// previous factorization is discarded.
+    pub fn load(&mut self, n: usize, bl: usize, bu: usize, mut get: impl FnMut(usize, usize) -> T) {
+        self.n = n;
+        self.bl = bl.min(n.saturating_sub(1));
+        self.bu = bu.min(n.saturating_sub(1));
+        self.factored = false;
+        let width = self.width();
+        let bl = self.bl;
+        self.data.clear();
+        self.data.resize(n * width, T::ZERO);
+        for i in 0..n {
+            let lo = i.saturating_sub(self.bl);
+            let hi = (i + self.bu).min(n.saturating_sub(1));
+            for j in lo..=hi {
+                self.data[i * width + (j + bl - i)] = get(i, j);
+            }
+        }
+    }
+
+    /// Factors the loaded band in place without pivoting, guarding every
+    /// elimination multiplier against [`GROWTH_LIMIT`].
+    ///
+    /// # Errors
+    ///
+    /// [`BandedError::ZeroPivot`] on an exactly-zero pivot,
+    /// [`BandedError::GrowthExceeded`] when a multiplier leaves the safe
+    /// range (including non-finite pivots). On `Err` the load is consumed;
+    /// reload before retrying.
+    pub fn factor(&mut self) -> Result<(), BandedError> {
+        let n = self.n;
+        let width = self.width();
+        let bl = self.bl;
+        let idx = |i: usize, j: usize| i * width + (j + bl - i);
+        for k in 0..n {
+            let pivot = self.data[idx(k, k)];
+            if pivot == T::ZERO {
+                self.factored = false;
+                return Err(BandedError::ZeroPivot(k));
+            }
+            let hi_row = (k + self.bl).min(n.saturating_sub(1));
+            let hi_col = (k + self.bu).min(n.saturating_sub(1));
+            for i in (k + 1)..=hi_row {
+                let factor = self.data[idx(i, k)] / pivot;
+                let growth = factor.modulus_sq();
+                // NaN growth (non-finite pivot ratio) must also trip.
+                if growth > GROWTH_LIMIT_SQ || growth.is_nan() {
+                    self.factored = false;
+                    return Err(BandedError::GrowthExceeded(k));
+                }
+                self.data[idx(i, k)] = factor;
+                for j in (k + 1)..=hi_col {
+                    let u = self.data[idx(k, j)];
+                    let x = self.data[idx(i, j)];
+                    self.data[idx(i, j)] = x - factor * u;
+                }
+            }
+        }
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Solves `A x = b` in place against the banded factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band has not been successfully factored or
+    /// `x.len() != n`.
+    pub fn solve_in_place(&self, x: &mut [T]) {
+        assert!(self.factored, "banded solve before a successful factor");
+        assert_eq!(x.len(), self.n, "rhs length mismatch");
+        let n = self.n;
+        // Forward substitution with the unit-lower band.
+        for i in 0..n {
+            let lo = i.saturating_sub(self.bl);
+            let mut acc = x[i];
+            for (j, &xj) in x.iter().enumerate().take(i).skip(lo) {
+                acc = acc - self.data[self.slot(i, j)] * xj;
+            }
+            x[i] = acc;
+        }
+        // Back substitution with the upper band.
+        for i in (0..n).rev() {
+            let hi = (i + self.bu).min(n.saturating_sub(1));
+            let mut acc = x[i];
+            for (j, &xj) in x.iter().enumerate().take(hi + 1).skip(i + 1) {
+                acc = acc - self.data[self.slot(i, j)] * xj;
+            }
+            x[i] = acc / self.data[self.slot(i, i)];
+        }
+    }
+}
+
+/// Bordered-block Schur workspace: `[[B, C], [D, E]]` with `B` banded
+/// (`nb × nb`) and a dense border of rank `k`.
+///
+/// Load order is [`BorderedLu::begin`], the four block loaders (any
+/// order), then [`BorderedLu::factor`] and [`BorderedLu::solve_in_place`]
+/// on vectors laid out as `[band part (nb) | border part (k)]`.
+#[derive(Debug, Clone, Default)]
+pub struct BorderedLu<T: Scalar> {
+    nb: usize,
+    k: usize,
+    band: BandedLu<T>,
+    /// `nb × k` coupling block `C`.
+    c: Matrix<T>,
+    /// `k × nb` coupling block `D`.
+    d: Matrix<T>,
+    /// `k × k` corner `E`, later overwritten by the Schur complement.
+    schur: Matrix<T>,
+    /// `B⁻¹·C`, column-solved through the banded factor.
+    w: Matrix<T>,
+    schur_lu: LuWorkspace<T>,
+    col: Vec<T>,
+    col2: Vec<T>,
+    factored: bool,
+}
+
+impl<T: Scalar> BorderedLu<T> {
+    /// Creates an empty workspace; buffers grow on first load.
+    pub fn new() -> Self {
+        BorderedLu::default()
+    }
+
+    /// Dimension of the full system (`nb + k`).
+    pub fn dim(&self) -> usize {
+        self.nb + self.k
+    }
+
+    /// Border rank `k`.
+    pub fn border(&self) -> usize {
+        self.k
+    }
+
+    /// Starts a load: `nb` banded rows with bandwidths `(bl, bu)`, plus a
+    /// `k`-row border. `get` supplies entries of the **full** `(nb+k)²`
+    /// matrix in bordered order (band rows first, border rows last); only
+    /// the in-band and border slots are read.
+    pub fn load(
+        &mut self,
+        nb: usize,
+        k: usize,
+        bl: usize,
+        bu: usize,
+        mut get: impl FnMut(usize, usize) -> T,
+    ) {
+        self.nb = nb;
+        self.k = k;
+        self.factored = false;
+        self.band.load(nb, bl, bu, &mut get);
+        self.c.reset(nb, k);
+        for i in 0..nb {
+            for j in 0..k {
+                self.c[(i, j)] = get(i, nb + j);
+            }
+        }
+        self.d.reset(k, nb);
+        self.schur.reset(k, k);
+        for i in 0..k {
+            for j in 0..nb {
+                self.d[(i, j)] = get(nb + i, j);
+            }
+            for j in 0..k {
+                self.schur[(i, j)] = get(nb + i, nb + j);
+            }
+        }
+    }
+
+    /// Factors the bordered system: banded LU of `B`, then the dense
+    /// (pivoted) LU of the Schur complement `S = E − D·B⁻¹·C`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BandedError`] from the band; a singular Schur
+    /// complement surfaces as [`BandedError::ZeroPivot`] with step
+    /// `nb + pivot`.
+    pub fn factor(&mut self) -> Result<(), BandedError> {
+        self.band.factor()?;
+        // W = B⁻¹ C, one banded solve per border column.
+        self.w.reset(self.nb, self.k);
+        for j in 0..self.k {
+            self.col.clear();
+            self.col.extend((0..self.nb).map(|i| self.c[(i, j)]));
+            self.band.solve_in_place(&mut self.col);
+            for (i, &v) in self.col.iter().enumerate() {
+                self.w[(i, j)] = v;
+            }
+        }
+        // S = E − D·W, formed in place on the stored corner.
+        for i in 0..self.k {
+            for j in 0..self.k {
+                let mut acc = T::ZERO;
+                for l in 0..self.nb {
+                    acc = acc + self.d[(i, l)] * self.w[(l, j)];
+                }
+                self.schur[(i, j)] = self.schur[(i, j)] - acc;
+            }
+        }
+        match self.schur.lu_into(&mut self.schur_lu) {
+            Ok(()) => {
+                self.factored = true;
+                Ok(())
+            }
+            Err(MatrixError::Singular { pivot }) => Err(BandedError::ZeroPivot(self.nb + pivot)),
+            Err(_) => unreachable!("schur block is square by construction"),
+        }
+    }
+
+    /// Solves `A x = b` in place; `x` is `[band rows | border rows]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has not been successfully factored or
+    /// `x.len() != nb + k`.
+    pub fn solve_in_place(&mut self, x: &mut [T]) {
+        assert!(self.factored, "bordered solve before a successful factor");
+        assert_eq!(x.len(), self.nb + self.k, "rhs length mismatch");
+        let (f, g) = x.split_at_mut(self.nb);
+        // y = B⁻¹ f.
+        self.band.solve_in_place(f);
+        // g ← g − D·y, then solve the border through the Schur factor.
+        for (i, g_i) in g.iter_mut().enumerate() {
+            let mut acc = T::ZERO;
+            for (l, &f_l) in f.iter().enumerate() {
+                acc = acc + self.d[(i, l)] * f_l;
+            }
+            *g_i = *g_i - acc;
+        }
+        self.col.clear();
+        self.col.extend_from_slice(g);
+        self.schur_lu.solve_into(&self.col, &mut self.col2);
+        // x₁ = y − W·x₂.
+        for (i, f_i) in f.iter_mut().enumerate() {
+            let mut acc = T::ZERO;
+            for (j, b_j) in self.col2.iter().enumerate() {
+                acc = acc + self.w[(i, j)] * *b_j;
+            }
+            *f_i = *f_i - acc;
+        }
+        g.copy_from_slice(&self.col2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::matrix::CMatrix;
+    use crate::rng::Rng64;
+
+    fn cx(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    /// Random diagonally-dominant banded complex matrix.
+    fn random_banded(rng: &mut Rng64, n: usize, bl: usize, bu: usize) -> CMatrix {
+        let mut a = CMatrix::zeros(n, n);
+        for i in 0..n {
+            let lo = i.saturating_sub(bl);
+            let hi = (i + bu).min(n - 1);
+            let mut row_sum = 0.0;
+            for j in lo..=hi {
+                if i != j {
+                    let v = cx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+                    a[(i, j)] = v;
+                    row_sum += v.abs();
+                }
+            }
+            // Dominant diagonal keeps the unpivoted factorization stable.
+            a[(i, i)] = cx(row_sum + rng.uniform(0.5, 2.0), rng.uniform(-0.5, 0.5));
+        }
+        a
+    }
+
+    fn max_abs_diff(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn banded_matches_dense_solve() {
+        let mut rng = Rng64::new(0x00ba_9ded);
+        for &(n, bl, bu) in &[(1usize, 0usize, 0usize), (5, 1, 1), (12, 2, 1), (30, 3, 3)] {
+            let a = random_banded(&mut rng, n, bl, bu);
+            let b: Vec<Complex> = (0..n)
+                .map(|_| cx(rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)))
+                .collect();
+            let dense = a.solve(&b).unwrap();
+            let mut band = BandedLu::new();
+            band.load(n, bl, bu, |i, j| a[(i, j)]);
+            band.factor().unwrap();
+            let mut x = b.clone();
+            band.solve_in_place(&mut x);
+            assert!(
+                max_abs_diff(&dense, &x) < 1e-10,
+                "n={n} bl={bl} bu={bu}: diff {}",
+                max_abs_diff(&dense, &x)
+            );
+        }
+    }
+
+    #[test]
+    fn banded_reload_reuses_allocation() {
+        let mut rng = Rng64::new(7);
+        let a = random_banded(&mut rng, 20, 2, 2);
+        let mut band = BandedLu::new();
+        band.load(20, 2, 2, |i, j| a[(i, j)]);
+        band.factor().unwrap();
+        let cap = band.data.capacity();
+        for _ in 0..3 {
+            band.load(20, 2, 2, |i, j| a[(i, j)]);
+            band.factor().unwrap();
+        }
+        assert_eq!(band.data.capacity(), cap);
+        assert_eq!(band.dim(), 20);
+        assert_eq!(band.bandwidths(), (2, 2));
+    }
+
+    #[test]
+    fn zero_pivot_is_rejected() {
+        let mut band = BandedLu::new();
+        // Leading zero with no pivoting available: must refuse, not NaN.
+        let a = CMatrix::from_rows(&[&[cx(0.0, 0.0), cx(1.0, 0.0)], &[cx(1.0, 0.0), cx(1.0, 0.0)]]);
+        band.load(2, 1, 1, |i, j| a[(i, j)]);
+        assert_eq!(band.factor(), Err(BandedError::ZeroPivot(0)));
+    }
+
+    #[test]
+    fn growth_guard_trips_on_tiny_pivot() {
+        let mut band = BandedLu::new();
+        // Pivot 1e-9 against a unit subdiagonal: multiplier 1e9 ≫ limit.
+        let a = CMatrix::from_rows(&[
+            &[cx(1e-9, 0.0), cx(1.0, 0.0)],
+            &[cx(1.0, 0.0), cx(1.0, 0.0)],
+        ]);
+        band.load(2, 1, 1, |i, j| a[(i, j)]);
+        assert_eq!(band.factor(), Err(BandedError::GrowthExceeded(0)));
+        let e = BandedError::GrowthExceeded(0).to_string();
+        assert!(e.contains("growth"), "{e}");
+    }
+
+    #[test]
+    fn bordered_matches_dense_solve() {
+        let mut rng = Rng64::new(0xb0d3);
+        for &(nb, k, bw) in &[(8usize, 1usize, 1usize), (20, 2, 2), (40, 3, 2)] {
+            let n = nb + k;
+            let mut a = CMatrix::zeros(n, n);
+            let band_part = random_banded(&mut rng, nb, bw, bw);
+            for i in 0..nb {
+                for j in 0..nb {
+                    a[(i, j)] = band_part[(i, j)];
+                }
+            }
+            for i in 0..n {
+                for j in nb..n {
+                    if i != j {
+                        a[(i, j)] = cx(rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5));
+                        a[(j, i)] = cx(rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5));
+                    }
+                }
+            }
+            for j in nb..n {
+                a[(j, j)] = cx(rng.uniform(4.0, 8.0), rng.uniform(-1.0, 1.0));
+            }
+            let b: Vec<Complex> = (0..n)
+                .map(|_| cx(rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)))
+                .collect();
+            let dense = a.solve(&b).unwrap();
+            let mut bord = BorderedLu::new();
+            bord.load(nb, k, bw, bw, |i, j| a[(i, j)]);
+            bord.factor().unwrap();
+            let mut x = b.clone();
+            bord.solve_in_place(&mut x);
+            assert!(
+                max_abs_diff(&dense, &x) < 1e-9,
+                "nb={nb} k={k}: diff {}",
+                max_abs_diff(&dense, &x)
+            );
+        }
+    }
+
+    #[test]
+    fn bordered_singular_schur_is_reported() {
+        // B = I (2×2), border row/col arranged so S = E − D·B⁻¹·C = 0.
+        let mut bord = BorderedLu::new();
+        let a = CMatrix::from_rows(&[
+            &[cx(1.0, 0.0), cx(0.0, 0.0), cx(1.0, 0.0)],
+            &[cx(0.0, 0.0), cx(1.0, 0.0), cx(0.0, 0.0)],
+            &[cx(1.0, 0.0), cx(0.0, 0.0), cx(1.0, 0.0)],
+        ]);
+        bord.load(2, 1, 0, 0, |i, j| a[(i, j)]);
+        assert_eq!(bord.factor(), Err(BandedError::ZeroPivot(2)));
+    }
+}

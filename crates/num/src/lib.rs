@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod banded;
 mod complex;
 pub mod diff;
 pub mod fft;
@@ -37,9 +38,11 @@ mod matrix;
 pub mod numsan;
 mod poly;
 pub mod rng;
+pub mod soa;
 pub mod stats;
 pub mod units;
 
+pub use banded::{BandedError, BandedLu, BorderedLu};
 pub use complex::Complex;
 pub use matrix::{CMatrix, Lu, LuWorkspace, Matrix, MatrixError, RMatrix, Scalar};
 pub use poly::{line_intersection, Polynomial};

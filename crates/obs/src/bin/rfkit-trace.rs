@@ -1,7 +1,7 @@
 //! Summarize a rfkit-obs JSONL trace.
 //!
 //! ```text
-//! rfkit-trace [--json] [--top N] [--expect NAME]... <trace.jsonl>
+//! rfkit-trace [--json] [--top N] [--expect NAME]... [--expect-max NAME:N]... <trace.jsonl>
 //! ```
 //!
 //! Prints top spans by self-time, counter totals, histogram
@@ -9,7 +9,10 @@
 //! the same aggregates as one JSON object. Each `--expect NAME`
 //! asserts that a span, counter or histogram with that name is present
 //! (exit 1 otherwise) — CI uses this to prove an armed run actually
-//! traced the pipeline.
+//! traced the pipeline. Each `--expect-max NAME:N` asserts that the
+//! counter `NAME` totals at most `N` (an absent counter counts as 0 and
+//! passes) — CI uses this to bound rates, e.g. that the batched sweep's
+//! pivot-reuse refactor count stays far below the grid size.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,7 +21,10 @@ use rfkit_obs::summary;
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("rfkit-trace: {err}");
-    eprintln!("usage: rfkit-trace [--json] [--top N] [--expect NAME]... <trace.jsonl>");
+    eprintln!(
+        "usage: rfkit-trace [--json] [--top N] [--expect NAME]... [--expect-max NAME:N]... \
+         <trace.jsonl>"
+    );
     ExitCode::from(2)
 }
 
@@ -26,6 +32,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut top = 15usize;
     let mut expect: Vec<String> = Vec::new();
+    let mut expect_max: Vec<(String, u64)> = Vec::new();
     let mut input: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -39,6 +46,18 @@ fn main() -> ExitCode {
                 Some(v) => expect.push(v),
                 None => return usage("--expect needs a metric name"),
             },
+            "--expect-max" => {
+                let Some(v) = args.next() else {
+                    return usage("--expect-max needs NAME:N");
+                };
+                let Some((name, limit)) = v.rsplit_once(':') else {
+                    return usage(&format!("--expect-max `{v}` is not NAME:N"));
+                };
+                let Ok(limit) = limit.parse::<u64>() else {
+                    return usage(&format!("--expect-max `{v}` needs an integer bound"));
+                };
+                expect_max.push((name.to_string(), limit));
+            }
             "--help" | "-h" => return usage("trace summarizer"),
             other if other.starts_with('-') => {
                 return usage(&format!("unknown argument `{other}`"))
@@ -94,6 +113,18 @@ fn main() -> ExitCode {
         for name in &missing {
             eprintln!("rfkit-trace: expected span/counter/hist `{name}` not found in trace");
         }
+        return ExitCode::FAILURE;
+    }
+    // Bound checks: a counter that never fired totals 0 and passes.
+    let mut over = false;
+    for (name, limit) in &expect_max {
+        let total = s.counters.get(name).copied().unwrap_or(0);
+        if total > *limit {
+            eprintln!("rfkit-trace: counter `{name}` = {total} exceeds the bound {limit}");
+            over = true;
+        }
+    }
+    if over {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

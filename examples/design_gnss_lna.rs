@@ -5,8 +5,11 @@
 //!
 //! Run with: `cargo run --release --example design_gnss_lna`
 
-use lna::{design_lna, measure, Amplifier, BuildConfig, BuiltAmplifier, DesignConfig, DesignGoals};
-use rfkit_circuit::{solve_dc, AcStamps, AcWorkspace, Circuit, StampPlan};
+use lna::{
+    cached_sweep, design_lna, measure, output_match_network, Amplifier, BuildConfig,
+    BuiltAmplifier, DesignConfig, DesignGoals,
+};
+use rfkit_circuit::{solve_dc, AcWorkspace, Circuit};
 use rfkit_device::dc::{Angelov, DcModel};
 use rfkit_device::Phemt;
 use rfkit_num::linspace;
@@ -61,20 +64,16 @@ fn main() {
         bias_sol.iterations,
         bias_sol.fet_currents[0] * 1e3
     );
-    let mut out_match = Circuit::new();
-    out_match
-        .inductor("in", "out", vars.l2)
-        .capacitor("out", "gnd", vars.c2)
-        .port("in", 50.0)
-        .port("out", 50.0);
-    // Compiled fast path: stamp-plan the netlist once, then sweep with a
-    // reused workspace (bit-identical to the legacy per-call solve).
-    let match_plan = StampPlan::compile(&out_match).expect("passive match compiles");
+    // Batched fast path: the output-match netlist goes through the
+    // process-wide plan cache (compiled and stamped once, shared by every
+    // later sweep of the same topology) and the structure-aware batch
+    // engine — one factorization plan for the whole grid.
+    let out_match = output_match_network(&vars);
+    let match_freqs = [1.2e9, 1.4e9, 1.6e9];
     let mut match_ws = AcWorkspace::new();
-    for f in [1.2e9, 1.4e9, 1.6e9] {
-        let s = match_plan
-            .two_port_s(f, &AcStamps::none(), &mut match_ws)
-            .expect("passive match solves");
+    let batch = cached_sweep(&out_match, &match_freqs, &mut match_ws).expect("match compiles");
+    for (p, f) in match_freqs.iter().enumerate() {
+        let s = batch.two_port(p).expect("passive match solves");
         println!(
             "output match @ {:.1} GHz: |S21| = {:.3} dB",
             f / 1e9,
