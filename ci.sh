@@ -20,11 +20,36 @@ else
   echo "   (clippy unavailable; skipping)"
 fi
 
+echo "== rfkit-analyze --baseline (fail on NEW findings only)"
+# Diff a fresh run against the committed results/ANALYZE.json before the
+# absolute gate below overwrites it. Keyed on (lint, file, message), so
+# line drift from unrelated edits never re-flags an old finding, while
+# anything this change introduces fails with a readable NEW delta.
+analyze_tmp="$(mktemp)"
+cargo run --release -q -p rfkit-analyze -- --deny warnings \
+  --baseline results/ANALYZE.json --json "$analyze_tmp" || fail=1
+rm -f "$analyze_tmp"
+
 echo "== rfkit-analyze --deny warnings"
-# Workspace lint engine: NaN-safe ordering, determinism, unsafe confinement.
-# Any non-suppressed warning or error fails the gate; suppressions are
-# per-line `// rfkit-allow(<lint>)` comments and show up in review diffs.
+# Workspace lint engine: NaN-safe ordering, determinism, unsafe confinement,
+# dataflow lints (hot-loop allocs, guards across solves, unseeded RNGs,
+# fault-hook coverage), and the cross-artifact obs-name contract. Any
+# non-suppressed warning or error fails the gate; suppressions are
+# per-line `// rfkit-allow(<lint>[, until = "YYYY-MM-DD"])` comments and
+# show up in review diffs (expired dates escalate to errors).
 cargo run --release -q -p rfkit-analyze -- --deny warnings || fail=1
+
+echo "== obs name contract (counter-name-drift registry export)"
+# The drift errors themselves fail the gate above; this stage guards the
+# extraction machinery — if the AST-based obs-name export ever shrinks
+# dramatically, the contract check would go quietly vacuous.
+# Rows after the two-line table header = one per distinct instrument name.
+names="$(cargo run --release -q -p rfkit-analyze -- --dump-obs-names | tail -n +3 | wc -l | tr -d ' ')"
+echo "   $names instrument names extracted"
+if [ "$names" -lt 50 ]; then
+  echo "   obs-name extraction shrank unexpectedly (<50 names)"
+  fail=1
+fi
 
 echo "== cargo build --release"
 cargo build --release || fail=1

@@ -1,0 +1,137 @@
+//! Baseline diffing: compare a fresh run against a committed
+//! `results/ANALYZE.json` so CI fails only on NEW findings.
+//!
+//! The tree-wide `--deny warnings` gate keeps the tree at zero, but
+//! during a large refactor it is useful to land intermediate states
+//! where pre-existing findings are tolerated while anything the change
+//! *introduces* still fails. `rfkit-analyze --baseline results/ANALYZE.json`
+//! implements that: a finding is NEW when its `(lint, file, message)`
+//! triple does not appear in the baseline. Line numbers are
+//! deliberately excluded from the key — inserting a line above an old
+//! finding must not re-flag it as new.
+
+use crate::report::Finding;
+use std::collections::BTreeMap;
+
+/// A committed baseline: multiset of `(lint, file, message)` keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    keys: BTreeMap<(String, String, String), usize>,
+    /// Number of findings in the baseline (suppressed included).
+    pub total: usize,
+}
+
+fn key_of(f: &Finding) -> (String, String, String) {
+    (f.lint.to_string(), f.file.clone(), f.message.clone())
+}
+
+impl Baseline {
+    /// Parses a baseline from ANALYZE.json text. Errors on malformed
+    /// JSON — a corrupt baseline must not silently admit new findings.
+    pub fn parse(json_text: &str) -> Result<Baseline, String> {
+        let doc = rfkit_obs::json::parse(json_text)?;
+        let findings = doc
+            .get("findings")
+            .and_then(|f| f.as_arr())
+            .ok_or("baseline has no `findings` array")?;
+        let mut b = Baseline::default();
+        for f in findings {
+            let get = |k: &str| {
+                f.get(k)
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline finding missing `{k}`"))
+            };
+            let key = (get("lint")?, get("file")?, get("message")?);
+            *b.keys.entry(key).or_insert(0) += 1;
+            b.total += 1;
+        }
+        Ok(b)
+    }
+
+    /// Splits fresh findings into (new, preexisting) against this
+    /// baseline. Duplicate keys are matched up to the baseline's count:
+    /// a third occurrence of a twice-baselined finding is new.
+    pub fn diff<'a>(&self, fresh: &'a [Finding]) -> (Vec<&'a Finding>, Vec<&'a Finding>) {
+        let mut remaining = self.keys.clone();
+        let mut new = Vec::new();
+        let mut old = Vec::new();
+        for f in fresh {
+            match remaining.get_mut(&key_of(f)) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    old.push(f);
+                }
+                _ => new.push(f),
+            }
+        }
+        (new, old)
+    }
+
+    /// Number of baseline findings absent from the fresh run (fixed).
+    pub fn fixed_count(&self, fresh: &[Finding]) -> usize {
+        let mut remaining = self.keys.clone();
+        for f in fresh {
+            if let Some(n) = remaining.get_mut(&key_of(f)) {
+                *n = n.saturating_sub(1);
+            }
+        }
+        remaining.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Severity;
+
+    fn finding(lint: &'static str, file: &str, line: u32, message: &str) -> Finding {
+        Finding {
+            lint,
+            severity: Severity::Warning,
+            file: file.to_string(),
+            line,
+            col: 1,
+            message: message.to_string(),
+            suppressed: false,
+            suggestion: None,
+        }
+    }
+
+    const BASELINE_JSON: &str = r#"{
+  "files_scanned": 2,
+  "suppressed": 0,
+  "counts": {"error": 0, "warning": 2, "info": 0},
+  "findings": [
+    {"lint": "float-eq", "severity": "warning", "file": "a.rs", "line": 3, "col": 5, "suppressed": false, "message": "m1"},
+    {"lint": "float-eq", "severity": "warning", "file": "a.rs", "line": 9, "col": 5, "suppressed": false, "message": "m1"},
+    {"lint": "unwrap-in-lib", "severity": "warning", "file": "b.rs", "line": 1, "col": 1, "suppressed": false, "message": "m2"}
+  ]
+}"#;
+
+    #[test]
+    fn line_shift_is_not_new_but_third_duplicate_is() {
+        let b = Baseline::parse(BASELINE_JSON).unwrap();
+        assert_eq!(b.total, 3);
+        let fresh = vec![
+            finding("float-eq", "a.rs", 4, "m1"),  // shifted: old
+            finding("float-eq", "a.rs", 10, "m1"), // shifted: old
+            finding("float-eq", "a.rs", 20, "m1"), // third copy: NEW
+            finding("float-eq", "c.rs", 1, "m1"),  // new file: NEW
+        ];
+        let (new, old) = b.diff(&fresh);
+        assert_eq!(old.len(), 2);
+        assert_eq!(new.len(), 2);
+        assert_eq!(new[0].line, 20);
+        assert_eq!(new[1].file, "c.rs");
+        // b.rs's m2 disappeared from fresh → fixed.
+        assert_eq!(b.fixed_count(&fresh), 1);
+    }
+
+    #[test]
+    fn rejects_corrupt_baseline() {
+        assert!(Baseline::parse("{not json").is_err());
+        assert!(Baseline::parse("{\"findings\": 3}").is_err());
+        assert!(Baseline::parse("{}").is_err());
+    }
+}

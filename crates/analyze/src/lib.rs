@@ -18,7 +18,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod contract;
+pub mod dataflow;
 pub mod lints;
+pub mod parser;
 pub mod report;
 pub mod source;
 pub mod tokenizer;
@@ -33,10 +37,16 @@ use std::path::{Path, PathBuf};
 /// workspace-relative path, which determines the crate name and file
 /// role (library, binary, test, example).
 pub fn analyze_source(rel: &str, src: &str) -> Vec<Finding> {
-    let file = SourceFile::parse(rel, src);
+    lint_file(&SourceFile::parse(rel, src))
+}
+
+/// Runs every per-file lint over an already-parsed file and applies
+/// suppressions. The cross-artifact contract pass is separate — it
+/// needs the whole tree (see [`analyze_tree`] / [`contract::check`]).
+pub fn lint_file(file: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
     for lint in lints::all() {
-        (lint.check)(&file, &mut out);
+        (lint.check)(file, &mut out);
     }
     for f in &mut out {
         f.suppressed = file.is_allowed(f.lint, f.line);
@@ -50,18 +60,39 @@ pub fn analyze_source(rel: &str, src: &str) -> Vec<Finding> {
 /// `crates/*` member. Returns the findings plus the number of files
 /// scanned. File order is sorted, so output is deterministic.
 pub fn analyze_tree(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
-    let files = collect_rs_files(root)?;
+    let (findings, files) = analyze_tree_files(root)?;
+    Ok((findings, files.len()))
+}
+
+/// Like [`analyze_tree`], but also returns the parsed [`SourceFile`]s
+/// so callers (the CLI's `--dump-obs-names`, tests) can reuse the ASTs
+/// without re-walking the tree. Per-file lints run first; the
+/// cross-artifact contract pass appends its findings at the end, with
+/// `rfkit-allow` suppressions applied for findings that land in parsed
+/// source files.
+pub fn analyze_tree_files(root: &Path) -> io::Result<(Vec<Finding>, Vec<SourceFile>)> {
+    let paths = collect_rs_files(root)?;
+    let mut files = Vec::with_capacity(paths.len());
     let mut findings = Vec::new();
-    for path in &files {
+    for path in &paths {
         let src = fs::read_to_string(path)?;
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        findings.extend(analyze_source(&rel, &src));
+        let file = SourceFile::parse(&rel, &src);
+        findings.extend(lint_file(&file));
+        files.push(file);
     }
-    Ok((findings, files.len()))
+    let mut drift = contract::check(root, &files);
+    for f in &mut drift {
+        if let Some(file) = files.iter().find(|s| s.rel == f.file) {
+            f.suppressed = file.is_allowed(f.lint, f.line);
+        }
+    }
+    findings.extend(drift);
+    Ok((findings, files))
 }
 
 fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {

@@ -7,15 +7,16 @@
 //! exists to amortize. Route grid sweeps through `sweep_batch` (or hoist
 //! the factorization out of the loop) instead.
 //!
-//! A loop is considered a frequency sweep when its header (`for … in … {`)
-//! mentions a grid-like identifier: anything containing `freq` or
-//! `grid`, or named `band`, `sweep`, `points` or `omega`. Per-point
-//! *solves with a pre-computed factorization* (`solve_into`,
+//! Runs over the dataflow layer: a call is flagged when its enclosing
+//! loop *nest* (real nesting from the AST, not brace counting) has a
+//! grid-like identifier in any loop header — anything containing
+//! `freq` or `grid`, or named `band`, `sweep`, `points` or `omega`.
+//! Per-point *solves with a pre-computed factorization* (`solve_into`,
 //! `solve_in_place`) are fine and not flagged.
 
+use crate::dataflow::CallKind;
 use crate::report::{Finding, Severity};
 use crate::source::{FileKind, SourceFile};
-use crate::tokenizer::{Tok, TokKind};
 
 /// Lint name.
 pub const NAME: &str = "dense-solve-in-sweep";
@@ -47,89 +48,37 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
     if file.kind != FileKind::Lib {
         return;
     }
-    let code: Vec<&Tok> = file.toks.iter().filter(|t| !t.is_comment()).collect();
-    let mut reported = vec![false; code.len()];
-    let mut i = 0usize;
-    while i < code.len() {
-        if !code[i].is_ident("for") {
-            i += 1;
+    for f in &file.fns {
+        if file.in_test_region(f.span.line) {
             continue;
         }
-        // Parse the loop header: `for <pat> in <expr> {`. An `impl T for
-        // U {` header has no `in` before its `{` and is skipped. The
-        // header scan is bounded so a stray `for` cannot run away.
-        let mut open = None;
-        let mut saw_in = false;
-        let mut sweepy = false;
-        for (j, t) in code.iter().enumerate().skip(i + 1).take(64) {
-            if t.is_punct("{") {
-                open = Some(j);
-                break;
-            }
-            if t.is_ident("in") {
-                saw_in = true;
-            } else if saw_in && grid_like(ident_text(t)) {
-                sweepy = true;
-            }
-        }
-        let Some(open) = open else {
-            i += 1;
-            continue;
-        };
-        if !(saw_in && sweepy) {
-            i += 1;
-            continue;
-        }
-        // Find the matching close brace of the loop body.
-        let mut depth = 0usize;
-        let mut close = code.len();
-        for (j, t) in code.iter().enumerate().skip(open) {
-            if t.is_punct("{") {
-                depth += 1;
-            } else if t.is_punct("}") {
-                depth -= 1;
-                if depth == 0 {
-                    close = j;
-                    break;
-                }
-            }
-        }
-        for j in open + 1..close {
-            let t = code[j];
-            if reported[j] || file.in_test_region(t.line) {
+        for c in &f.calls {
+            if c.kind != CallKind::Method
+                || c.loop_depth == 0
+                || !DENSE_CALLS.contains(&c.name.as_str())
+                || file.in_test_region(c.line)
+            {
                 continue;
             }
-            let called = DENSE_CALLS.iter().find(|name| {
-                t.is_punct(".")
-                    && code.get(j + 1).is_some_and(|n| n.is_ident(name))
-                    && code.get(j + 2).is_some_and(|n| n.is_punct("("))
-            });
-            if let Some(name) = called {
-                reported[j] = true;
-                out.push(Finding {
-                    lint: NAME,
-                    severity: Severity::Warning,
-                    file: file.rel.clone(),
-                    line: t.line,
-                    col: t.col,
-                    message: format!(
-                        "`.{name}(...)` inside a per-frequency loop refactors the full dense \
-                         system at every grid point; use `StampPlan::sweep_batch` or hoist \
-                         the factorization out of the loop"
-                    ),
-                    suppressed: false,
-                });
+            if !c.loop_header_idents.iter().any(|i| grid_like(i)) {
+                continue;
             }
+            out.push(Finding {
+                lint: NAME,
+                severity: Severity::Warning,
+                file: file.rel.clone(),
+                line: c.line,
+                col: c.col,
+                message: format!(
+                    "`.{}(...)` inside a per-frequency loop refactors the full dense \
+                     system at every grid point; use `StampPlan::sweep_batch` or hoist \
+                     the factorization out of the loop",
+                    c.name
+                ),
+                suppressed: false,
+                suggestion: None,
+            });
         }
-        i += 1;
-    }
-}
-
-fn ident_text(t: &Tok) -> &str {
-    if t.kind == TokKind::Ident {
-        &t.text
-    } else {
-        ""
     }
 }
 
@@ -179,6 +128,24 @@ pub fn sweep(grid: &[f64]) {
     }
 
     #[test]
+    fn flags_inner_loop_when_outer_is_the_grid() {
+        // Brace counting used to need the dense call lexically inside
+        // the grid loop's braces; real nesting sees through inner
+        // non-grid loops too.
+        let src = "\
+pub fn sweep(freqs: &[f64], stages: &[Stage]) {
+    for f in freqs {
+        for s in stages {
+            s.y.inverse();
+        }
+    }
+}
+";
+        let hits = run("crates/x/src/lib.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
     fn quiet_outside_sweep_loops_and_on_cheap_solves() {
         // Non-grid loop: dense call allowed.
         let over_rows = "\
@@ -208,6 +175,16 @@ impl Solve for Grid {
 }
 ";
         assert!(run("crates/x/src/lib.rs", impl_block).is_empty());
+        // A dense call after the grid loop closed: allowed.
+        let after = "\
+pub fn f(freqs: &[f64]) {
+    for f in freqs {
+        accumulate(*f);
+    }
+    total.inverse();
+}
+";
+        assert!(run("crates/x/src/lib.rs", after).is_empty());
     }
 
     #[test]

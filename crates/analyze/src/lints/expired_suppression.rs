@@ -1,0 +1,98 @@
+//! `expired-suppression`: `rfkit-allow` markers whose `until` date has
+//! passed, plus malformed expiry clauses. A suppression is a promise to
+//! revisit; the expiry date makes that promise enforceable. Expired
+//! markers still suppress their lint (so the diagnostic that surfaces
+//! points at the stale date, not at already-reviewed code) but they
+//! fail `--deny warnings` CI until re-justified with a fresh date or
+//! removed.
+
+use crate::report::{Finding, Severity};
+use crate::source::{self, SourceFile};
+
+/// Lint name.
+pub const NAME: &str = "expired-suppression";
+/// One-line description.
+pub const DESCRIPTION: &str =
+    "rfkit-allow marker past its `until` date or with a malformed expiry clause (error)";
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let today = source::today();
+    for a in &file.allows {
+        if a.malformed {
+            out.push(Finding {
+                lint: NAME,
+                severity: Severity::Error,
+                file: file.rel.clone(),
+                line: a.line,
+                col: 1,
+                message: format!(
+                    "malformed rfkit-allow clause for `{}`; use `rfkit-allow({}, until = \
+                     \"YYYY-MM-DD\")`",
+                    a.lint, a.lint
+                ),
+                suppressed: false,
+                suggestion: None,
+            });
+        } else if let Some(until) = &a.until {
+            // YYYY-MM-DD compares correctly as a plain string.
+            if until.as_str() < today.as_str() {
+                out.push(Finding {
+                    lint: NAME,
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: a.line,
+                    col: 1,
+                    message: format!(
+                        "suppression of `{}` expired on {until}; re-justify with a new \
+                         `until` date or fix the underlying finding",
+                        a.lint
+                    ),
+                    suppressed: false,
+                    suggestion: None,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        // Fix "today" so the test cannot rot.
+        std::env::set_var("RFKIT_ANALYZE_TODAY", "2026-08-08");
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn expired_suppression_is_an_error() {
+        let hits = run("let a = 0; // rfkit-allow(float-eq, until = \"2025-01-01\")\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Error);
+        assert!(hits[0].message.contains("expired on 2025-01-01"));
+    }
+
+    #[test]
+    fn future_and_undated_suppressions_are_quiet() {
+        assert!(run("let a = 0; // rfkit-allow(float-eq, until = \"2030-01-01\")\n").is_empty());
+        assert!(run("let a = 0; // rfkit-allow(float-eq)\n").is_empty());
+    }
+
+    #[test]
+    fn malformed_clause_is_an_error() {
+        let hits = run("let a = 0; // rfkit-allow(float-eq, until = someday)\n");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn expiry_boundary_is_inclusive() {
+        // A suppression is valid through its `until` day.
+        assert!(run("let a = 0; // rfkit-allow(float-eq, until = \"2026-08-08\")\n").is_empty());
+    }
+}

@@ -1,14 +1,19 @@
 //! The lint registry. Each lint lives in its own module and exposes
 //! `NAME`, `DESCRIPTION`, and `check(&SourceFile, &mut Vec<Finding>)`.
 
+pub mod alloc_in_hot_loop;
 pub mod dense_solve_in_sweep;
+pub mod expired_suppression;
+pub mod fault_hook_coverage;
 pub mod float_eq;
+pub mod lock_across_solve;
 pub mod nan_unsafe_sort;
 pub mod nondeterminism;
 pub mod obs_span_leak;
 pub mod swallowed_error;
 pub mod todo_markers;
 pub mod unsafe_outside_par;
+pub mod unseeded_rng_flow;
 pub mod unwrap_in_lib;
 
 use crate::report::Finding;
@@ -71,6 +76,31 @@ pub fn all() -> Vec<Lint> {
             name: dense_solve_in_sweep::NAME,
             description: dense_solve_in_sweep::DESCRIPTION,
             check: dense_solve_in_sweep::check,
+        },
+        Lint {
+            name: alloc_in_hot_loop::NAME,
+            description: alloc_in_hot_loop::DESCRIPTION,
+            check: alloc_in_hot_loop::check,
+        },
+        Lint {
+            name: lock_across_solve::NAME,
+            description: lock_across_solve::DESCRIPTION,
+            check: lock_across_solve::check,
+        },
+        Lint {
+            name: unseeded_rng_flow::NAME,
+            description: unseeded_rng_flow::DESCRIPTION,
+            check: unseeded_rng_flow::check,
+        },
+        Lint {
+            name: fault_hook_coverage::NAME,
+            description: fault_hook_coverage::DESCRIPTION,
+            check: fault_hook_coverage::check,
+        },
+        Lint {
+            name: expired_suppression::NAME,
+            description: expired_suppression::DESCRIPTION,
+            check: expired_suppression::check,
         },
     ]
 }

@@ -60,6 +60,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                     "`{name}` in a numeric crate breaks run-to-run determinism; use {instead}"
                 ),
                 suppressed: false,
+                suggestion: None,
             });
         }
     }

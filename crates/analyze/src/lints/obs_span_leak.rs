@@ -55,6 +55,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                          at scope exit"
                         .to_string(),
                     suppressed: false,
+                    suggestion: None,
                 });
                 break;
             }

@@ -69,6 +69,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                               error or propagate it"
                         .to_string(),
                     suppressed: false,
+                    suggestion: None,
                 });
             }
         }
@@ -97,6 +98,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                               match on the error or propagate it"
                         .to_string(),
                     suppressed: false,
+                    suggestion: None,
                 });
             }
         }

@@ -39,6 +39,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                     t.text
                 ),
                 suppressed: false,
+                suggestion: None,
             });
         }
     }
@@ -61,6 +62,7 @@ fn check_comment(file: &SourceFile, t: &Tok, out: &mut Vec<Finding>) {
                          work or file it in ROADMAP.md"
                     ),
                     suppressed: false,
+                    suggestion: None,
                 });
             }
         }

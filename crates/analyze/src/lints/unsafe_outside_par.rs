@@ -34,6 +34,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                           rfkit-par API"
                     .to_string(),
                 suppressed: false,
+                suggestion: None,
             });
             continue;
         }
@@ -52,6 +53,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                           state the invariant that makes this sound"
                     .to_string(),
                 suppressed: false,
+                suggestion: None,
             });
         }
     }
@@ -71,6 +73,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                           summarising the soundness argument"
                     .to_string(),
                 suppressed: false,
+                suggestion: None,
             });
         }
     }

@@ -41,6 +41,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                           Result or document the invariant with `.expect(\"...\")`"
                     .to_string(),
                 suppressed: false,
+                suggestion: None,
             });
         } else if method_call("expect") {
             out.push(Finding {
@@ -53,6 +54,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                           listed for audit"
                     .to_string(),
                 suppressed: false,
+                suggestion: None,
             });
         } else if t.is_ident("panic") && code.get(i + 1).is_some_and(|n| n.is_punct("!")) {
             out.push(Finding {
@@ -65,6 +67,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                           for audit"
                     .to_string(),
                 suppressed: false,
+                suggestion: None,
             });
         }
     }

@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! rfkit-analyze [--root DIR] [--deny errors|warnings|info]
-//!               [--json PATH] [--quiet] [--list-lints]
+//!               [--json PATH] [--baseline PATH] [--fix-dry-run]
+//!               [--dump-obs-names] [--quiet] [--list-lints]
 //! ```
 //!
 //! Prints `severity[lint] file:line:col: message` per finding, writes a
 //! JSON report (default `<root>/results/ANALYZE.json`), and exits 1 when
-//! any non-suppressed finding is at or above the deny level.
+//! any non-suppressed finding is at or above the deny level. With
+//! `--baseline`, only findings NEW relative to the committed report fail
+//! the run; the delta (new/fixed/pre-existing) is printed either way.
 
+use rfkit_analyze::baseline::Baseline;
 use rfkit_analyze::report::{to_json, Severity};
-use rfkit_analyze::{analyze_tree, lints};
+use rfkit_analyze::{analyze_tree_files, contract, lints};
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,7 +23,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("rfkit-analyze: {err}");
     eprintln!(
         "usage: rfkit-analyze [--root DIR] [--deny errors|warnings|info] \
-         [--json PATH] [--quiet] [--list-lints]"
+         [--json PATH] [--baseline PATH] [--fix-dry-run] [--dump-obs-names] \
+         [--quiet] [--list-lints]"
     );
     ExitCode::from(2)
 }
@@ -28,7 +33,10 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut deny = Severity::Error;
     let mut json_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut fix_dry_run = false;
+    let mut dump_obs_names = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -46,11 +54,20 @@ fn main() -> ExitCode {
                 Some(v) => json_path = Some(v.into()),
                 None => return usage("--json needs a path"),
             },
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = Some(v.into()),
+                None => return usage("--baseline needs a path"),
+            },
             "--quiet" => quiet = true,
+            "--fix-dry-run" => fix_dry_run = true,
+            "--dump-obs-names" => dump_obs_names = true,
             "--list-lints" => {
                 for l in lints::all() {
                     println!("{:<20} {}", l.name, l.description);
                 }
+                // The contract pass is tree-wide, not per-file, so it
+                // is not in the per-file registry — list it anyway.
+                println!("{:<20} {}", contract::NAME, contract::DESCRIPTION);
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
@@ -60,7 +77,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let (findings, files) = match analyze_tree(&root) {
+    let (findings, sources) = match analyze_tree_files(&root) {
         Ok(v) => v,
         Err(e) => {
             eprintln!(
@@ -70,6 +87,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let files = sources.len();
     if files == 0 {
         // A lint gate that scanned nothing must not pass: a typo'd
         // --root would otherwise green-light CI silently.
@@ -80,10 +98,78 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    if !quiet {
-        for f in findings.iter().filter(|f| !f.suppressed) {
-            println!("{f}");
+    if dump_obs_names {
+        // DESIGN.md-ready registry rows, one per distinct name.
+        let mut emissions = contract::emitted_names(&sources);
+        emissions.sort_by(|a, b| a.name.cmp(&b.name));
+        emissions.dedup_by(|a, b| a.name == b.name);
+        println!("| name | kind | emitted at |");
+        println!("|---|---|---|");
+        for e in &emissions {
+            println!("| `{}` | {} | `{}:{}` |", e.name, e.kind, e.file, e.line);
         }
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match &baseline_path {
+        None => None,
+        // A relative baseline names a workspace artifact: resolve it
+        // against --root, not the invoking shell's directory.
+        Some(p) => match fs::read_to_string(if p.is_absolute() {
+            p.clone()
+        } else {
+            root.join(p)
+        })
+        .map_err(|e| e.to_string())
+        .and_then(|t| Baseline::parse(&t))
+        {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("rfkit-analyze: bad baseline {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    // With a baseline, only NEW findings are denied (and printed by
+    // default); pre-existing ones are tolerated but still counted.
+    let (new_findings, preexisting) = match &baseline {
+        Some(b) => {
+            let (new, old) = b.diff(&findings);
+            (Some(new), old.len())
+        }
+        None => (None, 0),
+    };
+
+    if !quiet {
+        match &new_findings {
+            Some(new) => {
+                for f in new.iter().filter(|f| !f.suppressed) {
+                    println!("NEW {f}");
+                }
+            }
+            None => {
+                for f in findings.iter().filter(|f| !f.suppressed) {
+                    println!("{f}");
+                }
+            }
+        }
+    }
+
+    if fix_dry_run {
+        let fixable = findings
+            .iter()
+            .filter(|f| !f.suppressed && f.suggestion.is_some());
+        let mut n = 0usize;
+        for f in fixable {
+            let s = f.suggestion.as_deref().unwrap_or_default();
+            println!(
+                "fix[{}] {}:{}:{}: replace with `{s}`",
+                f.lint, f.file, f.line, f.col
+            );
+            n += 1;
+        }
+        println!("rfkit-analyze: {n} machine-applicable suggestions (dry run, nothing written)");
     }
 
     let json = to_json(&findings, files);
@@ -115,7 +201,22 @@ fn main() -> ExitCode {
         json_path.display()
     );
 
-    let denied = findings.iter().any(|f| !f.suppressed && f.severity >= deny);
+    let denied = match (&baseline, &new_findings) {
+        (Some(b), Some(new)) => {
+            let denied_new = new
+                .iter()
+                .filter(|f| !f.suppressed && f.severity >= deny)
+                .count();
+            println!(
+                "rfkit-analyze: baseline delta: {denied_new} new (denied), {} new total, \
+                 {preexisting} pre-existing, {} fixed",
+                new.len(),
+                b.fixed_count(&findings)
+            );
+            denied_new > 0
+        }
+        _ => findings.iter().any(|f| !f.suppressed && f.severity >= deny),
+    };
     if denied {
         ExitCode::FAILURE
     } else {

@@ -48,6 +48,9 @@ pub struct Finding {
     pub message: String,
     /// True when a `rfkit-allow(<lint>)` comment covers this line.
     pub suppressed: bool,
+    /// Machine-applicable replacement text, when the lint has one
+    /// (printed by `--fix-dry-run`).
+    pub suggestion: Option<String>,
 }
 
 impl fmt::Display for Finding {
@@ -104,9 +107,13 @@ pub fn to_json(findings: &[Finding], files_scanned: usize) -> String {
     out.push_str("  \"findings\": [\n");
     for (i, f) in findings.iter().enumerate() {
         let comma = if i + 1 == findings.len() { "" } else { "," };
+        let suggestion = match &f.suggestion {
+            Some(s) => format!(", \"suggestion\": \"{}\"", json_escape(s)),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"lint\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
-             \"line\": {}, \"col\": {}, \"suppressed\": {}, \"message\": \"{}\"}}{}\n",
+             \"line\": {}, \"col\": {}, \"suppressed\": {}, \"message\": \"{}\"{}}}{}\n",
             f.lint,
             f.severity,
             json_escape(&f.file),
@@ -114,6 +121,7 @@ pub fn to_json(findings: &[Finding], files_scanned: usize) -> String {
             f.col,
             f.suppressed,
             json_escape(&f.message),
+            suggestion,
             comma
         ));
     }
@@ -143,6 +151,7 @@ mod tests {
                 col: 9,
                 message: "uses \"==\"\twith\nfloats".into(),
                 suppressed: false,
+                suggestion: Some("a.total_cmp(&b)".into()),
             },
             Finding {
                 lint: "todo-markers",
@@ -152,6 +161,7 @@ mod tests {
                 col: 1,
                 message: "marker".into(),
                 suppressed: true,
+                suggestion: None,
             },
         ];
         let j = to_json(&findings, 7);
@@ -159,5 +169,6 @@ mod tests {
         assert!(j.contains("\"warning\": 1"), "suppressed not counted: {j}");
         assert!(j.contains("\"suppressed\": 1,"));
         assert!(j.contains("\\\"==\\\"\\twith\\nfloats"));
+        assert!(j.contains("\"suggestion\": \"a.total_cmp(&b)\""));
     }
 }

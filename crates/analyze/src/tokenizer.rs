@@ -153,6 +153,14 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
             TokKind::Char
         } else if c == '\'' {
             lex_lifetime_or_char(&mut lx, &mut text)
+        } else if c == 'r' && lx.peek(1) == Some('#') && lx.peek(2).is_some_and(is_ident_start) {
+            // Raw identifier (`r#match`) — must not shatter into
+            // `r` + `#` + `match`. Keep the marker in the text but
+            // classify as a plain identifier.
+            lx.bump(&mut text); // r
+            lx.bump(&mut text); // #
+            lx.bump_while(&mut text, is_ident_continue);
+            TokKind::Ident
         } else if is_ident_start(c) {
             lx.bump_while(&mut text, is_ident_continue);
             TokKind::Ident
@@ -289,6 +297,9 @@ fn lex_number(lx: &mut Lexer, text: &mut String) -> TokKind {
         lx.bump(text);
         lx.bump(text);
         lx.bump_while(text, |c| c.is_ascii_hexdigit() || c == '_');
+        // Type suffix (`0xffu64`) — without this the suffix would lex
+        // as a separate `u64` identifier token.
+        lx.bump_while(text, is_ident_continue);
         return TokKind::Int;
     }
     lx.bump_while(text, |c| c.is_ascii_digit() || c == '_');
@@ -416,6 +427,33 @@ mod tests {
         let ts = tokenize("a\n  b\n");
         assert_eq!((ts[0].line, ts[0].col), (1, 1));
         assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn hex_literal_type_suffix_stays_one_token() {
+        let ts = kinds("let m = 0xffu64 & 0b1010_1111u8 | 0o77i32;");
+        let ints: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Int)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(ints, ["0xffu64", "0b1010_1111u8", "0o77i32"]);
+        // The suffix must not leak out as a spurious identifier.
+        assert!(!ts.iter().any(|(k, s)| *k == TokKind::Ident && s == "u64"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_one_ident() {
+        let ts = kinds("fn r#match(r#type: u32) {} r#\"still a raw string\"#");
+        assert!(ts
+            .iter()
+            .any(|(k, s)| *k == TokKind::Ident && s == "r#match"));
+        assert!(ts
+            .iter()
+            .any(|(k, s)| *k == TokKind::Ident && s == "r#type"));
+        assert!(!ts.iter().any(|(k, s)| *k == TokKind::Punct && s == "#"));
+        // The raw-ident branch must not swallow raw strings.
+        assert!(ts.iter().any(|(k, _)| *k == TokKind::Str));
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! End-to-end CLI tests: drive the built `rfkit-analyze` binary against
+//! a scratch workspace and assert on stdout + exit codes for the
+//! `--fix-dry-run`, `--baseline`, `--dump-obs-names`, and
+//! `--list-lints` surfaces.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_rfkit-analyze")
+}
+
+/// Builds a minimal fake workspace (no ci.sh, so the contract pass is
+/// inert) under a unique temp directory.
+fn scratch_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir()
+        .join("rfkit-analyze-cli")
+        .join(format!("{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("crates/x/src")).unwrap();
+    fs::write(
+        root.join("crates/x/src/lib.rs"),
+        "pub fn f(v: &mut [f64], x: f64) -> bool {\n\
+         \x20   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+         \x20   x == 0.0\n\
+         }\n",
+    )
+    .unwrap();
+    root
+}
+
+fn run(root: &Path, args: &[&str]) -> Output {
+    Command::new(bin())
+        .arg("--root")
+        .arg(root)
+        .args(args)
+        .output()
+        .expect("spawn rfkit-analyze")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn fix_dry_run_prints_machine_applicable_suggestions() {
+    let root = scratch_workspace("fixdry");
+    let out = run(&root, &["--fix-dry-run", "--quiet"]);
+    let text = stdout(&out);
+    assert!(
+        text.contains(
+            "fix[nan-unsafe-sort] crates/x/src/lib.rs:2:7: \
+             replace with `|a, b| rfkit_num::total_cmp_f64(a, b)`"
+        ),
+        "missing nan-unsafe-sort fix line in:\n{text}"
+    );
+    assert!(
+        text.contains("replace with `rfkit_num::is_exact_zero(x)`"),
+        "missing float-eq fix line in:\n{text}"
+    );
+    assert!(
+        text.contains("2 machine-applicable suggestions (dry run, nothing written)"),
+        "missing summary in:\n{text}"
+    );
+    // Dry run really wrote nothing back into the source.
+    let src = fs::read_to_string(root.join("crates/x/src/lib.rs")).unwrap();
+    assert!(src.contains("partial_cmp"));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn baseline_tolerates_old_findings_and_fails_on_new() {
+    let root = scratch_workspace("baseline");
+    // First run commits the baseline (exit 1: warnings vs default deny
+    // is fine, we deny warnings to make the gate meaningful).
+    let first = run(&root, &["--deny", "warnings", "--quiet"]);
+    assert_eq!(
+        first.status.code(),
+        Some(1),
+        "seed run should fail --deny warnings"
+    );
+    let baseline = root.join("results/ANALYZE.json");
+    assert!(baseline.is_file());
+
+    // Unchanged tree + baseline: pre-existing findings are tolerated.
+    let ok = run(
+        &root,
+        &[
+            "--deny",
+            "warnings",
+            "--baseline",
+            "results/ANALYZE.json",
+            "--quiet",
+        ],
+    );
+    let text = stdout(&ok);
+    assert_eq!(
+        ok.status.code(),
+        Some(0),
+        "no new findings must pass:\n{text}"
+    );
+    assert!(text.contains("0 new (denied)"), "{text}");
+    assert!(text.contains("pre-existing"), "{text}");
+
+    // Introduce a fresh finding in a new file: only it is denied.
+    fs::write(
+        root.join("crates/x/src/fresh.rs"),
+        "pub fn g(o: Option<u32>) -> u32 { o.unwrap() }\n",
+    )
+    .unwrap();
+    let bad = run(
+        &root,
+        &["--deny", "warnings", "--baseline", "results/ANALYZE.json"],
+    );
+    let text = stdout(&bad);
+    assert_eq!(bad.status.code(), Some(1), "new finding must fail:\n{text}");
+    assert!(
+        text.contains("NEW warning[unwrap-in-lib] crates/x/src/fresh.rs"),
+        "delta should list only the new finding:\n{text}"
+    );
+    assert!(
+        !text.contains("NEW warning[nan-unsafe-sort]"),
+        "pre-existing finding leaked into the delta:\n{text}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn dump_obs_names_emits_registry_rows() {
+    let root = scratch_workspace("dump");
+    fs::write(
+        root.join("crates/x/src/obs_use.rs"),
+        "pub fn run() {\n    rfkit_obs::span(\"x.total\");\n}\n",
+    )
+    .unwrap();
+    let out = run(&root, &["--dump-obs-names"]);
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(text.starts_with("| name | kind | emitted at |"), "{text}");
+    assert!(
+        text.contains("| `x.total` | span | `crates/x/src/obs_use.rs:2` |"),
+        "{text}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn list_lints_includes_the_contract_pass() {
+    let out = Command::new(bin())
+        .arg("--list-lints")
+        .output()
+        .expect("spawn rfkit-analyze");
+    let text = stdout(&out);
+    assert!(text.contains("counter-name-drift"), "{text}");
+    assert!(text.contains("expired-suppression"), "{text}");
+    assert_eq!(text.lines().count(), 15, "one row per lint:\n{text}");
+}

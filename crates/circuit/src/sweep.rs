@@ -206,6 +206,7 @@ fn adjacency_from_edges(
 /// Every step is deterministic: RCM starts from the minimum
 /// `(degree, slot)` node per component and expands neighbors in
 /// `(degree, slot)` order.
+// rfkit-cold: runs once per plan compile / stamp repath, never per point.
 fn choose_path(adj: &[Vec<usize>]) -> SolvePath {
     let n = adj.len();
     if n < MIN_STRUCTURED {
@@ -264,6 +265,7 @@ fn subgraph(adj: &[Vec<usize>], keep: &[usize]) -> Vec<Vec<usize>> {
 /// Reverse Cuthill–McKee ordering of `members` (local node ids of `adj`).
 /// Deterministic: each component starts from its minimum `(degree, id)`
 /// node, and neighbors are appended in `(degree, id)` order.
+// rfkit-cold: structural analysis, once per plan compile — not per point.
 fn rcm_order(adj: &[Vec<usize>], members: &[usize]) -> Vec<usize> {
     let n = adj.len();
     let mut visited = vec![false; n];

@@ -29,6 +29,7 @@
 pub mod config;
 pub mod json;
 pub mod metrics;
+pub mod registry;
 pub mod sink;
 pub mod span;
 pub mod summary;
