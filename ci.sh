@@ -2,7 +2,19 @@
 # Tier-1 gate for the workspace: formatting, lints (best-effort — the
 # offline toolchain may lack the clippy component), release build, tests.
 # Run before committing and as the run_all_experiments.sh preflight.
+#
+# --write-baseline: refresh results/PROFILE_BASELINE.json from this
+# run's aggregate profile instead of gating against it. Use after an
+# intentional perf change, commit the new baseline with the change.
 set -uo pipefail
+
+write_baseline=0
+for arg in "$@"; do
+  case "$arg" in
+    --write-baseline) write_baseline=1 ;;
+    *) echo "ci.sh: unknown argument '$arg' (known: --write-baseline)"; exit 2 ;;
+  esac
+done
 
 fail=0
 
@@ -97,6 +109,26 @@ cargo run --release -q -p rfkit-obs --bin rfkit-trace -- --json \
   --expect design.total --expect design.optimize --expect opt.improved_goal \
   results/TRACE_ci.jsonl >/dev/null || fail=1
 
+echo "== profile diff gate (RFKIT_TRACE_MODE=agg vs committed baseline)"
+# Re-runs the design example with in-process aggregation (one profile
+# document instead of per-event JSONL) and diffs per-path self time
+# against the committed baseline. Tolerances are CI-grade: 4x relative
+# with a 20ms self-time floor, because shared single-core runners
+# jitter — the gate exists to catch order-of-magnitude structural
+# regressions (a cache that stopped hitting, a fast path that fell off),
+# not 10% drift. Refresh after an intentional perf change with
+# `./ci.sh --write-baseline` and commit the result.
+rm -f results/PROFILE_ci.json
+RFKIT_TRACE=1 RFKIT_TRACE_MODE=agg RFKIT_TRACE_OUT=results/PROFILE_ci.json \
+  cargo run --release -q --example design_gnss_lna >/dev/null || fail=1
+if [ "$write_baseline" -eq 1 ]; then
+  cp results/PROFILE_ci.json results/PROFILE_BASELINE.json || fail=1
+  echo "   wrote results/PROFILE_BASELINE.json (commit it)"
+fi
+cargo run --release -q -p rfkit-obs --bin rfkit-trace -- diff \
+  --rel-tol 4.0 --min-self-us 20000 \
+  results/PROFILE_BASELINE.json results/PROFILE_ci.json || fail=1
+
 echo "== bench_ac perf smoke (tiny grid, traced)"
 # Runs the AC benchmark on a tiny grid with tracing armed. This proves
 # cheaply that: the fast path stays bit-identical to the legacy path and
@@ -108,16 +140,22 @@ echo "== bench_ac perf smoke (tiny grid, traced)"
 # the memo-cache counters fire; and results/BENCH_ac.json is written.
 # Timings on the tiny grid are irrelevant; the full sweep is `bench_ac`
 # with default arguments.
-rm -f results/TRACE_bench_ac.jsonl results/BENCH_ac_smoke.json
+rm -f results/TRACE_bench_ac.jsonl results/BENCH_ac_smoke.json \
+  results/PROFILE_bench_ac_smoke.json
 RFKIT_TRACE=1 RFKIT_TRACE_OUT=results/TRACE_bench_ac.jsonl \
   cargo run --release -q -p lna-bench --bin bench_ac -- \
   --points 16 --reps 2 --out results/BENCH_ac_smoke.json \
+  --profile-out results/PROFILE_bench_ac_smoke.json \
   >/dev/null || fail=1
+# --expect-min floors assert the workloads actually ran at full size:
+# 4 sweep workloads x 16 grid points = 64 solved points minimum, and
+# the shared-plan cache must hit at least once per reused workload.
 cargo run --release -q -p rfkit-obs --bin rfkit-trace -- --json \
   --expect circuit.ac.assemble_us --expect design.cache.hit \
   --expect design.cache.miss \
-  --expect circuit.ac.sweep.points --expect circuit.ac.sweep.path.bordered \
-  --expect plan.cache.hit \
+  --expect circuit.ac.sweep.path.bordered \
+  --expect-min circuit.ac.sweep.points:64 \
+  --expect-min plan.cache.hit:1 \
   --expect-max circuit.ac.sweep.refactors:8 \
   results/TRACE_bench_ac.jsonl >/dev/null || fail=1
 

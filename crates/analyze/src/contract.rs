@@ -3,8 +3,9 @@
 //! The observability layer's names are load-bearing in four places at
 //! once: the code that emits them (`rfkit_obs::Counter::new("…")`,
 //! `span("…")`, …), the CI assertions that gate on them
-//! (`rfkit-trace --expect NAME` in `ci.sh`), the recorded traces under
-//! `results/TRACE_*.jsonl`, and the DESIGN.md telemetry name registry
+//! (`rfkit-trace --expect NAME` in `ci.sh`), the recorded artifacts
+//! under `results/` (`TRACE_*.jsonl` event streams and `PROFILE_*.json`
+//! aggregate profiles), and the DESIGN.md telemetry name registry
 //! that documents them. Nothing ties these together — a renamed
 //! counter silently turns a `--expect` into a vacuous check and a
 //! dashboard into a flat line. This pass extracts the emitted-name set
@@ -44,12 +45,15 @@ pub struct Emission {
 
 /// Extracts every obs instrument name emitted by the workspace code.
 /// Only string-literal names count (the in-tree convention); test
-/// files, test regions, and the `obs`/`analyze` crates themselves
-/// (mechanism + fixtures, not telemetry) are excluded.
+/// files, test regions, and the `analyze` crate (whose sources are
+/// full of fixture name literals) are excluded. The `obs` crate itself
+/// IS included: it emits real telemetry about the telemetry
+/// (`obs.selftime.clamped`, `profile.flush`) that must stay in the
+/// registry like any other name.
 pub fn emitted_names(files: &[SourceFile]) -> Vec<Emission> {
     let mut out = Vec::new();
     for file in files {
-        if file.kind == FileKind::Test || file.crate_name == "obs" || file.crate_name == "analyze" {
+        if file.kind == FileKind::Test || file.crate_name == "analyze" {
             continue;
         }
         for f in &file.fns {
@@ -115,16 +119,25 @@ pub fn emitted_names(files: &[SourceFile]) -> Vec<Emission> {
     out
 }
 
-/// `--expect NAME` / `--expect-max NAME:N` assertions in ci.sh text,
-/// with 1-based line numbers.
+/// `--expect NAME` / `--expect-max NAME:N` / `--expect-min NAME:N`
+/// assertions in ci.sh text, with 1-based line numbers.
 pub fn ci_expectations(text: &str) -> Vec<(String, u32)> {
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
+        // Shell comments (including commented-out assertions and prose
+        // that mentions the flags) are not active expectations.
+        if line.trim_start().starts_with('#') {
+            continue;
+        }
         let mut rest = line;
         while let Some(pos) = rest.find("--expect") {
             rest = &rest[pos + "--expect".len()..];
-            // `--expect-max NAME:N` → strip the `-max` suffix.
-            rest = rest.strip_prefix("-max").unwrap_or(rest);
+            // `--expect-max NAME:N` / `--expect-min NAME:N` → strip the
+            // bound suffix so only the name remains.
+            rest = rest
+                .strip_prefix("-max")
+                .or_else(|| rest.strip_prefix("-min"))
+                .unwrap_or(rest);
             let arg: String = rest
                 .trim_start()
                 .chars()
@@ -211,33 +224,43 @@ pub fn check(root: &Path, files: &[SourceFile]) -> Vec<Finding> {
         }
     }
 
-    // 2. Every recorded trace name must still be emitted by the code.
+    // 2. Every recorded trace/profile name must still be emitted by the
+    //    code. Traces are per-event JSONL; profiles are the aggregate
+    //    documents written by RFKIT_TRACE_MODE=agg — both carry names.
     let results = root.join("results");
     if let Ok(entries) = fs::read_dir(&results) {
-        let mut traces: Vec<_> = entries
+        let mut recorded: Vec<_> = entries
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| {
-                p.file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with("TRACE_") && n.ends_with(".jsonl"))
+                p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                    (n.starts_with("TRACE_") && n.ends_with(".jsonl"))
+                        || (n.starts_with("PROFILE_") && n.ends_with(".json"))
+                })
             })
             .collect();
-        traces.sort();
-        for trace in traces {
-            let Ok(names) = rfkit_obs::registry::trace_names(&trace) else {
-                continue;
+        recorded.sort();
+        for artifact in recorded {
+            let is_profile = artifact
+                .extension()
+                .is_some_and(|e| e.to_str() == Some("json"));
+            let names = if is_profile {
+                rfkit_obs::registry::profile_names(&artifact)
+            } else {
+                rfkit_obs::registry::trace_names(&artifact)
             };
+            let Ok(names) = names else { continue };
             let rel = format!(
                 "results/{}",
-                trace.file_name().unwrap_or_default().to_string_lossy()
+                artifact.file_name().unwrap_or_default().to_string_lossy()
             );
+            let what = if is_profile { "profile" } else { "trace" };
             for name in names {
                 if !emitted.contains(name.as_str()) {
                     out.push(finding(
                         &rel,
                         1,
                         format!(
-                            "recorded trace names `{name}` but no code emits it; the trace \
+                            "recorded {what} names `{name}` but no code emits it; the {what} \
                              is stale or the instrument was renamed — regenerate via ci.sh"
                         ),
                     ));
@@ -249,6 +272,19 @@ pub fn check(root: &Path, files: &[SourceFile]) -> Vec<Finding> {
     // 3/4. DESIGN.md registry ⊇ emitted and emitted ⊇ registry.
     if let Ok(design) = fs::read_to_string(root.join("DESIGN.md")) {
         let registry = registry_names(&design);
+        // A registry that parses to nothing while the code emits names
+        // means the table (or its heading) broke — the registry half of
+        // the contract would silently go vacuous. Fail loudly instead.
+        if registry.is_empty() && !emissions.is_empty() {
+            out.push(finding(
+                "DESIGN.md",
+                1,
+                "no parseable telemetry name registry found (need a `### Telemetry name \
+                 registry` heading followed by `| `name` | … |` table rows); the \
+                 registry half of the name contract is vacuous"
+                    .to_string(),
+            ));
+        }
         let documented: BTreeSet<&str> = registry.iter().map(|(n, _)| n.as_str()).collect();
         for (name, line) in &registry {
             if !emitted.contains(name.as_str()) {
@@ -312,7 +348,13 @@ pub fn run() {
     #[test]
     fn excludes_tests_and_tooling_crates() {
         let src = "pub fn f() { rfkit_obs::span(\"x.y\"); }\n";
-        assert!(emitted_names(&[SourceFile::parse("crates/obs/src/lib.rs", src)]).is_empty());
+        // The analyzer's own sources are fixture-heavy and excluded; the
+        // obs crate emits real self-telemetry and is NOT excluded.
+        assert!(emitted_names(&[SourceFile::parse("crates/analyze/src/lint.rs", src)]).is_empty());
+        assert_eq!(
+            emitted_names(&[SourceFile::parse("crates/obs/src/lib.rs", src)]).len(),
+            1
+        );
         assert!(emitted_names(&[SourceFile::parse("crates/core/tests/t.rs", src)]).is_empty());
         let in_test_mod = "\
 #[cfg(test)]
@@ -328,9 +370,11 @@ mod tests {
     #[test]
     fn parses_ci_expectations() {
         let ci = "\
+# comments don't count: --expect ghost.name and --expect-min floors
 cargo run -p rfkit-obs --bin rfkit-trace -- --json \\
   --expect dc.retry.attempts --expect dc.fallback.stage \\
   --expect-max circuit.ac.sweep.refactors:8 \\
+  --expect-min plan.cache.hit:40 \\
   results/TRACE_faults.jsonl
 ";
         let exp = ci_expectations(ci);
@@ -340,10 +384,11 @@ cargo run -p rfkit-obs --bin rfkit-trace -- --json \\
             [
                 "dc.retry.attempts",
                 "dc.fallback.stage",
-                "circuit.ac.sweep.refactors"
+                "circuit.ac.sweep.refactors",
+                "plan.cache.hit"
             ]
         );
-        assert_eq!(exp[0].1, 2);
+        assert_eq!(exp[0].1, 3);
     }
 
     #[test]

@@ -66,16 +66,23 @@ fn reference_vars() -> DesignVariables {
     }
 }
 
-/// Command-line grid size / repetition count / output path with defaults.
-fn parse_args() -> (usize, usize, String) {
+/// Command-line grid size / repetition count / output paths with
+/// defaults.
+fn parse_args() -> (usize, usize, String, String) {
     let (mut points, mut reps) = (801usize, 5usize);
     let mut out = String::from("results/BENCH_ac.json");
+    let mut profile_out = String::from("results/PROFILE_bench_ac.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--out" {
-            out = args.next().unwrap_or_default();
-            if out.is_empty() {
-                eprintln!("bench_ac: `--out` needs a path");
+        if a == "--out" || a == "--profile-out" {
+            let slot = if a == "--out" {
+                &mut out
+            } else {
+                &mut profile_out
+            };
+            *slot = args.next().unwrap_or_default();
+            if slot.is_empty() {
+                eprintln!("bench_ac: `{a}` needs a path");
                 std::process::exit(2);
             }
             continue;
@@ -85,7 +92,8 @@ fn parse_args() -> (usize, usize, String) {
             "--reps" => &mut reps,
             other => {
                 eprintln!(
-                    "bench_ac: unknown argument `{other}` (use --points N / --reps N / --out PATH)"
+                    "bench_ac: unknown argument `{other}` (use --points N / --reps N / \
+                     --out PATH / --profile-out PATH)"
                 );
                 std::process::exit(2);
             }
@@ -96,7 +104,7 @@ fn parse_args() -> (usize, usize, String) {
             std::process::exit(2);
         });
     }
-    (points.max(2), reps, out)
+    (points.max(2), reps, out, profile_out)
 }
 
 /// Relative-improvement threshold for the adaptive timing stopping rule.
@@ -291,6 +299,66 @@ struct PlanCacheStats {
     entries: usize,
 }
 
+struct AggOverhead {
+    off_s: f64,
+    agg_s: f64,
+    overhead_frac: f64,
+    off_p50_us: f64,
+    agg_p50_us: f64,
+    reps: usize,
+    profile: String,
+}
+
+/// Overhead of aggregate-mode profiling (`RFKIT_TRACE_MODE=agg`) on the
+/// bordered batch workload: best-of timings of the identical sweep with
+/// telemetry fully disabled and then armed in aggregate mode. The agg
+/// phase leaves its call-path profile at `profile_out` (the flush is
+/// outside the timed region — steady-state recording cost is the claim,
+/// not serialization). Telemetry is restored to the environment's
+/// configuration before returning, so a traced CI invocation still
+/// flushes its own trace afterwards.
+fn measure_agg_overhead(
+    c: &Circuit,
+    grid: &[f64],
+    min_reps: usize,
+    profile_out: &str,
+) -> AggOverhead {
+    use lna_bench::timing::time_best_of_stats;
+    let stamps = AcStamps::none();
+    let reps = min_reps.max(5);
+    let run = |reps: usize| {
+        time_best_of_stats(reps, || {
+            let plan = shared_plan(c).expect("cached plan");
+            let mut ws = AcWorkspace::new();
+            black_box(plan.sweep_batch(grid, &stamps, &mut ws));
+        })
+    };
+
+    rfkit_obs::init(&rfkit_obs::TraceConfig::default());
+    let (off_s, off_stats) = run(reps);
+
+    rfkit_obs::init(&rfkit_obs::TraceConfig {
+        trace: true,
+        log: false,
+        out: Some(profile_out.into()),
+        mode: rfkit_obs::TraceMode::Agg,
+    });
+    let (agg_s, agg_stats) = run(reps);
+    rfkit_obs::flush();
+
+    rfkit_obs::init(&rfkit_obs::TraceConfig::from_env());
+
+    AggOverhead {
+        off_s,
+        agg_s,
+        overhead_frac: agg_s / off_s - 1.0,
+        off_p50_us: off_stats.p50_us(),
+        agg_p50_us: agg_stats.p50_us(),
+        reps,
+        profile: profile_out.to_string(),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn to_json(
     cores: usize,
@@ -301,6 +369,7 @@ fn to_json(
     reuses: u64,
     cache: &CacheStats,
     plans: &PlanCacheStats,
+    agg: &AggOverhead,
     timing_noisy: bool,
 ) -> String {
     let mut out = String::from("{\n");
@@ -358,6 +427,22 @@ fn to_json(
     out.push_str(&format!("    \"misses\": {},\n", plans.misses));
     out.push_str(&format!("    \"entries\": {}\n", plans.entries));
     out.push_str("  },\n");
+    out.push_str("  \"agg_overhead\": {\n");
+    out.push_str(&format!(
+        "    \"workload\": \"{}\",\n",
+        "multistage_bordered_solve"
+    ));
+    out.push_str(&format!("    \"reps\": {},\n", agg.reps));
+    out.push_str(&format!("    \"off_s\": {:e},\n", agg.off_s));
+    out.push_str(&format!("    \"agg_s\": {:e},\n", agg.agg_s));
+    out.push_str(&format!(
+        "    \"overhead_frac\": {:.4},\n",
+        agg.overhead_frac
+    ));
+    out.push_str(&format!("    \"off_p50_us\": {:.1},\n", agg.off_p50_us));
+    out.push_str(&format!("    \"agg_p50_us\": {:.1},\n", agg.agg_p50_us));
+    out.push_str(&format!("    \"profile\": \"{}\"\n", agg.profile));
+    out.push_str("  },\n");
     out.push_str("  \"cache\": {\n");
     out.push_str(&format!("    \"capacity\": {},\n", cache.capacity));
     out.push_str(&format!("    \"working_set\": {},\n", cache.working_set));
@@ -377,7 +462,7 @@ fn to_json(
 }
 
 fn main() {
-    let (points, min_reps, out_path) = parse_args();
+    let (points, min_reps, out_path, profile_out) = parse_args();
     lna_bench::header(
         "BENCH_ac",
         "batched structure-aware AC sweeps: plan cache + pivot reuse vs legacy solve",
@@ -453,6 +538,21 @@ fn main() {
 
     let timing_noisy = !(rlc.stable && match_sweep.stable && stamped.stable && multistage.stable);
 
+    // Aggregate-profiling overhead on the bordered workload. Done after
+    // the contract sweeps so the timed regions compare like with like,
+    // and before the cache exercise so a traced run's cache counters
+    // land in the final environment-configured flush.
+    let agg = measure_agg_overhead(&multi, &grid, min_reps, &profile_out);
+    println!(
+        "\nagg-mode profiling overhead (bordered batch, best of {} reps): \
+         off {:.1} us/sweep | agg {:.1} us/sweep | overhead {:+.1}% -> {}",
+        agg.reps,
+        agg.off_s * 1e6,
+        agg.agg_s * 1e6,
+        agg.overhead_frac * 100.0,
+        agg.profile
+    );
+
     println!();
     let cache = exercise_cache(&device);
     println!(
@@ -490,6 +590,7 @@ fn main() {
         reuses,
         &cache,
         &plans,
+        &agg,
         timing_noisy,
     );
     if let Some(dir) = std::path::Path::new(&out_path).parent() {

@@ -74,6 +74,67 @@ pub mod timing {
 
     use std::time::Instant;
 
+    /// Per-repetition wall-time statistics on the same mergeable
+    /// [`QuantileSketch`](rfkit_num::QuantileSketch) the aggregate
+    /// profiler streams histogram samples into — one summary type for
+    /// bench reports and profiles, and sketches from separate runs (or
+    /// threads) merge deterministically for trend tracking.
+    #[derive(Debug, Clone, Default)]
+    pub struct RepStats {
+        sketch: rfkit_num::QuantileSketch,
+    }
+
+    impl RepStats {
+        /// Empty statistics.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Record one repetition's wall time in seconds.
+        pub fn record_s(&mut self, seconds: f64) {
+            self.sketch.record(seconds * 1e6);
+        }
+
+        /// Repetitions recorded.
+        pub fn count(&self) -> u64 {
+            self.sketch.count()
+        }
+
+        /// Median repetition time in microseconds.
+        pub fn p50_us(&self) -> f64 {
+            self.sketch.quantile(0.50)
+        }
+
+        /// 95th-percentile repetition time in microseconds.
+        pub fn p95_us(&self) -> f64 {
+            self.sketch.quantile(0.95)
+        }
+
+        /// Fold another run's repetitions into this summary.
+        pub fn merge(&mut self, other: &RepStats) {
+            self.sketch.merge(&other.sketch);
+        }
+    }
+
+    /// Best-of-`reps` wall-clock seconds for `f` (after one warmup
+    /// call), plus the per-repetition distribution. The minimum is the
+    /// headline (noise only adds time); the [`RepStats`] spread shows
+    /// how noisy the run was.
+    pub fn time_best_of_stats<F: FnMut()>(reps: usize, mut f: F) -> (f64, RepStats) {
+        assert!(reps > 0, "need at least one repetition");
+        f(); // warmup: populates caches and the thread pool
+        let mut best = f64::INFINITY;
+        let mut stats = RepStats::new();
+        for _ in 0..reps {
+            let t = Instant::now();
+            f();
+            let dt = t.elapsed().as_secs_f64();
+            stats.record_s(dt);
+            best = best.min(dt);
+        }
+        (best, stats)
+    }
+
     /// Best-of-`reps` wall-clock seconds for `f` (after one warmup call).
     ///
     /// # Panics
@@ -231,5 +292,21 @@ mod tests {
     #[should_panic(expected = "at least one repetition")]
     fn time_until_stable_rejects_zero_min_reps() {
         timing::time_until_stable(0, 10, 0.1, || {});
+    }
+
+    #[test]
+    fn rep_stats_track_and_merge_like_the_profiler_sketch() {
+        let (best, stats) = timing::time_best_of_stats(5, || {
+            std::hint::black_box((0..10_000).fold(0u64, |a, b| a.wrapping_add(b)));
+        });
+        assert_eq!(stats.count(), 5);
+        assert!(best > 0.0);
+        // The minimum bounds the distribution from below.
+        assert!(stats.p50_us() >= best * 1e6 * 0.9);
+        assert!(stats.p95_us() >= stats.p50_us());
+        let mut merged = timing::RepStats::new();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.count(), 10);
     }
 }

@@ -51,6 +51,7 @@ fn cached_objectives_identical_at_1_and_4_threads() {
         trace: true,
         log: false,
         out: Some(trace.clone()),
+        ..rfkit_obs::TraceConfig::default()
     });
 
     let device = Phemt::atf54143_like();

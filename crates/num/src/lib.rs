@@ -38,6 +38,7 @@ mod matrix;
 pub mod numsan;
 mod poly;
 pub mod rng;
+pub mod sketch;
 pub mod soa;
 pub mod stats;
 pub mod units;
@@ -46,6 +47,7 @@ pub use banded::{BandedError, BandedLu, BorderedLu};
 pub use complex::Complex;
 pub use matrix::{CMatrix, Lu, LuWorkspace, Matrix, MatrixError, RMatrix, Scalar};
 pub use poly::{line_intersection, Polynomial};
+pub use sketch::QuantileSketch;
 
 /// Total-order comparator for `f64`, for use as a sort/search comparator.
 ///

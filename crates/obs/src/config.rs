@@ -2,21 +2,39 @@
 
 use std::path::PathBuf;
 
+/// What an armed trace records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// One JSONL line per span/event as it happens, metrics on flush.
+    /// Complete but heavy: megabytes on a long run.
+    #[default]
+    Jsonl,
+    /// In-process streaming aggregation: spans fold into a call-path
+    /// tree, histogram samples into quantile sketches, and the run
+    /// writes one compact `PROFILE_*.json` on flush. Cheap enough to
+    /// leave armed under load and in every CI stage.
+    Agg,
+}
+
 /// Runtime telemetry configuration.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceConfig {
-    /// Record a JSONL trace file.
+    /// Record a trace file.
     pub trace: bool,
     /// Echo human-readable lines to stderr.
     pub log: bool,
     /// Explicit sink path; `None` means the default
-    /// `results/TRACE_<secs>_<pid>.jsonl`.
+    /// `results/TRACE_<secs>_<pid>.jsonl` (Jsonl mode) or
+    /// `results/PROFILE_<secs>_<pid>.json` (Agg mode).
     pub out: Option<PathBuf>,
+    /// Recording mode (`RFKIT_TRACE_MODE=agg` selects aggregation).
+    pub mode: TraceMode,
 }
 
 impl TraceConfig {
-    /// Read `RFKIT_TRACE`, `RFKIT_LOG` and `RFKIT_TRACE_OUT`.
-    /// Setting `RFKIT_TRACE_OUT` implies `RFKIT_TRACE`.
+    /// Read `RFKIT_TRACE`, `RFKIT_LOG`, `RFKIT_TRACE_OUT` and
+    /// `RFKIT_TRACE_MODE`. Setting `RFKIT_TRACE_OUT` implies
+    /// `RFKIT_TRACE`.
     pub fn from_env() -> Self {
         Self::from_lookup(|k| std::env::var(k).ok())
     }
@@ -35,10 +53,23 @@ impl TraceConfig {
             .map(|s| s.trim().to_string())
             .filter(|s| !s.is_empty())
             .map(PathBuf::from);
+        let mode = match get("RFKIT_TRACE_MODE") {
+            Some(s) if s.trim().eq_ignore_ascii_case("agg") => TraceMode::Agg,
+            Some(s) if !s.trim().is_empty() && !s.trim().eq_ignore_ascii_case("jsonl") => {
+                eprintln!(
+                    "rfkit-obs: unknown RFKIT_TRACE_MODE `{}` (want `jsonl` or `agg`); \
+                     recording JSONL",
+                    s.trim()
+                );
+                TraceMode::Jsonl
+            }
+            _ => TraceMode::Jsonl,
+        };
         TraceConfig {
             trace: truthy(get("RFKIT_TRACE")) || out.is_some(),
             log: truthy(get("RFKIT_LOG")),
             out,
+            mode,
         }
     }
 }
@@ -86,5 +117,18 @@ mod tests {
             cfg.out.as_deref(),
             Some(std::path::Path::new("/tmp/t.jsonl"))
         );
+    }
+
+    #[test]
+    fn trace_mode_parses_agg_and_defaults_to_jsonl() {
+        let cfg = TraceConfig::from_lookup(lookup(&[("RFKIT_TRACE", "1")]));
+        assert_eq!(cfg.mode, TraceMode::Jsonl);
+        for v in ["agg", "AGG", " agg "] {
+            let cfg =
+                TraceConfig::from_lookup(lookup(&[("RFKIT_TRACE", "1"), ("RFKIT_TRACE_MODE", v)]));
+            assert_eq!(cfg.mode, TraceMode::Agg, "value {v:?}");
+        }
+        let cfg = TraceConfig::from_lookup(lookup(&[("RFKIT_TRACE_MODE", "jsonl")]));
+        assert_eq!(cfg.mode, TraceMode::Jsonl);
     }
 }

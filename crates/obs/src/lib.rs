@@ -17,24 +17,27 @@
 //!
 //! Environment variables:
 //!
-//! | Variable          | Effect                                            |
-//! |-------------------|---------------------------------------------------|
-//! | `RFKIT_TRACE`     | non-empty & not `0`: record JSONL trace           |
-//! | `RFKIT_TRACE_OUT` | sink path (implies `RFKIT_TRACE`)                 |
-//! | `RFKIT_LOG`       | non-empty & not `0`: echo human lines to stderr   |
+//! | Variable           | Effect                                            |
+//! |--------------------|---------------------------------------------------|
+//! | `RFKIT_TRACE`      | non-empty & not `0`: record a trace               |
+//! | `RFKIT_TRACE_MODE` | `agg`: fold into one `PROFILE_*.json` ([`agg`])   |
+//! | `RFKIT_TRACE_OUT`  | sink path (implies `RFKIT_TRACE`)                 |
+//! | `RFKIT_LOG`        | non-empty & not `0`: echo human lines to stderr   |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod config;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod registry;
 pub mod sink;
 pub mod span;
 pub mod summary;
 
-pub use config::TraceConfig;
+pub use config::{TraceConfig, TraceMode};
 pub use metrics::{Counter, Hist};
 pub use span::{span, stopwatch, Span, Stopwatch};
 
@@ -44,6 +47,8 @@ use std::time::Instant;
 
 /// Global arming state: 0 = uninitialised, 1 = disabled, 2 = armed.
 static STATE: AtomicU8 = AtomicU8::new(0);
+/// Recording mode of the armed state: 0 = JSONL, 1 = aggregate.
+static MODE: AtomicU8 = AtomicU8::new(0);
 /// Serialises lazy init so exactly one thread installs the sink.
 static INIT_LOCK: Mutex<()> = Mutex::new(());
 /// Monotonic epoch for all `t_us` timestamps in one process.
@@ -86,9 +91,23 @@ pub fn init(cfg: &TraceConfig) {
 fn apply(cfg: &TraceConfig) -> bool {
     let _ = EPOCH.set(Instant::now());
     let armed = cfg.trace || cfg.log;
+    let agg = cfg.trace && cfg.mode == TraceMode::Agg;
+    if agg {
+        // A profile covers exactly one armed window: re-arming
+        // aggregation starts a fresh call-path tree.
+        agg::reset();
+    }
     sink::install(cfg);
+    MODE.store(if agg { 1 } else { 0 }, Ordering::Relaxed);
     STATE.store(if armed { 2 } else { 1 }, Ordering::Relaxed);
     armed
+}
+
+/// True when armed in aggregate-profile mode. Only meaningful after
+/// [`enabled`] returned true.
+#[inline]
+pub(crate) fn agg_mode() -> bool {
+    MODE.load(Ordering::Relaxed) == 1
 }
 
 /// Microseconds since the trace epoch (first telemetry touch). Returns
@@ -102,24 +121,37 @@ pub fn now_us() -> u64 {
     }
 }
 
-/// Record a named event with numeric fields. No-op unless armed.
-/// Non-finite values are serialised as JSON `null`.
+/// Record a named event with numeric fields. No-op unless armed. In
+/// JSONL mode the event streams to the sink (non-finite values
+/// serialise as JSON `null`); in aggregate mode it folds into a
+/// per-name first/last summary in the profile.
 #[inline]
 pub fn event(name: &str, fields: &[(&str, f64)]) {
     if !enabled() {
         return;
     }
-    sink::emit_event(name, fields);
+    if agg_mode() {
+        agg::record_event(name, fields);
+    } else {
+        sink::emit_event(name, fields);
+    }
 }
 
-/// Dump every registered counter and histogram to the sink. Spans and
-/// events stream as they happen; metrics are cumulative, so call this
-/// at the end of a run (binaries do; the traced CI stage relies on it).
+/// Dump cumulative state to the sink: in JSONL mode every registered
+/// counter and histogram (spans and events stream as they happen); in
+/// aggregate mode the whole profile — call-path tree, counters,
+/// histogram sketches, event summaries — as one `PROFILE_*.json`.
+/// Call at the end of a run (binaries do; the traced CI stages rely
+/// on it).
 pub fn flush() {
     if !enabled() {
         return;
     }
-    metrics::flush_registry();
+    if agg_mode() {
+        agg::flush_profile();
+    } else {
+        metrics::flush_registry();
+    }
 }
 
 /// Path of the active JSONL sink, if tracing to a file.

@@ -18,6 +18,26 @@ pub fn trace_names(path: &Path) -> io::Result<BTreeSet<String>> {
     Ok(names_in_str(&fs::read_to_string(path)?))
 }
 
+/// Distinct instrument names recorded in an aggregate profile: every
+/// node's span name, counter key, histogram name and event name. The
+/// profile-mode counterpart of [`trace_names`], so the contract
+/// checker treats `PROFILE_*.json` artifacts as evidence a name is
+/// live, same as JSONL traces.
+pub fn profile_names(path: &Path) -> io::Result<BTreeSet<String>> {
+    let text = fs::read_to_string(path)?;
+    let mut names = BTreeSet::new();
+    let Ok(p) = crate::profile::parse(&text) else {
+        return Ok(names);
+    };
+    for n in &p.nodes {
+        names.insert(n.name.clone());
+    }
+    names.extend(p.counters.keys().cloned());
+    names.extend(p.hists.keys().cloned());
+    names.extend(p.events.iter().map(|e| e.name.clone()));
+    Ok(names)
+}
+
 /// [`trace_names`] over in-memory trace text.
 pub fn names_in_str(text: &str) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
@@ -62,6 +82,26 @@ mod tests {
                 "plan.cache.hit"
             ]
         );
+    }
+
+    #[test]
+    fn profile_names_cover_all_instrument_kinds() {
+        let text = "{\"kind\":\"rfkit-profile\",\"version\":1,\"meta\":{},\
+                    \"nodes\":[{\"path\":\"a;b\",\"name\":\"b\",\"count\":1,\
+                    \"total_us\":5,\"self_us\":5,\"max_us\":5,\"p50_us\":5,\"p95_us\":5}],\
+                    \"counters\":{\"plan.cache.hit\":2},\
+                    \"hists\":[{\"name\":\"circuit.dc.iters\",\"count\":1,\"sum\":3,\
+                    \"p50\":3,\"p90\":3,\"p99\":3,\"buckets\":[[3,1]]}],\
+                    \"events\":[{\"name\":\"opt.de.gen\",\"points\":1,\"first\":{},\"last\":{}}]}";
+        let dir = std::env::temp_dir().join(format!("rfkit_obs_regtest_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("PROFILE_test.json");
+        std::fs::write(&path, text).expect("write profile");
+        let names = profile_names(&path).expect("profile names");
+        for want in ["b", "plan.cache.hit", "circuit.dc.iters", "opt.de.gen"] {
+            assert!(names.contains(want), "missing {want}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

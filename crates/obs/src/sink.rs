@@ -9,7 +9,7 @@ use std::path::PathBuf;
 use std::sync::{Mutex, PoisonError};
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use crate::config::TraceConfig;
+use crate::config::{TraceConfig, TraceMode};
 use crate::json::JsonObj;
 
 struct SinkState {
@@ -22,7 +22,9 @@ static SINK: Mutex<Option<SinkState>> = Mutex::new(None);
 
 /// Install the sink for `cfg`; called under the init lock. Failure to
 /// open the trace file degrades to stderr-only (with a warning) rather
-/// than panicking inside instrumented numeric code.
+/// than panicking inside instrumented numeric code. In aggregate mode
+/// nothing streams — the path is only remembered so
+/// [`write_whole`] can drop the profile there on flush.
 pub(crate) fn install(cfg: &TraceConfig) {
     let mut state = SinkState {
         file: None,
@@ -30,37 +32,57 @@ pub(crate) fn install(cfg: &TraceConfig) {
         log: cfg.log,
     };
     if cfg.trace {
-        let path = cfg.out.clone().unwrap_or_else(default_path);
+        let path = cfg.out.clone().unwrap_or_else(|| default_path(cfg.mode));
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
             let _ = fs::create_dir_all(dir);
         }
-        match File::create(&path) {
-            Ok(f) => {
-                state.file = Some(f);
-                state.path = Some(path);
-            }
-            Err(e) => {
-                eprintln!(
-                    "rfkit-obs: cannot create trace file {}: {e}",
-                    path.display()
-                );
-            }
+        match cfg.mode {
+            TraceMode::Agg => state.path = Some(path),
+            TraceMode::Jsonl => match File::create(&path) {
+                Ok(f) => {
+                    state.file = Some(f);
+                    state.path = Some(path);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "rfkit-obs: cannot create trace file {}: {e}",
+                        path.display()
+                    );
+                }
+            },
         }
     }
     let mut guard = SINK.lock().unwrap_or_else(PoisonError::into_inner);
     *guard = Some(state);
     drop(guard);
-    if cfg.trace || cfg.log {
+    if (cfg.trace && cfg.mode == TraceMode::Jsonl) || cfg.log {
         emit_meta();
     }
 }
 
-fn default_path() -> PathBuf {
+fn default_path(mode: TraceMode) -> PathBuf {
     let secs = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    PathBuf::from("results").join(format!("TRACE_{secs}_{}.jsonl", std::process::id()))
+    let pid = std::process::id();
+    PathBuf::from("results").join(match mode {
+        TraceMode::Jsonl => format!("TRACE_{secs}_{pid}.jsonl"),
+        TraceMode::Agg => format!("PROFILE_{secs}_{pid}.json"),
+    })
+}
+
+/// Replace the sink file's entire contents (aggregate-profile flush).
+/// Creates the file on first use; errors degrade to a warning.
+pub(crate) fn write_whole(text: &str) {
+    let path = {
+        let guard = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.as_ref().and_then(|s| s.path.clone())
+    };
+    let Some(path) = path else { return };
+    if let Err(e) = fs::write(&path, text) {
+        eprintln!("rfkit-obs: cannot write profile {}: {e}", path.display());
+    }
 }
 
 /// Path of the active trace file, if any.

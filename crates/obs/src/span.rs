@@ -3,10 +3,25 @@
 //! reading without naming `std::time` types themselves.
 
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
-use crate::sink;
+use crate::{agg, sink};
+
+// Timer-resolution jitter can make the sum of child durations exceed
+// the parent's own measurement; self time then clamps to zero instead
+// of going "negative" (wrapping). The clamp count is telemetry about
+// the telemetry: a handful per run is clock granularity, a flood means
+// an instrumentation bug (e.g. spans closed out of order).
+static OBS_SELFTIME_CLAMPED: crate::Counter = crate::Counter::new("obs.selftime.clamped");
+static CLAMP_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// Self time from a span's measured duration and accumulated child
+/// time, with the negative case clamped. Returns `(self_ns, clamped)`.
+#[inline]
+pub(crate) fn attribute_self(dur_ns: u64, child_ns: u64) -> (u64, bool) {
+    (dur_ns.saturating_sub(child_ns), child_ns > dur_ns)
+}
 
 // Per-thread stack of child-time accumulators: one `u64` of
 // accumulated child nanoseconds per live span on this thread. A
@@ -47,6 +62,9 @@ struct SpanInner {
     name: &'static str,
     start: Instant,
     t0_us: u64,
+    // Captured at open so a mid-span re-init cannot route the exit to
+    // the wrong backend (the tree bounds-checks stale ids anyway).
+    agg: bool,
 }
 
 /// Open a span. No-op (no clock read, no allocation) unless armed.
@@ -55,12 +73,17 @@ pub fn span(name: &'static str) -> Span {
     if !crate::enabled() {
         return Span { inner: None };
     }
+    let agg = crate::agg_mode();
+    if agg {
+        agg::enter(name);
+    }
     CHILD_NS.with(|s| s.borrow_mut().push(0));
     Span {
         inner: Some(SpanInner {
             name,
             start: Instant::now(),
             t0_us: crate::now_us(),
+            agg,
         }),
     }
 }
@@ -79,13 +102,29 @@ impl Drop for Span {
             }
             mine
         });
-        sink::emit_span(
-            inner.name,
-            inner.t0_us,
-            dur_ns / 1_000,
-            dur_ns.saturating_sub(child_ns) / 1_000,
-            tid(),
-        );
+        let (self_ns, clamped) = attribute_self(dur_ns, child_ns);
+        if clamped {
+            OBS_SELFTIME_CLAMPED.add(1);
+            if !CLAMP_WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "rfkit-obs: span `{}` children outran parent by {}ns; \
+                     self time clamped to 0 (counted in obs.selftime.clamped)",
+                    inner.name,
+                    child_ns - dur_ns
+                );
+            }
+        }
+        if inner.agg {
+            agg::exit(dur_ns, self_ns);
+        } else {
+            sink::emit_span(
+                inner.name,
+                inner.t0_us,
+                dur_ns / 1_000,
+                self_ns / 1_000,
+                tid(),
+            );
+        }
     }
 }
 
@@ -126,6 +165,20 @@ mod tests {
         let s = Span { inner: None };
         drop(s); // must not touch the thread-local stack
         CHILD_NS.with(|st| assert!(st.borrow().is_empty()));
+    }
+
+    #[test]
+    fn attribute_self_clamps_instead_of_wrapping() {
+        // Normal case: self = duration - children.
+        assert_eq!(attribute_self(100, 40), (60, false));
+        // Zero-duration span (sub-tick work): zero self, not clamped.
+        assert_eq!(attribute_self(0, 0), (0, false));
+        // Children exactly fill the parent: zero self, not clamped.
+        assert_eq!(attribute_self(100, 100), (0, false));
+        // Timer jitter made children outrun the parent: clamped to 0,
+        // and flagged so the clamp counter records it.
+        assert_eq!(attribute_self(100, 140), (0, true));
+        assert_eq!(attribute_self(0, 1), (0, true));
     }
 
     #[test]

@@ -18,6 +18,7 @@ fn armed_trace_round_trips_through_summarizer() {
         trace: true,
         log: false,
         out: Some(path.clone()),
+        ..TraceConfig::default()
     });
     assert!(rfkit_obs::enabled());
     assert_eq!(rfkit_obs::trace_path().as_deref(), Some(path.as_path()));

@@ -71,6 +71,7 @@ fn fixed_seed_output_identical_at_1_and_4_threads() {
         trace: true,
         log: false,
         out: Some(trace.clone()),
+        ..rfkit_obs::TraceConfig::default()
     });
 
     let run_all = || {

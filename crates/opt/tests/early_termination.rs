@@ -24,6 +24,7 @@ fn tiny_budgets_terminate_cleanly_and_emit_truncation_events() {
         trace: true,
         log: false,
         out: Some(trace.clone()),
+        ..rfkit_obs::TraceConfig::default()
     });
 
     let bounds = Bounds::new(vec![-5.0; 3], vec![5.0; 3]).expect("bounds");

@@ -247,6 +247,12 @@ where
 
     let work = || {
         let _region = RegionGuard::enter();
+        // Call-path anchor for aggregate profiles: spans opened by the
+        // evaluated closure nest under `par.task` on every participant.
+        // Pool workers have no caller stack of their own, so without
+        // this anchor their spans would sit at the profile root,
+        // indistinguishable from top-level phases.
+        let _task = rfkit_obs::span("par.task");
         let mut my_items = 0u64;
         let mut first_claim = true;
         let outcome = catch_unwind(AssertUnwindSafe(|| loop {
