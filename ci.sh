@@ -159,6 +159,38 @@ cargo run --release -q -p rfkit-obs --bin rfkit-trace -- --json \
   --expect-max circuit.ac.sweep.refactors:8 \
   results/TRACE_bench_ac.jsonl >/dev/null || fail=1
 
+echo "== surrogate screening smoke (traced example + bench_surrogate)"
+# Runs the surrogate-screened study example with tracing armed and
+# bounds the evaluation budget: the screen must actually prune
+# (surrogate.reject fires) and the total number of full band sweeps
+# must stay under the budget a working screen leaves behind — an
+# accidentally-disarmed screen blows straight through it. The fixed
+# seed makes the decision sequence exact; the band.evaluations ceiling
+# carries slack only for parallel duplicate evaluations (concurrent
+# misses on identical offspring), which timing may or may not dedup.
+rm -f results/TRACE_surrogate.jsonl
+RFKIT_TRACE=1 RFKIT_TRACE_OUT=results/TRACE_surrogate.jsonl \
+  cargo run --release -q --example surrogate_screening >/dev/null || fail=1
+cargo run --release -q -p rfkit-obs --bin rfkit-trace -- --json \
+  --expect surrogate.fit --expect surrogate.true_evals \
+  --expect-min surrogate.reject:1 \
+  --expect-min surrogate.accept:1 \
+  --expect-max band.evaluations:800 \
+  results/TRACE_surrogate.jsonl >/dev/null || fail=1
+# bench_surrogate smoke on a small study, written to a scratch path so
+# the committed full-size artifact survives. Proves the two-arm
+# warm-continuation protocol runs end to end, the screen actually
+# rejects at this size, and well-formed JSON lands on disk; the ≥3x
+# reduction target is only meaningful at full size (`bench_surrogate`
+# with default arguments).
+rm -f results/BENCH_surrogate_smoke.json results/PROFILE_bench_surrogate_smoke.json
+cargo run --release -q -p lna-bench --bin bench_surrogate -- \
+  --pop 24 --gens 8 --warm-gens 16 \
+  --out results/BENCH_surrogate_smoke.json \
+  --profile-out results/PROFILE_bench_surrogate_smoke.json \
+  >/dev/null || fail=1
+grep -q '"reduction"' results/BENCH_surrogate_smoke.json || fail=1
+
 if [ "$fail" -ne 0 ]; then
   echo "ci.sh: FAILED"
   exit 1

@@ -10,6 +10,7 @@ pub mod lock_across_solve;
 pub mod nan_unsafe_sort;
 pub mod nondeterminism;
 pub mod obs_span_leak;
+pub mod surrogate_leak;
 pub mod swallowed_error;
 pub mod todo_markers;
 pub mod unsafe_outside_par;
@@ -91,6 +92,11 @@ pub fn all() -> Vec<Lint> {
             name: unseeded_rng_flow::NAME,
             description: unseeded_rng_flow::DESCRIPTION,
             check: unseeded_rng_flow::check,
+        },
+        Lint {
+            name: surrogate_leak::NAME,
+            description: surrogate_leak::DESCRIPTION,
+            check: surrogate_leak::check,
         },
         Lint {
             name: fault_hook_coverage::NAME,

@@ -18,8 +18,17 @@ pub const DESCRIPTION: &str =
 
 /// Crates whose results feed the paper's figures and tables; these must
 /// be bit-for-bit reproducible.
-const NUMERIC_CRATES: [&str; 9] = [
-    "num", "twoport", "passive", "device", "circuit", "opt", "extract", "core", "robust",
+const NUMERIC_CRATES: [&str; 10] = [
+    "num",
+    "twoport",
+    "passive",
+    "device",
+    "circuit",
+    "opt",
+    "extract",
+    "core",
+    "robust",
+    "surrogate",
 ];
 
 /// Offending type names, with the sanctioned replacement.

@@ -1,0 +1,252 @@
+//! `surrogate-leak`: a surrogate-predicted value flowing into a result
+//! artifact. The surrogate layer's load-bearing guarantee is
+//! *prune-never-propagate*: model predictions may only veto a true
+//! evaluation, never stand in for one. Every objective vector that
+//! reaches a Pareto front, a report, or a design-cache entry must come
+//! from a real band evaluation — a predicted value smuggled into any of
+//! those corrupts recorded results in a way no downstream check can
+//! detect (the numbers look plausible by construction).
+//!
+//! Flagged: an identifier initialized (directly or through a def-use
+//! chain) from a surrogate prediction call (`predict`, `predict_into`,
+//! `predict_lcb`, `lcb_into`) that then appears as an argument to a
+//! store-like sink — `push`/`insert`/`extend`/`store` on a
+//! front/population/cache/report-ish receiver, a `report`/`write`-named
+//! call, or a screen's own `observe`/`seed_training` (feeding
+//! predictions back into training silently compounds model error).
+//! Comparisons and domination checks are exactly what predictions are
+//! *for* and stay quiet.
+
+use crate::dataflow::{CallKind, FnAnalysis};
+use crate::report::{Finding, Severity};
+use crate::source::{FileKind, SourceFile};
+use std::collections::BTreeSet;
+
+/// Lint name.
+pub const NAME: &str = "surrogate-leak";
+/// One-line description.
+pub const DESCRIPTION: &str =
+    "surrogate-predicted value stored into a front, report, cache, or training set (error)";
+
+/// Prediction call names whose results are tainted.
+const PREDICT_FNS: [&str; 4] = ["predict", "predict_into", "predict_lcb", "lcb_into"];
+
+/// Store-like method names that count as sinks on result-ish receivers.
+const STORE_METHODS: [&str; 4] = ["push", "insert", "extend", "store"];
+
+/// Receiver roots (lowercased, substring match) that hold results.
+const RESULT_RECEIVERS: [&str; 7] = [
+    "front",
+    "pareto",
+    "cache",
+    "report",
+    "archive",
+    "population",
+    "pop",
+];
+
+/// Sinks that feed a model's own training set.
+const TRAIN_METHODS: [&str; 2] = ["observe", "seed_training"];
+
+fn is_predict_call(name: &str) -> bool {
+    PREDICT_FNS
+        .iter()
+        .any(|p| name == *p || name.ends_with(&format!("::{p}")))
+}
+
+fn resultish(recv: &str) -> bool {
+    let lower = recv.to_ascii_lowercase();
+    RESULT_RECEIVERS.iter().any(|r| lower.contains(r))
+}
+
+/// Closure of identifiers carrying a predicted value: seeded by defs
+/// initialized from a prediction call, propagated through defs whose
+/// initializer mentions an already-tainted name.
+fn tainted_idents(f: &FnAnalysis) -> BTreeSet<&str> {
+    // A prediction may be post-processed in the same initializer
+    // (`screen.predict_lcb(x).unwrap()` trails in `unwrap`), so any
+    // mention of a prediction call in the initializer taints the
+    // binding, not just the trailing call.
+    let mut tainted: BTreeSet<&str> = f
+        .defs
+        .iter()
+        .filter(|d| {
+            is_predict_call(&d.init_call) || d.init_idents.iter().any(|i| is_predict_call(i))
+        })
+        .map(|d| d.name.as_str())
+        .collect();
+    loop {
+        let before = tainted.len();
+        for d in &f.defs {
+            if !tainted.contains(d.name.as_str())
+                && d.init_idents.iter().any(|i| tainted.contains(i.as_str()))
+            {
+                tainted.insert(d.name.as_str());
+            }
+        }
+        if tainted.len() == before {
+            break;
+        }
+    }
+    tainted
+}
+
+/// What kind of sink a call is, if any.
+fn sink_kind(name: &str, kind: CallKind, recv_root: &str) -> Option<&'static str> {
+    let lower = name.to_ascii_lowercase();
+    if kind == CallKind::Method && TRAIN_METHODS.contains(&lower.as_str()) {
+        return Some("the surrogate training set");
+    }
+    if kind == CallKind::Method && STORE_METHODS.contains(&lower.as_str()) && resultish(recv_root) {
+        return Some("a result container");
+    }
+    if lower.contains("report") || lower.contains("write") {
+        return Some("a report/artifact writer");
+    }
+    None
+}
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind != FileKind::Lib {
+        return;
+    }
+    for f in &file.fns {
+        if file.in_test_region(f.span.line) {
+            continue;
+        }
+        let tainted = tainted_idents(f);
+        if tainted.is_empty() {
+            continue;
+        }
+        for c in &f.calls {
+            if file.in_test_region(c.line) {
+                continue;
+            }
+            let Some(sink) = sink_kind(&c.name, c.kind, &c.recv_root) else {
+                continue;
+            };
+            if let Some(arg) = c.arg_idents.iter().find(|a| tainted.contains(a.as_str())) {
+                out.push(Finding {
+                    lint: NAME,
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: c.line,
+                    col: c.col,
+                    message: format!(
+                        "surrogate-predicted value `{arg}` flows into {sink} via `{}` in \
+                         `{}`; predictions may only prune evaluations — store the \
+                         true-evaluated objectives instead (prune-never-propagate)",
+                        c.name, f.name
+                    ),
+                    suppressed: false,
+                    suggestion: None,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_prediction_pushed_into_front() {
+        let src = "\
+pub fn f(screen: &SurrogateScreen, x: &[f64], front: &mut Front) {
+    let predicted = screen.predict_lcb(x).unwrap();
+    front.push(predicted);
+}
+";
+        let hits = run(src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("predicted"));
+        assert!(hits[0].message.contains("prune-never-propagate"));
+    }
+
+    #[test]
+    fn flags_chained_flow_into_cache_insert() {
+        let src = "\
+pub fn f(model: &ResponseSurface, cache: &mut Map, key: u64, x: &[f64]) {
+    let mu = model.predict(x);
+    let value = mu.clone();
+    cache.insert(key, value);
+}
+";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn flags_prediction_fed_back_into_training() {
+        let src = "\
+pub fn f(screen: &mut SurrogateScreen, x: &[f64]) {
+    let guess = screen.predict_lcb(x).unwrap();
+    screen.observe(x, &guess);
+}
+";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn flags_prediction_in_report_writer() {
+        let src = "\
+pub fn f(model: &ResponseSurface, x: &[f64]) -> String {
+    let nf = model.predict(x);
+    write_report(&nf)
+}
+";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn quiet_when_predictions_only_compare() {
+        let src = "\
+pub fn f(screen: &mut SurrogateScreen, x: &[f64], incumbent: &[f64]) -> bool {
+    let lcb = screen.predict_lcb(x).unwrap();
+    dominates(incumbent, &lcb)
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn quiet_for_true_values_and_tests() {
+        let src = "\
+pub fn f(front: &mut Front, objs: Vec<f64>) {
+    front.push(objs);
+}
+";
+        assert!(run(src).is_empty());
+        let test = "\
+#[cfg(test)]
+mod tests {
+    fn t(screen: &SurrogateScreen, front: &mut Front, x: &[f64]) {
+        let p = screen.predict_lcb(x).unwrap();
+        front.push(p);
+    }
+}
+";
+        assert!(run(test).is_empty());
+    }
+
+    #[test]
+    fn quiet_for_unrelated_push_on_plain_vec() {
+        let src = "\
+pub fn f(model: &ResponseSurface, x: &[f64]) -> Vec<f64> {
+    let mu = model.predict(x);
+    let mut scratch = Vec::new();
+    scratch.push(1.0);
+    mu
+}
+";
+        assert!(run(src).is_empty());
+    }
+}

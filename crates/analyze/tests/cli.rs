@@ -154,5 +154,5 @@ fn list_lints_includes_the_contract_pass() {
     let text = stdout(&out);
     assert!(text.contains("counter-name-drift"), "{text}");
     assert!(text.contains("expired-suppression"), "{text}");
-    assert_eq!(text.lines().count(), 15, "one row per lint:\n{text}");
+    assert_eq!(text.lines().count(), 16, "one row per lint:\n{text}");
 }

@@ -89,6 +89,42 @@ impl DesignCache {
         ]
     }
 
+    /// Inverse of [`DesignCache::key`]: exact-bits round trip, so the
+    /// reconstructed variables are the very values that were evaluated.
+    fn vars_from_key(key: &Key) -> DesignVariables {
+        DesignVariables {
+            vds: f64::from_bits(key[0]),
+            ids: f64::from_bits(key[1]),
+            l1: f64::from_bits(key[2]),
+            ls_deg: f64::from_bits(key[3]),
+            l2: f64::from_bits(key[4]),
+            c2: f64::from_bits(key[5]),
+            r_bias: f64::from_bits(key[6]),
+        }
+    }
+
+    /// Deterministic read-only export of every cached entry as
+    /// `(variables, metrics)`, in ascending key order (`None` marks a
+    /// cached-infeasible point).
+    ///
+    /// The order is a pure function of the cache *contents* — the
+    /// `BTreeMap` sorts on the exact variable bits — so two caches
+    /// holding the same set of evaluated points snapshot identically no
+    /// matter how many threads raced to populate them or in which order
+    /// insertions happened. This is the property that lets a surrogate
+    /// model train from a warm cache without bending the repo's
+    /// thread-count determinism contract. (Under eviction pressure the
+    /// *contents* themselves can depend on insertion order; keep the
+    /// cache under capacity when a snapshot must be reproducible.)
+    pub fn snapshot(&self) -> Vec<(DesignVariables, Option<BandMetrics>)> {
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (Self::vars_from_key(k), *v))
+            .collect()
+    }
+
     /// Band metrics at `vars`, served from the cache when the exact bit
     /// pattern was evaluated before. Infeasible results (`None`) are
     /// cached too — a repeatedly probed infeasible corner is as expensive
@@ -329,6 +365,38 @@ mod tests {
         assert_eq!(cache.len(), 2);
         // The strict evaluate() view agrees with the outcome view.
         assert_eq!(cache.evaluate(&d, vars(), &band), first.metrics().copied());
+    }
+
+    #[test]
+    fn snapshot_round_trips_exact_bits_in_key_order() {
+        let d = Phemt::atf54143_like();
+        let band = BandSpec::gnss();
+        let cache = DesignCache::new(16);
+        let mut evaluated = Vec::new();
+        // Insert in descending r_bias order; the snapshot must come back
+        // sorted by key bits regardless.
+        for i in (0..3).rev() {
+            let mut v = vars();
+            v.r_bias = 30.0 + i as f64;
+            let m = cache.evaluate(&d, v, &band);
+            evaluated.push((v, m));
+        }
+        let mut bad = vars();
+        bad.ids = 3.0; // cached-infeasible entry must appear as None
+        assert_eq!(cache.evaluate(&d, bad, &band), None);
+
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 4);
+        for (v, m) in &evaluated {
+            let hit = snap.iter().find(|(sv, _)| sv == v).expect("entry present");
+            assert_eq!(hit.1, *m, "snapshot metrics differ from evaluation");
+        }
+        assert!(snap.iter().any(|(sv, sm)| *sv == bad && sm.is_none()));
+        // Key order is bit order: vds ties, then ids bits decide.
+        let keys: Vec<_> = snap.iter().map(|(v, _)| DesignCache::key(v)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "snapshot is not in ascending key order");
     }
 
     #[test]

@@ -48,7 +48,7 @@ impl Default for DesignGoals {
 }
 
 /// Penalty objective value for designs with unreachable bias.
-const INFEASIBLE: f64 = 1e3;
+pub(crate) const INFEASIBLE: f64 = 1e3;
 
 /// Maps a band evaluation to the 5-component objective vector (shared by
 /// the direct and memoized objective builders so both produce identical

@@ -9,6 +9,8 @@
 //!   band ([`band`]);
 //! * the improved goal-attainment design flow selecting the operating
 //!   point and essential passives, with E24 snapping ([`design`]);
+//! * the surrogate-screened band-level NF/gain Pareto-front study,
+//!   trained online from the design cache ([`study`]);
 //! * the as-built measurement simulation (tolerances, launch lines,
 //!   instrument noise) behind the paper's measured figures ([`measure()`]);
 //! * report/table formatting ([`report`]).
@@ -33,6 +35,7 @@ pub mod cache;
 pub mod design;
 pub mod measure;
 pub mod report;
+pub mod study;
 pub mod thermal;
 pub mod verify;
 pub mod yield_analysis;
@@ -48,6 +51,10 @@ pub use measure::{
     gain_gap_db, measure, measure_im3, BuildConfig, BuiltAmplifier, MeasurementSession,
 };
 pub use rfkit_robust::{DegradePolicy, PointDiagnostic, RetryPolicy, SolveError, SolveStage};
+pub use study::{
+    nf_gain_objectives, pareto_front_study, study_screen_config, surrogate_training_set,
+    ParetoStudy, ParetoStudyConfig, STUDY_REFERENCE,
+};
 pub use thermal::{band_sweep_over_temperature, metrics_at_temperature, ThermalCondition};
 pub use verify::{cached_sweep, multistage_netlist, output_match_network, reference_netlist};
 pub use yield_analysis::{

@@ -8,8 +8,9 @@
 //! concurrently.
 
 use lna::{
-    band_objectives, cached_band_objectives, snap_to_catalog, Amplifier, BandMetrics, BandSpec,
-    DesignCache, DesignVariables,
+    band_objectives, cached_band_objectives, pareto_front_study, snap_to_catalog,
+    study_screen_config, Amplifier, BandMetrics, BandSpec, DesignCache, DesignVariables,
+    ParetoStudyConfig,
 };
 use rfkit_device::Phemt;
 use rfkit_num::rng::Rng64;
@@ -62,14 +63,57 @@ fn cached_objectives_identical_at_1_and_4_threads() {
         let cache = DesignCache::new(64);
         let obj = cached_band_objectives(&device, &band, &cache);
         let out: Vec<Vec<f64>> = par_map(&xs, |x| obj(x));
-        (out, cache.hits(), cache.misses())
+        // Snapshot while still under capacity: the export must be a pure
+        // function of the evaluated point set, not of the racy insertion
+        // order.
+        let snap = cache.snapshot();
+        (out, cache.hits(), cache.misses(), snap)
+    };
+    // Surrogate-armed Pareto study: warm a cache with a plain pass, then
+    // screen from its snapshot — the full training-from-cache pipeline
+    // must hold the bit-identity contract too.
+    let study = || {
+        let cache = DesignCache::with_default_capacity();
+        let warm = ParetoStudyConfig {
+            population: 12,
+            generations: 2,
+            seed: 3,
+            initial: Vec::new(),
+            surrogate: None,
+        };
+        let w = pareto_front_study(&device, &band, &warm, &cache);
+        let screened_cfg = ParetoStudyConfig {
+            population: 12,
+            generations: 4,
+            seed: 3,
+            initial: w.front.iter().map(|i| i.x.clone()).collect(),
+            surrogate: Some(study_screen_config(0xbeef)),
+        };
+        let s = pareto_front_study(&device, &band, &screened_cfg, &cache);
+        (s.front, s.evaluations, s.screen_stats)
     };
 
     std::env::set_var("RFKIT_THREADS", "1");
-    let (out_1, hits_1, misses_1) = run();
+    let (out_1, hits_1, misses_1, snap_1) = run();
+    let (front_1, evals_1, stats_1) = study();
     std::env::set_var("RFKIT_THREADS", "4");
-    let (out_4, hits_4, misses_4) = run();
+    let (out_4, hits_4, misses_4, snap_4) = run();
+    let (front_4, evals_4, stats_4) = study();
     std::env::remove_var("RFKIT_THREADS");
+
+    assert_eq!(
+        snap_1, snap_4,
+        "cache snapshot differs across thread counts"
+    );
+    assert_eq!(
+        front_1, front_4,
+        "surrogate-armed study front differs across thread counts"
+    );
+    assert_eq!(evals_1, evals_4);
+    assert_eq!(
+        stats_1, stats_4,
+        "screen decisions differ across thread counts"
+    );
 
     // Bit-identical across thread counts, and identical to the uncached
     // objective (the cache can only substitute a value for itself).

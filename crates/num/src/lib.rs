@@ -33,6 +33,7 @@ mod complex;
 pub mod diff;
 pub mod fft;
 pub mod interp;
+pub mod lstsq;
 mod matrix;
 #[cfg(feature = "numsan")]
 pub mod numsan;
@@ -45,6 +46,7 @@ pub mod units;
 
 pub use banded::{BandedError, BandedLu, BorderedLu};
 pub use complex::Complex;
+pub use lstsq::{ridge_solve, Normalizer};
 pub use matrix::{CMatrix, Lu, LuWorkspace, Matrix, MatrixError, RMatrix, Scalar};
 pub use poly::{line_intersection, Polynomial};
 pub use sketch::QuantileSketch;

@@ -1,0 +1,309 @@
+//! Normalized, ridge-regularized linear least squares.
+//!
+//! The design variables of the LNA flow span ~14 orders of magnitude
+//! (bias voltages in volts next to capacitances in farads), so raw
+//! normal equations `AᵀA c = AᵀY` on a polynomial basis are numerically
+//! hopeless: the Gram matrix picks up entries from `Σ 1` down to
+//! `Σ c⁴ ≈ 1e-46` and the LU factorization either reports a singular
+//! pivot or returns garbage coefficients. This module provides the two
+//! standard fixes, composed so callers get both by default:
+//!
+//! * [`Normalizer`] — a per-dimension affine map onto `[-1, 1]`, built
+//!   either from observed samples or from known box bounds, applied
+//!   before any basis expansion;
+//! * [`ridge_solve`] — least squares through the normal equations with
+//!   Tikhonov regularization `λ·s·I`, where `s` is the mean Gram
+//!   diagonal so `λ` stays a dimensionless knob.
+//!
+//! [`crate::Polynomial::fit_scaled`] and the `rfkit-surrogate` response
+//! surfaces are the consumers.
+
+use crate::matrix::{MatrixError, RMatrix};
+
+/// Per-dimension affine map of raw inputs onto the cube `[-1, 1]^d`.
+///
+/// Dimensions with zero observed span map to `0.0` instead of dividing
+/// by zero, so degenerate training sets (a variable pinned by a
+/// constraint) stay well-defined.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_num::lstsq::Normalizer;
+/// // Volts next to farads: raw values differ by 12 orders of magnitude.
+/// let norm = Normalizer::from_bounds(&[1.5, 0.3e-12], &[4.0, 12.0e-12]);
+/// let u = norm.normalize(&[1.5, 12.0e-12]);
+/// assert!((u[0] + 1.0).abs() < 1e-12);
+/// assert!((u[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    center: Vec<f64>,
+    half_span: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Builds the map from explicit per-dimension box bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    pub fn from_bounds(lo: &[f64], hi: &[f64]) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound slices must match");
+        assert!(!lo.is_empty(), "need at least one dimension");
+        let center = lo.iter().zip(hi).map(|(&a, &b)| 0.5 * (a + b)).collect();
+        let half_span = lo.iter().zip(hi).map(|(&a, &b)| 0.5 * (b - a)).collect();
+        Normalizer { center, half_span }
+    }
+
+    /// Builds the map from the per-dimension min/max of observed samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or the rows have inconsistent lengths.
+    pub fn from_samples(xs: &[Vec<f64>]) -> Self {
+        assert!(!xs.is_empty(), "need at least one sample");
+        let d = xs[0].len();
+        let mut lo = vec![f64::INFINITY; d];
+        let mut hi = vec![f64::NEG_INFINITY; d];
+        for x in xs {
+            assert_eq!(x.len(), d, "sample rows must have equal length");
+            for (k, &v) in x.iter().enumerate() {
+                lo[k] = lo[k].min(v);
+                hi[k] = hi[k].max(v);
+            }
+        }
+        Normalizer::from_bounds(&lo, &hi)
+    }
+
+    /// Number of input dimensions.
+    pub fn dim(&self) -> usize {
+        self.center.len()
+    }
+
+    /// Maps a raw point into the normalized cube (allocating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn normalize(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim()];
+        self.normalize_into(x, &mut out);
+        out
+    }
+
+    /// Maps a raw point into the normalized cube, writing into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `out.len()` differ from `self.dim()`.
+    pub fn normalize_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.dim(), "point dimension mismatch");
+        assert_eq!(out.len(), self.dim(), "output dimension mismatch");
+        for (k, o) in out.iter_mut().enumerate() {
+            let h = self.half_span[k];
+            *o = if crate::is_exact_zero(h) {
+                0.0
+            } else {
+                (x[k] - self.center[k]) / h
+            };
+        }
+    }
+}
+
+/// Ridge-regularized least squares `min ‖A c − y‖² + λ·s·‖c‖²` for one or
+/// more right-hand sides sharing the design matrix `A`.
+///
+/// The Gram matrix `AᵀA + λ·s·I` is formed and LU-factored once; each
+/// column of `ys` costs only a pair of triangular solves. The scale
+/// `s = trace(AᵀA)/m` makes `ridge` dimensionless: `1e-6` means "damp
+/// singular directions a millionth of the typical basis energy".
+///
+/// # Errors
+///
+/// Returns [`MatrixError::Singular`] when the regularized Gram matrix is
+/// still singular (only possible with `ridge == 0` and a rank-deficient
+/// basis).
+///
+/// # Panics
+///
+/// Panics if `ys` is empty, any right-hand side length differs from
+/// `a.rows()`, or `ridge` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use rfkit_num::RMatrix;
+/// use rfkit_num::lstsq::ridge_solve;
+/// // Overdetermined line fit: y = 1 + 2x at x = 0..4.
+/// let a = RMatrix::from_fn(5, 2, |i, j| if j == 0 { 1.0 } else { i as f64 });
+/// let y: Vec<f64> = (0..5).map(|i| 1.0 + 2.0 * i as f64).collect();
+/// let c = ridge_solve(&a, &[y], 0.0)?;
+/// assert!((c[0][0] - 1.0).abs() < 1e-9);
+/// assert!((c[0][1] - 2.0).abs() < 1e-9);
+/// # Ok::<(), rfkit_num::MatrixError>(())
+/// ```
+pub fn ridge_solve(a: &RMatrix, ys: &[Vec<f64>], ridge: f64) -> Result<Vec<Vec<f64>>, MatrixError> {
+    assert!(!ys.is_empty(), "need at least one right-hand side");
+    assert!(ridge >= 0.0, "ridge weight must be non-negative");
+    let (n, m) = (a.rows(), a.cols());
+    for y in ys {
+        assert_eq!(y.len(), n, "rhs length must match design-matrix rows");
+    }
+    let mut gram = RMatrix::zeros(m, m);
+    for r in 0..n {
+        let row = a.row(r);
+        for i in 0..m {
+            for j in 0..m {
+                gram[(i, j)] += row[i] * row[j];
+            }
+        }
+    }
+    if ridge > 0.0 {
+        let mut trace = 0.0;
+        for i in 0..m {
+            trace += gram[(i, i)];
+        }
+        let scale = if crate::is_exact_zero(trace) {
+            1.0
+        } else {
+            trace / m as f64
+        };
+        for i in 0..m {
+            gram[(i, i)] += ridge * scale;
+        }
+    }
+    let lu = gram.lu()?;
+    let mut out = Vec::with_capacity(ys.len());
+    for y in ys {
+        let mut aty = vec![0.0; m];
+        for (r, &yr) in y.iter().enumerate() {
+            let row = a.row(r);
+            for (ci, rv) in aty.iter_mut().zip(row) {
+                *ci += rv * yr;
+            }
+        }
+        out.push(lu.solve(&aty));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cubic-in-two-variables basis row (10 terms).
+    fn cubic_row(v: f64, c: f64) -> [f64; 10] {
+        [
+            1.0,
+            v,
+            c,
+            v * v,
+            v * c,
+            c * c,
+            v * v * v,
+            v * v * c,
+            v * c * c,
+            c * c * c,
+        ]
+    }
+
+    const TRUTH: [f64; 10] = [1.2, 0.3, 0.8, -0.1, 0.2, -0.4, 0.15, -0.25, 0.1, 0.3];
+
+    fn truth_at(u: &[f64]) -> f64 {
+        cubic_row(u[0], u[1])
+            .iter()
+            .zip(&TRUTH)
+            .map(|(t, c)| t * c)
+            .sum()
+    }
+
+    /// The conditioning regression this module exists for: a refinement
+    /// study in a ±1% trust region around an operating point, with a
+    /// bias voltage in volts next to a capacitance in farads. The raw
+    /// normal equations see columns that are both graded by ~10^12 in
+    /// scale and nearly collinear (uncentered narrow ranges), and lose
+    /// seven orders of magnitude of accuracy; the normalized + ridge
+    /// path reproduces the data to ~1e-9.
+    #[test]
+    fn volts_vs_farads_trust_region_conditioning() {
+        let mut pts = Vec::new();
+        for i in 0..7 {
+            for j in 0..7 {
+                pts.push(vec![3.0 + 0.01 * i as f64, (2.0 + 0.01 * j as f64) * 1e-12]);
+            }
+        }
+        // Truth evaluated in normalized coordinates so both paths chase
+        // the same well-scaled target values.
+        let norm = Normalizer::from_samples(&pts);
+        let y: Vec<f64> = pts.iter().map(|p| truth_at(&norm.normalize(p))).collect();
+
+        // Raw path: basis expanded on the physical values.
+        let raw = RMatrix::from_fn(pts.len(), 10, |i, j| cubic_row(pts[i][0], pts[i][1])[j]);
+        let raw_worst = match ridge_solve(&raw, std::slice::from_ref(&y), 0.0) {
+            Err(_) => f64::INFINITY, // singular pivot: also a valid failure
+            Ok(c) => pts
+                .iter()
+                .zip(&y)
+                .map(|(p, &yi)| {
+                    let b = cubic_row(p[0], p[1]);
+                    let pred: f64 = b.iter().zip(&c[0]).map(|(bi, ci)| bi * ci).sum();
+                    (pred - yi).abs()
+                })
+                .fold(0.0_f64, f64::max),
+        };
+        assert!(
+            raw_worst > 1e-4,
+            "raw normal equations unexpectedly survived ill-conditioning ({raw_worst:.3e})"
+        );
+
+        // Normalized + ridge path: same data, same basis, scaled inputs.
+        let scaled = RMatrix::from_fn(pts.len(), 10, |i, j| {
+            let u = norm.normalize(&pts[i]);
+            cubic_row(u[0], u[1])[j]
+        });
+        let c = ridge_solve(&scaled, std::slice::from_ref(&y), 1e-10).expect("normalized fit");
+        let worst = pts
+            .iter()
+            .zip(&y)
+            .map(|(p, &yi)| {
+                let u = norm.normalize(p);
+                let b = cubic_row(u[0], u[1]);
+                let pred: f64 = b.iter().zip(&c[0]).map(|(bi, ci)| bi * ci).sum();
+                (pred - yi).abs()
+            })
+            .fold(0.0_f64, f64::max);
+        assert!(worst < 1e-6, "normalized fit residual {worst:.3e}");
+    }
+
+    #[test]
+    fn shared_factorization_matches_per_rhs_solves() {
+        let a = RMatrix::from_fn(8, 3, |i, j| ((i + 1) as f64).powi(j as i32));
+        let y1: Vec<f64> = (0..8).map(|i| 2.0 + 0.5 * i as f64).collect();
+        let y2: Vec<f64> = (0..8).map(|i| -1.0 + 0.25 * (i * i) as f64).collect();
+        let joint = ridge_solve(&a, &[y1.clone(), y2.clone()], 1e-9).unwrap();
+        let solo1 = ridge_solve(&a, &[y1], 1e-9).unwrap();
+        let solo2 = ridge_solve(&a, &[y2], 1e-9).unwrap();
+        assert_eq!(joint[0], solo1[0]);
+        assert_eq!(joint[1], solo2[0]);
+    }
+
+    #[test]
+    fn ridge_shrinks_rank_deficient_fit_instead_of_failing() {
+        // Two identical columns: rank deficient, singular at ridge = 0.
+        let a = RMatrix::from_fn(4, 2, |i, _| i as f64 + 1.0);
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        assert!(ridge_solve(&a, std::slice::from_ref(&y), 0.0).is_err());
+        let c = ridge_solve(&a, &[y], 1e-6).expect("ridge regularizes");
+        // Symmetry: the two indistinguishable columns share the weight.
+        assert!((c[0][0] - c[0][1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalizer_degenerate_dimension_maps_to_zero() {
+        let norm = Normalizer::from_samples(&[vec![3.0, 1.0], vec![3.0, 2.0]]);
+        let u = norm.normalize(&[3.0, 1.5]);
+        assert!(crate::is_exact_zero(u[0]));
+        assert!(crate::is_exact_zero(u[1]));
+    }
+}

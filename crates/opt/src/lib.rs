@@ -10,7 +10,13 @@
 //! * multi-objective: Pareto utilities ([`pareto`]), weighted-sum and
 //!   ε-constraint baselines ([`scalarize`]), NSGA-II ([`nsga2`]) and the
 //!   goal-attainment method in standard and improved form ([`goal`]) —
-//!   the paper's methodological contribution.
+//!   the paper's methodological contribution;
+//! * surrogate-screened variants ([`differential_evolution_screened`],
+//!   [`particle_swarm_screened`], [`nsga2_screened`]) that consult an
+//!   `rfkit-surrogate` response-surface model serially before each
+//!   parallel batch, pruning candidates whose optimistic outlook is
+//!   already beaten — predictions only veto evaluations, they never
+//!   enter results.
 //!
 //! ## Example: trade off two competing objectives
 //!
@@ -44,15 +50,15 @@ mod pso;
 mod sa;
 pub mod scalarize;
 
-pub use de::{differential_evolution, DeConfig};
+pub use de::{differential_evolution, differential_evolution_screened, DeConfig};
 pub use goal::{
     auto_weights, improved_goal_attainment, standard_goal_attainment, trace_front, GoalConfig,
     GoalProblem, GoalResult, NON_FINITE_PENALTY,
 };
 pub use lm::{levenberg_marquardt, LmConfig};
 pub use nelder_mead::{nelder_mead, NelderMeadConfig};
-pub use nsga2::{nsga2, Individual, Nsga2Config, Nsga2Result};
+pub use nsga2::{nsga2, nsga2_screened, Individual, Nsga2Config, Nsga2Result};
 pub use pattern::{pattern_search, PatternConfig};
 pub use problem::{Bounds, BoundsError, CountingObjective, OptResult};
-pub use pso::{particle_swarm, PsoConfig};
+pub use pso::{particle_swarm, particle_swarm_screened, PsoConfig};
 pub use sa::{simulated_annealing, SaConfig};

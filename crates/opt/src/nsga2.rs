@@ -14,6 +14,7 @@ use crate::pareto::{crowding_distance, nondominated_sort};
 use crate::problem::Bounds;
 use rfkit_num::rng::Rng64;
 use rfkit_par::par_map;
+use rfkit_surrogate::SurrogateScreen;
 
 /// Configuration for [`nsga2`].
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +36,20 @@ pub struct Nsga2Config {
     /// mid-generation the offspring batch is truncated and the run
     /// returns cleanly after one final environmental selection.
     pub max_evals: usize,
+    /// Hypervolume reference point for the convergence history. When
+    /// set on a 2-objective run, [`Nsga2Result::history`] records
+    /// `(evaluations so far, first-front hypervolume)` after
+    /// initialisation and after every generation — the
+    /// evaluations-to-quality curve that benchmark protocols compare.
+    /// `None` (the default) skips the bookkeeping.
+    pub hv_reference: Option<[f64; 2]>,
+    /// Design vectors injected into the initial population (warm
+    /// start), e.g. a previous run's front. Up to `population` vectors
+    /// are used in order; the remainder is sampled randomly as usual.
+    /// Injected vectors are evaluated like any other individual — the
+    /// warm start changes where the search begins, never what a result
+    /// means.
+    pub initial_population: Vec<Vec<f64>>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -49,6 +64,8 @@ impl Default for Nsga2Config {
             mutation_prob: 0.0,
             eta_mutation: 20.0,
             max_evals: 0,
+            hv_reference: None,
+            initial_population: Vec::new(),
             seed: 0x45a2,
         }
     }
@@ -70,6 +87,10 @@ pub struct Nsga2Result {
     pub front: Vec<Individual>,
     /// Total objective evaluations used.
     pub evaluations: usize,
+    /// Convergence history `(evaluations, hypervolume)` per generation;
+    /// empty unless [`Nsga2Config::hv_reference`] was set on a
+    /// 2-objective run.
+    pub history: Vec<(usize, f64)>,
 }
 
 /// Approximates the Pareto front of `objectives` over `bounds`.
@@ -88,6 +109,40 @@ pub fn nsga2(
     objectives: &(dyn Fn(&[f64]) -> Vec<f64> + Sync),
     bounds: &Bounds,
     config: &Nsga2Config,
+) -> Nsga2Result {
+    nsga2_impl(objectives, bounds, config, None)
+}
+
+/// [`nsga2`] with a surrogate screen deciding, per offspring, whether
+/// the true objectives are worth evaluating.
+///
+/// An offspring is pruned when its lower-confidence-bound vector —
+/// optimistic in every objective at once — is still Pareto-dominated by
+/// a parent: the true evaluation could then only produce a point that
+/// environmental selection would discard. Screening runs serially
+/// between variation and the parallel batch; pruned offspring never
+/// exist as individuals, so every objective vector in the population
+/// (and the returned front) comes from a true evaluation.
+/// `evaluations` counts only true evaluations.
+///
+/// # Panics
+///
+/// Panics if the screen's dimensions disagree with `bounds.dim()` or
+/// the objective count.
+pub fn nsga2_screened(
+    objectives: &(dyn Fn(&[f64]) -> Vec<f64> + Sync),
+    bounds: &Bounds,
+    config: &Nsga2Config,
+    screen: &mut SurrogateScreen,
+) -> Nsga2Result {
+    nsga2_impl(objectives, bounds, config, Some(screen))
+}
+
+fn nsga2_impl(
+    objectives: &(dyn Fn(&[f64]) -> Vec<f64> + Sync),
+    bounds: &Bounds,
+    config: &Nsga2Config,
+    mut screen: Option<&mut SurrogateScreen>,
 ) -> Nsga2Result {
     let n = bounds.dim();
     let pop_size = if config.population == 0 {
@@ -110,17 +165,46 @@ pub fn nsga2(
     } else {
         pop_size.min(config.max_evals.max(2))
     };
-    let init_xs: Vec<Vec<f64>> = (0..init_n).map(|_| bounds.sample(&mut rng)).collect();
+    let init_xs: Vec<Vec<f64>> = config
+        .initial_population
+        .iter()
+        .take(init_n)
+        .inspect(|x| assert_eq!(x.len(), n, "warm-start vector dimension mismatch"))
+        .cloned()
+        .chain((config.initial_population.len()..init_n).map(|_| bounds.sample(&mut rng)))
+        .collect();
     let init_objs = par_map(&init_xs, |x| objectives(x));
     evals += init_xs.len();
     if init_n < pop_size {
         rfkit_obs::event("opt.nsga2.truncated", &[("evals", evals as f64)]);
+    }
+    if let Some(scr) = screen.as_deref_mut() {
+        for (x, f) in init_xs.iter().zip(&init_objs) {
+            scr.observe(x, f);
+        }
     }
     let mut pop: Vec<Individual> = init_xs
         .into_iter()
         .zip(init_objs)
         .map(|(x, objectives)| Individual { x, objectives })
         .collect();
+
+    // Evaluations-to-quality curve, recorded after initialisation and
+    // after every environmental selection when requested.
+    let mut history: Vec<(usize, f64)> = Vec::new();
+    let record = |pop: &[Individual], evals: usize, history: &mut Vec<(usize, f64)>| {
+        let Some(reference) = config.hv_reference else {
+            return;
+        };
+        if pop.first().is_none_or(|i| i.objectives.len() != 2) {
+            return;
+        }
+        let objs: Vec<Vec<f64>> = pop.iter().map(|i| i.objectives.clone()).collect();
+        let idx = crate::pareto::pareto_front_indices(&objs);
+        let pts: Vec<Vec<f64>> = idx.iter().map(|&i| objs[i].clone()).collect();
+        history.push((evals, crate::pareto::hypervolume_2d(&pts, reference)));
+    };
+    record(&pop, evals, &mut history);
 
     // Telemetry-only hypervolume reference for 2-objective runs, fixed
     // from the initial population so per-generation values are comparable.
@@ -208,9 +292,30 @@ pub fn nsga2(
             }
         }
 
+        // Optional surrogate screening: serial, before the parallel
+        // batch. A pruned offspring never becomes an Individual, so no
+        // predicted value can enter the population or the front (prune,
+        // never propagate); parents cover the vacated selection slots.
+        let child_xs: Vec<Vec<f64>> = match screen.as_deref_mut() {
+            Some(scr) => {
+                let keep = scr.screen_multi(&child_xs, &objs);
+                child_xs
+                    .into_iter()
+                    .zip(keep)
+                    .filter_map(|(c, k)| k.then_some(c))
+                    .collect()
+            }
+            None => child_xs,
+        };
+
         // Parallel batch evaluation of the offspring.
         let child_objs = par_map(&child_xs, |x| objectives(x));
         evals += child_xs.len();
+        if let Some(scr) = screen.as_deref_mut() {
+            for (x, f) in child_xs.iter().zip(&child_objs) {
+                scr.observe(x, f);
+            }
+        }
         let offspring: Vec<Individual> = child_xs
             .into_iter()
             .zip(child_objs)
@@ -256,6 +361,7 @@ pub fn nsga2(
             rfkit_obs::event("opt.nsga2.gen", &fields);
         }
         pop = next;
+        record(&pop, evals, &mut history);
         if batch < pop_size {
             rfkit_obs::event("opt.nsga2.truncated", &[("evals", evals as f64)]);
             break; // budget exhausted mid-generation
@@ -271,6 +377,7 @@ pub fn nsga2(
     Nsga2Result {
         front,
         evaluations: evals,
+        history,
     }
 }
 
@@ -427,6 +534,67 @@ mod tests {
             hypervolume_2d(&pts, [1.5, 10.0])
         };
         assert!(hv(&long) > hv(&short), "{} vs {}", hv(&long), hv(&short));
+    }
+
+    #[test]
+    fn cold_screen_matches_unscreened_exactly() {
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &zdt1;
+        let bounds = Bounds::uniform(3, 0.0, 1.0);
+        let cfg = Nsga2Config {
+            generations: 15,
+            seed: 23,
+            ..Default::default()
+        };
+        let plain = nsga2(obj, &bounds, &cfg);
+        let mut scr = rfkit_surrogate::SurrogateScreen::new(
+            3,
+            2,
+            rfkit_surrogate::SurrogateConfig {
+                min_train: usize::MAX,
+                ..Default::default()
+            },
+        );
+        let screened = nsga2_screened(obj, &bounds, &cfg, &mut scr);
+        assert_eq!(plain.front, screened.front);
+        assert_eq!(plain.evaluations, screened.evaluations);
+    }
+
+    #[test]
+    fn armed_screen_prunes_and_keeps_front_quality() {
+        let obj: &(dyn Fn(&[f64]) -> Vec<f64> + Sync) = &zdt1;
+        let bounds = Bounds::uniform(3, 0.0, 1.0);
+        let cfg = Nsga2Config {
+            generations: 120,
+            seed: 31,
+            ..Default::default()
+        };
+        let plain = nsga2(obj, &bounds, &cfg);
+        let mut scr = rfkit_surrogate::SurrogateScreen::new(
+            3,
+            2,
+            rfkit_surrogate::SurrogateConfig {
+                explore: 0.05,
+                explore_min: 0.01,
+                ..Default::default()
+            },
+        );
+        let screened = nsga2_screened(obj, &bounds, &cfg, &mut scr);
+        assert!(scr.stats().rejected > 0, "screen never pruned anything");
+        assert!(
+            screened.evaluations < plain.evaluations,
+            "screened {} vs plain {}",
+            screened.evaluations,
+            plain.evaluations
+        );
+        let hv = |r: &Nsga2Result| {
+            let pts: Vec<Vec<f64>> = r.front.iter().map(|i| i.objectives.clone()).collect();
+            hypervolume_2d(&pts, [1.5, 10.0])
+        };
+        let (hp, hs) = (hv(&plain), hv(&screened));
+        assert!(
+            hs > 0.95 * hp,
+            "screened hypervolume {hs} collapsed vs plain {hp}"
+        );
     }
 
     #[test]

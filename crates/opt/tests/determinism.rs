@@ -7,9 +7,23 @@
 //! state and the test harness runs separate tests concurrently.
 
 use rfkit_opt::{
-    differential_evolution, nsga2, particle_swarm, Bounds, DeConfig, Nsga2Config, PsoConfig,
+    differential_evolution, differential_evolution_screened, nsga2, nsga2_screened, particle_swarm,
+    particle_swarm_screened, Bounds, DeConfig, Nsga2Config, PsoConfig,
 };
+use rfkit_surrogate::{SurrogateConfig, SurrogateScreen};
 use std::f64::consts::PI;
+
+/// Screen config that fits early and prunes aggressively, with the
+/// exploration draws armed — the hardest determinism case.
+fn screen_cfg(seed: u64) -> SurrogateConfig {
+    SurrogateConfig {
+        explore: 0.2,
+        explore_min: 0.05,
+        kappa: 1.0,
+        seed,
+        ..Default::default()
+    }
+}
 
 fn rastrigin(x: &[f64]) -> f64 {
     10.0 * x.len() as f64
@@ -104,13 +118,51 @@ fn fixed_seed_output_identical_at_1_and_4_threads() {
             },
         );
         let dc = dc_operating_point();
-        (de, pso, moo, dc)
+        // Surrogate-screened runs: every screening decision (LCB
+        // comparisons, ε-greedy draws, refit cadence) happens in the
+        // serial loop, so the bit-identity contract must survive with a
+        // fresh screen per run.
+        let mut de_scr = SurrogateScreen::new(3, 1, screen_cfg(0xa1));
+        let de_s = differential_evolution_screened(
+            rastrigin,
+            &b,
+            &DeConfig {
+                max_evals: 3000,
+                seed: 0xd5,
+                ..Default::default()
+            },
+            &mut de_scr,
+        );
+        let mut pso_scr = SurrogateScreen::new(3, 1, screen_cfg(0xa2));
+        let pso_s = particle_swarm_screened(
+            rastrigin,
+            &b,
+            &PsoConfig {
+                max_evals: 3000,
+                seed: 0xd6,
+                ..Default::default()
+            },
+            &mut pso_scr,
+        );
+        let mut moo_scr = SurrogateScreen::new(3, 2, screen_cfg(0xa3));
+        let moo_s = nsga2_screened(
+            &zdt1,
+            &Bounds::uniform(3, 0.0, 1.0),
+            &Nsga2Config {
+                generations: 25,
+                seed: 0xd7,
+                ..Default::default()
+            },
+            &mut moo_scr,
+        );
+        let screen_stats = (de_scr.stats(), pso_scr.stats(), moo_scr.stats());
+        (de, pso, moo, dc, de_s, pso_s, moo_s, screen_stats)
     };
 
     std::env::set_var("RFKIT_THREADS", "1");
-    let (de_1, pso_1, moo_1, dc_1) = run_all();
+    let (de_1, pso_1, moo_1, dc_1, des_1, psos_1, moos_1, stats_1) = run_all();
     std::env::set_var("RFKIT_THREADS", "4");
-    let (de_4, pso_4, moo_4, dc_4) = run_all();
+    let (de_4, pso_4, moo_4, dc_4, des_4, psos_4, moos_4, stats_4) = run_all();
     std::env::remove_var("RFKIT_THREADS");
 
     // Bit-identical, not approximately equal.
@@ -134,6 +186,37 @@ fn fixed_seed_output_identical_at_1_and_4_threads() {
         dc_1, dc_4,
         "DC operating point differs across thread counts"
     );
+
+    // Surrogate-armed runs: same contract, screening enabled.
+    assert_eq!(
+        des_1.x, des_4.x,
+        "screened DE best point differs across thread counts"
+    );
+    assert_eq!(des_1.value, des_4.value);
+    assert_eq!(des_1.evaluations, des_4.evaluations);
+    assert_eq!(
+        psos_1.x, psos_4.x,
+        "screened PSO best point differs across thread counts"
+    );
+    assert_eq!(psos_1.value, psos_4.value);
+    assert_eq!(psos_1.evaluations, psos_4.evaluations);
+    assert_eq!(
+        moos_1.front, moos_4.front,
+        "screened NSGA-II front differs across thread counts"
+    );
+    assert_eq!(moos_1.evaluations, moos_4.evaluations);
+    // Decision-by-decision identity, not just final results.
+    assert_eq!(
+        stats_1, stats_4,
+        "screen decision counters differ across thread counts"
+    );
+    // The screens were genuinely armed: models fitted and pruning
+    // happened, otherwise this exercise proves nothing.
+    assert!(
+        stats_1.0.fits > 0 && stats_1.0.rejected > 0,
+        "DE screen idle"
+    );
+    assert!(stats_1.2.fits > 0, "NSGA-II screen never fitted");
 
     rfkit_obs::flush();
     let meta = std::fs::metadata(&trace).expect("armed run wrote a trace");

@@ -1,0 +1,94 @@
+//! Surrogate-screened Pareto-front study: trade worst-band noise figure
+//! against worst-band gain with NSGA-II, letting a response-surface
+//! model trained from the design cache veto unpromising band sweeps.
+//!
+//! The flow mirrors how the screen is meant to be used in practice:
+//!
+//! 1. a short *plain* study warms the [`lna::DesignCache`] with
+//!    true-evaluated designs;
+//! 2. the *screened* study continues from the warm-up's front
+//!    (warm-started initial population), seeds its surrogate from the
+//!    cache snapshot, and consults it before every offspring batch —
+//!    predicted-hopeless candidates never reach the band evaluator.
+//!
+//! Every point on the printed front is true-evaluated: the screen can
+//! only prune evaluations, never substitute for them.
+//!
+//! Run with: `cargo run --release --example surrogate_screening`
+//! (CI runs it traced and asserts the `surrogate.*` counters fired and
+//! the total `band.evaluations` stayed under a fixed budget.)
+
+use lna::{
+    pareto_front_study, study_screen_config, BandSpec, DesignCache, DesignVariables,
+    ParetoStudyConfig,
+};
+use rfkit_device::Phemt;
+
+fn main() {
+    let device = Phemt::atf54143_like();
+    let band = BandSpec::gnss();
+    let cache = DesignCache::with_default_capacity();
+
+    // Phase 1: plain warm-up — every evaluation is a real band sweep.
+    let warmup_cfg = ParetoStudyConfig {
+        population: 32,
+        generations: 16,
+        seed: 0xf4,
+        initial: Vec::new(),
+        surrogate: None,
+    };
+    let warmup = pareto_front_study(&device, &band, &warmup_cfg, &cache);
+    println!(
+        "warm-up study : {:>3} front points, {:>4} band sweeps, hypervolume {:.4}",
+        warmup.front.len(),
+        warmup.band_evaluations,
+        warmup.hypervolume
+    );
+
+    // Phase 2: screened study on the warm cache, continuing from the
+    // warm-up's front. The surrogate trains from the snapshot and keeps
+    // learning from every true evaluation.
+    let screened_cfg = ParetoStudyConfig {
+        population: 32,
+        generations: 20,
+        seed: 0xf4,
+        initial: warmup.front.iter().map(|i| i.x.clone()).collect(),
+        surrogate: Some(study_screen_config(0x5ca1e)),
+    };
+    let screened = pareto_front_study(&device, &band, &screened_cfg, &cache);
+    let stats = screened.screen_stats.expect("screen armed");
+    println!(
+        "screened study: {:>3} front points, {:>4} band sweeps, hypervolume {:.4}",
+        screened.front.len(),
+        screened.band_evaluations,
+        screened.hypervolume
+    );
+    println!(
+        "screen        : {} fits, {} accepted, {} rejected, {} explored, {} forced",
+        stats.fits, stats.accepted, stats.rejected, stats.explored, stats.forced
+    );
+
+    println!("\nNF/gain trade-off (screened front, true-evaluated):");
+    println!("{:>10} {:>10}   design (Vds, Ids, Ls)", "NF (dB)", "G (dB)");
+    let mut rows: Vec<_> = screened.front.iter().collect();
+    rows.sort_by(|a, b| rfkit_num::total_cmp_f64(&a.objectives[0], &b.objectives[0]));
+    for ind in rows.iter().take(8) {
+        let v = DesignVariables::from_vec(&ind.x);
+        println!(
+            "{:>10.3} {:>10.2}   {:.2} V, {:.0} mA, {:.2} nH",
+            ind.objectives[0],
+            -ind.objectives[1],
+            v.vds,
+            v.ids * 1e3,
+            v.ls_deg * 1e9
+        );
+    }
+    println!(
+        "\ncache: {} entries, {} hits total; predictions pruned {} of {} offspring decisions",
+        cache.len(),
+        cache.hits(),
+        stats.rejected,
+        stats.accepted + stats.rejected + stats.explored + stats.forced
+    );
+    rfkit_obs::flush();
+}
