@@ -84,6 +84,7 @@ echo "== cargo test --features rfkit-faults (fault injection armed)"
 cargo test -q --release -p rfkit-robust --features rfkit-faults || fail=1
 cargo test -q --release -p rfkit-circuit --features rfkit-faults || fail=1
 cargo test -q --release -p lna --features rfkit-faults || fail=1
+cargo test -q --release -p rfkit-serve --features rfkit-faults || fail=1
 
 echo "== traced fault-injection smoke (RFKIT_TRACE=1, faults armed)"
 # Arms a fault plan end to end and checks the retry/fallback/degradation
@@ -190,6 +191,29 @@ cargo run --release -q -p lna-bench --bin bench_surrogate -- \
   --profile-out results/PROFILE_bench_surrogate_smoke.json \
   >/dev/null || fail=1
 grep -q '"reduction"' results/BENCH_surrogate_smoke.json || fail=1
+
+echo "== serve smoke (traced bench_serve, mixed concurrent load)"
+# In-process load generator against the rfkit-serve batch server with
+# tracing armed. bench_serve itself hard-asserts zero protocol errors,
+# zero rejections at this queue size, and nonzero design- and plan-cache
+# hits before it writes the report; the trace assertions then prove the
+# request-lifecycle telemetry actually reached the sink — every request
+# accepted was counted, the queue-depth and latency histograms fired,
+# and nothing was rejected or malformed. 8 clients x 12 requests = 96
+# timed requests; the floor ignores the warmup pass on purpose.
+rm -f results/TRACE_serve.jsonl results/BENCH_serve_smoke.json
+RFKIT_TRACE=1 RFKIT_TRACE_OUT=results/TRACE_serve.jsonl \
+  cargo run --release -q -p lna-bench --bin bench_serve -- \
+  --clients 8 --requests 12 --out results/BENCH_serve_smoke.json \
+  >/dev/null || fail=1
+cargo run --release -q -p rfkit-obs --bin rfkit-trace -- --json \
+  --expect serve.requests.accepted --expect serve.requests.completed \
+  --expect serve.queue.depth --expect serve.request.latency_us \
+  --expect-min serve.requests.accepted:96 \
+  --expect-max serve.requests.rejected:0 \
+  --expect-max serve.protocol.errors:0 \
+  results/TRACE_serve.jsonl >/dev/null || fail=1
+grep -q '"throughput_rps"' results/BENCH_serve_smoke.json || fail=1
 
 if [ "$fail" -ne 0 ]; then
   echo "ci.sh: FAILED"

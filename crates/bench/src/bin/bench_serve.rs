@@ -1,0 +1,302 @@
+//! BENCH_serve: in-process load generator for the `rfkit-serve` batch
+//! server. N concurrent clients drive a mixed request corpus (band
+//! sweeps over a shared candidate pool, netlist verifies, Monte-Carlo
+//! yields, pings) against an in-process server, and every round-trip
+//! latency streams into the same mergeable `QuantileSketch` the
+//! aggregate profiler uses. The report —
+//! `results/BENCH_serve.json` — carries p50/p90/p99 latency, throughput,
+//! and the cache-hit economics of the shared design and plan caches, so
+//! future PRs can track serving-path performance against one artifact.
+//!
+//! The corpus draws designs from a small shared pool on purpose: cross-
+//! client repeats are what exercise the shared `DesignCache`, and every
+//! verify compiles (then reuses) the same `StampPlan`s, so a healthy run
+//! must show nonzero hit rates on both caches. The bench hard-asserts
+//! that, plus zero protocol errors, before it writes the report.
+
+use std::collections::BTreeMap;
+use std::thread;
+use std::time::Instant;
+
+use lna::{snap_to_catalog, DesignVariables};
+use rfkit_num::rng::Rng64;
+use rfkit_num::QuantileSketch;
+use rfkit_obs::json::JsonObj;
+use rfkit_serve::{client, Client, ServeConfig, Server, StatsSnapshot};
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    workers: usize,
+    queue: usize,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            clients: 8,
+            requests: 48,
+            workers: 4,
+            queue: 256,
+            out: "results/BENCH_serve.json".into(),
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--clients" => a.clients = val().parse().expect("--clients"),
+            "--requests" => a.requests = val().parse().expect("--requests"),
+            "--workers" => a.workers = val().parse().expect("--workers"),
+            "--queue" => a.queue = val().parse().expect("--queue"),
+            "--out" => a.out = val(),
+            other => {
+                panic!("unknown flag {other} (try --clients/--requests/--workers/--queue/--out)")
+            }
+        }
+    }
+    assert!(a.clients > 0 && a.requests > 0, "need work to generate");
+    a
+}
+
+/// Shared candidate pool: six catalog-snapped designs. Every client
+/// cycles through the same pool, so repeats land in the shared caches.
+fn pool_vars(seed: u64) -> DesignVariables {
+    let mut rng = Rng64::new(seed);
+    snap_to_catalog(DesignVariables {
+        vds: rng.uniform(2.0, 4.0),
+        ids: rng.uniform(0.02, 0.08),
+        l1: rng.uniform(3e-9, 12e-9),
+        ls_deg: rng.uniform(0.1e-9, 0.8e-9),
+        l2: rng.uniform(5e-9, 15e-9),
+        c2: rng.uniform(1e-12, 4e-12),
+        r_bias: rng.uniform(15.0, 60.0),
+    })
+}
+
+/// One client's corpus entry: request kind plus framed payload.
+fn corpus(k: u64, i: u64) -> (&'static str, String) {
+    let id = k * 1_000_000 + i;
+    let vars = pool_vars(1 + (i + k) % 6);
+    match i % 8 {
+        4 => ("verify", client::verify_json(id, &vars, None)),
+        5 => ("yield", client::yield_json(id, &vars, 12, k ^ i)),
+        6 => ("ping", client::ping_json(id)),
+        // A second, narrower band keeps more than one per-band design
+        // cache warm.
+        3 => (
+            "sweep",
+            client::sweep_json(id, &vars, Some((1.559e9, 1.61e9, 11)), Some(0.25)),
+        ),
+        _ => ("sweep", client::sweep_json(id, &vars, None, Some(0.25))),
+    }
+}
+
+struct ClientReport {
+    latency: QuantileSketch,
+    per_kind: BTreeMap<&'static str, QuantileSketch>,
+    statuses: BTreeMap<String, u64>,
+}
+
+fn run_client(addr: std::net::SocketAddr, k: u64, requests: usize) -> ClientReport {
+    let mut c = Client::connect(addr).expect("client connects");
+    let mut report = ClientReport {
+        latency: QuantileSketch::new(),
+        per_kind: BTreeMap::new(),
+        statuses: BTreeMap::new(),
+    };
+    for i in 0..requests as u64 {
+        let (kind, req) = corpus(k, i);
+        let t = Instant::now();
+        let resp = c.call(&req).expect("response arrives");
+        let us = t.elapsed().as_micros() as f64;
+        assert_eq!(resp.id, k * 1_000_000 + i, "response correlated by id");
+        assert!(
+            matches!(resp.status.as_str(), "ok" | "degraded" | "infeasible"),
+            "clean load must never see `{}`: {}",
+            resp.status,
+            resp.raw
+        );
+        report.latency.record(us);
+        report.per_kind.entry(kind).or_default().record(us);
+        *report.statuses.entry(resp.status).or_insert(0) += 1;
+    }
+    report
+}
+
+fn report_json(
+    a: &Args,
+    elapsed_s: f64,
+    latency: &QuantileSketch,
+    per_kind: &BTreeMap<&'static str, QuantileSketch>,
+    statuses: &BTreeMap<String, u64>,
+    stats: &StatsSnapshot,
+) -> String {
+    let total = (a.clients * a.requests) as f64;
+    let mut lat = JsonObj::new();
+    lat.num("p50", latency.quantile(0.50));
+    lat.num("p90", latency.quantile(0.90));
+    lat.num("p99", latency.quantile(0.99));
+    lat.num("count", latency.count() as f64);
+    let mut kinds = JsonObj::new();
+    for (kind, sk) in per_kind {
+        let mut o = JsonObj::new();
+        o.num("p50_us", sk.quantile(0.50));
+        o.num("p99_us", sk.quantile(0.99));
+        o.num("count", sk.count() as f64);
+        kinds.raw(kind, &o.finish());
+    }
+    let mut st = JsonObj::new();
+    for (status, n) in statuses {
+        st.num(status, *n as f64);
+    }
+    let mut server = JsonObj::new();
+    server.num("workers", a.workers as f64);
+    server.num("queue_capacity", a.queue as f64);
+    server.num("accepted", stats.accepted as f64);
+    server.num("completed", stats.completed as f64);
+    server.num("degraded", stats.degraded as f64);
+    server.num("rejected", stats.rejected as f64);
+    server.num("expired", stats.expired as f64);
+    server.num("protocol_errors", stats.protocol_errors as f64);
+    server.num("internal_errors", stats.internal_errors as f64);
+    let dc_lookups = (stats.design_cache_hits + stats.design_cache_misses) as f64;
+    let mut dc = JsonObj::new();
+    dc.num("hits", stats.design_cache_hits as f64);
+    dc.num("misses", stats.design_cache_misses as f64);
+    dc.num("uncacheable", stats.design_cache_uncacheable as f64);
+    dc.num("entries", stats.design_cache_entries as f64);
+    dc.num(
+        "hit_rate",
+        stats.design_cache_hits as f64 / dc_lookups.max(1.0),
+    );
+    let pc_lookups = (stats.plan_cache_hits + stats.plan_cache_misses) as f64;
+    let mut pc = JsonObj::new();
+    pc.num("hits", stats.plan_cache_hits as f64);
+    pc.num("misses", stats.plan_cache_misses as f64);
+    pc.num("entries", stats.plan_cache_entries as f64);
+    pc.num(
+        "hit_rate",
+        stats.plan_cache_hits as f64 / pc_lookups.max(1.0),
+    );
+    let mut doc = JsonObj::new();
+    doc.str("bench", "BENCH_serve");
+    doc.num("clients", a.clients as f64);
+    doc.num("requests_per_client", a.requests as f64);
+    doc.num("total_requests", total);
+    doc.num("elapsed_s", elapsed_s);
+    doc.num("throughput_rps", total / elapsed_s.max(1e-9));
+    doc.raw("latency_us", &lat.finish());
+    doc.raw("per_kind", &kinds.finish());
+    doc.raw("statuses", &st.finish());
+    doc.raw("server", &server.finish());
+    doc.raw("design_cache", &dc.finish());
+    doc.raw("plan_cache", &pc.finish());
+    doc.finish()
+}
+
+fn main() {
+    let a = parse_args();
+    lna_bench::header(
+        "BENCH_serve",
+        "design-as-a-service latency and throughput under concurrent mixed load",
+    );
+    assert!(
+        a.queue >= a.clients,
+        "queue capacity below the client count would make backpressure \
+         part of the steady state; size the queue for the load"
+    );
+    let server = Server::start(ServeConfig {
+        workers: a.workers,
+        queue_capacity: a.queue,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+    println!(
+        "server {addr}: {} workers, queue {}; load: {} clients x {} requests",
+        a.workers, a.queue, a.clients, a.requests
+    );
+
+    // Warmup outside the timed window: one pass over the corpus kinds so
+    // the timed run measures steady-state serving, not first-touch plan
+    // compilation.
+    // (Client index 9999 stays clear of the timed clients' id ranges and
+    // keeps ids exactly representable through the JSON f64 round-trip.)
+    run_client(addr, 9_999, 8.min(a.requests));
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..a.clients as u64)
+        .map(|k| {
+            let requests = a.requests;
+            thread::spawn(move || run_client(addr, k, requests))
+        })
+        .collect();
+    let mut latency = QuantileSketch::new();
+    let mut per_kind: BTreeMap<&'static str, QuantileSketch> = BTreeMap::new();
+    let mut statuses: BTreeMap<String, u64> = BTreeMap::new();
+    for h in handles {
+        let r = h.join().expect("client thread");
+        latency.merge(&r.latency);
+        for (kind, sk) in &r.per_kind {
+            per_kind.entry(kind).or_default().merge(sk);
+        }
+        for (status, n) in &r.statuses {
+            *statuses.entry(status.clone()).or_insert(0) += n;
+        }
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+
+    // The economics the serving architecture exists for: shared caches
+    // must be earning hits under this corpus, and a clean load must be
+    // protocol-error free. Hard failures, not footnotes.
+    assert_eq!(stats.protocol_errors, 0, "protocol errors under clean load");
+    assert_eq!(stats.internal_errors, 0, "handler panics under clean load");
+    assert_eq!(stats.rejected, 0, "queue sized for the load; no overloads");
+    assert!(
+        stats.design_cache_hits > 0,
+        "shared design cache earned no hits — pooled corpus broken?"
+    );
+    assert!(
+        stats.plan_cache_hits > 0,
+        "shared plan cache earned no hits — verify corpus broken?"
+    );
+
+    let total = (a.clients * a.requests) as f64;
+    println!(
+        "\n{} requests in {elapsed_s:.3} s = {:.1} req/s",
+        total as u64,
+        total / elapsed_s.max(1e-9)
+    );
+    println!(
+        "latency: p50 {:.0} us | p90 {:.0} us | p99 {:.0} us",
+        latency.quantile(0.50),
+        latency.quantile(0.90),
+        latency.quantile(0.99)
+    );
+    println!(
+        "design cache: {} hits / {} misses ({} uncacheable); plan cache: {} hits / {} misses",
+        stats.design_cache_hits,
+        stats.design_cache_misses,
+        stats.design_cache_uncacheable,
+        stats.plan_cache_hits,
+        stats.plan_cache_misses
+    );
+
+    let json = report_json(&a, elapsed_s, &latency, &per_kind, &statuses, &stats);
+    if let Some(dir) = std::path::Path::new(&a.out).parent() {
+        std::fs::create_dir_all(dir).expect("results dir");
+    }
+    std::fs::write(&a.out, &json).expect("write BENCH_serve report");
+    println!("wrote {}", a.out);
+    rfkit_obs::flush();
+}

@@ -1,0 +1,60 @@
+//! Standalone server: `rfkit-served [--addr HOST:PORT] [--workers N]
+//! [--queue K] [--deadline-ms D]`.
+//!
+//! Prints the bound address on stdout, serves until stdin reaches EOF
+//! (Ctrl-D, or the supervisor closing the pipe — the zero-dep stand-in
+//! for signal handling), then drains and reports the final counters.
+
+use std::io::Read;
+
+use rfkit_serve::{ServeConfig, Server};
+
+fn main() {
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = take("--addr"),
+            "--workers" => cfg.workers = take("--workers").parse().expect("--workers: usize"),
+            "--queue" => {
+                cfg.queue_capacity = take("--queue").parse().expect("--queue: usize");
+            }
+            "--deadline-ms" => {
+                cfg.default_deadline_ms =
+                    Some(take("--deadline-ms").parse().expect("--deadline-ms: u64"));
+            }
+            other => {
+                eprintln!(
+                    "rfkit-served: unknown argument `{other}` \
+                     (known: --addr --workers --queue --deadline-ms)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let server = Server::start(cfg).expect("bind and start server");
+    println!("rfkit-served listening on {}", server.local_addr());
+    println!("serving until stdin closes (Ctrl-D to stop)");
+
+    // Block until EOF on stdin; bytes received are ignored.
+    let mut sink = [0u8; 256];
+    let mut stdin = std::io::stdin();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+
+    let stats = server.shutdown();
+    println!(
+        "rfkit-served: drained; accepted={} completed={} degraded={} \
+         rejected={} expired={} protocol_errors={}",
+        stats.accepted,
+        stats.completed,
+        stats.degraded,
+        stats.rejected,
+        stats.expired,
+        stats.protocol_errors
+    );
+}

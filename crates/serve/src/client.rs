@@ -1,0 +1,138 @@
+//! Minimal blocking client for the framed protocol, plus request
+//! builders — the same helpers the tests and `bench_serve` use.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use lna::DesignVariables;
+use rfkit_obs::json::JsonObj;
+
+use crate::protocol::{self, FrameError, Response, DEFAULT_MAX_FRAME_BYTES};
+
+/// A blocking connection to a [`crate::Server`].
+///
+/// `call` is the simple request/response mode; `send` + `recv` allow
+/// pipelining (responses are matched by `id`, and may arrive out of
+/// request order when the server runs several workers).
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Sends one request payload as a frame.
+    pub fn send(&mut self, payload: &str) -> io::Result<()> {
+        protocol::write_frame(&mut self.stream, payload)
+    }
+
+    /// Reads the next response frame, unparsed.
+    pub fn recv_raw(&mut self) -> io::Result<String> {
+        protocol::read_frame(&mut self.stream, self.max_frame).map_err(|e| match e {
+            FrameError::Io(io) => io,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        })
+    }
+
+    /// Reads and parses the next response frame.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let raw = self.recv_raw()?;
+        Response::parse(&raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// One request, one response (no pipelining).
+    pub fn call(&mut self, payload: &str) -> io::Result<Response> {
+        self.send(payload)?;
+        self.recv()
+    }
+
+    /// One request, one raw response payload — determinism tests compare
+    /// these byte-for-byte.
+    pub fn call_raw(&mut self, payload: &str) -> io::Result<String> {
+        self.send(payload)?;
+        self.recv_raw()
+    }
+}
+
+fn base(id: u64, kind: &str) -> JsonObj {
+    let mut o = JsonObj::new();
+    o.num("id", id as f64);
+    o.str("type", kind);
+    o
+}
+
+fn band_json(band: (f64, f64, usize)) -> String {
+    let mut b = JsonObj::new();
+    b.num("f_lo", band.0);
+    b.num("f_hi", band.1);
+    b.num("points", band.2 as f64);
+    b.finish()
+}
+
+/// Builds a `sweep` request. `band` is `(f_lo, f_hi, points)` (`None` =
+/// the GNSS band); `max_fail_frac` selects a lenient degrade policy.
+pub fn sweep_json(
+    id: u64,
+    vars: &DesignVariables,
+    band: Option<(f64, f64, usize)>,
+    max_fail_frac: Option<f64>,
+) -> String {
+    let mut o = base(id, "sweep");
+    o.raw("vars", &protocol::vars_json(vars));
+    if let Some(b) = band {
+        o.raw("band", &band_json(b));
+    }
+    if let Some(frac) = max_fail_frac {
+        let mut p = JsonObj::new();
+        p.num("max_fail_frac", frac);
+        o.raw("policy", &p.finish());
+    }
+    o.finish()
+}
+
+/// Builds a `verify` request (netlist sweep through the shared plan
+/// cache).
+pub fn verify_json(id: u64, vars: &DesignVariables, band: Option<(f64, f64, usize)>) -> String {
+    let mut o = base(id, "verify");
+    o.raw("vars", &protocol::vars_json(vars));
+    if let Some(b) = band {
+        o.raw("band", &band_json(b));
+    }
+    o.finish()
+}
+
+/// Builds a `design` request with the default objective spec.
+pub fn design_json(id: u64, max_evals: usize, seed: u64) -> String {
+    let mut o = base(id, "design");
+    o.num("max_evals", max_evals as f64);
+    o.num("seed", seed as f64);
+    o.finish()
+}
+
+/// Builds a `yield` request.
+pub fn yield_json(id: u64, vars: &DesignVariables, units: usize, seed: u64) -> String {
+    let mut o = base(id, "yield");
+    o.raw("vars", &protocol::vars_json(vars));
+    o.num("units", units as f64);
+    o.num("seed", seed as f64);
+    o.finish()
+}
+
+/// Builds a `stats` request.
+pub fn stats_json(id: u64) -> String {
+    base(id, "stats").finish()
+}
+
+/// Builds a `ping` request.
+pub fn ping_json(id: u64) -> String {
+    base(id, "ping").finish()
+}

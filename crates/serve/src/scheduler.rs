@@ -1,0 +1,186 @@
+//! Work-stealing request scheduler with bounded admission.
+//!
+//! Each worker owns a deque; submissions round-robin across them and a
+//! worker that drains its own queue steals from the tail of the deepest
+//! sibling, so one expensive request cannot strand cheap ones behind it.
+//! Admission is bounded: past `capacity` queued requests, `submit` hands
+//! the item back with [`Refusal::Overloaded`] so the caller can answer
+//! with explicit backpressure — the scheduler never drops work silently.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+// Queue depth observed at each admission (runtime-gated, write-only).
+static OBS_QUEUE_DEPTH: rfkit_obs::Hist = rfkit_obs::Hist::new("serve.queue.depth");
+
+/// Why a submission was refused. The item is handed back alongside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Refusal {
+    /// The bounded queue is at capacity — backpressure, not a drop.
+    Overloaded,
+    /// The scheduler is draining for shutdown.
+    Draining,
+}
+
+pub(crate) struct Scheduler<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct State<T> {
+    queues: Vec<VecDeque<T>>,
+    queued: usize,
+    next_rr: usize,
+    draining: bool,
+}
+
+impl<T> Scheduler<T> {
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        assert!(workers > 0, "scheduler needs at least one worker");
+        Scheduler {
+            state: Mutex::new(State {
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                queued: 0,
+                next_rr: 0,
+                draining: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits `item` and returns the queue depth after admission, or
+    /// refuses and hands the item back so the caller can respond.
+    pub fn submit(&self, item: T) -> Result<usize, (T, Refusal)> {
+        let mut s = self.lock();
+        if s.draining {
+            return Err((item, Refusal::Draining));
+        }
+        if s.queued >= self.capacity {
+            return Err((item, Refusal::Overloaded));
+        }
+        let w = s.next_rr;
+        s.next_rr = (s.next_rr + 1) % s.queues.len();
+        s.queues[w].push_back(item);
+        s.queued += 1;
+        let depth = s.queued;
+        drop(s);
+        OBS_QUEUE_DEPTH.record(depth as u64);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Next item for `worker`: own queue front-first, then a steal from
+    /// the tail of the deepest sibling. Blocks while idle; returns
+    /// `None` once draining *and* every queue is empty.
+    pub fn next(&self, worker: usize) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = Self::pop(&mut s, worker) {
+                return Some(item);
+            }
+            if s.draining {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn pop(s: &mut State<T>, worker: usize) -> Option<T> {
+        if let Some(item) = s.queues[worker].pop_front() {
+            s.queued -= 1;
+            return Some(item);
+        }
+        let victim = (0..s.queues.len())
+            .filter(|&v| v != worker && !s.queues[v].is_empty())
+            .max_by_key(|&v| s.queues[v].len())?;
+        let item = s.queues[victim].pop_back()?;
+        s.queued -= 1;
+        Some(item)
+    }
+
+    /// Queued (admitted, not yet started) request count.
+    pub fn depth(&self) -> usize {
+        self.lock().queued
+    }
+
+    /// Marks the scheduler draining: new submissions are refused, every
+    /// parked worker wakes, and workers exit once the queues are empty —
+    /// queued work still completes.
+    pub fn drain(&self) {
+        self.lock().draining = true;
+        self.ready.notify_all();
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    /// The backpressure contract at scheduler level with an airtight
+    /// gate: while one request is in flight and K are queued, the K+1th
+    /// is refused `Overloaded`; everything admitted still completes.
+    #[test]
+    fn kth_plus_one_is_refused_while_in_flight_completes() {
+        const K: usize = 3;
+        let sched: Arc<Scheduler<u32>> = Arc::new(Scheduler::new(1, K));
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel::<u32>();
+
+        let worker = {
+            let sched = Arc::clone(&sched);
+            std::thread::spawn(move || {
+                while let Some(item) = sched.next(0) {
+                    if item == 0 {
+                        started_tx.send(()).unwrap();
+                        gate_rx.recv().unwrap(); // hold the item in flight
+                    }
+                    done_tx.send(item).unwrap();
+                }
+            })
+        };
+
+        sched.submit(0).unwrap();
+        started_rx.recv().unwrap(); // item 0 is now in flight, not queued
+        for i in 1..=K as u32 {
+            assert_eq!(sched.submit(i).unwrap(), i as usize);
+        }
+        assert_eq!(sched.depth(), K);
+        let (refused, why) = sched.submit(99).unwrap_err();
+        assert_eq!(refused, 99);
+        assert_eq!(why, Refusal::Overloaded);
+
+        gate_tx.send(()).unwrap(); // release the in-flight item
+        sched.drain();
+        worker.join().unwrap();
+        let done: Vec<u32> = done_rx.try_iter().collect();
+        assert_eq!(done, vec![0, 1, 2, 3], "admitted work completed in order");
+        assert!(matches!(sched.submit(100), Err((100, Refusal::Draining))));
+    }
+
+    /// Round-robin submission spreads items across worker queues; a lone
+    /// active worker steals every sibling's item, so nothing is stranded.
+    #[test]
+    fn lone_worker_steals_strands_nothing() {
+        let sched: Arc<Scheduler<u32>> = Arc::new(Scheduler::new(4, 64));
+        for i in 0..8 {
+            sched.submit(i).unwrap();
+        }
+        sched.drain();
+        let mut got = Vec::new();
+        while let Some(item) = sched.next(0) {
+            got.push(item);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        assert_eq!(sched.depth(), 0);
+    }
+}
